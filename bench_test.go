@@ -1,0 +1,415 @@
+// Benchmarks regenerating the paper's evaluation (§4), one per table
+// and figure, plus ablations of the design choices DESIGN.md calls out.
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// The sweep-style reports (full size ranges in the paper's layout) come
+// from cmd/ncs-bench; these benchmarks time the representative points
+// under the Go benchmark harness.
+package ncs_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ncs"
+	"ncs/internal/bench"
+	"ncs/internal/platform"
+	"ncs/internal/thread"
+)
+
+// ---------------------------------------------------------------------------
+// Table I: session overhead of a threaded 1-byte send.
+
+func BenchmarkTableI_InstrumentedSend1B(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "t1a", "t1b", ncs.Options{Interface: ncs.SCI, Instrument: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() {
+		for {
+			if _, err := peer.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := []byte{1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.SendInstrumented(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if tr := conn.LastTrace(); tr != nil {
+		b.ReportMetric(float64(tr.SessionOverhead().Nanoseconds()), "session-ns")
+		b.ReportMetric(float64(tr.DataTransfer().Nanoseconds()), "transfer-ns")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: user-level vs kernel-level thread package. Each iteration
+// is one full scaled run at the given message size; the reported metric
+// is the per-send-iteration time the figure plots.
+
+func BenchmarkFigure10(b *testing.B) {
+	for _, model := range []thread.Model{thread.UserLevel, thread.KernelLevel} {
+		for _, size := range []int{1024, 65536} {
+			b.Run(fmt.Sprintf("%s/%s", model, sizeName(size)), func(b *testing.B) {
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					fig := bench.Figure10(bench.Fig10Config{
+						Sizes:      []int{size},
+						Iterations: 10,
+					})
+					for _, s := range fig.Series {
+						if s.Label == model.String() {
+							total += s.Points[0].Value
+						}
+					}
+				}
+				b.ReportMetric(float64(total.Nanoseconds())/float64(b.N), "ns/send-iter")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: threaded send vs native socket.
+
+func BenchmarkFigure11(b *testing.B) {
+	for _, model := range []thread.Model{thread.UserLevel, thread.KernelLevel} {
+		for _, size := range []int{1, 65536} {
+			b.Run(fmt.Sprintf("%s/%s", model, sizeName(size)), func(b *testing.B) {
+				data := bench.Figure11(bench.Fig11Config{Sizes: []int{size}, Iterations: b.N})
+				for _, s := range data.Fig.Series {
+					if s.Label == model.String() && data.Native.Points[0].Value > 0 {
+						ratio := float64(s.Points[0].Value) / float64(data.Native.Points[0].Value)
+						b.ReportMetric(ratio, "ratio-to-native")
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures 12 and 13: echo round trips, NCS vs p4/MPI/PVM.
+
+func benchmarkEcho(b *testing.B, sys bench.SystemKind, local, remote platform.Platform, size int) {
+	b.Helper()
+	series, err := bench.RunEcho(bench.EchoConfig{
+		System:     sys,
+		Local:      local,
+		Remote:     remote,
+		Sizes:      []int{size},
+		Iterations: b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(series.Points[0].Value.Nanoseconds()), "rtt-ns")
+}
+
+func BenchmarkFigure12_SUN4(b *testing.B) {
+	for _, sys := range bench.AllSystems {
+		for _, size := range []int{4096, 65536} {
+			b.Run(fmt.Sprintf("%v/%s", sys, sizeName(size)), func(b *testing.B) {
+				benchmarkEcho(b, sys, platform.SUN4, platform.SUN4, size)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure12_RS6000(b *testing.B) {
+	for _, sys := range bench.AllSystems {
+		for _, size := range []int{4096, 65536} {
+			b.Run(fmt.Sprintf("%v/%s", sys, sizeName(size)), func(b *testing.B) {
+				benchmarkEcho(b, sys, platform.RS6000, platform.RS6000, size)
+			})
+		}
+	}
+}
+
+func BenchmarkFigure13_Heterogeneous(b *testing.B) {
+	for _, sys := range bench.AllSystems {
+		for _, size := range []int{4096, 65536} {
+			b.Run(fmt.Sprintf("%v/%s", sys, sizeName(size)), func(b *testing.B) {
+				benchmarkEcho(b, sys, platform.SUN4, platform.RS6000, size)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Core NCS micro-benchmarks: raw send/recv across interfaces.
+
+func BenchmarkNCSSendRecv(b *testing.B) {
+	kinds := map[string]ncs.Options{
+		"HPI":          {Interface: ncs.HPI},
+		"SCI":          {Interface: ncs.SCI},
+		"ACI":          {Interface: ncs.ACI},
+		"HPI-fastpath": {Interface: ncs.HPI, FastPath: true},
+	}
+	for name, opts := range kinds {
+		for _, size := range []int{1, 4096, 65536} {
+			b.Run(fmt.Sprintf("%s/%s", name, sizeName(size)), func(b *testing.B) {
+				nw := ncs.NewNetwork()
+				defer nw.Close()
+				conn, peer, err := ncs.Pair(nw, "bench-a", "bench-b", opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				go func() {
+					for {
+						m, err := peer.Recv()
+						if err != nil {
+							return
+						}
+						if err := peer.Send(m[:1]); err != nil {
+							return
+						}
+					}
+				}()
+				msg := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := conn.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := conn.Recv(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §6).
+
+// BenchmarkAblationFastPath quantifies §4.2: the session overhead
+// removed by replacing the per-connection threads with procedures.
+func BenchmarkAblationFastPath(b *testing.B) {
+	for _, mode := range []string{"threaded", "fastpath"} {
+		for _, size := range []int{1, 65536} {
+			b.Run(fmt.Sprintf("%s/%s", mode, sizeName(size)), func(b *testing.B) {
+				nw := ncs.NewNetwork()
+				defer nw.Close()
+				conn, peer, err := ncs.Pair(nw, "ab-a", "ab-b", ncs.Options{
+					Interface: ncs.HPI,
+					FastPath:  mode == "fastpath",
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					for {
+						if _, err := peer.Recv(); err != nil {
+							return
+						}
+					}
+				}()
+				msg := make([]byte, size)
+				b.SetBytes(int64(size))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := conn.Send(msg); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				conn.Close()
+				peer.Close()
+				<-done
+			})
+		}
+	}
+}
+
+// BenchmarkAblationControlPlane quantifies the §2 separation: split
+// control/data connections versus control multiplexed in-band.
+func BenchmarkAblationControlPlane(b *testing.B) {
+	for _, mode := range []string{"separate", "inband"} {
+		b.Run(mode, func(b *testing.B) {
+			nw := ncs.NewNetwork()
+			defer nw.Close()
+			conn, peer, err := ncs.Pair(nw, "cp-a", "cp-b", ncs.Options{
+				Interface:     ncs.ACI,
+				FlowControl:   ncs.FlowCredit,
+				ErrorControl:  ncs.ErrorSelectiveRepeat,
+				SDUSize:       2048,
+				InbandControl: mode == "inband",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for {
+					m, err := peer.Recv()
+					if err != nil {
+						return
+					}
+					if err := peer.Send(m[:1]); err != nil {
+						return
+					}
+				}
+			}()
+			msg := make([]byte, 32*1024)
+			b.SetBytes(int64(len(msg)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := conn.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSDU sweeps the §3.2 segmentation trade-off.
+func BenchmarkAblationSDU(b *testing.B) {
+	for _, sdu := range []int{1024, 4096, 16384, 60000} {
+		b.Run(fmt.Sprintf("sdu-%s", sizeName(sdu)), func(b *testing.B) {
+			nw := ncs.NewNetwork()
+			defer nw.Close()
+			conn, peer, err := ncs.Pair(nw, "sdu-a", "sdu-b", ncs.Options{
+				Interface: ncs.ACI,
+				SDUSize:   sdu,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for {
+					m, err := peer.Recv()
+					if err != nil {
+						return
+					}
+					if err := peer.Send(m[:1]); err != nil {
+						return
+					}
+				}
+			}()
+			msg := make([]byte, 64*1024)
+			b.SetBytes(int64(len(msg)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := conn.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCredits compares starvation-prone small windows with
+// ample static credit over a high-latency path (§3.3's dynamic credit
+// motivation).
+func BenchmarkAblationCredits(b *testing.B) {
+	for _, credits := range []int{1, 4, 32} {
+		b.Run(fmt.Sprintf("initial-%d", credits), func(b *testing.B) {
+			nw := ncs.NewNetwork()
+			defer nw.Close()
+			conn, peer, err := ncs.Pair(nw, "cr-a", "cr-b", ncs.Options{
+				Interface:    ncs.ACI,
+				FlowControl:  ncs.FlowCredit,
+				ErrorControl: ncs.ErrorSelectiveRepeat,
+				SDUSize:      1024,
+				FlowConfig:   ncs.FlowConfig{InitialCredits: credits, MaxCredits: 64},
+				QoS:          ncs.QoS{Delay: time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for {
+					m, err := peer.Recv()
+					if err != nil {
+						return
+					}
+					if err := peer.Send(m[:1]); err != nil {
+						return
+					}
+				}
+			}()
+			msg := make([]byte, 16*1024)
+			b.SetBytes(int64(len(msg)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := conn.Send(msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := conn.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupCollectives covers the two multicast algorithms.
+func BenchmarkGroupCollectives(b *testing.B) {
+	for _, algName := range []string{"spanning-tree", "repetitive"} {
+		b.Run("broadcast-"+algName, func(b *testing.B) {
+			alg := ncs.MulticastSpanningTree
+			if algName == "repetitive" {
+				alg = ncs.MulticastRepetitive
+			}
+			nw := ncs.NewNetwork()
+			defer nw.Close()
+			names := make([]string, 8)
+			for i := range names {
+				names[i] = fmt.Sprintf("bm-%s-%d", algName, i)
+			}
+			groups, err := ncs.BuildGroup(nw, names, ncs.Options{Interface: ncs.HPI}, alg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 4096)
+			b.SetBytes(int64(len(payload)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				errCh := make(chan error, len(groups))
+				for _, g := range groups {
+					go func(g *ncs.Group) {
+						var msg []byte
+						if g.Rank() == 0 {
+							msg = payload
+						}
+						_, err := g.Broadcast(0, msg)
+						errCh <- err
+					}(g)
+				}
+				for range groups {
+					if err := <-errCh; err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n >= 1024 && n%1024 == 0 {
+		return fmt.Sprintf("%dKB", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,131 @@
+// Command ncs-bench regenerates the tables and figures of the paper's
+// evaluation section (§4). Each experiment prints the measured series
+// in the paper's layout, with the 1998 published values alongside where
+// the paper gives them.
+//
+// Usage:
+//
+//	ncs-bench -exp table1
+//	ncs-bench -exp fig10
+//	ncs-bench -exp fig11
+//	ncs-bench -exp fig12 -platform sun4
+//	ncs-bench -exp fig12 -platform rs6000
+//	ncs-bench -exp fig13
+//	ncs-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ncs/internal/bench"
+	"ncs/internal/platform"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, all")
+		plat  = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
+		iters = flag.Int("iters", 10, "iterations per point for echo experiments")
+	)
+	flag.Parse()
+	if err := run(*exp, *plat, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp, plat string, iters int) error {
+	switch exp {
+	case "table1":
+		return runTable1()
+	case "fig10":
+		return runFig10()
+	case "fig11":
+		return runFig11()
+	case "fig12":
+		return runFig12(plat, iters)
+	case "fig13":
+		return runFig13(iters)
+	case "all":
+		for _, e := range []func() error{
+			runTable1,
+			runFig10,
+			runFig11,
+			func() error { return runFig12("sun4", iters) },
+			func() error { return runFig12("rs6000", iters) },
+			func() error { return runFig13(iters) },
+		} {
+			if err := e(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func runTable1() error {
+	res, err := bench.TableI(bench.TableIConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runFig10() error {
+	fig := bench.Figure10(bench.Fig10Config{})
+	fmt.Print(fig.Render())
+	fmt.Println("paper: curves cross at 4 KB; user-level climbs steeply beyond, " +
+		"kernel-level stays near the compute load (overlap).")
+	return nil
+}
+
+func runFig11() error {
+	data := bench.Figure11(bench.Fig11Config{})
+	fmt.Print(data.Fig.RenderRatio(data.Native))
+	fmt.Println("paper: ratio ≈ 2.6–3.0 at 1 byte, decaying toward 1 at 64 KB.")
+	return nil
+}
+
+func runFig12(plat string, iters int) error {
+	var p platform.Platform
+	switch plat {
+	case "sun4":
+		p = platform.SUN4
+	case "rs6000":
+		p = platform.RS6000
+	default:
+		return fmt.Errorf("unknown platform %q (want sun4 or rs6000)", plat)
+	}
+	fig, err := bench.FigureEcho(
+		fmt.Sprintf("Figure 12: point-to-point echo over ATM, %s pair", p.Name),
+		p, p, nil, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Render())
+	switch plat {
+	case "sun4":
+		fmt.Println("paper: NCS best on SUN-4; MPI and p4 degrade with size.")
+	case "rs6000":
+		fmt.Println("paper: p4 best on RS6000; PVM worst; NCS second.")
+	}
+	return nil
+}
+
+func runFig13(iters int) error {
+	fig, err := bench.FigureEcho(
+		"Figure 13: echo over ATM, heterogeneous SUN-4 ↔ RS6000",
+		platform.SUN4, platform.RS6000, nil, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig.Render())
+	fmt.Println("paper: NCS best; PVM comparable; p4 poor; MPI collapses at large sizes.")
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", "sun4", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig12SmallIters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("echo sweep")
+	}
+	if err := run("fig12", "rs6000", 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("fig99", "sun4", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run("fig12", "cray", 1); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}

@@ -1,0 +1,155 @@
+// Command ncs-echo is the paper's §4.3 round-trip measurement program
+// as a standalone tool: it sets up a client and an echo server as two
+// NCS systems and reports round-trip times across the message-size
+// sweep, for any interface / flow-control / error-control combination.
+//
+// Usage:
+//
+//	ncs-echo                              # defaults: HPI, 100 iterations
+//	ncs-echo -iface aci -fc credit -ec sr -loss 0.01
+//	ncs-echo -iface sci -sizes 1,1024,65536 -iters 50
+//	ncs-echo -fastpath
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ncs"
+)
+
+func main() {
+	var (
+		iface    = flag.String("iface", "hpi", "interface: sci, aci, hpi")
+		fc       = flag.String("fc", "", "flow control: none, credit, window, rate (default per interface)")
+		ec       = flag.String("ec", "", "error control: none, sr, gbn (default per interface)")
+		sizesArg = flag.String("sizes", "1,1024,4096,8192,16384,32768,65536", "comma-separated message sizes")
+		iters    = flag.Int("iters", 100, "iterations per size (best/worst dropped)")
+		loss     = flag.Float64("loss", 0, "ACI cell loss rate [0,1]")
+		fastpath = flag.Bool("fastpath", false, "use the thread-bypassing fast path")
+		sdu      = flag.Int("sdu", 4096, "SDU size (segmentation unit)")
+	)
+	flag.Parse()
+	if err := run(*iface, *fc, *ec, *sizesArg, *iters, *loss, *fastpath, *sdu); err != nil {
+		fmt.Fprintln(os.Stderr, "ncs-echo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(iface, fc, ec, sizesArg string, iters int, loss float64, fastpath bool, sdu int) error {
+	opts := ncs.Options{SDUSize: sdu, FastPath: fastpath}
+	switch iface {
+	case "sci":
+		opts.Interface = ncs.SCI
+	case "aci":
+		opts.Interface = ncs.ACI
+		opts.QoS = ncs.QoS{CellLossRate: loss}
+	case "hpi":
+		opts.Interface = ncs.HPI
+	default:
+		return fmt.Errorf("unknown interface %q", iface)
+	}
+	switch fc {
+	case "":
+	case "none":
+		opts.FlowControl = ncs.FlowNone
+	case "credit":
+		opts.FlowControl = ncs.FlowCredit
+	case "window":
+		opts.FlowControl = ncs.FlowWindow
+	case "rate":
+		opts.FlowControl = ncs.FlowRate
+	default:
+		return fmt.Errorf("unknown flow control %q", fc)
+	}
+	switch ec {
+	case "":
+	case "none":
+		opts.ErrorControl = ncs.ErrorNone
+	case "sr":
+		opts.ErrorControl = ncs.ErrorSelectiveRepeat
+	case "gbn":
+		opts.ErrorControl = ncs.ErrorGoBackN
+	default:
+		return fmt.Errorf("unknown error control %q", ec)
+	}
+
+	var sizes []int
+	for _, f := range strings.Split(sizesArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad size %q: %w", f, err)
+		}
+		sizes = append(sizes, n)
+	}
+
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "echo-client", "echo-server", opts)
+	if err != nil {
+		return err
+	}
+
+	go func() {
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+
+	fmt.Printf("NCS echo: iface=%s fc=%v ec=%v fastpath=%v sdu=%d iters=%d\n",
+		iface, opts.FlowControl, opts.ErrorControl, fastpath, sdu, iters)
+	fmt.Printf("%-10s %14s %14s\n", "size", "rtt", "throughput")
+	for _, size := range sizes {
+		msg := make([]byte, size)
+		samples := make([]time.Duration, 0, iters)
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			if err := conn.Send(msg); err != nil {
+				return err
+			}
+			if _, err := conn.Recv(); err != nil {
+				return err
+			}
+			samples = append(samples, time.Since(start))
+		}
+		rtt := trimmedMean(samples)
+		mbps := float64(2*size) / rtt.Seconds() / 1e6
+		fmt.Printf("%-10d %14v %11.2f MB/s\n", size, rtt, mbps)
+	}
+	return nil
+}
+
+func trimmedMean(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if len(ds) <= 2 {
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		return sum / time.Duration(len(ds))
+	}
+	min, max := ds[0], ds[0]
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return (sum - min - max) / time.Duration(len(ds)-2)
+}

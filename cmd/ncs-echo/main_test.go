@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunBasicConfigs(t *testing.T) {
+	cases := []struct {
+		name          string
+		iface, fc, ec string
+		fastpath      bool
+		loss          float64
+	}{
+		{name: "hpi-defaults", iface: "hpi"},
+		{name: "sci-defaults", iface: "sci"},
+		{name: "aci-credit-sr", iface: "aci", fc: "credit", ec: "sr", loss: 0.01},
+		{name: "hpi-fastpath", iface: "hpi", fastpath: true},
+		{name: "aci-window-gbn", iface: "aci", fc: "window", ec: "gbn"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.iface, tc.fc, tc.ec, "1,1024", 3, tc.loss, tc.fastpath, 512)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("carrier-pigeon", "", "", "1", 1, 0, false, 512); err == nil {
+		t.Error("bad interface accepted")
+	}
+	if err := run("hpi", "psychic", "", "1", 1, 0, false, 512); err == nil {
+		t.Error("bad flow control accepted")
+	}
+	if err := run("hpi", "", "hope", "1", 1, 0, false, 512); err == nil {
+		t.Error("bad error control accepted")
+	}
+	if err := run("hpi", "", "", "1,banana", 1, 0, false, 512); err == nil {
+		t.Error("bad size list accepted")
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	ds := []time.Duration{10, 1, 100} // drops 1 and 100
+	if got := trimmedMean(ds); got != 10 {
+		t.Fatalf("trimmedMean = %v", got)
+	}
+	if got := trimmedMean([]time.Duration{4, 6}); got != 5 {
+		t.Fatalf("trimmedMean(2) = %v", got)
+	}
+}

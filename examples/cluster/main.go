@@ -1,0 +1,161 @@
+// Cluster: the heterogeneous environment of Figure 3. Three homogeneous
+// clusters each use the communication interface their platform supports
+// best — HPI inside a tightly coupled cluster, ACI inside an ATM-attached
+// cluster — while the clusters interconnect portably over SCI. A
+// process group spanning all nine nodes then runs a broadcast, a global
+// reduction, and barriers over the spanning-tree multicast.
+//
+// Run with: go run ./examples/cluster
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"ncs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The ATM cluster rides a small switched fabric with capacity
+	// management: two switches joined by an OC-3-class trunk.
+	topo := ncs.NewTopology()
+	topo.AddSwitch("atm-sw1").AddSwitch("atm-sw2")
+	if err := topo.Link("atm-sw1", "atm-sw2", ncs.LinkSpec{
+		Delay:    500 * time.Microsecond,
+		CellRate: 365_000, // ≈155 Mbit/s of 53-byte cells
+	}); err != nil {
+		return err
+	}
+	if err := topo.AttachHost("atm-probe-a", "atm-sw1"); err != nil {
+		return err
+	}
+	if err := topo.AttachHost("atm-probe-b", "atm-sw2"); err != nil {
+		return err
+	}
+	nw := ncs.NewNetworkWithTopology(topo)
+	defer nw.Close()
+
+	// Three clusters of three nodes (Figure 3's P1..Pn per cluster).
+	clusters := map[string]ncs.Options{
+		"trap": {Interface: ncs.HPI}, // homogeneous cluster 2 (Trap)
+		"atm": { // homogeneous cluster 3 (native ATM via the fabric)
+			Interface: ncs.ACI,
+			QoS:       ncs.QoS{PeakCellRate: 50_000},
+		},
+		"socket": {Interface: ncs.SCI}, // homogeneous cluster 1 (Socket)
+	}
+
+	// Intra-cluster traffic: each cluster uses its own interface.
+	for name, opts := range clusters {
+		a, err := nw.NewSystem(name + "-probe-a")
+		if err != nil {
+			return err
+		}
+		b, err := nw.NewSystem(name + "-probe-b")
+		if err != nil {
+			return err
+		}
+		conn, err := a.Connect(name+"-probe-b", opts)
+		if err != nil {
+			return err
+		}
+		peer, err := b.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if m, err := peer.Recv(); err == nil {
+				_ = peer.Send(m)
+			}
+		}()
+		if err := conn.Send([]byte("intra-cluster ping")); err != nil {
+			return err
+		}
+		if _, err := conn.Recv(); err != nil {
+			return err
+		}
+		fmt.Printf("cluster %-7s intra-cluster echo over %v ok\n",
+			name, conn.Options().Interface)
+		conn.Close()
+		peer.Close()
+	}
+
+	// Inter-cluster group: all nodes join one process group over SCI,
+	// the portable interconnect of Figure 3.
+	var names []string
+	for _, cluster := range []string{"socket", "trap", "atm"} {
+		for i := 0; i < 3; i++ {
+			names = append(names, fmt.Sprintf("%s-%d", cluster, i))
+		}
+	}
+	groups, err := ncs.BuildGroup(nw, names, ncs.Options{Interface: ncs.SCI},
+		ncs.MulticastSpanningTree)
+	if err != nil {
+		return err
+	}
+
+	// Broadcast a work descriptor from rank 0, locally "process" it,
+	// reduce the partial results, and barrier between phases.
+	var wg sync.WaitGroup
+	results := make([]uint64, len(groups))
+	errs := make([]error, len(groups))
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *ncs.Group) {
+			defer wg.Done()
+			errs[i] = member(g, results)
+		}(i, g)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", i, err)
+		}
+	}
+	fmt.Printf("group of %d nodes across 3 clusters: broadcast + reduce + barrier ok\n",
+		len(groups))
+	fmt.Printf("global sum of rank contributions: %d (want %d)\n",
+		results[0], len(groups)*(len(groups)+1)/2)
+	return nil
+}
+
+func member(g *ncs.Group, results []uint64) error {
+	// Phase 1: rank 0 broadcasts the work unit.
+	var work []byte
+	if g.Rank() == 0 {
+		work = []byte("work-unit-42")
+	}
+	work, err := g.Broadcast(0, work)
+	if err != nil {
+		return err
+	}
+	if string(work) != "work-unit-42" {
+		return fmt.Errorf("rank %d received wrong work unit %q", g.Rank(), work)
+	}
+	if err := g.Barrier(); err != nil {
+		return err
+	}
+
+	// Phase 2: contribute rank+1 and reduce the global sum everywhere.
+	contrib := binary.BigEndian.AppendUint64(nil, uint64(g.Rank()+1))
+	sum, err := g.AllReduce(contrib, func(a, b []byte) []byte {
+		return binary.BigEndian.AppendUint64(nil,
+			binary.BigEndian.Uint64(a)+binary.BigEndian.Uint64(b))
+	})
+	if err != nil {
+		return err
+	}
+	if g.Rank() == 0 {
+		results[0] = binary.BigEndian.Uint64(sum)
+	}
+	return g.Barrier()
+}

@@ -1,0 +1,82 @@
+// Quickstart: two NCS systems exchange messages over each of the three
+// communication interfaces, then once more over the §4.2 fast path.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ncs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+
+	alice, err := nw.NewSystem("alice")
+	if err != nil {
+		return err
+	}
+	bob, err := nw.NewSystem("bob")
+	if err != nil {
+		return err
+	}
+
+	configs := []struct {
+		name string
+		opts ncs.Options
+	}{
+		{"SCI (sockets)", ncs.Options{Interface: ncs.SCI}},
+		{"ACI (ATM virtual circuit)", ncs.Options{Interface: ncs.ACI}},
+		{"HPI (in-process)", ncs.Options{Interface: ncs.HPI}},
+		{"HPI fast path (§4.2)", ncs.Options{Interface: ncs.HPI, FastPath: true}},
+	}
+
+	for _, cfg := range configs {
+		conn, err := alice.Connect("bob", cfg.opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		peer, err := bob.Accept()
+		if err != nil {
+			return err
+		}
+
+		// Echo server on bob's side.
+		go func() {
+			for {
+				m, err := peer.Recv()
+				if err != nil {
+					return
+				}
+				if err := peer.Send(m); err != nil {
+					return
+				}
+			}
+		}()
+
+		msg := []byte("hello through " + cfg.name)
+		start := time.Now()
+		if err := conn.Send(msg); err != nil {
+			return err
+		}
+		got, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-28s round trip %8v  %q\n", cfg.name, time.Since(start), got)
+
+		conn.Close()
+		peer.Close()
+	}
+	return nil
+}

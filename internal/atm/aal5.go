@@ -1,0 +1,116 @@
+package atm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// AAL5 limits.
+const (
+	// MaxFrameSize is the largest AAL5 service data unit: the length
+	// field in the trailer is 16 bits, so a single frame carries at most
+	// 64 KB - 1 of user data. The paper's SDU sizes (4–64 KB) come from
+	// this limit.
+	MaxFrameSize = 1<<16 - 1
+	// aal5TrailerSize is UU(1) + CPI(1) + Length(2) + CRC-32(4).
+	aal5TrailerSize = 8
+)
+
+// Errors returned by AAL5 reassembly.
+var (
+	// ErrFrameCRC indicates the reassembled frame failed its CRC-32,
+	// typically after cell loss or corruption. The frame is discarded;
+	// recovery is the job of the error-control layer above (§3.2).
+	ErrFrameCRC = errors.New("atm: AAL5 frame CRC mismatch")
+	// ErrFrameLength indicates the trailer length field is inconsistent
+	// with the number of reassembled cells.
+	ErrFrameLength = errors.New("atm: AAL5 frame length mismatch")
+	// ErrFrameTooLarge indicates the payload exceeds MaxFrameSize.
+	ErrFrameTooLarge = errors.New("atm: frame exceeds AAL5 maximum")
+)
+
+// SegmentAAL5 splits payload into ATM cells for the given circuit,
+// appending the AAL5 trailer (with CRC-32 over payload+pad+trailer) and
+// padding so the frame occupies a whole number of cells. The final cell
+// carries the end-of-frame PTI bit.
+func SegmentAAL5(vpi uint8, vci uint16, payload []byte) ([]Cell, error) {
+	if len(payload) > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
+	}
+	// Total frame length: payload + pad + trailer, multiple of 48.
+	raw := len(payload) + aal5TrailerSize
+	total := (raw + CellPayloadSize - 1) / CellPayloadSize * CellPayloadSize
+	frame := make([]byte, total)
+	copy(frame, payload)
+	// Trailer occupies the final 8 bytes.
+	tr := frame[total-aal5TrailerSize:]
+	tr[0] = 0 // CPCS-UU
+	tr[1] = 0 // CPI
+	binary.BigEndian.PutUint16(tr[2:4], uint16(len(payload)))
+	// CRC-32 over the frame with the CRC field itself zeroed.
+	crc := crc32.ChecksumIEEE(frame[:total-4])
+	binary.BigEndian.PutUint32(tr[4:8], crc)
+
+	cells := make([]Cell, 0, total/CellPayloadSize)
+	for off := 0; off < total; off += CellPayloadSize {
+		c := Cell{VPI: vpi, VCI: vci}
+		copy(c.Payload[:], frame[off:off+CellPayloadSize])
+		if off+CellPayloadSize == total {
+			c.PTI = 1 // end of frame
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// Reassembler rebuilds AAL5 frames from a cell stream for one VC.
+// The zero value is ready to use.
+type Reassembler struct {
+	buf []byte
+}
+
+// Push adds a cell's payload. When the cell carries the end-of-frame
+// bit, Push validates the trailer and returns (payload, true, nil) on
+// success. On CRC or length failure the partial frame is discarded and
+// an error is returned; the reassembler is then ready for the next
+// frame, mirroring AAL5's frame-drop behaviour.
+func (r *Reassembler) Push(c Cell) ([]byte, bool, error) {
+	r.buf = append(r.buf, c.Payload[:]...)
+	if !c.EndOfFrame() {
+		// Guard against an end-bit lost to cell drop: once the buffer
+		// exceeds the largest legal frame, discard it.
+		if len(r.buf) > MaxFrameSize+CellPayloadSize+aal5TrailerSize {
+			r.buf = r.buf[:0]
+			return nil, false, ErrFrameLength
+		}
+		return nil, false, nil
+	}
+	frame := r.buf
+	r.buf = nil
+	if len(frame) < aal5TrailerSize {
+		return nil, false, ErrFrameLength
+	}
+	tr := frame[len(frame)-aal5TrailerSize:]
+	length := int(binary.BigEndian.Uint16(tr[2:4]))
+	wantCRC := binary.BigEndian.Uint32(tr[4:8])
+	if got := crc32.ChecksumIEEE(frame[:len(frame)-4]); got != wantCRC {
+		return nil, false, ErrFrameCRC
+	}
+	// The payload must fit within the frame minus the trailer, and the
+	// padding must be less than one cell (otherwise cells were lost in a
+	// way CRC happened to miss — impossible for CRC-32 over <64KB, but
+	// cheap to check).
+	if length > len(frame)-aal5TrailerSize {
+		return nil, false, ErrFrameLength
+	}
+	return frame[:length], true, nil
+}
+
+// Pending reports the number of buffered bytes awaiting an end-of-frame
+// cell.
+func (r *Reassembler) Pending() int { return len(r.buf) }
+
+// Reset drops any partially reassembled frame.
+func (r *Reassembler) Reset() { r.buf = r.buf[:0] }

@@ -1,0 +1,86 @@
+// Package atm simulates the ATM network substrate that NCS ran on
+// (the NYNET testbed). It provides 53-byte cells, AAL5 segmentation and
+// reassembly with CRC-32 integrity checking, virtual circuits with
+// per-connection QoS, and a small signaling layer for VC establishment.
+//
+// The physical fabric is collapsed into one simulated link per virtual
+// circuit whose bandwidth, delay, and cell-loss parameters derive from
+// the VC's QoS contract. That is exactly what an endpoint of a switched
+// ATM VC observes, and it is the level at which NCS interacts with ATM:
+// per-connection QoS, AAL5 frames of at most 64 KB, and the need for
+// software acknowledgment/retransmission above AAL5 (§3.2: "although the
+// checksumming is done by the AAL5 layer ... acknowledgment and
+// retransmission procedures are required").
+package atm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ATM cell geometry.
+const (
+	// CellSize is the full ATM cell length in bytes.
+	CellSize = 53
+	// CellHeaderSize is the 5-byte ATM cell header.
+	CellHeaderSize = 5
+	// CellPayloadSize is the 48-byte cell payload.
+	CellPayloadSize = CellSize - CellHeaderSize
+)
+
+// Errors returned by cell codec functions.
+var (
+	ErrBadCellSize = errors.New("atm: cell is not 53 bytes")
+	ErrHeaderError = errors.New("atm: header integrity check failed")
+)
+
+// Cell is a single ATM cell. The header fields follow the UNI cell
+// format: virtual path and channel identifiers, and the payload type
+// indicator whose bit 0 marks the final cell of an AAL5 frame.
+type Cell struct {
+	VPI     uint8
+	VCI     uint16
+	PTI     uint8 // bit 0: AAL5 end-of-frame
+	CLP     bool  // cell loss priority
+	Payload [CellPayloadSize]byte
+}
+
+// EndOfFrame reports whether this cell terminates an AAL5 frame.
+func (c *Cell) EndOfFrame() bool { return c.PTI&1 != 0 }
+
+// Marshal encodes the cell into exactly CellSize bytes. The final header
+// byte is the HEC, computed as a simple XOR checksum over the first four
+// header bytes: a stand-in for the real CRC-8 HEC that still catches
+// single-byte header corruption injected by the link simulator.
+func (c *Cell) Marshal(dst []byte) []byte {
+	var hdr [CellHeaderSize]byte
+	hdr[0] = c.VPI
+	binary.BigEndian.PutUint16(hdr[1:3], c.VCI)
+	hdr[3] = c.PTI << 1
+	if c.CLP {
+		hdr[3] |= 1
+	}
+	hdr[4] = hdr[0] ^ hdr[1] ^ hdr[2] ^ hdr[3] // HEC
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, c.Payload[:]...)
+	return dst
+}
+
+// UnmarshalCell decodes a 53-byte cell, verifying the HEC.
+func UnmarshalCell(p []byte) (Cell, error) {
+	if len(p) != CellSize {
+		return Cell{}, fmt.Errorf("%w: got %d", ErrBadCellSize, len(p))
+	}
+	if p[0]^p[1]^p[2]^p[3] != p[4] {
+		return Cell{}, ErrHeaderError
+	}
+	c := Cell{
+		VPI: p[0],
+		VCI: binary.BigEndian.Uint16(p[1:3]),
+		PTI: p[3] >> 1,
+		CLP: p[3]&1 != 0,
+	}
+	copy(c.Payload[:], p[CellHeaderSize:])
+	return c, nil
+}

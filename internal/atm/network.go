@@ -1,0 +1,336 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ncs/internal/netsim"
+)
+
+// Signaling and VC errors.
+var (
+	ErrUnknownHost   = errors.New("atm: unknown host")
+	ErrVCClosed      = errors.New("atm: virtual circuit closed")
+	ErrNetworkClosed = errors.New("atm: network closed")
+	ErrRecvTimeout   = errors.New("atm: receive timeout")
+)
+
+// QoS is the traffic contract requested when a virtual circuit is
+// established. NCS configures each connection's QoS independently — the
+// architectural property the paper calls "compatible with the ATM
+// technology where ... each connection can be configured to meet the QOS
+// requirements of that connection".
+type QoS struct {
+	// PeakCellRate is the cell rate in cells/second. Zero means
+	// unconstrained (the simulator transmits instantaneously).
+	PeakCellRate int64
+	// Delay is the one-way propagation delay of the path.
+	Delay time.Duration
+	// CellLossRate is the probability a cell is dropped in transit.
+	CellLossRate float64
+	// CellCorruptRate is the probability a cell byte is corrupted.
+	CellCorruptRate float64
+	// Seed makes loss/corruption reproducible; zero uses a default.
+	Seed int64
+}
+
+func (q QoS) linkParams() netsim.Params {
+	var bw int64
+	if q.PeakCellRate > 0 {
+		bw = q.PeakCellRate * CellSize
+	}
+	return netsim.Params{
+		Bandwidth:   bw,
+		Delay:       q.Delay,
+		LossRate:    q.CellLossRate,
+		CorruptRate: q.CellCorruptRate,
+		Seed:        q.Seed,
+	}
+}
+
+// Network is a simulated ATM network: a set of named hosts that can
+// signal virtual circuits to one another. Without a Topology the
+// fabric is collapsed per circuit (every VC gets exactly its requested
+// QoS); with one, circuits are routed across switches, admitted
+// against link capacity, and shaped by the path they take.
+type Network struct {
+	mu     sync.Mutex
+	hosts  map[string]*Host
+	topo   *Topology
+	nextVC uint16
+	closed bool
+}
+
+// NewNetwork creates an empty ATM network with a collapsed fabric.
+func NewNetwork() *Network {
+	return &Network{hosts: make(map[string]*Host), nextVC: 32}
+}
+
+// NewNetworkWithTopology creates a network whose circuits are routed
+// over the given switched fabric with connection admission control.
+// Hosts must be attached to switches via Topology.AttachHost before
+// they Dial.
+func NewNetworkWithTopology(t *Topology) *Network {
+	return &Network{hosts: make(map[string]*Host), topo: t, nextVC: 32}
+}
+
+// Host registers (or returns) the host with the given name.
+func (n *Network) Host(name string) *Host {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hosts[name]; ok {
+		return h
+	}
+	h := &Host{
+		name:     name,
+		network:  n,
+		incoming: make(chan *VC, 16),
+	}
+	n.hosts[name] = h
+	return h
+}
+
+// Close tears down the network; subsequent Dial calls fail.
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return
+	}
+	n.closed = true
+	for _, h := range n.hosts {
+		close(h.incoming)
+	}
+}
+
+func (n *Network) allocVCI() uint16 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextVC++
+	return n.nextVC
+}
+
+// Host is an endpoint attached to the ATM network.
+type Host struct {
+	name     string
+	network  *Network
+	incoming chan *VC
+}
+
+// Name returns the host's registered name.
+func (h *Host) Name() string { return h.name }
+
+// Dial establishes a virtual circuit to the named remote host with the
+// requested QoS. It performs the signaling exchange — including, on a
+// switched topology, routing and connection admission control — and
+// returns the local end of the VC.
+func (h *Host) Dial(remote string, qos QoS) (*VC, error) {
+	h.network.mu.Lock()
+	if h.network.closed {
+		h.network.mu.Unlock()
+		return nil, ErrNetworkClosed
+	}
+	peer, ok := h.network.hosts[remote]
+	topo := h.network.topo
+	h.network.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, remote)
+	}
+
+	effective := qos
+	var path []edgeKey
+	if topo != nil {
+		var err error
+		path, err = topo.route(h.name, remote)
+		if err != nil {
+			return nil, err
+		}
+		derived, err := topo.admit(path, qos.PeakCellRate)
+		if err != nil {
+			return nil, err
+		}
+		// The circuit experiences the path: summed propagation,
+		// compounded loss, and the admitted (or bottleneck) cell rate,
+		// on top of whatever the caller requested.
+		effective.Delay = qos.Delay + derived.Delay
+		effective.CellLossRate = 1 - (1-qos.CellLossRate)*(1-derived.CellLossRate)
+		effective.PeakCellRate = derived.PeakCellRate
+	}
+
+	vci := h.network.allocVCI()
+	p := effective.linkParams()
+	local, remoteEnd := netsim.Pipe(p, p)
+	caller := &VC{
+		vci: vci, qos: effective, link: local,
+		localHost: h.name, remoteHost: remote,
+		topo: topo, path: path, reservedPCR: qos.PeakCellRate,
+	}
+	callee := &VC{vci: vci, qos: effective, link: remoteEnd, localHost: remote, remoteHost: h.name}
+
+	// Signaling: offer the VC to the remote host's accept queue.
+	defer func() {
+		if r := recover(); r != nil {
+			// The network closed concurrently; surface as an error path
+			// is not possible from a deferred recover, so the caller VC
+			// is simply closed.
+			caller.Close()
+		}
+	}()
+	peer.incoming <- callee
+	return caller, nil
+}
+
+// Accept blocks until a remote host establishes a VC to this host, then
+// returns the local end.
+func (h *Host) Accept() (*VC, error) {
+	vc, ok := <-h.incoming
+	if !ok {
+		return nil, ErrNetworkClosed
+	}
+	return vc, nil
+}
+
+// VC is one end of an established virtual circuit. It sends and receives
+// AAL5 frames; segmentation into cells and reassembly happen internally,
+// with CRC-verified integrity. Cells damaged or lost on the wire cause
+// the whole frame to be dropped (standard AAL5 behaviour); RecvFrame
+// transparently skips dropped frames and returns the next intact one,
+// while CorruptionsSeen counts the drops so tests and benchmarks can
+// observe the loss process.
+type VC struct {
+	vci        uint16
+	qos        QoS
+	link       *netsim.Endpoint
+	localHost  string
+	remoteHost string
+
+	// Set on the dialing end of circuits routed over a Topology, so
+	// Close releases the admitted capacity.
+	topo        *Topology
+	path        []edgeKey
+	reservedPCR int64
+
+	mu     sync.Mutex
+	reass  Reassembler
+	drops  int
+	closed bool
+}
+
+// VCI returns the circuit identifier assigned at signaling time.
+func (vc *VC) VCI() uint16 { return vc.vci }
+
+// QoS returns the circuit's traffic contract.
+func (vc *VC) QoS() QoS { return vc.qos }
+
+// RemoteHost returns the peer host name.
+func (vc *VC) RemoteHost() string { return vc.remoteHost }
+
+// SendFrame transmits one AAL5 frame (at most MaxFrameSize bytes).
+func (vc *VC) SendFrame(payload []byte) error {
+	cells, err := SegmentAAL5(0, vc.vci, payload)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, CellSize)
+	for i := range cells {
+		buf = cells[i].Marshal(buf[:0])
+		if err := vc.link.Send(buf); err != nil {
+			return vc.mapErr(err)
+		}
+	}
+	return nil
+}
+
+// RecvFrame returns the next intact AAL5 frame. Frames that fail CRC or
+// lose cells are counted and skipped.
+func (vc *VC) RecvFrame() ([]byte, error) { return vc.recvFrame(0) }
+
+// RecvFrameTimeout is RecvFrame with an overall deadline; it returns
+// ErrRecvTimeout if no intact frame completes within d.
+func (vc *VC) RecvFrameTimeout(d time.Duration) ([]byte, error) {
+	return vc.recvFrame(d)
+}
+
+func (vc *VC) recvFrame(timeout time.Duration) ([]byte, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		var raw []byte
+		var err error
+		if timeout > 0 {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return nil, ErrRecvTimeout
+			}
+			raw, err = vc.link.RecvTimeout(remain)
+			if errors.Is(err, netsim.ErrTimeout) {
+				return nil, ErrRecvTimeout
+			}
+		} else {
+			raw, err = vc.link.Recv()
+		}
+		if err != nil {
+			return nil, vc.mapErr(err)
+		}
+		cell, err := UnmarshalCell(raw)
+		if err != nil {
+			// Header corruption: the cell is undeliverable; the frame it
+			// belonged to will fail CRC/length at end-of-frame, or we
+			// lose the end bit and the length guard recovers. Count it
+			// as a drop event now and also reset reassembly, because a
+			// missing end-bit would otherwise merge two frames.
+			vc.mu.Lock()
+			vc.drops++
+			vc.reass.Reset()
+			vc.mu.Unlock()
+			continue
+		}
+		vc.mu.Lock()
+		payload, done, err := vc.reass.Push(cell)
+		if err != nil {
+			vc.drops++
+			vc.mu.Unlock()
+			continue
+		}
+		vc.mu.Unlock()
+		if done {
+			return payload, nil
+		}
+	}
+}
+
+// FramesDropped reports how many frames were discarded due to cell loss
+// or corruption since the VC was established.
+func (vc *VC) FramesDropped() int {
+	vc.mu.Lock()
+	defer vc.mu.Unlock()
+	return vc.drops
+}
+
+// Close releases the circuit, returning any admitted capacity to the
+// fabric.
+func (vc *VC) Close() error {
+	vc.mu.Lock()
+	if vc.closed {
+		vc.mu.Unlock()
+		return nil
+	}
+	vc.closed = true
+	vc.mu.Unlock()
+	if vc.topo != nil {
+		vc.topo.release(vc.path, vc.reservedPCR)
+		vc.topo = nil
+	}
+	return vc.link.Close()
+}
+
+func (vc *VC) mapErr(err error) error {
+	if errors.Is(err, netsim.ErrClosed) {
+		return ErrVCClosed
+	}
+	return err
+}

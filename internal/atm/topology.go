@@ -1,0 +1,214 @@
+package atm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Topology errors.
+var (
+	ErrNoRoute         = errors.New("atm: no route between hosts")
+	ErrAdmissionDenied = errors.New("atm: connection admission denied (insufficient capacity)")
+	ErrUnknownSwitch   = errors.New("atm: unknown switch")
+)
+
+// LinkSpec describes one physical link of the fabric.
+type LinkSpec struct {
+	// Delay is the link's one-way propagation delay.
+	Delay time.Duration
+	// CellRate is the link capacity in cells/second; zero means
+	// unconstrained (no admission control on this link).
+	CellRate int64
+	// CellLossRate is the link's intrinsic loss probability.
+	CellLossRate float64
+}
+
+// Topology is a switched ATM fabric: named switches, links between
+// them, and host attachment points. When a Network is built over a
+// Topology, virtual circuits are routed hop by hop, their QoS contract
+// is admitted against every link's remaining capacity (connection
+// admission control), and the circuit's end-to-end behaviour — summed
+// delay, bottleneck bandwidth, compounded loss — is derived from the
+// actual path.
+type Topology struct {
+	mu       sync.Mutex
+	switches map[string]bool
+	adj      map[string][]string
+	links    map[edgeKey]*linkState
+	hosts    map[string]string // host name → attachment switch
+}
+
+type edgeKey struct{ a, b string }
+
+func edge(a, b string) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{a: a, b: b}
+}
+
+type linkState struct {
+	spec     LinkSpec
+	reserved int64 // cells/second currently admitted
+}
+
+// NewTopology creates an empty fabric description.
+func NewTopology() *Topology {
+	return &Topology{
+		switches: make(map[string]bool),
+		adj:      make(map[string][]string),
+		links:    make(map[edgeKey]*linkState),
+		hosts:    make(map[string]string),
+	}
+}
+
+// AddSwitch registers a switch.
+func (t *Topology) AddSwitch(name string) *Topology {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.switches[name] = true
+	return t
+}
+
+// Link connects two switches with the given physical characteristics.
+// Both switches must already exist.
+func (t *Topology) Link(a, b string, spec LinkSpec) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.switches[a] {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, a)
+	}
+	if !t.switches[b] {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, b)
+	}
+	k := edge(a, b)
+	if _, dup := t.links[k]; !dup {
+		t.adj[a] = append(t.adj[a], b)
+		t.adj[b] = append(t.adj[b], a)
+	}
+	t.links[k] = &linkState{spec: spec}
+	return nil
+}
+
+// AttachHost binds a host name to a switch; the host-switch link is
+// assumed ideal (attachment costs belong to the platform model).
+func (t *Topology) AttachHost(host, sw string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.switches[sw] {
+		return fmt.Errorf("%w: %q", ErrUnknownSwitch, sw)
+	}
+	t.hosts[host] = sw
+	return nil
+}
+
+// route returns the switch path between two hosts (BFS hop-count).
+func (t *Topology) route(fromHost, toHost string) ([]edgeKey, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	src, okS := t.hosts[fromHost]
+	dst, okD := t.hosts[toHost]
+	if !okS || !okD {
+		return nil, fmt.Errorf("%w: %s→%s", ErrNoRoute, fromHost, toHost)
+	}
+	if src == dst {
+		return nil, nil // same switch: no inter-switch hops
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 && prev[dst] == "" {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range t.adj[cur] {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			queue = append(queue, next)
+		}
+	}
+	if _, ok := prev[dst]; !ok {
+		return nil, fmt.Errorf("%w: %s→%s", ErrNoRoute, fromHost, toHost)
+	}
+	var path []edgeKey
+	for cur := dst; cur != src; cur = prev[cur] {
+		path = append(path, edge(prev[cur], cur))
+	}
+	// Reverse into src→dst order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// admit reserves pcr cells/second on every link of the path, rolling
+// back on failure, and returns the end-to-end circuit characteristics.
+func (t *Topology) admit(path []edgeKey, pcr int64) (QoS, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var agg QoS
+	survive := 1.0
+	var bottleneck int64
+	for i, e := range path {
+		l, ok := t.links[e]
+		if !ok {
+			t.rollbackLocked(path[:i], pcr)
+			return QoS{}, fmt.Errorf("%w: missing link %v", ErrNoRoute, e)
+		}
+		if l.spec.CellRate > 0 {
+			if pcr <= 0 {
+				t.rollbackLocked(path[:i], pcr)
+				return QoS{}, fmt.Errorf("%w: link %s-%s requires an explicit peak cell rate",
+					ErrAdmissionDenied, e.a, e.b)
+			}
+			if l.reserved+pcr > l.spec.CellRate {
+				t.rollbackLocked(path[:i], pcr)
+				return QoS{}, fmt.Errorf("%w: link %s-%s has %d of %d cells/s reserved",
+					ErrAdmissionDenied, e.a, e.b, l.reserved, l.spec.CellRate)
+			}
+			l.reserved += pcr
+			if bottleneck == 0 || l.spec.CellRate < bottleneck {
+				bottleneck = l.spec.CellRate
+			}
+		}
+		agg.Delay += l.spec.Delay
+		survive *= 1 - l.spec.CellLossRate
+	}
+	agg.CellLossRate = 1 - survive
+	agg.PeakCellRate = pcr
+	if pcr == 0 {
+		agg.PeakCellRate = bottleneck
+	}
+	return agg, nil
+}
+
+// release returns reserved capacity to the path's links.
+func (t *Topology) release(path []edgeKey, pcr int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rollbackLocked(path, pcr)
+}
+
+func (t *Topology) rollbackLocked(path []edgeKey, pcr int64) {
+	for _, e := range path {
+		if l, ok := t.links[e]; ok && l.spec.CellRate > 0 {
+			l.reserved -= pcr
+			if l.reserved < 0 {
+				l.reserved = 0
+			}
+		}
+	}
+}
+
+// Reserved reports the cells/second currently admitted on a link, for
+// tests and capacity dashboards.
+func (t *Topology) Reserved(a, b string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l, ok := t.links[edge(a, b)]; ok {
+		return l.reserved
+	}
+	return 0
+}

@@ -1,0 +1,209 @@
+package atm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+// wanTopology builds: hostA ─ s1 ═══ s2 ─ hostB, plus an isolated s3.
+func wanTopology(t *testing.T, linkRate int64) *Topology {
+	t.Helper()
+	topo := NewTopology()
+	topo.AddSwitch("s1").AddSwitch("s2").AddSwitch("s3")
+	if err := topo.Link("s1", "s2", LinkSpec{
+		Delay:    2 * time.Millisecond,
+		CellRate: linkRate,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("hostA", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("hostB", "s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("island", "s3"); err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func dialPair(t *testing.T, nw *Network, from, to string, qos QoS) (*VC, *VC) {
+	t.Helper()
+	acceptCh := make(chan *VC, 1)
+	go func() {
+		vc, err := nw.Host(to).Accept()
+		if err == nil {
+			acceptCh <- vc
+		}
+	}()
+	out, err := nw.Host(from).Dial(to, qos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := <-acceptCh
+	t.Cleanup(func() { out.Close(); in.Close() })
+	return out, in
+}
+
+func TestTopologyRoutedCircuitCarriesTraffic(t *testing.T) {
+	topo := wanTopology(t, 100_000)
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("hostA")
+	nw.Host("hostB")
+
+	out, in := dialPair(t, nw, "hostA", "hostB", QoS{PeakCellRate: 10_000})
+	msg := bytes.Repeat([]byte("switched"), 100)
+	if err := out.SendFrame(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := in.RecvFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("payload corrupted across switched path")
+	}
+	// The path's 2 ms propagation is part of the circuit.
+	if out.QoS().Delay < 2*time.Millisecond {
+		t.Fatalf("effective delay = %v, want >= 2ms from the path", out.QoS().Delay)
+	}
+}
+
+func TestTopologyAdmissionControl(t *testing.T) {
+	topo := wanTopology(t, 100_000)
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("hostA")
+	nw.Host("hostB")
+
+	// Three 40k-cell circuits: the third must be refused (120k > 100k).
+	_, _ = dialPair(t, nw, "hostA", "hostB", QoS{PeakCellRate: 40_000})
+	_, _ = dialPair(t, nw, "hostA", "hostB", QoS{PeakCellRate: 40_000})
+	if got := topo.Reserved("s1", "s2"); got != 80_000 {
+		t.Fatalf("reserved = %d, want 80000", got)
+	}
+	_, err := nw.Host("hostA").Dial("hostB", QoS{PeakCellRate: 40_000})
+	if !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("third circuit: err = %v, want ErrAdmissionDenied", err)
+	}
+}
+
+func TestTopologyReleasesCapacityOnClose(t *testing.T) {
+	topo := wanTopology(t, 50_000)
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("hostA")
+	nw.Host("hostB")
+
+	out, in := dialPair(t, nw, "hostA", "hostB", QoS{PeakCellRate: 50_000})
+	if _, err := nw.Host("hostA").Dial("hostB", QoS{PeakCellRate: 1}); !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("want admission denied while full, got %v", err)
+	}
+	out.Close()
+	in.Close()
+	if got := topo.Reserved("s1", "s2"); got != 0 {
+		t.Fatalf("reserved after close = %d, want 0", got)
+	}
+	// Capacity is back: a new circuit is admitted.
+	_, _ = dialPair(t, nw, "hostA", "hostB", QoS{PeakCellRate: 50_000})
+}
+
+func TestTopologyNoRoute(t *testing.T) {
+	topo := wanTopology(t, 0)
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("hostA")
+	nw.Host("island")
+
+	if _, err := nw.Host("hostA").Dial("island", QoS{}); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestTopologySameSwitchNoHops(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSwitch("s1")
+	if err := topo.AttachHost("a", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("b", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("a")
+	nw.Host("b")
+
+	out, in := dialPair(t, nw, "a", "b", QoS{})
+	if err := out.SendFrame([]byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := in.RecvFrame(); err != nil || string(got) != "local" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+	if out.QoS().Delay != 0 {
+		t.Fatalf("same-switch delay = %v", out.QoS().Delay)
+	}
+}
+
+func TestTopologyMultiHopAggregation(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSwitch("s1").AddSwitch("s2").AddSwitch("s3")
+	if err := topo.Link("s1", "s2", LinkSpec{Delay: time.Millisecond, CellLossRate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Link("s2", "s3", LinkSpec{Delay: 3 * time.Millisecond, CellLossRate: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("a", "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("b", "s3"); err != nil {
+		t.Fatal(err)
+	}
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("a")
+	nw.Host("b")
+
+	out, _ := dialPair(t, nw, "a", "b", QoS{})
+	q := out.QoS()
+	if q.Delay != 4*time.Millisecond {
+		t.Fatalf("delay = %v, want 4ms (summed hops)", q.Delay)
+	}
+	// Compounded loss: 1 - 0.9*0.9 = 0.19.
+	if q.CellLossRate < 0.18 || q.CellLossRate > 0.20 {
+		t.Fatalf("loss = %v, want ≈0.19", q.CellLossRate)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	topo := NewTopology()
+	topo.AddSwitch("s1")
+	if err := topo.Link("s1", "ghost", LinkSpec{}); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("link to ghost: %v", err)
+	}
+	if err := topo.AttachHost("h", "ghost"); !errors.Is(err, ErrUnknownSwitch) {
+		t.Fatalf("attach to ghost: %v", err)
+	}
+	if topo.Reserved("x", "y") != 0 {
+		t.Fatal("Reserved on unknown link")
+	}
+}
+
+func TestTopologyRequiresPCROnCapacityLinks(t *testing.T) {
+	topo := wanTopology(t, 1000)
+	nw := NewNetworkWithTopology(topo)
+	defer nw.Close()
+	nw.Host("hostA")
+	nw.Host("hostB")
+	// A circuit without a declared PCR cannot be admitted on a
+	// capacity-managed link.
+	if _, err := nw.Host("hostA").Dial("hostB", QoS{}); !errors.Is(err, ErrAdmissionDenied) {
+		t.Fatalf("err = %v, want ErrAdmissionDenied", err)
+	}
+}

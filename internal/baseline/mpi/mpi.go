@@ -1,0 +1,317 @@
+// Package mpi is a from-scratch Go port of the point-to-point messaging
+// behaviour of a mid-1990s MPI implementation (MPICH over TCP), the
+// third comparator of the paper's §4.3 benchmark. It reproduces the
+// protocol features that shape MPI's performance curve:
+//
+//   - the eager/rendezvous switch: messages up to EagerThreshold are
+//     pushed immediately and buffered at the receiver if unexpected;
+//     larger messages first exchange a request-to-send /
+//     clear-to-send handshake, adding a full round trip — the cost
+//     that makes MPI "perform very badly as the message size gets
+//     bigger" on the high-latency heterogeneous path (Figure 13);
+//   - matching by (source, tag) with posted-receive and
+//     unexpected-message queues;
+//   - data conversion on heterogeneous pairs (XDR, as MPICH's ch_p4
+//     device did between different architectures).
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"ncs/internal/transport"
+	"ncs/internal/xdr"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// DefaultEagerThreshold matches MPICH's historical TCP default region
+// boundary (16 KB is representative of the era's builds).
+const DefaultEagerThreshold = 16 * 1024
+
+// ErrClosed is returned on operations against a closed rank.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+const (
+	pktEager uint8 = iota + 1
+	pktRTS
+	pktCTS
+	pktData
+)
+
+const pktHeaderSize = 20
+
+// Rank is one MPI process endpoint of a two-rank communicator.
+type Rank struct {
+	rank     int
+	peer     int
+	conn     transport.Conn
+	eagerMax int
+	convert  bool
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	unexpected []envelope
+	pendingRTS []envelope // rendezvous announcements awaiting a recv
+	readErr    error
+
+	ctsMu   sync.Mutex
+	ctsCond *sync.Cond
+	cts     map[uint32]bool // sender side: CTS received for sendID
+
+	nextSend uint32
+	done     chan struct{}
+}
+
+type envelope struct {
+	src, tag int
+	sendID   uint32
+	payload  []byte // eager payload or rendezvous data
+	isRTS    bool
+	size     int
+}
+
+// Config describes one rank.
+type Config struct {
+	// Rank and Peer are the two ranks of the communicator.
+	Rank, Peer int
+	// EagerThreshold overrides DefaultEagerThreshold when positive.
+	EagerThreshold int
+	// Heterogeneous enables data conversion.
+	Heterogeneous bool
+}
+
+// New wraps a connected transport.Conn as an MPI rank.
+func New(conn transport.Conn, cfg Config) *Rank {
+	if cfg.EagerThreshold <= 0 {
+		cfg.EagerThreshold = DefaultEagerThreshold
+	}
+	r := &Rank{
+		rank:     cfg.Rank,
+		peer:     cfg.Peer,
+		conn:     conn,
+		eagerMax: cfg.EagerThreshold,
+		convert:  cfg.Heterogeneous,
+		cts:      make(map[uint32]bool),
+		done:     make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.ctsCond = sync.NewCond(&r.ctsMu)
+	go r.recvLoop()
+	return r
+}
+
+// Send transmits payload with tag to the peer (MPI_Send). Messages over
+// the eager threshold block in the rendezvous handshake until the
+// receiver posts a matching receive.
+func (r *Rank) Send(tag int, payload []byte) error {
+	body := payload
+	if r.convert {
+		enc := xdr.NewEncoder(len(payload) + 8)
+		enc.PutOpaque(payload)
+		body = enc.Bytes()
+	}
+	r.mu.Lock()
+	id := r.nextSend
+	r.nextSend++
+	r.mu.Unlock()
+
+	if len(body) <= r.eagerMax {
+		return r.writePkt(pktEager, tag, id, body)
+	}
+	// Rendezvous: RTS carries the envelope; wait for CTS; then DATA.
+	if err := r.writePkt(pktRTS, tag, id, nil); err != nil {
+		return err
+	}
+	r.ctsMu.Lock()
+	for !r.cts[id] {
+		if r.isClosed() {
+			r.ctsMu.Unlock()
+			return ErrClosed
+		}
+		r.ctsCond.Wait()
+	}
+	delete(r.cts, id)
+	r.ctsMu.Unlock()
+	return r.writePkt(pktData, tag, id, body)
+}
+
+// Recv blocks for a message matching (src, tag) and returns the payload
+// and actual tag (MPI_Recv). Posting the receive releases any pending
+// rendezvous sender.
+func (r *Rank) Recv(src, tag int) ([]byte, int, error) {
+	for {
+		r.mu.Lock()
+		// 1. Unexpected eager/data messages.
+		for i, m := range r.unexpected {
+			if matches(m, src, tag) {
+				r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+				r.mu.Unlock()
+				p, err := r.decode(m.payload)
+				return p, m.tag, err
+			}
+		}
+		// 2. Pending rendezvous announcements: grant CTS and wait for
+		// the data packet.
+		for i, m := range r.pendingRTS {
+			if matches(m, src, tag) {
+				r.pendingRTS = append(r.pendingRTS[:i], r.pendingRTS[i+1:]...)
+				id := m.sendID
+				r.mu.Unlock()
+				if err := r.writePkt(pktCTS, m.tag, id, nil); err != nil {
+					return nil, 0, err
+				}
+				return r.awaitData(id)
+			}
+		}
+		if r.readErr != nil {
+			err := r.readErr
+			r.mu.Unlock()
+			return nil, 0, err
+		}
+		r.cond.Wait()
+		r.mu.Unlock()
+	}
+}
+
+// awaitData waits for the rendezvous data packet with the given id.
+func (r *Rank) awaitData(id uint32) ([]byte, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		for i, m := range r.unexpected {
+			if !m.isRTS && m.sendID == id {
+				r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+				tag := m.tag
+				payload := m.payload
+				r.mu.Unlock()
+				p, err := r.decode(payload)
+				r.mu.Lock()
+				return p, tag, err
+			}
+		}
+		if r.readErr != nil {
+			return nil, 0, r.readErr
+		}
+		r.cond.Wait()
+	}
+}
+
+func matches(m envelope, src, tag int) bool {
+	return (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag)
+}
+
+func (r *Rank) decode(body []byte) ([]byte, error) {
+	if !r.convert {
+		return body, nil
+	}
+	dec := xdr.NewDecoder(body)
+	p, err := dec.Opaque()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+func (r *Rank) writePkt(kind uint8, tag int, id uint32, body []byte) error {
+	buf := make([]byte, pktHeaderSize+len(body))
+	buf[0] = kind
+	binary.BigEndian.PutUint32(buf[4:], uint32(r.rank))
+	binary.BigEndian.PutUint32(buf[8:], uint32(int32(tag)))
+	binary.BigEndian.PutUint32(buf[12:], id)
+	binary.BigEndian.PutUint32(buf[16:], uint32(len(body)))
+	copy(buf[pktHeaderSize:], body)
+	if err := r.conn.Send(buf); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (r *Rank) recvLoop() {
+	for {
+		raw, err := r.conn.Recv()
+		if err != nil {
+			r.mu.Lock()
+			r.readErr = ErrClosed
+			r.cond.Broadcast()
+			r.mu.Unlock()
+			r.ctsMu.Lock()
+			r.ctsCond.Broadcast()
+			r.ctsMu.Unlock()
+			return
+		}
+		if len(raw) < pktHeaderSize {
+			continue
+		}
+		kind := raw[0]
+		src := int(binary.BigEndian.Uint32(raw[4:]))
+		tag := int(int32(binary.BigEndian.Uint32(raw[8:])))
+		id := binary.BigEndian.Uint32(raw[12:])
+		n := binary.BigEndian.Uint32(raw[16:])
+		body := raw[pktHeaderSize:]
+		if int(n) <= len(body) {
+			body = body[:n]
+		}
+		cp := make([]byte, len(body))
+		copy(cp, body)
+
+		switch kind {
+		case pktEager, pktData:
+			r.mu.Lock()
+			r.unexpected = append(r.unexpected, envelope{
+				src: src, tag: tag, sendID: id, payload: cp, size: len(cp),
+			})
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case pktRTS:
+			r.mu.Lock()
+			r.pendingRTS = append(r.pendingRTS, envelope{
+				src: src, tag: tag, sendID: id, isRTS: true,
+			})
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case pktCTS:
+			r.ctsMu.Lock()
+			r.cts[id] = true
+			r.ctsCond.Broadcast()
+			r.ctsMu.Unlock()
+		}
+	}
+}
+
+func (r *Rank) isClosed() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close shuts the rank down.
+func (r *Rank) Close() error {
+	select {
+	case <-r.done:
+	default:
+		close(r.done)
+	}
+	err := r.conn.Close()
+	r.ctsMu.Lock()
+	r.ctsCond.Broadcast()
+	r.ctsMu.Unlock()
+	return err
+}
+
+// Pair returns two connected MPI ranks over the given transport pair.
+func Pair(a, b transport.Conn, heterogeneous bool) (*Rank, *Rank) {
+	r0 := New(a, Config{Rank: 0, Peer: 1, Heterogeneous: heterogeneous})
+	r1 := New(b, Config{Rank: 1, Peer: 0, Heterogeneous: heterogeneous})
+	return r0, r1
+}

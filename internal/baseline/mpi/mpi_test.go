@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ncs/internal/transport"
+)
+
+func pair(t *testing.T, hetero bool, eager int) (*Rank, *Rank) {
+	t.Helper()
+	a, b := transport.HPIPair()
+	r0 := New(a, Config{Rank: 0, Peer: 1, Heterogeneous: hetero, EagerThreshold: eager})
+	r1 := New(b, Config{Rank: 1, Peer: 0, Heterogeneous: hetero, EagerThreshold: eager})
+	t.Cleanup(func() { r0.Close(); r1.Close() })
+	return r0, r1
+}
+
+func TestEagerSendRecv(t *testing.T) {
+	for _, hetero := range []bool{false, true} {
+		name := map[bool]string{false: "homogeneous", true: "heterogeneous"}[hetero]
+		t.Run(name, func(t *testing.T) {
+			r0, r1 := pair(t, hetero, 0)
+			msg := []byte("small eager message")
+			if err := r0.Send(5, msg); err != nil {
+				t.Fatal(err)
+			}
+			got, tag, err := r1.Recv(0, 5)
+			if err != nil || tag != 5 || !bytes.Equal(got, msg) {
+				t.Fatalf("got %q tag=%d err=%v", got, tag, err)
+			}
+		})
+	}
+}
+
+func TestRendezvousLargeMessage(t *testing.T) {
+	r0, r1 := pair(t, false, 1024)
+
+	msg := bytes.Repeat([]byte{0x5a}, 100*1024)
+	sent := make(chan error, 1)
+	go func() { sent <- r0.Send(8, msg) }()
+
+	// The sender must be stuck in the handshake until we post a recv.
+	select {
+	case err := <-sent:
+		t.Fatalf("rendezvous send completed without matching recv: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	got, _, err := r1.Recv(AnySource, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-sent; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("rendezvous payload corrupted")
+	}
+}
+
+func TestRendezvousHeterogeneous(t *testing.T) {
+	r0, r1 := pair(t, true, 512)
+	msg := bytes.Repeat([]byte("HTRO"), 10000)
+	go func() { _ = r0.Send(2, msg) }()
+	got, _, err := r1.Recv(0, 2)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("hetero rendezvous failed: %v", err)
+	}
+}
+
+func TestTagAndSourceMatching(t *testing.T) {
+	r0, r1 := pair(t, false, 0)
+	if err := r0.Send(1, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r0.Send(2, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r1.Recv(AnySource, 2)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("Recv(tag 2) = %q, %v", got, err)
+	}
+	got, tag, err := r1.Recv(0, AnyTag)
+	if err != nil || string(got) != "one" || tag != 1 {
+		t.Fatalf("Recv(any) = %q tag %d, %v", got, tag, err)
+	}
+}
+
+func TestEcho(t *testing.T) {
+	r0, r1 := pair(t, false, 4096)
+	go func() {
+		m, tag, err := r1.Recv(AnySource, AnyTag)
+		if err != nil {
+			return
+		}
+		_ = r1.Send(tag, m)
+	}()
+	msg := bytes.Repeat([]byte{0xbe}, 64*1024) // rendezvous path
+	if err := r0.Send(6, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r0.Recv(AnySource, 6)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo failed: %v", err)
+	}
+}
+
+func TestUnexpectedMessagesBuffered(t *testing.T) {
+	r0, r1 := pair(t, false, 0)
+	for i := 0; i < 5; i++ {
+		if err := r0.Send(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Receive in reverse order: all were unexpected.
+	for i := 4; i >= 0; i-- {
+		got, _, err := r1.Recv(AnySource, i)
+		if err != nil || got[0] != byte(i) {
+			t.Fatalf("tag %d: %v", i, err)
+		}
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	r0, r1 := pair(t, false, 16)
+
+	recvErr := make(chan error, 1)
+	go func() {
+		_, _, err := r1.Recv(AnySource, AnyTag)
+		recvErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r0.Close()
+	r1.Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("recv returned nil after close with no sender")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("recv stuck after close")
+	}
+}
+
+func TestCloseUnblocksRendezvousSend(t *testing.T) {
+	// Separate pair: the receiver never posts a recv, so the RTS is
+	// never answered; Close must unblock the sender.
+	r0, r1 := pair(t, false, 16)
+	_ = r1
+	sendErr := make(chan error, 1)
+	go func() {
+		sendErr <- r0.Send(1, bytes.Repeat([]byte{1}, 1024))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	r0.Close()
+	r1.Close()
+	select {
+	case err := <-sendErr:
+		if err == nil {
+			t.Fatal("rendezvous send succeeded with no matching recv")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("rendezvous send stuck after close")
+	}
+}

@@ -1,0 +1,186 @@
+// Package p4 is a from-scratch Go port of the wire behaviour of the p4
+// parallel programming system (Butler & Lusk, Argonne), one of the three
+// comparators in the paper's §4.3 benchmark. It reproduces the protocol
+// features that shape p4's performance curve:
+//
+//   - a single stream connection per process pair carrying typed
+//     messages in-band (no separate control path — the contrast with
+//     NCS's split planes);
+//   - typed messages matched by message type at the receiver, with an
+//     unexpected-message queue (p4's monitor queue);
+//   - XDR conversion only between heterogeneous hosts (p4 negotiates
+//     representations at connect time);
+//   - one staging copy on each side: the sender coalesces header and
+//     payload into a single buffer, the receiver copies out of the
+//     stream buffer into the queue.
+//
+// Only the messaging layer is reproduced — p4's process-group startup
+// (remote shells, procgroup files) is out of scope for a single-process
+// benchmark harness.
+package p4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ncs/internal/transport"
+	"ncs/internal/xdr"
+)
+
+// AnyType matches any message type in Recv.
+const AnyType = -1
+
+// ErrClosed is returned on operations against a closed endpoint.
+var ErrClosed = errors.New("p4: endpoint closed")
+
+const headerSize = 16
+
+// Endpoint is one side of a p4 process pair.
+type Endpoint struct {
+	id      int
+	peerID  int
+	conn    transport.Conn
+	convert bool // XDR-encode payloads (heterogeneous pair)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message // unexpected / waiting messages
+	readErr error
+	done    chan struct{}
+}
+
+type message struct {
+	typ     int
+	from    int
+	payload []byte
+}
+
+// Config describes one endpoint of a p4 pair.
+type Config struct {
+	// ID and PeerID are p4 process identifiers.
+	ID, PeerID int
+	// Heterogeneous enables XDR conversion, as p4 does when the peers'
+	// data representations differ.
+	Heterogeneous bool
+}
+
+// New wraps a connected transport.Conn as a p4 endpoint and starts its
+// receive loop.
+func New(conn transport.Conn, cfg Config) *Endpoint {
+	e := &Endpoint{
+		id:      cfg.ID,
+		peerID:  cfg.PeerID,
+		conn:    conn,
+		convert: cfg.Heterogeneous,
+		done:    make(chan struct{}),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	go e.recvLoop()
+	return e
+}
+
+// Send transmits a typed message to the peer (p4_send).
+func (e *Endpoint) Send(typ int, payload []byte) error {
+	body := payload
+	if e.convert {
+		enc := xdr.NewEncoder(len(payload) + 8)
+		enc.PutOpaque(payload)
+		body = enc.Bytes()
+	}
+	// p4 stages the message into one contiguous buffer before writing.
+	buf := make([]byte, headerSize+len(body))
+	binary.BigEndian.PutUint32(buf[0:], uint32(typ))
+	binary.BigEndian.PutUint32(buf[4:], uint32(e.id))
+	binary.BigEndian.PutUint32(buf[8:], uint32(e.peerID))
+	binary.BigEndian.PutUint32(buf[12:], uint32(len(body)))
+	copy(buf[headerSize:], body)
+	if err := e.conn.Send(buf); err != nil {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Recv blocks for the next message whose type matches typ (AnyType
+// matches all), returning the payload and the actual type.
+func (e *Endpoint) Recv(typ int) ([]byte, int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for i, m := range e.queue {
+			if typ == AnyType || m.typ == typ {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				return m.payload, m.typ, nil
+			}
+		}
+		if e.readErr != nil {
+			return nil, 0, e.readErr
+		}
+		e.cond.Wait()
+	}
+}
+
+func (e *Endpoint) recvLoop() {
+	for {
+		raw, err := e.conn.Recv()
+		if err != nil {
+			e.mu.Lock()
+			e.readErr = ErrClosed
+			e.cond.Broadcast()
+			e.mu.Unlock()
+			return
+		}
+		if len(raw) < headerSize {
+			continue
+		}
+		typ := int(int32(binary.BigEndian.Uint32(raw[0:])))
+		from := int(binary.BigEndian.Uint32(raw[4:]))
+		n := binary.BigEndian.Uint32(raw[12:])
+		body := raw[headerSize:]
+		if int(n) <= len(body) {
+			body = body[:n]
+		}
+		var payload []byte
+		if e.convert {
+			dec := xdr.NewDecoder(body)
+			p, err := dec.Opaque()
+			if err != nil {
+				continue
+			}
+			payload = make([]byte, len(p))
+			copy(payload, p)
+		} else {
+			payload = make([]byte, len(body))
+			copy(payload, body)
+		}
+		e.mu.Lock()
+		e.queue = append(e.queue, message{typ: typ, from: from, payload: payload})
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// Close shuts the endpoint down.
+func (e *Endpoint) Close() error {
+	select {
+	case <-e.done:
+		return nil
+	default:
+		close(e.done)
+	}
+	return e.conn.Close()
+}
+
+// Pair returns two connected p4 endpoints over the given transport
+// pair; heterogeneous enables representation conversion.
+func Pair(a, b transport.Conn, heterogeneous bool) (*Endpoint, *Endpoint) {
+	ea := New(a, Config{ID: 0, PeerID: 1, Heterogeneous: heterogeneous})
+	eb := New(b, Config{ID: 1, PeerID: 0, Heterogeneous: heterogeneous})
+	return ea, eb
+}
+
+// String describes the endpoint for diagnostics.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("p4(id=%d, peer=%d, xdr=%v)", e.id, e.peerID, e.convert)
+}

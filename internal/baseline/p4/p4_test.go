@@ -1,0 +1,96 @@
+package p4
+
+import (
+	"bytes"
+	"testing"
+
+	"ncs/internal/transport"
+)
+
+func pair(t *testing.T, hetero bool) (*Endpoint, *Endpoint) {
+	t.Helper()
+	a, b := transport.HPIPair()
+	ea, eb := Pair(a, b, hetero)
+	t.Cleanup(func() { ea.Close(); eb.Close() })
+	return ea, eb
+}
+
+func TestSendRecv(t *testing.T) {
+	for _, hetero := range []bool{false, true} {
+		name := "homogeneous"
+		if hetero {
+			name = "heterogeneous"
+		}
+		t.Run(name, func(t *testing.T) {
+			a, b := pair(t, hetero)
+			msg := bytes.Repeat([]byte("p4!"), 5000)
+			if err := a.Send(7, msg); err != nil {
+				t.Fatal(err)
+			}
+			got, typ, err := b.Recv(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ != 7 || !bytes.Equal(got, msg) {
+				t.Fatalf("typ=%d len=%d", typ, len(got))
+			}
+		})
+	}
+}
+
+func TestTypeMatching(t *testing.T) {
+	a, b := pair(t, false)
+	if err := a.Send(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	// Receive type 2 first: type 1 must stay queued.
+	got, _, err := b.Recv(2)
+	if err != nil || string(got) != "second" {
+		t.Fatalf("Recv(2) = %q, %v", got, err)
+	}
+	got, typ, err := b.Recv(AnyType)
+	if err != nil || string(got) != "first" || typ != 1 {
+		t.Fatalf("Recv(any) = %q (type %d), %v", got, typ, err)
+	}
+}
+
+func TestEcho(t *testing.T) {
+	a, b := pair(t, false)
+	go func() {
+		m, typ, err := b.Recv(AnyType)
+		if err != nil {
+			return
+		}
+		_ = b.Send(typ, m)
+	}()
+	msg := bytes.Repeat([]byte{0xaa}, 64*1024)
+	if err := a.Send(3, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := a.Recv(3)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo failed: %v", err)
+	}
+}
+
+func TestRecvAfterClose(t *testing.T) {
+	a, b := pair(t, false)
+	a.Close()
+	b.Close()
+	if _, _, err := b.Recv(AnyType); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := a.Send(1, []byte("x")); err != ErrClosed {
+		t.Fatalf("send err = %v, want ErrClosed", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	a, _ := pair(t, true)
+	if s := a.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

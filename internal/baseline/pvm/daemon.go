@@ -1,0 +1,106 @@
+package pvm
+
+import (
+	"ncs/internal/transport"
+)
+
+// Daemon models pvmd store-and-forward routing: PVM's default message
+// path is task → local pvmd → remote pvmd → task. The relay copies
+// every fragment an extra time and serialises it through one goroutine
+// per direction — the structural costs that pvm_setopt(PvmRoute,
+// PvmRouteDirect) removes.
+type Daemon struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Relay starts forwarding between two transport connections (each the
+// daemon-facing end of a task link). Close the returned Daemon to stop.
+func Relay(a, b transport.Conn) *Daemon {
+	d := &Daemon{
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(d.done)
+		var inner [2]chan struct{}
+		inner[0] = d.pump(a, b)
+		inner[1] = d.pump(b, a)
+		<-inner[0]
+		<-inner[1]
+	}()
+	return d
+}
+
+// pump forwards packets from src to dst until either side fails.
+func (d *Daemon) pump(src, dst transport.Conn) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			p, err := src.Recv()
+			if err != nil {
+				return
+			}
+			// The store-and-forward copy: pvmd buffers the fragment
+			// before writing it onward.
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			if err := dst.Send(cp); err != nil {
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// Close stops the relay (closing the daemon-side connections unblocks
+// the pumps).
+func (d *Daemon) Close() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+}
+
+// PairConfig configures NewPair.
+type PairConfig struct {
+	// Encoding applies to both tasks (DataDefault if zero).
+	Encoding Encoding
+	// RouteDirect bypasses the daemon relay (PvmRouteDirect).
+	RouteDirect bool
+	// MakeLink mints one connected transport pair; it is called once
+	// per hop. Defaults to transport.HPIPair.
+	MakeLink func() (transport.Conn, transport.Conn)
+}
+
+// NewPair builds two connected PVM tasks. With RouteDirect false the
+// message path crosses a daemon relay, adding the default pvmd hop.
+// The returned cleanup closes everything.
+func NewPair(cfg PairConfig) (*Task, *Task, func()) {
+	makeLink := cfg.MakeLink
+	if makeLink == nil {
+		makeLink = transport.HPIPair
+	}
+	if cfg.RouteDirect {
+		a, b := makeLink()
+		t1 := New(a, Config{TID: 1, PeerTID: 2, Encoding: cfg.Encoding})
+		t2 := New(b, Config{TID: 2, PeerTID: 1, Encoding: cfg.Encoding})
+		return t1, t2, func() { t1.Close(); t2.Close() }
+	}
+	// Task1 ── link1 ── [daemon relay] ── link2 ── Task2.
+	t1End, d1End := makeLink()
+	d2End, t2End := makeLink()
+	relay := Relay(d1End, d2End)
+	t1 := New(t1End, Config{TID: 1, PeerTID: 2, Encoding: cfg.Encoding})
+	t2 := New(t2End, Config{TID: 2, PeerTID: 1, Encoding: cfg.Encoding})
+	cleanup := func() {
+		t1.Close()
+		t2.Close()
+		d1End.Close()
+		d2End.Close()
+		relay.Close()
+	}
+	return t1, t2, cleanup
+}

@@ -1,0 +1,248 @@
+// Package pvm is a from-scratch Go port of the messaging behaviour of
+// PVM 3 (Parallel Virtual Machine), the second comparator of the
+// paper's §4.3 benchmark. It reproduces the protocol features that
+// shape PVM's performance curve:
+//
+//   - PvmDataDefault encoding: every message body is XDR-encoded even
+//     between identical machines — PVM's defining per-byte overhead
+//     (PvmDataRaw, the opt-out, is also supported);
+//   - message fragmentation into fixed fragments (4 KB in pvmd),
+//     each carrying its own header;
+//   - daemon routing: by default a task's message travels task → local
+//     pvmd → remote pvmd → task; the RouteDirect option removes the
+//     store-and-forward hop, just as pvm_setopt(PvmRoute,
+//     PvmRouteDirect) does;
+//   - matching by (source task, tag) with wildcard support.
+package pvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+
+	"ncs/internal/transport"
+	"ncs/internal/xdr"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnyTask = -1
+	AnyTag  = -1
+)
+
+// Encoding selects the message body representation.
+type Encoding int
+
+// PVM data encodings.
+const (
+	// DataDefault XDR-encodes all data (PvmDataDefault) — safe across
+	// heterogeneous hosts and always on by default in PVM.
+	DataDefault Encoding = iota + 1
+	// DataRaw sends host representation (PvmDataRaw).
+	DataRaw
+)
+
+// ErrClosed is returned on operations against a closed task.
+var ErrClosed = errors.New("pvm: task closed")
+
+// FragmentSize matches pvmd's default message fragment.
+const FragmentSize = 4096
+
+const fragHeaderSize = 20
+
+// Task is one PVM task (process) endpoint.
+type Task struct {
+	tid      int
+	peerTid  int
+	conn     transport.Conn
+	encoding Encoding
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []message            // fully reassembled messages
+	partial map[uint32]*assembly // in-flight fragmented messages
+	nextMsg uint32
+	readErr error
+	done    chan struct{}
+}
+
+type message struct {
+	src     int
+	tag     int
+	payload []byte
+}
+
+type assembly struct {
+	src, tag int
+	frags    [][]byte
+	total    int // fragment count, known from the last fragment
+}
+
+// Config describes one task.
+type Config struct {
+	// TID and PeerTID are PVM task identifiers.
+	TID, PeerTID int
+	// Encoding selects DataDefault (XDR, the PVM default) or DataRaw.
+	Encoding Encoding
+}
+
+// New wraps a connected transport.Conn as a PVM task endpoint.
+// The conn should be the task's route to its peer: either a direct
+// connection (PvmRouteDirect) or one through a Daemon relay.
+func New(conn transport.Conn, cfg Config) *Task {
+	if cfg.Encoding == 0 {
+		cfg.Encoding = DataDefault
+	}
+	t := &Task{
+		tid:      cfg.TID,
+		peerTid:  cfg.PeerTID,
+		conn:     conn,
+		encoding: cfg.Encoding,
+		partial:  make(map[uint32]*assembly),
+		done:     make(chan struct{}),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	go t.recvLoop()
+	return t
+}
+
+// Send packs payload per the task's encoding and transmits it with the
+// given tag, fragmenting at FragmentSize (pvm_initsend + pvm_pkbyte +
+// pvm_send).
+func (t *Task) Send(tag int, payload []byte) error {
+	body := payload
+	if t.encoding == DataDefault {
+		enc := xdr.NewEncoder(len(payload) + 8)
+		enc.PutOpaque(payload)
+		body = enc.Bytes()
+	}
+	t.mu.Lock()
+	msgID := t.nextMsg
+	t.nextMsg++
+	t.mu.Unlock()
+
+	nfrags := (len(body) + FragmentSize - 1) / FragmentSize
+	if nfrags == 0 {
+		nfrags = 1
+	}
+	frag := make([]byte, 0, fragHeaderSize+FragmentSize)
+	for i := 0; i < nfrags; i++ {
+		lo := i * FragmentSize
+		hi := lo + FragmentSize
+		if hi > len(body) {
+			hi = len(body)
+		}
+		frag = frag[:0]
+		frag = binary.BigEndian.AppendUint32(frag, uint32(t.tid))
+		frag = binary.BigEndian.AppendUint32(frag, uint32(tag))
+		frag = binary.BigEndian.AppendUint32(frag, msgID)
+		frag = binary.BigEndian.AppendUint32(frag, uint32(i))
+		last := uint32(0)
+		if i == nfrags-1 {
+			last = uint32(nfrags)
+		}
+		frag = binary.BigEndian.AppendUint32(frag, last)
+		frag = append(frag, body[lo:hi]...)
+		if err := t.conn.Send(frag); err != nil {
+			return ErrClosed
+		}
+	}
+	return nil
+}
+
+// Recv blocks for a message matching (src, tag); AnyTask/AnyTag are
+// wildcards. It returns the payload, source tid and tag (pvm_recv +
+// pvm_upkbyte).
+func (t *Task) Recv(src, tag int) ([]byte, int, int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		for i, m := range t.ready {
+			if (src == AnyTask || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				t.ready = append(t.ready[:i], t.ready[i+1:]...)
+				return m.payload, m.src, m.tag, nil
+			}
+		}
+		if t.readErr != nil {
+			return nil, 0, 0, t.readErr
+		}
+		t.cond.Wait()
+	}
+}
+
+func (t *Task) recvLoop() {
+	for {
+		raw, err := t.conn.Recv()
+		if err != nil {
+			t.mu.Lock()
+			t.readErr = ErrClosed
+			t.cond.Broadcast()
+			t.mu.Unlock()
+			return
+		}
+		if len(raw) < fragHeaderSize {
+			continue
+		}
+		srcTid := int(binary.BigEndian.Uint32(raw[0:]))
+		tag := int(int32(binary.BigEndian.Uint32(raw[4:])))
+		msgID := binary.BigEndian.Uint32(raw[8:])
+		fragIdx := binary.BigEndian.Uint32(raw[12:])
+		lastMark := binary.BigEndian.Uint32(raw[16:])
+		body := make([]byte, len(raw)-fragHeaderSize)
+		copy(body, raw[fragHeaderSize:])
+
+		t.mu.Lock()
+		as, ok := t.partial[msgID]
+		if !ok {
+			as = &assembly{src: srcTid, tag: tag, total: -1}
+			t.partial[msgID] = as
+		}
+		for int(fragIdx) >= len(as.frags) {
+			as.frags = append(as.frags, nil)
+		}
+		as.frags[fragIdx] = body
+		if lastMark > 0 {
+			as.total = int(lastMark)
+		}
+		if as.total > 0 && len(as.frags) >= as.total {
+			complete := true
+			size := 0
+			for i := 0; i < as.total; i++ {
+				if as.frags[i] == nil {
+					complete = false
+					break
+				}
+				size += len(as.frags[i])
+			}
+			if complete {
+				delete(t.partial, msgID)
+				full := make([]byte, 0, size)
+				for i := 0; i < as.total; i++ {
+					full = append(full, as.frags[i]...)
+				}
+				payload := full
+				if t.encoding == DataDefault {
+					dec := xdr.NewDecoder(full)
+					if p, err := dec.Opaque(); err == nil {
+						payload = make([]byte, len(p))
+						copy(payload, p)
+					}
+				}
+				t.ready = append(t.ready, message{src: as.src, tag: as.tag, payload: payload})
+				t.cond.Broadcast()
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// Close shuts the task down.
+func (t *Task) Close() error {
+	select {
+	case <-t.done:
+		return nil
+	default:
+		close(t.done)
+	}
+	return t.conn.Close()
+}

@@ -1,0 +1,133 @@
+package pvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSendRecvDaemonRouted(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{})
+	defer cleanup()
+
+	msg := bytes.Repeat([]byte("pvm"), 4000) // 12 KB: multiple fragments
+	if err := t1.Send(9, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, src, tag, err := t2.Recv(AnyTask, AnyTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 1 || tag != 9 || !bytes.Equal(got, msg) {
+		t.Fatalf("src=%d tag=%d len=%d", src, tag, len(got))
+	}
+}
+
+func TestSendRecvDirectRoute(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{RouteDirect: true})
+	defer cleanup()
+
+	msg := []byte("direct route")
+	if err := t1.Send(1, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t2.Recv(1, 1)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestRawEncodingSkipsXDR(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{Encoding: DataRaw, RouteDirect: true})
+	defer cleanup()
+
+	msg := bytes.Repeat([]byte{0xfe}, 100)
+	if err := t1.Send(2, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t2.Recv(AnyTask, 2)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatal("raw round trip failed")
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{RouteDirect: true})
+	defer cleanup()
+
+	if err := t1.Send(10, []byte("ten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Send(20, []byte("twenty")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t2.Recv(AnyTask, 20)
+	if err != nil || string(got) != "twenty" {
+		t.Fatalf("Recv(20) = %q, %v", got, err)
+	}
+	got, _, tag, err := t2.Recv(AnyTask, AnyTag)
+	if err != nil || string(got) != "ten" || tag != 10 {
+		t.Fatalf("Recv(any) = %q tag=%d, %v", got, tag, err)
+	}
+}
+
+func TestLargeMessageFragmentation(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{})
+	defer cleanup()
+
+	msg := make([]byte, 64*1024)
+	for i := range msg {
+		msg[i] = byte(i * 7)
+	}
+	if err := t1.Send(5, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t2.Recv(AnyTask, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("fragmented message corrupted")
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{})
+	defer cleanup()
+	if err := t1.Send(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t2.Recv(AnyTask, AnyTag)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %d bytes, %v", len(got), err)
+	}
+}
+
+func TestEchoThroughDaemon(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{})
+	defer cleanup()
+	go func() {
+		m, _, tag, err := t2.Recv(AnyTask, AnyTag)
+		if err != nil {
+			return
+		}
+		_ = t2.Send(tag, m)
+	}()
+	msg := bytes.Repeat([]byte{1, 2, 3}, 3000)
+	if err := t1.Send(4, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := t1.Recv(AnyTask, 4)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("echo failed: %v", err)
+	}
+}
+
+func TestCloseUnblocks(t *testing.T) {
+	t1, t2, cleanup := NewPair(PairConfig{RouteDirect: true})
+	defer cleanup()
+	t1.Close()
+	t2.Close()
+	if _, _, _, err := t2.Recv(AnyTask, AnyTag); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

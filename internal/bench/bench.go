@@ -1,0 +1,168 @@
+// Package bench contains the experiment drivers that regenerate every
+// table and figure of the paper's evaluation (§4):
+//
+//	Table I    — per-stage cost of a 1-byte threaded NCS_send
+//	Figure 10  — user-level vs kernel-level thread package under load
+//	Figure 11  — threaded-send overhead ratio to the native interface
+//	Figure 12  — echo round trip: NCS vs p4/PVM/MPI, same platform
+//	Figure 13  — echo round trip on the heterogeneous platform pair
+//
+// The drivers are shared by cmd/ncs-bench (human-readable reports) and
+// the repository's testing.B benchmarks. Where 1998 hardware matters,
+// the experiments run over the simulated substrates (internal/netsim,
+// internal/atm, internal/platform); see DESIGN.md §3 for the
+// substitution rationale.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point is one measurement of a series.
+type Point struct {
+	Size  int
+	Value time.Duration
+}
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced figure: a set of series over message sizes.
+type Figure struct {
+	Title  string
+	YLabel string
+	Series []Series
+}
+
+// DefaultSizes is the paper's message-size sweep for Figures 12–13.
+var DefaultSizes = []int{1, 1024, 4096, 8192, 16384, 32768, 65536}
+
+// ThreadSweepSizes is the sweep of Figures 10–11.
+var ThreadSweepSizes = []int{1, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// Render formats the figure as an aligned text table, one row per
+// message size, one column per series.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if f.YLabel != "" {
+		fmt.Fprintf(&b, "values: %s\n", f.YLabel)
+	}
+	fmt.Fprintf(&b, "%-10s", "size")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i, p := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%-10s", sizeLabel(p.Size))
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				fmt.Fprintf(&b, " %14s", fmtDuration(s.Points[i].Value))
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderRatio formats the figure with float ratios instead of durations
+// (used by Figure 11, whose y-axis is a ratio to the native socket).
+func (f Figure) RenderRatio(base Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	fmt.Fprintf(&b, "%-10s", "size")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %14s", s.Label)
+	}
+	b.WriteByte('\n')
+	for i, bp := range base.Points {
+		fmt.Fprintf(&b, "%-10s", sizeLabel(bp.Size))
+		for _, s := range f.Series {
+			if i < len(s.Points) && bp.Value > 0 {
+				fmt.Fprintf(&b, " %14.2f", float64(s.Points[i].Value)/float64(bp.Value))
+			} else {
+				fmt.Fprintf(&b, " %14s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1024 && n%1024 == 0:
+		return fmt.Sprintf("%dK", n/1024)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// median returns the middle value of the sorted copies of ds, after
+// dropping the best and worst samples, matching the paper's averaging
+// methodology ("averaged over 100 iterations after discarding the best
+// and worst timings").
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j-1] > sorted[j]; j-- {
+			sorted[j-1], sorted[j] = sorted[j], sorted[j-1]
+		}
+	}
+	if len(sorted) > 2 {
+		sorted = sorted[1 : len(sorted)-1]
+	}
+	return sorted[len(sorted)/2]
+}
+
+// meanTrimmed averages after dropping the best and worst samples.
+func meanTrimmed(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	if len(ds) <= 2 {
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		return sum / time.Duration(len(ds))
+	}
+	min, max := ds[0], ds[0]
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return (sum - min - max) / time.Duration(len(ds)-2)
+}

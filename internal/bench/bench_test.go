@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ncs/internal/platform"
+	"ncs/internal/thread"
+)
+
+func TestMedianAndMeanTrimmed(t *testing.T) {
+	ds := []time.Duration{5, 1, 100, 3, 4} // best=1 worst=100 dropped
+	if m := median(ds); m != 4 {
+		t.Fatalf("median = %v", m)
+	}
+	if m := meanTrimmed(ds); m != 4 {
+		t.Fatalf("meanTrimmed = %v", m)
+	}
+	if meanTrimmed(nil) != 0 || median(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+	if m := meanTrimmed([]time.Duration{6, 8}); m != 7 {
+		t.Fatalf("meanTrimmed(2) = %v", m)
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	f := Figure{
+		Title:  "test",
+		YLabel: "time",
+		Series: []Series{
+			{Label: "a", Points: []Point{{1, time.Microsecond}, {1024, time.Millisecond}}},
+			{Label: "b", Points: []Point{{1, 2 * time.Microsecond}, {1024, time.Second}}},
+		},
+	}
+	out := f.Render()
+	for _, want := range []string{"test", "a", "b", "1K", "1.00ms", "1.00s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+	ratio := f.RenderRatio(f.Series[0])
+	if !strings.Contains(ratio, "2.00") {
+		t.Fatalf("RenderRatio missing ratio:\n%s", ratio)
+	}
+}
+
+func TestMiniSendPathBothModels(t *testing.T) {
+	for _, model := range []thread.Model{thread.UserLevel, thread.KernelLevel} {
+		t.Run(model.String(), func(t *testing.T) {
+			pkg := thread.New(model)
+			defer pkg.Shutdown()
+			cfg := Fig10Config{}.withDefaults()
+			got := fig10Run(Fig10Config{
+				Sizes:       []int{64},
+				Iterations:  3,
+				ComputeLoad: time.Millisecond,
+			}.withDefaults(), model, 64)
+			if got <= 0 {
+				t.Fatalf("per-iteration time = %v", got)
+			}
+			_ = cfg
+		})
+	}
+}
+
+// TestFigure10Shape asserts the paper's qualitative result: at 64 KB
+// the user-level package stalls (whole-process blocking) while the
+// kernel-level package overlaps; below the crossover both sit near the
+// compute load.
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	cfg := Fig10Config{
+		Sizes:      []int{1024, 65536},
+		Iterations: 10,
+	}
+	fig := Figure10(cfg)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	user, kernel := fig.Series[0], fig.Series[1]
+
+	// Small message: both near the compute load (within 3x).
+	load := cfg.withDefaults().ComputeLoad
+	for _, s := range fig.Series {
+		if s.Points[0].Value > 3*load {
+			t.Errorf("%s at 1KB = %v, want near %v", s.Label, s.Points[0].Value, load)
+		}
+	}
+	// Large message: user-level must be at least 3x kernel-level.
+	u64, k64 := user.Points[1].Value, kernel.Points[1].Value
+	if u64 < 3*k64 {
+		t.Errorf("user-level at 64KB = %v, kernel-level = %v; want user >= 3x kernel", u64, k64)
+	}
+}
+
+// TestFigure11Shape asserts the overhead ratio starts above 1 for tiny
+// messages and shrinks as the message grows.
+func TestFigure11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive experiment")
+	}
+	data := Figure11(Fig11Config{Sizes: []int{1, 65536}, Iterations: 100})
+	for _, s := range data.Fig.Series {
+		r1 := float64(s.Points[0].Value) / float64(data.Native.Points[0].Value)
+		r64 := float64(s.Points[1].Value) / float64(data.Native.Points[1].Value)
+		if r1 < 1.05 {
+			t.Errorf("%s: ratio at 1B = %.2f, want > 1 (session overhead)", s.Label, r1)
+		}
+		if r64 >= r1 {
+			t.Errorf("%s: ratio at 64KB (%.2f) should shrink vs 1B (%.2f)", s.Label, r64, r1)
+		}
+	}
+}
+
+func TestTableI(t *testing.T) {
+	res, err := TableI(TableIConfig{Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SessionOverhead <= 0 || res.DataTransfer <= 0 {
+		t.Fatalf("overheads: session=%v data=%v", res.SessionOverhead, res.DataTransfer)
+	}
+	if res.Total != res.SessionOverhead+res.DataTransfer {
+		t.Fatal("total != session + data")
+	}
+	out := res.Render()
+	for _, want := range []string{"Table I", "session overhead total", "274"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEchoSmokeAllSystems(t *testing.T) {
+	for _, sys := range AllSystems {
+		t.Run(sys.String(), func(t *testing.T) {
+			series, err := RunEcho(EchoConfig{
+				System:     sys,
+				Local:      platform.RS6000,
+				Remote:     platform.RS6000,
+				Sizes:      []int{1, 65536},
+				Iterations: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range series.Points {
+				if p.Value <= 0 {
+					t.Fatalf("size %d: rtt = %v", p.Size, p.Value)
+				}
+			}
+			// 64 KB must cost clearly more than 1 byte; at small gaps
+			// (e.g. 4 KB on the fast platform) scheduler noise can
+			// invert the comparison, so the smoke test uses the far
+			// ends of the sweep.
+			if series.Points[1].Value <= series.Points[0].Value {
+				t.Fatalf("rtt(64K)=%v <= rtt(1B)=%v", series.Points[1].Value, series.Points[0].Value)
+			}
+		})
+	}
+}
+
+// TestFigure12Shape asserts the RS6000 ordering the paper reports:
+// p4 fastest, PVM slowest (daemon hop + XDR), NCS competitive.
+func TestFigure12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	fig, err := FigureEcho("fig12-rs6000", platform.RS6000, platform.RS6000,
+		[]int{65536}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string) time.Duration {
+		for _, s := range fig.Series {
+			if s.Label == label {
+				return s.Points[0].Value
+			}
+		}
+		t.Fatalf("missing series %s", label)
+		return 0
+	}
+	p4t, pvmt, ncst := get("p4"), get("PVM"), get("NCS")
+	if p4t >= pvmt {
+		t.Errorf("RS6000 64KB: p4 (%v) should beat PVM (%v)", p4t, pvmt)
+	}
+	if ncst >= pvmt {
+		t.Errorf("RS6000 64KB: NCS (%v) should beat PVM (%v)", ncst, pvmt)
+	}
+}
+
+// TestFigure13Shape asserts the heterogeneous ordering: NCS fastest,
+// MPI slowest with a large gap.
+func TestFigure13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	fig, err := FigureEcho("fig13-hetero", platform.SUN4, platform.RS6000,
+		[]int{65536}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]time.Duration{}
+	for _, s := range fig.Series {
+		vals[s.Label] = s.Points[0].Value
+	}
+	if vals["NCS"] >= vals["p4"] || vals["NCS"] >= vals["MPI"] {
+		t.Errorf("hetero 64KB: NCS (%v) should beat p4 (%v) and MPI (%v)",
+			vals["NCS"], vals["p4"], vals["MPI"])
+	}
+	if vals["MPI"] <= vals["p4"] {
+		t.Errorf("hetero 64KB: MPI (%v) should be slower than p4 (%v)", vals["MPI"], vals["p4"])
+	}
+	if vals["MPI"] < 2*vals["NCS"] {
+		t.Errorf("hetero 64KB: MPI (%v) should be >= 2x NCS (%v)", vals["MPI"], vals["NCS"])
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"time"
+
+	"ncs/internal/thread"
+)
+
+// Fig11Config parameterises the Figure 11 reproduction.
+type Fig11Config struct {
+	// Sizes defaults to ThreadSweepSizes.
+	Sizes []int
+	// Iterations per size. Default 50.
+	Iterations int
+}
+
+func (c Fig11Config) withDefaults() Fig11Config {
+	if len(c.Sizes) == 0 {
+		c.Sizes = ThreadSweepSizes
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+	return c
+}
+
+// Figure11Data holds the three curves needed for the overhead ratio:
+// the native socket baseline and the threaded send path on each thread
+// package.
+type Figure11Data struct {
+	Native Series
+	Fig    Figure // user-level and kernel-level threaded sends
+}
+
+// Figure11 reproduces the §4.2 overhead-ratio experiment: the time of a
+// synchronous threaded NCS_send (queue → Send Thread → transmit →
+// switch back) relative to writing the native socket directly, for each
+// thread package. The ratio starts well above 1 for 1-byte messages —
+// the session overhead of Table I — and decays toward 1 as per-byte
+// costs dominate.
+func Figure11(cfg Fig11Config) Figure11Data {
+	cfg = cfg.withDefaults()
+
+	native := Series{Label: "native"}
+	for _, size := range cfg.Sizes {
+		native.Points = append(native.Points, Point{Size: size, Value: fig11Native(cfg, size)})
+	}
+
+	fig := Figure{
+		Title:  "Figure 11: threaded send overhead relative to native socket",
+		YLabel: "time per send (ratio printed against native)",
+	}
+	for _, model := range []thread.Model{thread.UserLevel, thread.KernelLevel} {
+		s := Series{Label: model.String()}
+		for _, size := range cfg.Sizes {
+			s.Points = append(s.Points, Point{Size: size, Value: fig11Threaded(cfg, model, size)})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return Figure11Data{Native: native, Fig: fig}
+}
+
+// fig11Native times a direct native write: the deterministic
+// kernel-write sink (fixed syscall cost plus per-byte copy).
+func fig11Native(cfg Fig11Config, size int) time.Duration {
+	sink := newWriteSink()
+	msg := make([]byte, size)
+	samples := make([]time.Duration, 0, cfg.Iterations)
+	for i := 0; i < cfg.Iterations; i++ {
+		start := time.Now()
+		_ = sink.Send(msg)
+		samples = append(samples, time.Since(start))
+	}
+	return meanTrimmed(samples)
+}
+
+// fig11Threaded times the same write issued through the thread-package
+// send path, waiting for the transmission to complete.
+func fig11Threaded(cfg Fig11Config, model thread.Model, size int) time.Duration {
+	pkg := thread.New(model)
+	defer pkg.Shutdown()
+
+	mini, err := newMiniSendPath(pkg, newWriteSink())
+	if err != nil {
+		return 0
+	}
+
+	msg := make([]byte, size)
+	var result time.Duration
+	th, err := pkg.Spawn("caller", func() {
+		samples := make([]time.Duration, 0, cfg.Iterations)
+		for i := 0; i < cfg.Iterations; i++ {
+			start := time.Now()
+			mini.sendSync(msg)
+			samples = append(samples, time.Since(start))
+		}
+		result = meanTrimmed(samples)
+	})
+	if err != nil {
+		mini.close()
+		return 0
+	}
+	th.Join()
+	mini.close()
+	return result
+}

@@ -1,0 +1,658 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/packet"
+	"ncs/internal/platform"
+	"ncs/internal/transport"
+)
+
+// maxTrackedSessions bounds the inbound session table; the oldest
+// completed sessions are pruned beyond this. A pruned session can no
+// longer re-acknowledge duplicate retransmissions, which is safe: by the
+// time 64 newer sessions completed, the peer's sender has long finished.
+const maxTrackedSessions = 64
+
+// deliveredQueueDepth is the number of fully reassembled messages that
+// may wait for NCS_recv before the Receive Thread blocks (natural
+// backpressure toward the data connection).
+const deliveredQueueDepth = 128
+
+// Message is a received user message. Lost reports SDUs missing from an
+// unreliable (ErrorControl: None) transfer; it is always zero on
+// reliable connections.
+type Message struct {
+	Data []byte
+	Lost int
+}
+
+// sendItem is one SDU handed to the Send Thread, optionally carrying
+// instrumentation state for Table I measurements. When ctrl is non-nil
+// the item is an in-band control packet (InbandControl mode) instead of
+// an SDU.
+type sendItem struct {
+	sdu   errctl.SDU
+	ctrl  *packet.Control
+	trace *SendTrace
+	done  chan struct{} // non-nil: Send Thread closes after transmission
+}
+
+// recvSession wraps an inbound error-control session with its delivery
+// state.
+type recvSession struct {
+	rcv       errctl.Receiver
+	delivered bool
+}
+
+// Connection is one NCS point-to-point connection: a data connection
+// and a control connection, the per-connection threads of Figure 4, and
+// the flow/error control configuration chosen at establishment.
+type Connection struct {
+	sys  *System
+	peer string
+	id   uint32
+	opts Options
+
+	data transport.Conn
+	ctrl transport.Conn
+
+	fcSend flowctl.Sender
+	fcRecv flowctl.Receiver
+
+	sendQ chan sendItem
+	ctrlQ chan packet.Control
+
+	delivered chan Message
+
+	mu       sync.Mutex
+	sessions map[uint32]*recvSession
+	sessAge  []uint32
+	waiters  map[uint32]chan packet.Control
+
+	nextSession atomic.Uint32
+
+	// txCounter and rxCounter are connection-lifetime packet indices fed
+	// to flow control, so that window/credit state spans sessions even
+	// though SDU sequence numbers restart per message.
+	txCounter atomic.Uint32
+	rxCounter atomic.Uint32
+
+	fastSendMu sync.Mutex // serialises fast-path senders
+	fastBuf    []byte     // fast-path staging buffer (under fastSendMu)
+	fastRecvMu sync.Mutex // serialises fast-path receivers
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	wg        sync.WaitGroup
+
+	lastTrace atomic.Pointer[SendTrace]
+	stats     statCounters
+	rtt       rttEstimator
+
+	lastHeard atomic.Int64 // unix nanos of the last inbound packet
+	failed    atomic.Bool  // heartbeat declared the peer dead
+}
+
+func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl transport.Conn) *Connection {
+	if opts.Platform != nil {
+		data = platform.Tax(data, *opts.Platform)
+		ctrl = platform.Tax(ctrl, *opts.Platform)
+	}
+	c := &Connection{
+		sys:       sys,
+		peer:      peer,
+		id:        id,
+		opts:      opts,
+		data:      data,
+		ctrl:      ctrl,
+		fcSend:    flowctl.NewSender(opts.FlowControl, opts.FlowConfig),
+		fcRecv:    flowctl.NewReceiver(opts.FlowControl, opts.FlowConfig),
+		sendQ:     make(chan sendItem, 1),
+		ctrlQ:     make(chan packet.Control, 16),
+		delivered: make(chan Message, deliveredQueueDepth),
+		sessions:  make(map[uint32]*recvSession),
+		waiters:   make(map[uint32]chan packet.Control),
+		closedCh:  make(chan struct{}),
+	}
+	c.lastHeard.Store(time.Now().UnixNano())
+	switch {
+	case opts.FastPath:
+		// No threads: Send/Recv run the protocol inline (§4.2).
+	case opts.InbandControl:
+		// Ablation mode: control shares the data connection, so the
+		// Send Thread carries both and the Receive Thread demultiplexes
+		// — exactly the per-packet demux cost the split planes avoid.
+		c.wg.Add(2)
+		go c.sendThread()
+		go c.recvThread()
+	default:
+		// Data plane: per-connection Send and Receive Threads; control
+		// plane: per-connection Control Send/Receive Threads.
+		c.wg.Add(4)
+		go c.sendThread()
+		go c.recvThread()
+		go c.ctrlSendThread()
+		go c.ctrlRecvThread()
+	}
+	if opts.Heartbeat > 0 && !opts.FastPath {
+		c.wg.Add(1)
+		go c.heartbeatThread()
+	}
+	return c
+}
+
+// heartbeatThread probes the peer and declares it unreachable after
+// three silent intervals, failing the connection.
+func (c *Connection) heartbeatThread() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			silent := time.Duration(time.Now().UnixNano() - c.lastHeard.Load())
+			if silent > 3*c.opts.Heartbeat {
+				c.failed.Store(true)
+				// Close from a fresh goroutine: Close waits for this
+				// thread via wg.Wait.
+				go c.Close()
+				return
+			}
+			c.enqueueCtrl(packet.Control{Type: packet.CtrlPing, ConnID: c.id})
+		case <-c.closedCh:
+			return
+		}
+	}
+}
+
+// closeErr maps connection shutdown to the caller-visible error.
+func (c *Connection) closeErr() error {
+	if c.failed.Load() {
+		return ErrPeerUnreachable
+	}
+	return ErrConnClosed
+}
+
+// ID returns the connection identifier assigned at setup.
+func (c *Connection) ID() uint32 { return c.id }
+
+// Peer returns the remote system name.
+func (c *Connection) Peer() string { return c.peer }
+
+// Options returns the connection's configuration.
+func (c *Connection) Options() Options { return c.opts }
+
+// ---------------------------------------------------------------------------
+// Send path (steps 1–4 of Figure 4).
+
+// Send transmits msg reliably or unreliably according to the
+// connection's error control configuration, blocking until the transfer
+// completes (reliable) or is fully handed to the interface (unreliable).
+func (c *Connection) Send(msg []byte) error {
+	if c.opts.FastPath {
+		return c.sendFast(msg, nil)
+	}
+	return c.sendThreaded(msg, nil)
+}
+
+func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
+	if err := c.checkSendSize(msg); err != nil {
+		return err
+	}
+	sess := c.nextSession.Add(1)
+	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
+	if tr != nil {
+		tr.stamp(&tr.tHeader)
+	}
+
+	if snd.Done() {
+		// Unreliable transfer: hand every SDU to the Send Thread; the
+		// session completes as soon as the last is transmitted.
+		if err := c.transmit(snd.Initial(), tr, true); err != nil {
+			return err
+		}
+		c.stats.messagesSent.Add(1)
+		return nil
+	}
+
+	ackCh := make(chan packet.Control, 4)
+	c.mu.Lock()
+	c.waiters[sess] = ackCh
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waiters, sess)
+		c.mu.Unlock()
+	}()
+
+	if err := c.transmit(snd.Initial(), tr, false); err != nil {
+		return err
+	}
+	rto := func() time.Duration {
+		if !c.opts.AdaptiveTimeout {
+			return c.opts.AckTimeout
+		}
+		return c.rtt.timeout(c.opts.AckTimeout, minAdaptiveTimeout)
+	}
+	lastSend := time.Now()
+	retransmitted := false // Karn's rule: skip samples after a retransmit
+	timer := time.NewTimer(rto())
+	defer timer.Stop()
+	for {
+		select {
+		case ack := <-ackCh:
+			if c.opts.AdaptiveTimeout && !retransmitted {
+				c.rtt.observe(time.Since(lastSend))
+			}
+			rt, done, err := snd.OnAck(ack)
+			if err != nil && !errors.Is(err, errctl.ErrSessionDone) {
+				return err
+			}
+			if done {
+				c.stats.messagesSent.Add(1)
+				return nil
+			}
+			if len(rt) > 0 {
+				if err := c.transmit(rt, nil, false); err != nil {
+					return err
+				}
+				lastSend = time.Now()
+				retransmitted = true
+			}
+			resetTimer(timer, rto())
+		case <-timer.C:
+			if err := c.transmit(snd.OnTimeout(), nil, false); err != nil {
+				return err
+			}
+			lastSend = time.Now()
+			retransmitted = true
+			resetTimer(timer, rto())
+		case <-c.closedCh:
+			return ErrConnClosed
+		}
+	}
+}
+
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
+}
+
+// transmit performs the Error-Control → Flow-Control → Send-Thread
+// hand-off for a batch of SDUs. When sync is true it waits for the Send
+// Thread to confirm the final SDU left the interface.
+func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error {
+	for i, sdu := range sdus {
+		idx := c.txCounter.Add(1) - 1
+		for {
+			err := c.fcSend.AcquireTimeout(idx, c.opts.AckTimeout)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, flowctl.ErrAcquireTimeout) {
+				// On lossy links, dropped data packets consume credits
+				// whose grants never return; resynchronise and retry.
+				c.fcSend.Resync()
+				continue
+			}
+			return ErrConnClosed
+		}
+		c.stats.sdusSent.Add(1)
+		c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
+		if sdu.Header.Flags&packet.FlagRetransmit != 0 {
+			c.stats.retransmissions.Add(1)
+		}
+		item := sendItem{sdu: sdu}
+		if i == len(sdus)-1 {
+			item.trace = tr
+			if sync {
+				item.done = make(chan struct{})
+			}
+		}
+		if tr != nil && i == len(sdus)-1 {
+			tr.stamp(&tr.tQueued)
+		}
+		select {
+		case c.sendQ <- item:
+		case <-c.closedCh:
+			return ErrConnClosed
+		}
+		if item.done != nil {
+			select {
+			case <-item.done:
+				if tr != nil {
+					tr.stamp(&tr.tReturned)
+				}
+			case <-c.closedCh:
+				return ErrConnClosed
+			}
+		}
+	}
+	return nil
+}
+
+func (c *Connection) checkSendSize(msg []byte) error {
+	if max := c.data.MaxPacket(); max > 0 && c.opts.SDUSize+packet.DataHeaderSize > max {
+		return ErrSendTooLarge
+	}
+	return nil
+}
+
+// sendThread is the per-connection Send Thread: it drains the message
+// queue and performs only the data transfer for this connection.
+func (c *Connection) sendThread() {
+	defer c.wg.Done()
+	buf := make([]byte, 0, c.opts.SDUSize+packet.DataHeaderSize)
+	for {
+		select {
+		case item := <-c.sendQ:
+			if item.trace != nil {
+				item.trace.stamp(&item.trace.tDequeued)
+			}
+			if item.ctrl != nil {
+				buf = item.ctrl.Marshal(buf[:0])
+				c.stats.controlSent.Add(1)
+			} else {
+				buf = item.sdu.Header.Marshal(buf[:0])
+				buf = append(buf, item.sdu.Payload...)
+			}
+			err := c.data.Send(buf)
+			if item.trace != nil {
+				item.trace.stamp(&item.trace.tTransmitted)
+			}
+			if item.done != nil {
+				close(item.done)
+			}
+			if err != nil {
+				// The connection is going down; Send callers see
+				// ErrConnClosed via closedCh.
+				return
+			}
+		case <-c.closedCh:
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Receive path (steps 5–10 of Figure 4).
+
+// Recv blocks for the next fully received message.
+func (c *Connection) Recv() ([]byte, error) {
+	m, err := c.RecvMessage()
+	return m.Data, err
+}
+
+// RecvMessage is Recv with loss metadata (relevant for unreliable
+// connections).
+func (c *Connection) RecvMessage() (Message, error) {
+	if c.opts.FastPath {
+		return c.recvFast(0)
+	}
+	select {
+	case m := <-c.delivered:
+		return m, nil
+	case <-c.closedCh:
+		// Drain anything completed before close.
+		select {
+		case m := <-c.delivered:
+			return m, nil
+		default:
+			return Message{}, c.closeErr()
+		}
+	}
+}
+
+// RecvTimeout is Recv with a deadline.
+func (c *Connection) RecvTimeout(d time.Duration) ([]byte, error) {
+	m, err := c.RecvMessageTimeout(d)
+	return m.Data, err
+}
+
+// RecvMessageTimeout is RecvMessage with a deadline — the combination
+// media streams need: loss metadata plus a playout deadline for frames
+// whose final segment never arrived.
+func (c *Connection) RecvMessageTimeout(d time.Duration) (Message, error) {
+	if c.opts.FastPath {
+		return c.recvFast(d)
+	}
+	select {
+	case m := <-c.delivered:
+		return m, nil
+	case <-c.closedCh:
+		return Message{}, c.closeErr()
+	case <-time.After(d):
+		return Message{}, ErrRecvTimeout
+	}
+}
+
+// recvThread is the per-connection Receive Thread: it reads the data
+// connection and activates the flow- and error-control machinery.
+func (c *Connection) recvThread() {
+	defer c.wg.Done()
+	for {
+		raw, err := c.data.Recv()
+		if err != nil {
+			return
+		}
+		c.lastHeard.Store(time.Now().UnixNano())
+		h, err := packet.UnmarshalDataHeader(raw)
+		if err != nil {
+			// In in-band mode the data connection also carries control
+			// packets; demultiplex them here (the per-packet cost the
+			// separate control connection eliminates).
+			if c.opts.InbandControl {
+				if ctl, cerr := packet.UnmarshalControl(raw); cerr == nil {
+					body := make([]byte, len(ctl.Body))
+					copy(body, ctl.Body)
+					ctl.Body = body
+					c.routeControl(ctl)
+				}
+			}
+			continue
+		}
+		payload := raw[packet.DataHeaderSize:]
+		if int(h.Length) <= len(payload) {
+			payload = payload[:h.Length]
+		}
+		if m, ok := c.dispatchData(h, payload, c.enqueueCtrl); ok {
+			select {
+			case c.delivered <- m:
+			case <-c.closedCh:
+				return
+			}
+		}
+	}
+}
+
+// dispatchData runs one arriving SDU through the receive-side flow and
+// error control, emitting control packets via emit. It returns a
+// completed message when the SDU finishes a session.
+func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, emit func(packet.Control) bool) (Message, bool) {
+	// Step 8–9: the Flow Control Thread updates its state and returns
+	// credit/ack information over the control connection. Flow control
+	// sees the connection-lifetime arrival index, not the per-session
+	// SDU sequence number.
+	rxIdx := c.rxCounter.Add(1) - 1
+	for _, ctl := range c.fcRecv.OnData(rxIdx) {
+		ctl.ConnID = c.id
+		ctl.SessionID = h.SessionID
+		if !emit(ctl) {
+			return Message{}, false
+		}
+	}
+
+	c.stats.sdusReceived.Add(1)
+	c.stats.bytesReceived.Add(uint64(len(payload)))
+
+	// Step 10: the Error Control Thread reassembles and acknowledges.
+	c.mu.Lock()
+	rs, ok := c.sessions[h.SessionID]
+	if !ok {
+		rs = &recvSession{rcv: errctl.NewReceiver(c.opts.ErrorControl)}
+		c.sessions[h.SessionID] = rs
+		c.sessAge = append(c.sessAge, h.SessionID)
+		c.pruneSessionsLocked()
+	}
+	c.mu.Unlock()
+
+	acks, done := rs.rcv.OnData(h, payload)
+	for _, a := range acks {
+		a.ConnID = c.id
+		a.SessionID = h.SessionID
+		if !emit(a) {
+			return Message{}, false
+		}
+	}
+	if done && !rs.delivered {
+		rs.delivered = true
+		c.stats.messagesReceived.Add(1)
+		return Message{Data: rs.rcv.Message(), Lost: rs.rcv.LostSDUs()}, true
+	}
+	return Message{}, false
+}
+
+func (c *Connection) pruneSessionsLocked() {
+	for len(c.sessAge) > maxTrackedSessions {
+		victim := c.sessAge[0]
+		c.sessAge = c.sessAge[1:]
+		if rs, ok := c.sessions[victim]; ok && rs.delivered {
+			delete(c.sessions, victim)
+		}
+	}
+}
+
+// enqueueCtrl hands a control packet to the Control Send Thread (or,
+// in in-band mode, to the Send Thread where it competes with data).
+// It reports false when the connection closed.
+func (c *Connection) enqueueCtrl(ctl packet.Control) bool {
+	if c.opts.InbandControl {
+		item := sendItem{ctrl: &ctl}
+		select {
+		case c.sendQ <- item:
+			return true
+		case <-c.closedCh:
+			return false
+		}
+	}
+	select {
+	case c.ctrlQ <- ctl:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// ctrlSendThread serialises control packets onto the control connection
+// (the Control Send Thread of Figure 1).
+func (c *Connection) ctrlSendThread() {
+	defer c.wg.Done()
+	buf := make([]byte, 0, 256)
+	for {
+		select {
+		case ctl := <-c.ctrlQ:
+			buf = ctl.Marshal(buf[:0])
+			c.stats.controlSent.Add(1)
+			if err := c.ctrl.Send(buf); err != nil {
+				return
+			}
+		case <-c.closedCh:
+			return
+		}
+	}
+}
+
+// ctrlRecvThread reads the control connection and dispatches: flow
+// control updates go to the Flow Control machinery, acknowledgments to
+// the waiting Error Control session (the Control Receive Thread).
+func (c *Connection) ctrlRecvThread() {
+	defer c.wg.Done()
+	for {
+		raw, err := c.ctrl.Recv()
+		if err != nil {
+			return
+		}
+		ctl, err := packet.UnmarshalControl(raw)
+		if err != nil {
+			continue
+		}
+		// Control bodies alias the transport buffer; copy before the
+		// buffer escapes to another goroutine.
+		body := make([]byte, len(ctl.Body))
+		copy(body, ctl.Body)
+		ctl.Body = body
+		c.routeControl(ctl)
+	}
+}
+
+func (c *Connection) routeControl(ctl packet.Control) {
+	c.stats.controlReceived.Add(1)
+	c.lastHeard.Store(time.Now().UnixNano())
+	switch ctl.Type {
+	case packet.CtrlPing:
+		c.enqueueCtrl(packet.Control{Type: packet.CtrlPong, ConnID: c.id})
+	case packet.CtrlPong:
+		// lastHeard already refreshed; nothing else to do.
+	case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
+		c.fcSend.OnControl(ctl)
+	case packet.CtrlAck, packet.CtrlNack:
+		c.mu.Lock()
+		w := c.waiters[ctl.SessionID]
+		c.mu.Unlock()
+		if w != nil {
+			select {
+			case w <- ctl:
+			default:
+				// The session is busy processing a previous ack; dropping
+				// this one is safe — the sender's timer recovers.
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+// LastTrace returns the most recent instrumented send breakdown, or nil.
+func (c *Connection) LastTrace() *SendTrace { return c.lastTrace.Load() }
+
+// SendInstrumented sends msg and captures the Table I stage breakdown.
+// The connection must have Instrument enabled and use the threaded path.
+func (c *Connection) SendInstrumented(msg []byte) (*SendTrace, error) {
+	if c.opts.FastPath {
+		return nil, ErrFastPathOnly
+	}
+	tr := newSendTrace()
+	tr.stamp(&tr.tEnter)
+	err := c.sendThreaded(msg, tr)
+	tr.stamp(&tr.tExit)
+	if err != nil {
+		return nil, err
+	}
+	c.lastTrace.Store(tr)
+	return tr, nil
+}
+
+// Close tears the connection down: both transport connections, the flow
+// control state, and all four per-connection threads.
+func (c *Connection) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		c.fcSend.Close()
+		c.fcRecv.Close()
+		c.data.Close()
+		c.ctrl.Close()
+		c.wg.Wait()
+	})
+	return nil
+}

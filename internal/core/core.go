@@ -1,0 +1,481 @@
+// Package core implements the NCS runtime: the multithreaded
+// message-passing system of the paper, with its control plane (Master
+// Thread, Flow/Error Control, Control Send/Receive Threads) and data
+// plane (per-connection Send and Receive Threads), separate control and
+// data connections, per-connection algorithm selection, and the
+// thread-bypassing fast path of §4.2.
+//
+// A System is one NCS process. Systems attach to a Network, which plays
+// the role of the signaling fabric: it names systems, routes connection
+// setup requests to the target's Master Thread, and mints the two
+// transport connections (control + data) that every NCS connection owns.
+//
+// # Deviations from the paper, and why
+//
+//   - The paper multiplexes all connections' control traffic through one
+//     Control Send Thread and one Control Receive Thread per process
+//     (Figure 1). Here each connection owns its control connection and
+//     its own CS/CR threads: the wire-level property the paper argues
+//     for — control information never competes with data for a data
+//     connection's bandwidth — is identical, and per-connection control
+//     channels make teardown and the fast path simpler.
+//   - NCS worker threads are goroutines (kernel-level threads in the
+//     paper's taxonomy). The user-level/kernel-level comparison of §4.1
+//     is reproduced in internal/bench with the internal/thread package,
+//     where the scheduling semantics are the experiment itself.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncs/internal/atm"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/platform"
+	"ncs/internal/transport"
+)
+
+// Errors surfaced by the runtime.
+var (
+	ErrSystemClosed    = errors.New("ncs: system closed")
+	ErrUnknownSystem   = errors.New("ncs: unknown system")
+	ErrConnClosed      = errors.New("ncs: connection closed")
+	ErrSendTooLarge    = errors.New("ncs: message exceeds connection limit")
+	ErrRecvTimeout     = errors.New("ncs: receive timed out")
+	ErrNotFastPath     = errors.New("ncs: connection not configured for fast path")
+	ErrFastPathOnly    = errors.New("ncs: connection configured for fast path")
+	ErrPeerUnreachable = errors.New("ncs: peer unreachable (heartbeat timeout)")
+)
+
+// Options configures one NCS connection at establishment time — the
+// per-connection QoS selection that is the heart of the paper's
+// flexibility claims (§2, §3).
+type Options struct {
+	// Interface selects SCI, ACI, or HPI. Default SCI.
+	Interface transport.Kind
+	// FlowControl selects the flow control algorithm. Default: Credit
+	// for unreliable interfaces, None for reliable ones (the §3.1
+	// bypass).
+	FlowControl flowctl.Algorithm
+	// ErrorControl selects the error control algorithm. Default:
+	// SelectiveRepeat for unreliable interfaces, None for reliable ones.
+	ErrorControl errctl.Algorithm
+	// FlowConfig tunes the chosen flow control algorithm.
+	FlowConfig flowctl.Config
+	// SDUSize is the segmentation unit (§3.2). Default 4096.
+	SDUSize int
+	// QoS configures the ATM virtual circuits for ACI connections.
+	QoS atm.QoS
+	// FastPath selects the §4.2 procedure variant: no per-connection
+	// threads; Send/Recv run the protocol inline on the caller.
+	FastPath bool
+	// AckTimeout is the retransmission timer (§3.2 step 5).
+	// Default 200 ms.
+	AckTimeout time.Duration
+	// AdaptiveTimeout derives the retransmission timer from observed
+	// acknowledgment round trips (Jacobson/Karels estimation, Karn's
+	// rule); AckTimeout then acts as the ceiling and initial value.
+	AdaptiveTimeout bool
+	// Instrument enables per-stage timing capture on the send path
+	// (Table I). Only honoured on threaded (non-fast-path) connections.
+	Instrument bool
+	// Heartbeat, when positive, probes the peer over the control
+	// connection at this interval; three missed intervals without any
+	// inbound traffic mark the peer unreachable and fail the
+	// connection with ErrPeerUnreachable — the fault-tolerance hook §2
+	// attributes to the separated control path. Threaded connections
+	// only.
+	Heartbeat time.Duration
+	// InbandControl multiplexes control packets onto the data
+	// connection instead of the separate control connection. This is
+	// the architecture the paper argues AGAINST (§2, "Separation of
+	// Control and Data Functions"); it exists for the ablation
+	// benchmark that quantifies the separation's benefit. Threaded
+	// connections only.
+	InbandControl bool
+	// Platform, when non-nil, charges this side's per-operation CPU
+	// costs (copies, system calls) on the connection's transports — the
+	// benchmark harness's stand-in for 1998 hardware. PeerPlatform
+	// applies to the accepting side; the signaling exchange swaps them
+	// so each endpoint pays its own costs.
+	Platform     *platform.Platform
+	PeerPlatform *platform.Platform
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interface == 0 {
+		o.Interface = transport.SCI
+	}
+	if o.FlowControl == 0 {
+		if o.Interface.Reliable() {
+			o.FlowControl = flowctl.None
+		} else {
+			o.FlowControl = flowctl.Credit
+		}
+	}
+	if o.ErrorControl == 0 {
+		if o.Interface.Reliable() {
+			o.ErrorControl = errctl.None
+		} else {
+			o.ErrorControl = errctl.SelectiveRepeat
+		}
+	}
+	if o.SDUSize <= 0 {
+		o.SDUSize = errctl.DefaultSDUSize
+	}
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = 200 * time.Millisecond
+	}
+	return o
+}
+
+// QoSForLink derives an ATM traffic contract matching a link of the
+// given byte rate and one-way propagation delay.
+func QoSForLink(bytesPerSec int64, delay time.Duration) atm.QoS {
+	var pcr int64
+	if bytesPerSec > 0 {
+		pcr = bytesPerSec / atm.CellSize
+	}
+	return atm.QoS{PeakCellRate: pcr, Delay: delay}
+}
+
+// Network is the signaling fabric binding Systems together.
+type Network struct {
+	mu      sync.Mutex
+	systems map[string]*System
+	atmNet  *atm.Network
+	nextID  atomic.Uint32
+	closed  bool
+
+	// vcMu serialises ATM VC establishment: a VC is paired by matching
+	// one Dial with one Accept on the target host, so two concurrent
+	// Connects to the same system could otherwise cross their circuits
+	// (A's data VC delivered as B's control VC). Held only during
+	// signaling.
+	vcMu sync.Mutex
+}
+
+// NewNetwork creates an empty fabric with a collapsed ATM network
+// (every ACI circuit receives exactly its requested QoS).
+func NewNetwork() *Network {
+	return &Network{
+		systems: make(map[string]*System),
+		atmNet:  atm.NewNetwork(),
+	}
+}
+
+// NewNetworkWithTopology creates a fabric whose ACI circuits are routed
+// over the given switched ATM topology with connection admission
+// control. Systems must be attached to switches (Topology.AttachHost,
+// keyed by system name) before they establish ACI connections.
+func NewNetworkWithTopology(t *atm.Topology) *Network {
+	return &Network{
+		systems: make(map[string]*System),
+		atmNet:  atm.NewNetworkWithTopology(t),
+	}
+}
+
+// NewSystem registers a named NCS process on the fabric and starts its
+// Master Thread.
+func (n *Network) NewSystem(name string) (*System, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrSystemClosed
+	}
+	if _, dup := n.systems[name]; dup {
+		return nil, fmt.Errorf("ncs: system %q already exists", name)
+	}
+	s := &System{
+		name:    name,
+		network: n,
+		atmHost: n.atmNet.Host(name),
+		setups:  make(chan *setupRequest, 16),
+		accepts: make(chan *Connection, 16),
+		done:    make(chan struct{}),
+	}
+	n.systems[name] = s
+	go s.master()
+	return s, nil
+}
+
+// Close shuts down every system and the underlying fabrics.
+func (n *Network) Close() {
+	n.mu.Lock()
+	systems := make([]*System, 0, len(n.systems))
+	for _, s := range n.systems {
+		systems = append(systems, s)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, s := range systems {
+		s.Close()
+	}
+	n.atmNet.Close()
+}
+
+func (n *Network) lookup(name string) (*System, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.systems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSystem, name)
+	}
+	return s, nil
+}
+
+// newConnPair mints the data and control transport connections between
+// two systems for the requested interface kind. The first return value
+// of each pair belongs to the dialing side.
+func (n *Network) newConnPair(from, to *System, opts Options) (data, peerData, ctrl, peerCtrl transport.Conn, err error) {
+	switch opts.Interface {
+	case transport.HPI:
+		data, peerData = transport.HPIPair()
+		ctrl, peerCtrl = transport.HPIPair()
+		return data, peerData, ctrl, peerCtrl, nil
+
+	case transport.ACI:
+		// Two VCs per connection: the separated data and control
+		// circuits of Figure 4. Control rides a loss-free circuit with
+		// the same propagation profile: in NYNET terms, a low-bandwidth
+		// high-priority VC. Loss on the control VC would only slow
+		// convergence (timeout retransmission), not correctness, but a
+		// clean control channel matches the paper's architecture.
+		dataQoS := opts.QoS
+		ctrlQoS := opts.QoS
+		ctrlQoS.CellLossRate = 0
+		ctrlQoS.CellCorruptRate = 0
+		dvc, dpeer, err := n.dialVC(from, to, dataQoS)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		cvc, cpeer, err := n.dialVC(from, to, ctrlQoS)
+		if err != nil {
+			dvc.Close()
+			dpeer.Close()
+			return nil, nil, nil, nil, err
+		}
+		return transport.NewACI(dvc), transport.NewACI(dpeer),
+			transport.NewACI(cvc), transport.NewACI(cpeer), nil
+
+	case transport.SCI:
+		d1, d2, err := n.sciPair(to)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		c1, c2, err := n.sciPair(to)
+		if err != nil {
+			d1.Close()
+			d2.Close()
+			return nil, nil, nil, nil, err
+		}
+		return d1, d2, c1, c2, nil
+
+	default:
+		return nil, nil, nil, nil, fmt.Errorf("ncs: unsupported interface %v", opts.Interface)
+	}
+}
+
+// dialVC establishes one ATM VC between two systems' hosts. The
+// network-wide lock keeps the Dial/Accept pairing atomic under
+// concurrent connection setup.
+func (n *Network) dialVC(from, to *System, qos atm.QoS) (*atm.VC, *atm.VC, error) {
+	n.vcMu.Lock()
+	defer n.vcMu.Unlock()
+	acceptCh := make(chan *atm.VC, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		vc, err := to.atmHost.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		acceptCh <- vc
+	}()
+	local, err := from.atmHost.Dial(to.name, qos)
+	if err != nil {
+		return nil, nil, err
+	}
+	select {
+	case remote := <-acceptCh:
+		return local, remote, nil
+	case err := <-errCh:
+		local.Close()
+		return nil, nil, err
+	}
+}
+
+// sciPair mints a connected TCP pair via an ephemeral loopback listener.
+func (n *Network) sciPair(to *System) (transport.Conn, transport.Conn, error) {
+	l, err := transport.ListenSCI("127.0.0.1:0")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l.Close()
+	connCh := make(chan transport.Conn, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		connCh <- c
+	}()
+	out, err := transport.DialSCI(l.Addr())
+	if err != nil {
+		return nil, nil, err
+	}
+	select {
+	case in := <-connCh:
+		return out, in, nil
+	case err := <-errCh:
+		out.Close()
+		return nil, nil, err
+	}
+}
+
+// setupRequest is the signaling message handled by the Master Thread.
+type setupRequest struct {
+	from   string
+	connID uint32
+	opts   Options
+	data   transport.Conn
+	ctrl   transport.Conn
+}
+
+// System is one NCS process: a set of connections, an accept queue, and
+// a Master Thread that services connection management signaling.
+type System struct {
+	name    string
+	network *Network
+	atmHost *atm.Host
+
+	setups  chan *setupRequest
+	accepts chan *Connection
+	done    chan struct{}
+
+	mu     sync.Mutex
+	conns  []*Connection
+	closed bool
+}
+
+// Name returns the system's registered name.
+func (s *System) Name() string { return s.name }
+
+// master is the Master Thread: it owns connection management (§2's
+// control plane list: "connection management, ... configuration
+// management") and spawns the per-connection data transfer threads.
+func (s *System) master() {
+	for {
+		select {
+		case req := <-s.setups:
+			conn := newConnection(s, req.from, req.connID, req.opts, req.data, req.ctrl)
+			s.track(conn)
+			select {
+			case s.accepts <- conn:
+			case <-s.done:
+				conn.Close()
+				return
+			}
+		case <-s.done:
+			return
+		}
+	}
+}
+
+func (s *System) track(c *Connection) {
+	s.mu.Lock()
+	s.conns = append(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Connect establishes an NCS connection to the named peer system with
+// the given per-connection configuration, performing the signaling
+// handshake with the peer's Master Thread.
+func (s *System) Connect(peer string, opts Options) (*Connection, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSystemClosed
+	}
+	s.mu.Unlock()
+
+	opts = opts.withDefaults()
+	target, err := s.network.lookup(peer)
+	if err != nil {
+		return nil, err
+	}
+	data, peerData, ctrl, peerCtrl, err := s.network.newConnPair(s, target, opts)
+	if err != nil {
+		return nil, fmt.Errorf("ncs: connect %s→%s: %w", s.name, peer, err)
+	}
+	connID := s.network.nextID.Add(1)
+
+	peerOpts := opts
+	peerOpts.Platform, peerOpts.PeerPlatform = opts.PeerPlatform, opts.Platform
+	req := &setupRequest{
+		from:   s.name,
+		connID: connID,
+		opts:   peerOpts,
+		data:   peerData,
+		ctrl:   peerCtrl,
+	}
+	select {
+	case target.setups <- req:
+	case <-target.done:
+		data.Close()
+		ctrl.Close()
+		peerData.Close()
+		peerCtrl.Close()
+		return nil, ErrSystemClosed
+	}
+
+	conn := newConnection(s, peer, connID, opts, data, ctrl)
+	s.track(conn)
+	return conn, nil
+}
+
+// Accept blocks until a peer establishes a connection to this system.
+func (s *System) Accept() (*Connection, error) {
+	select {
+	case c := <-s.accepts:
+		return c, nil
+	case <-s.done:
+		return nil, ErrSystemClosed
+	}
+}
+
+// AcceptTimeout is Accept with a deadline.
+func (s *System) AcceptTimeout(d time.Duration) (*Connection, error) {
+	select {
+	case c := <-s.accepts:
+		return c, nil
+	case <-s.done:
+		return nil, ErrSystemClosed
+	case <-time.After(d):
+		return nil, ErrRecvTimeout
+	}
+}
+
+// Close tears down every connection and stops the Master Thread.
+func (s *System) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*Connection, len(s.conns))
+	copy(conns, s.conns)
+	s.mu.Unlock()
+
+	close(s.done)
+	for _, c := range conns {
+		c.Close()
+	}
+}

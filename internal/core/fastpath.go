@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"ncs/internal/errctl"
+	"ncs/internal/packet"
+	"ncs/internal/transport"
+)
+
+// The fast path implements §4.2's conclusion: "another version of
+// NCS_send() and NCS_recv() primitives, which bypasses all NCS threads
+// ... and transmits or receives directly ... In this case, all threads
+// can be replaced by procedures. These procedures include flow control,
+// error control, multicasting algorithms, and low-level communication
+// primitives."
+//
+// The flow- and error-control state machines are the same objects the
+// threads drive; here they execute inline on the caller's goroutine.
+// Full duplex is preserved — Send reads only the control connection and
+// writes the data connection; Recv reads the data connection and writes
+// the control connection — so an echo exchange may run Send and Recv
+// from different goroutines concurrently.
+
+// maxCreditWait bounds how long a fast-path sender waits for flow
+// control admission before giving up, in multiples of AckTimeout.
+const maxCreditWait = 10
+
+func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
+	if err := c.checkSendSize(msg); err != nil {
+		return err
+	}
+	c.fastSendMu.Lock()
+	defer c.fastSendMu.Unlock()
+
+	sess := c.nextSession.Add(1)
+	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
+
+	// The staging buffer persists across sends (guarded by fastSendMu):
+	// the fast path's whole point is removing per-send overhead.
+	if cap(c.fastBuf) < c.opts.SDUSize+packet.DataHeaderSize {
+		c.fastBuf = make([]byte, 0, c.opts.SDUSize+packet.DataHeaderSize)
+	}
+	buf := c.fastBuf
+	queue := snd.Initial()
+	for {
+		// Transmit the queued SDUs, processing control traffic inline
+		// whenever flow control withholds admission.
+		for _, sdu := range queue {
+			if err := c.fastAdmit(sess, snd); err != nil {
+				return err
+			}
+			buf = sdu.Header.Marshal(buf[:0])
+			buf = append(buf, sdu.Payload...)
+			if err := c.data.Send(buf); err != nil {
+				return ErrConnClosed
+			}
+			c.stats.sdusSent.Add(1)
+			c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
+			if sdu.Header.Flags&packet.FlagRetransmit != 0 {
+				c.stats.retransmissions.Add(1)
+			}
+		}
+		queue = queue[:0]
+		if snd.Done() {
+			c.stats.messagesSent.Add(1)
+			return nil
+		}
+
+		// Await the acknowledgment (or retransmit on timeout).
+		ctl, err := c.ctrl.RecvTimeout(c.opts.AckTimeout)
+		switch {
+		case errors.Is(err, transport.ErrRecvTimeout):
+			queue = snd.OnTimeout()
+			continue
+		case err != nil:
+			return ErrConnClosed
+		}
+		pkt, perr := packet.UnmarshalControl(ctl)
+		if perr != nil {
+			continue
+		}
+		c.stats.controlReceived.Add(1)
+		switch pkt.Type {
+		case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
+			c.fcSend.OnControl(pkt)
+		case packet.CtrlAck, packet.CtrlNack:
+			if pkt.SessionID != sess {
+				continue // stale ack from an earlier session
+			}
+			rt, done, err := snd.OnAck(pkt)
+			if err != nil && !errors.Is(err, errctl.ErrSessionDone) {
+				return err
+			}
+			if done {
+				c.stats.messagesSent.Add(1)
+				return nil
+			}
+			queue = rt
+		}
+	}
+}
+
+// fastAdmit blocks until flow control admits the next transmission,
+// pumping the control connection for credits while it waits.
+func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
+	idx := c.txCounter.Add(1) - 1
+	if c.fcSend.TryAcquire(idx) {
+		return nil
+	}
+	for attempt := 0; attempt < maxCreditWait; attempt++ {
+		ctl, err := c.ctrl.RecvTimeout(c.opts.AckTimeout)
+		if errors.Is(err, transport.ErrRecvTimeout) {
+			// No control traffic at all: assume credit loss and resync.
+			c.fcSend.Resync()
+			if c.fcSend.TryAcquire(idx) {
+				return nil
+			}
+			continue
+		}
+		if err != nil {
+			return ErrConnClosed
+		}
+		pkt, perr := packet.UnmarshalControl(ctl)
+		if perr == nil {
+			c.fcSend.OnControl(pkt)
+			// Acks that arrive while we wait for credits still belong to
+			// the active session's error control.
+			if (pkt.Type == packet.CtrlAck || pkt.Type == packet.CtrlNack) && pkt.SessionID == sess {
+				// Processing them here would reorder the protocol; the
+				// sender sees them after the batch. Selective repeat and
+				// go-back-N both tolerate delayed acks via their timers.
+				_ = snd
+			}
+		}
+		if c.fcSend.TryAcquire(idx) {
+			return nil
+		}
+	}
+	return ErrRecvTimeout
+}
+
+func (c *Connection) recvFast(timeout time.Duration) (Message, error) {
+	c.fastRecvMu.Lock()
+	defer c.fastRecvMu.Unlock()
+
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	emit := func(ctl packet.Control) bool {
+		c.stats.controlSent.Add(1)
+		return c.ctrl.Send(ctl.Marshal(nil)) == nil
+	}
+	for {
+		var raw []byte
+		var err error
+		if timeout > 0 {
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return Message{}, ErrRecvTimeout
+			}
+			raw, err = c.data.RecvTimeout(remain)
+			if errors.Is(err, transport.ErrRecvTimeout) {
+				return Message{}, ErrRecvTimeout
+			}
+		} else {
+			raw, err = c.data.Recv()
+		}
+		if err != nil {
+			return Message{}, ErrConnClosed
+		}
+		h, perr := packet.UnmarshalDataHeader(raw)
+		if perr != nil {
+			continue
+		}
+		payload := raw[packet.DataHeaderSize:]
+		if int(h.Length) <= len(payload) {
+			payload = payload[:h.Length]
+		}
+		if m, ok := c.dispatchData(h, payload, emit); ok {
+			return m, nil
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "sync/atomic"
+
+// Stats are cumulative per-connection counters. All fields are safe to
+// read while the connection operates.
+type Stats struct {
+	// MessagesSent counts completed NCS_send calls.
+	MessagesSent uint64
+	// MessagesReceived counts messages delivered to NCS_recv.
+	MessagesReceived uint64
+	// SDUsSent counts data-plane packets transmitted, including
+	// retransmissions.
+	SDUsSent uint64
+	// SDUsReceived counts data-plane packets accepted by the Receive
+	// Thread (or the fast-path receive procedure).
+	SDUsReceived uint64
+	// Retransmissions counts SDUs re-sent by error control.
+	Retransmissions uint64
+	// ControlSent and ControlReceived count control-plane packets
+	// (credits, acks, rate updates) in each direction.
+	ControlSent     uint64
+	ControlReceived uint64
+	// BytesSent and BytesReceived count data-plane payload bytes.
+	BytesSent     uint64
+	BytesReceived uint64
+}
+
+// statCounters is the live atomic representation inside Connection.
+type statCounters struct {
+	messagesSent     atomic.Uint64
+	messagesReceived atomic.Uint64
+	sdusSent         atomic.Uint64
+	sdusReceived     atomic.Uint64
+	retransmissions  atomic.Uint64
+	controlSent      atomic.Uint64
+	controlReceived  atomic.Uint64
+	bytesSent        atomic.Uint64
+	bytesReceived    atomic.Uint64
+}
+
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		MessagesSent:     s.messagesSent.Load(),
+		MessagesReceived: s.messagesReceived.Load(),
+		SDUsSent:         s.sdusSent.Load(),
+		SDUsReceived:     s.sdusReceived.Load(),
+		Retransmissions:  s.retransmissions.Load(),
+		ControlSent:      s.controlSent.Load(),
+		ControlReceived:  s.controlReceived.Load(),
+		BytesSent:        s.bytesSent.Load(),
+		BytesReceived:    s.bytesReceived.Load(),
+	}
+}
+
+// Stats returns a snapshot of the connection's counters.
+func (c *Connection) Stats() Stats { return c.stats.snapshot() }

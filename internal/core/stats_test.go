@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"ncs/internal/atm"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/transport"
+)
+
+func TestStatsCountReliableTraffic(t *testing.T) {
+	conn, peer, cleanup := newPairT(t, Options{
+		Interface:    transport.HPI,
+		FlowControl:  flowctl.Credit,
+		ErrorControl: errctl.SelectiveRepeat,
+		SDUSize:      1024,
+	})
+	defer cleanup()
+
+	const messages, msgSize = 5, 4096
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < messages; i++ {
+			if err := conn.Send(make([]byte, msgSize)); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < messages; i++ {
+		if _, err := peer.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	s := conn.Stats()
+	if s.MessagesSent != messages {
+		t.Errorf("MessagesSent = %d, want %d", s.MessagesSent, messages)
+	}
+	wantSDUs := uint64(messages * msgSize / 1024)
+	if s.SDUsSent != wantSDUs {
+		t.Errorf("SDUsSent = %d, want %d (lossless path)", s.SDUsSent, wantSDUs)
+	}
+	if s.BytesSent != messages*msgSize {
+		t.Errorf("BytesSent = %d, want %d", s.BytesSent, messages*msgSize)
+	}
+	if s.Retransmissions != 0 {
+		t.Errorf("Retransmissions = %d on a lossless link", s.Retransmissions)
+	}
+	if s.ControlReceived == 0 {
+		t.Error("ControlReceived = 0; credits/acks expected")
+	}
+
+	p := peer.Stats()
+	if p.MessagesReceived != messages {
+		t.Errorf("peer MessagesReceived = %d, want %d", p.MessagesReceived, messages)
+	}
+	if p.SDUsReceived != wantSDUs {
+		t.Errorf("peer SDUsReceived = %d, want %d", p.SDUsReceived, wantSDUs)
+	}
+	if p.BytesReceived != messages*msgSize {
+		t.Errorf("peer BytesReceived = %d, want %d", p.BytesReceived, messages*msgSize)
+	}
+	if p.ControlSent == 0 {
+		t.Error("peer ControlSent = 0; acks expected")
+	}
+}
+
+func TestStatsCountRetransmissions(t *testing.T) {
+	conn, peer, cleanup := newPairT(t, Options{
+		Interface:    transport.ACI,
+		ErrorControl: errctl.SelectiveRepeat,
+		FlowControl:  flowctl.None,
+		SDUSize:      256,
+		AckTimeout:   40 * time.Millisecond,
+		QoS:          atm.QoS{CellLossRate: 0.15, Seed: 31},
+	})
+	defer cleanup()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- conn.Send(make([]byte, 8192)) }()
+	if _, err := peer.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	s := conn.Stats()
+	if s.Retransmissions == 0 {
+		t.Error("Retransmissions = 0 at 15% cell loss; error control idle?")
+	}
+	if s.SDUsSent <= 8192/256 {
+		t.Errorf("SDUsSent = %d; should exceed the %d originals", s.SDUsSent, 8192/256)
+	}
+}
+
+func TestStatsFastPath(t *testing.T) {
+	conn, peer, cleanup := newPairT(t, Options{
+		Interface: transport.HPI,
+		FastPath:  true,
+	})
+	defer cleanup()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- conn.Send(make([]byte, 2048)) }()
+	if _, err := peer.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	s := conn.Stats()
+	if s.MessagesSent != 1 || s.BytesSent != 2048 {
+		t.Errorf("fast path stats: %+v", s)
+	}
+	if p := peer.Stats(); p.MessagesReceived != 1 || p.BytesReceived != 2048 {
+		t.Errorf("fast path peer stats: %+v", p)
+	}
+}

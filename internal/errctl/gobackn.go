@@ -1,0 +1,158 @@
+package errctl
+
+import (
+	"ncs/internal/packet"
+)
+
+// gbnSender implements go-back-N: the receiver only accepts in-order
+// SDUs and acknowledges cumulatively; on a NACK or timeout the sender
+// replays everything from the first unacknowledged SDU.
+type gbnSender struct {
+	sdus []SDU
+	base int // first unacknowledged SDU index
+	done bool
+}
+
+var _ Sender = (*gbnSender)(nil)
+
+func newGBNSender(msg []byte, sduSize int, connID, sessionID uint32) *gbnSender {
+	return &gbnSender{sdus: Segment(msg, sduSize, connID, sessionID, 0)}
+}
+
+func (s *gbnSender) Initial() []SDU { return s.sdus }
+
+func (s *gbnSender) OnAck(c packet.Control) ([]SDU, bool, error) {
+	if s.done {
+		return nil, true, ErrSessionDone
+	}
+	switch c.Type {
+	case packet.CtrlAck:
+		n, err := packet.ParseCreditBody(c.Body) // cumulative: highest in-order seq
+		if err != nil {
+			return nil, false, err
+		}
+		if int(n)+1 > s.base {
+			s.base = int(n) + 1
+		}
+		if s.base >= len(s.sdus) {
+			s.done = true
+			return nil, true, nil
+		}
+		return nil, false, nil
+	case packet.CtrlNack:
+		n, err := packet.ParseCreditBody(c.Body) // expected seq
+		if err != nil {
+			return nil, false, err
+		}
+		if int(n) > s.base {
+			s.base = int(n)
+		}
+		return s.replay(), false, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+func (s *gbnSender) OnTimeout() []SDU {
+	if s.done {
+		return nil
+	}
+	return s.replay()
+}
+
+// replay returns copies of every SDU from base onward, marked as
+// retransmissions. The final one keeps/gains the end bit so the receiver
+// answers when the replayed tail arrives.
+func (s *gbnSender) replay() []SDU {
+	rt := make([]SDU, 0, len(s.sdus)-s.base)
+	for i := s.base; i < len(s.sdus); i++ {
+		sdu := s.sdus[i]
+		sdu.Header.Flags |= packet.FlagRetransmit
+		rt = append(rt, sdu)
+	}
+	return rt
+}
+
+func (s *gbnSender) Done() bool { return s.done }
+
+// gbnReceiver accepts only the expected next SDU; anything else is
+// dropped and answered with a NACK carrying the expected sequence
+// number. Every accepted SDU produces a cumulative ACK.
+type gbnReceiver struct {
+	expected uint32
+	total    int // learned from the end bit; -1 until known
+	buf      []byte
+	done     bool
+}
+
+var _ Receiver = (*gbnReceiver)(nil)
+
+func newGBNReceiver() *gbnReceiver { return &gbnReceiver{total: -1} }
+
+func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+	if r.done {
+		// A retransmission after completion means the final cumulative
+		// ACK was lost; repeat it so the sender can finish.
+		return []packet.Control{{
+			Type:      packet.CtrlAck,
+			ConnID:    h.ConnID,
+			SessionID: h.SessionID,
+			Body:      packet.CreditBody(r.expected - 1),
+		}}, true
+	}
+	if h.Seq != r.expected {
+		// Out of order: duplicate (already have it) or a gap (cells
+		// were lost). A duplicate of an old SDU needs no NACK storm; a
+		// gap needs the sender to go back. Both are answered with the
+		// current cumulative position.
+		if h.Seq > r.expected {
+			return []packet.Control{{
+				Type:      packet.CtrlNack,
+				ConnID:    h.ConnID,
+				SessionID: h.SessionID,
+				Body:      packet.CreditBody(r.expected),
+			}}, false
+		}
+		return []packet.Control{r.ackLocked(h)}, false
+	}
+	r.buf = append(r.buf, payload...)
+	r.expected++
+	if h.End() && h.Flags&packet.FlagRetransmit == 0 || (h.End() && r.total < 0) {
+		r.total = int(h.Seq) + 1
+	}
+	if r.total >= 0 && int(r.expected) >= r.total {
+		r.done = true
+	}
+	return []packet.Control{r.ackLocked(h)}, r.done
+}
+
+func (r *gbnReceiver) ackLocked(h packet.DataHeader) packet.Control {
+	var cum uint32
+	if r.expected > 0 {
+		cum = r.expected - 1
+	} else {
+		// Nothing accepted yet: NACK for the first packet instead of an
+		// impossible negative cumulative ack.
+		return packet.Control{
+			Type:      packet.CtrlNack,
+			ConnID:    h.ConnID,
+			SessionID: h.SessionID,
+			Body:      packet.CreditBody(0),
+		}
+	}
+	return packet.Control{
+		Type:      packet.CtrlAck,
+		ConnID:    h.ConnID,
+		SessionID: h.SessionID,
+		Body:      packet.CreditBody(cum),
+	}
+}
+
+func (r *gbnReceiver) Message() []byte {
+	if !r.done {
+		return nil
+	}
+	return r.buf
+}
+
+func (r *gbnReceiver) LostSDUs() int { return 0 }

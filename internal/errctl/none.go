@@ -1,0 +1,85 @@
+package errctl
+
+import (
+	"ncs/internal/packet"
+)
+
+// noneSender transmits every SDU exactly once and never retransmits —
+// the configuration the paper prescribes for audio/video streams whose
+// timeliness matters more than completeness (Figure 2). SDUs are marked
+// FlagUnreliable so diagnostics can tell the streams apart.
+type noneSender struct {
+	sdus []SDU
+}
+
+var _ Sender = (*noneSender)(nil)
+
+func newNoneSender(msg []byte, sduSize int, connID, sessionID uint32) *noneSender {
+	return &noneSender{sdus: Segment(msg, sduSize, connID, sessionID, packet.FlagUnreliable)}
+}
+
+func (s *noneSender) Initial() []SDU { return s.sdus }
+
+// OnAck is a no-op: unreliable sessions complete as soon as the SDUs
+// leave the sender.
+func (s *noneSender) OnAck(packet.Control) ([]SDU, bool, error) { return nil, true, nil }
+
+func (s *noneSender) OnTimeout() []SDU { return nil }
+
+func (s *noneSender) Done() bool { return true }
+
+// noneReceiver reassembles whatever arrives; the message completes when
+// the end-bit SDU shows up, with missing segments simply absent. The
+// LostSDUs counter lets media applications observe the loss they chose
+// to tolerate.
+type noneReceiver struct {
+	segments map[uint32][]byte
+	total    int
+	done     bool
+}
+
+var _ Receiver = (*noneReceiver)(nil)
+
+func newNoneReceiver() *noneReceiver {
+	return &noneReceiver{segments: make(map[uint32][]byte), total: -1}
+}
+
+func (r *noneReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+	if r.done {
+		return nil, true
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	r.segments[h.Seq] = cp
+	if h.End() {
+		r.total = int(h.Seq) + 1
+		r.done = true
+	}
+	return nil, r.done
+}
+
+func (r *noneReceiver) Message() []byte {
+	if !r.done {
+		return nil
+	}
+	var out []byte
+	for i := 0; i < r.total; i++ {
+		if seg, ok := r.segments[uint32(i)]; ok {
+			out = append(out, seg...)
+		}
+	}
+	return out
+}
+
+func (r *noneReceiver) LostSDUs() int {
+	if r.total < 0 {
+		return 0
+	}
+	lost := 0
+	for i := 0; i < r.total; i++ {
+		if _, ok := r.segments[uint32(i)]; !ok {
+			lost++
+		}
+	}
+	return lost
+}

@@ -1,0 +1,163 @@
+package errctl
+
+import (
+	"ncs/internal/packet"
+)
+
+// srSender implements the sender half of Figure 6's pseudo code:
+//
+//	segment → transmit all → wait ACK →
+//	  timeout        ⇒ retransmit everything
+//	  bitmap > 0     ⇒ selective retransmission per bitmap
+//	  bitmap == 0    ⇒ done
+type srSender struct {
+	sdus []SDU
+	done bool
+}
+
+var _ Sender = (*srSender)(nil)
+
+func newSRSender(msg []byte, sduSize int, connID, sessionID uint32) *srSender {
+	return &srSender{sdus: Segment(msg, sduSize, connID, sessionID, 0)}
+}
+
+func (s *srSender) Initial() []SDU { return s.sdus }
+
+func (s *srSender) OnAck(c packet.Control) ([]SDU, bool, error) {
+	if s.done {
+		return nil, true, ErrSessionDone
+	}
+	if c.Type != packet.CtrlAck {
+		return nil, false, nil
+	}
+	bm, err := packet.UnmarshalBitmap(c.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	if !bm.AnySet() {
+		s.done = true
+		return nil, true, nil
+	}
+	var rt []SDU
+	for _, seq := range bm.Missing() {
+		if seq < len(s.sdus) {
+			sdu := s.sdus[seq]
+			sdu.Header.Flags |= packet.FlagRetransmit
+			// A retransmitted batch needs a fresh trigger for the
+			// receiver's ACK: mark the last retransmission as an end
+			// packet so the receiving Error Control Thread answers
+			// (Figure 6 keeps the original end bit; re-flagging the last
+			// of the batch is the standard fix for a lost end SDU).
+			rt = append(rt, sdu)
+		}
+	}
+	if len(rt) > 0 {
+		rt[len(rt)-1].Header.Flags |= packet.FlagEnd
+	}
+	return rt, false, nil
+}
+
+func (s *srSender) OnTimeout() []SDU {
+	if s.done {
+		return nil
+	}
+	// "If the Error Control Thread at the sender side does not receive
+	// an Acknowledgment packet within an appropriate interval, it
+	// retransmits the whole packets."
+	rt := make([]SDU, len(s.sdus))
+	copy(rt, s.sdus)
+	for i := range rt {
+		rt[i].Header.Flags |= packet.FlagRetransmit
+	}
+	return rt
+}
+
+func (s *srSender) Done() bool { return s.done }
+
+// srReceiver implements the receiver half: clear bitmap positions as
+// SDUs arrive; when an end-bit SDU arrives, send an ACK carrying the
+// bitmap; the message completes when the bitmap is empty.
+type srReceiver struct {
+	segments map[uint32][]byte
+	bitmap   *packet.Bitmap
+	total    int // SDU count, learned from the end packet
+	haveEnd  bool
+	done     bool
+}
+
+var _ Receiver = (*srReceiver)(nil)
+
+func newSRReceiver() *srReceiver {
+	return &srReceiver{segments: make(map[uint32][]byte)}
+}
+
+func (r *srReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+	if r.done {
+		// The sender retransmitting after completion means our final
+		// ACK was lost: answer end-flagged SDUs with the (empty) bitmap
+		// again so the sender can finish.
+		if h.End() {
+			return []packet.Control{{
+				Type:      packet.CtrlAck,
+				ConnID:    h.ConnID,
+				SessionID: h.SessionID,
+				Body:      r.bitmap.Marshal(),
+			}}, true
+		}
+		return nil, true
+	}
+	if _, dup := r.segments[h.Seq]; !dup {
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		r.segments[h.Seq] = cp
+	}
+	// The first end-flagged SDU we see fixes the message length. Before
+	// the receiver has ever acknowledged, every end-flagged packet
+	// carries the true final sequence number: batch-end re-flagging only
+	// happens in response to an ACK, and an ACK implies we had already
+	// learned the length.
+	if h.End() && !r.haveEnd {
+		r.total = int(h.Seq) + 1
+		r.haveEnd = true
+		r.bitmap = packet.NewBitmap(r.total)
+		for seq := range r.segments {
+			r.bitmap.Clear(int(seq))
+		}
+	} else if r.haveEnd {
+		r.bitmap.Clear(int(h.Seq))
+	}
+
+	// Acknowledge whenever an end-flagged SDU arrives (original end or
+	// the re-flagged last packet of a retransmission batch).
+	if h.End() && r.haveEnd {
+		done := !r.bitmap.AnySet()
+		ack := packet.Control{
+			Type:      packet.CtrlAck,
+			ConnID:    h.ConnID,
+			SessionID: h.SessionID,
+			Body:      r.bitmap.Marshal(),
+		}
+		if done {
+			r.done = true
+		}
+		return []packet.Control{ack}, done
+	}
+	return nil, false
+}
+
+func (r *srReceiver) Message() []byte {
+	if !r.done {
+		return nil
+	}
+	var size int
+	for i := 0; i < r.total; i++ {
+		size += len(r.segments[uint32(i)])
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < r.total; i++ {
+		out = append(out, r.segments[uint32(i)]...)
+	}
+	return out
+}
+
+func (r *srReceiver) LostSDUs() int { return 0 }

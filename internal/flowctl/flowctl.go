@@ -1,0 +1,667 @@
+// Package flowctl implements the per-connection flow control algorithms
+// NCS lets programmers select at connection-establishment time (§3.3):
+//
+//   - Credit: the paper's default credit-based window scheme (Figures
+//     7–8). Credits correspond to free receive buffers; the sender may
+//     transmit one packet per credit, and the receiver returns credits
+//     on the control connection as packets arrive. Credits are assigned
+//     dynamically: active connections earn larger grants, idle
+//     connections decay back to a small floor.
+//   - Window: a classic sliding window with cumulative acknowledgments.
+//   - Rate: a token-bucket pacing scheme; the receiver can push rate
+//     adjustments over the control connection.
+//   - None: no flow control (audio/video streams, Figure 2).
+//
+// The algorithms are pure protocol state machines: the sender half
+// blocks in Acquire until transmission is admitted, and the receiver
+// half turns packet arrivals into control packets for the caller to ship
+// over the control connection. Packet I/O stays in the caller (the NCS
+// Flow Control Thread or the fast-path procedures), which is what makes
+// each algorithm independently testable and hot-swappable — "each
+// algorithm will be implemented as a thread, [so] we can easily
+// incorporate other advanced algorithms" (§3).
+package flowctl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ncs/internal/packet"
+)
+
+// Algorithm selects a flow control scheme.
+type Algorithm int
+
+// The flow control schemes of §3.3.
+const (
+	None Algorithm = iota + 1
+	Credit
+	Window
+	Rate
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Credit:
+		return "credit"
+	case Window:
+		return "window"
+	case Rate:
+		return "rate"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Errors returned by flow control senders.
+var (
+	// ErrClosed is returned by Acquire after Close.
+	ErrClosed = errors.New("flowctl: closed")
+	// ErrAcquireTimeout is returned by AcquireTimeout when flow control
+	// withholds admission past the deadline — on lossy links this means
+	// credits were lost with the packets that carried them.
+	ErrAcquireTimeout = errors.New("flowctl: acquire timed out")
+)
+
+// Config tunes an algorithm instance.
+type Config struct {
+	// InitialCredits seeds the credit scheme ("only small credits are
+	// assigned to each connection initially"). Default 4.
+	InitialCredits int
+	// MaxCredits caps the dynamically grown credit grant. Default 64.
+	MaxCredits int
+	// WindowSize is the sliding-window size. Default 16.
+	WindowSize int
+	// RatePerSec is the token rate for the rate scheme. Default 1000.
+	RatePerSec float64
+	// Burst is the token bucket depth. Default 8.
+	Burst int
+	// ActiveWindow is the interval over which the credit scheme judges
+	// a connection active. Default 10 ms.
+	ActiveWindow time.Duration
+	// Now injects a clock for tests; defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.InitialCredits <= 0 {
+		c.InitialCredits = 4
+	}
+	if c.MaxCredits <= 0 {
+		c.MaxCredits = 64
+	}
+	if c.WindowSize <= 0 {
+		c.WindowSize = 16
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = 1000
+	}
+	if c.Burst <= 0 {
+		c.Burst = 8
+	}
+	if c.ActiveWindow <= 0 {
+		c.ActiveWindow = 10 * time.Millisecond
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Sender is the transmit-side half of a flow control instance.
+type Sender interface {
+	// Acquire blocks until one packet with the given sequence number may
+	// be transmitted.
+	Acquire(seq uint32) error
+	// TryAcquire is the non-blocking form: it reports whether
+	// transmission of seq was admitted. The fast path (§4.2) uses it to
+	// interleave credit processing with transmission on one goroutine.
+	TryAcquire(seq uint32) bool
+	// AcquireTimeout is Acquire with a deadline; it returns
+	// ErrAcquireTimeout when admission does not arrive in time.
+	AcquireTimeout(seq uint32, d time.Duration) error
+	// Resync restores flow control state after presumed control-packet
+	// loss (credit resynchronisation): lost data packets consumed
+	// admissions whose grants will never return. Algorithms without
+	// such state treat it as a no-op.
+	Resync()
+	// OnControl processes a control packet from the receiver.
+	OnControl(c packet.Control)
+	// Close unblocks Acquire with ErrClosed.
+	Close()
+}
+
+// Receiver is the receive-side half.
+type Receiver interface {
+	// OnData records the arrival of the packet with the given sequence
+	// number and returns any control packets that must travel back to
+	// the sender.
+	OnData(seq uint32) []packet.Control
+	// Close releases resources.
+	Close()
+}
+
+// acquireTimeout runs a cond-wait loop with a deadline; try must be
+// called with mu held and reports (admitted, closed).
+func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, try func() (ok, closed bool)) error {
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	defer timer.Stop()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for {
+		ok, closed := try()
+		if closed {
+			return ErrClosed
+		}
+		if ok {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return ErrAcquireTimeout
+		}
+		cond.Wait()
+	}
+}
+
+// NewSender builds the transmit side for the chosen algorithm.
+func NewSender(alg Algorithm, cfg Config) Sender {
+	cfg = cfg.withDefaults()
+	switch alg {
+	case Credit:
+		return newCreditSender(cfg)
+	case Window:
+		return newWindowSender(cfg)
+	case Rate:
+		return newRateSender(cfg)
+	default:
+		return noneSender{}
+	}
+}
+
+// NewReceiver builds the receive side for the chosen algorithm.
+func NewReceiver(alg Algorithm, cfg Config) Receiver {
+	cfg = cfg.withDefaults()
+	switch alg {
+	case Credit:
+		return newCreditReceiver(cfg)
+	case Window:
+		return newWindowReceiver(cfg)
+	case Rate:
+		return newRateReceiver(cfg)
+	default:
+		return noneReceiver{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// None.
+
+type noneSender struct{}
+
+func (noneSender) Acquire(uint32) error                       { return nil }
+func (noneSender) TryAcquire(uint32) bool                     { return true }
+func (noneSender) AcquireTimeout(uint32, time.Duration) error { return nil }
+func (noneSender) Resync()                                    {}
+func (noneSender) OnControl(packet.Control)                   {}
+func (noneSender) Close()                                     {}
+
+type noneReceiver struct{}
+
+func (noneReceiver) OnData(uint32) []packet.Control { return nil }
+func (noneReceiver) Close()                         {}
+
+// ---------------------------------------------------------------------------
+// Credit-based (default): Figures 7–8.
+
+type creditSender struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	credits int
+	initial int
+	closed  bool
+}
+
+func newCreditSender(cfg Config) *creditSender {
+	s := &creditSender{credits: cfg.InitialCredits, initial: cfg.InitialCredits}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *creditSender) Acquire(uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.credits == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	s.credits--
+	return nil
+}
+
+func (s *creditSender) AcquireTimeout(seq uint32, d time.Duration) error {
+	return acquireTimeout(&s.mu, s.cond, d, func() (ok, closed bool) {
+		if s.closed {
+			return false, true
+		}
+		if s.credits > 0 {
+			s.credits--
+			return true, false
+		}
+		return false, false
+	})
+}
+
+// Resync restores the credit floor: data packets lost on the wire
+// consumed credits whose replenishment will never arrive, so after a
+// retransmission timeout the sender re-seeds its window (standard
+// credit-resynchronisation behaviour).
+func (s *creditSender) Resync() {
+	s.mu.Lock()
+	if s.credits < s.initial {
+		s.credits = s.initial
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *creditSender) TryAcquire(uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.credits == 0 {
+		return false
+	}
+	s.credits--
+	return true
+}
+
+func (s *creditSender) OnControl(c packet.Control) {
+	if c.Type != packet.CtrlCredit {
+		return
+	}
+	n, err := packet.ParseCreditBody(c.Body)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.credits += int(n)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *creditSender) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Credits exposes the current credit balance for tests and stats.
+func (s *creditSender) Credits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.credits
+}
+
+// creditReceiver grants one credit per arrival, plus a growing bonus for
+// connections that stay active — the paper's dynamic credit maintenance:
+// "active connections get more credits, while inactive connections get
+// only a fraction of the credits".
+type creditReceiver struct {
+	cfg Config
+
+	mu         sync.Mutex
+	lastSeen   time.Time
+	burstCount int // arrivals within the current activity window
+	grantSize  int // current per-arrival grant
+}
+
+func newCreditReceiver(cfg Config) *creditReceiver {
+	return &creditReceiver{cfg: cfg, grantSize: 1}
+}
+
+func (r *creditReceiver) OnData(seq uint32) []packet.Control {
+	now := r.cfg.Now()
+	r.mu.Lock()
+	if now.Sub(r.lastSeen) <= r.cfg.ActiveWindow {
+		r.burstCount++
+		// Sustained activity: grow the grant geometrically up to the cap.
+		if r.burstCount%4 == 0 && r.grantSize < r.cfg.MaxCredits {
+			r.grantSize *= 2
+			if r.grantSize > r.cfg.MaxCredits {
+				r.grantSize = r.cfg.MaxCredits
+			}
+		}
+	} else {
+		// The connection went idle: decay to the floor.
+		r.burstCount = 0
+		r.grantSize = 1
+	}
+	r.lastSeen = now
+	grant := r.grantSize
+	r.mu.Unlock()
+
+	return []packet.Control{{
+		Type: packet.CtrlCredit,
+		Body: packet.CreditBody(uint32(grant)),
+	}}
+}
+
+func (r *creditReceiver) Close() {}
+
+// GrantSize exposes the current per-arrival grant for tests.
+func (r *creditReceiver) GrantSize() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.grantSize
+}
+
+// ---------------------------------------------------------------------------
+// Window-based: sliding window with cumulative acknowledgments.
+
+type windowSender struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int
+	base   uint32 // lowest unacknowledged sequence number
+	next   uint32 // next sequence number to admit
+	closed bool
+}
+
+func newWindowSender(cfg Config) *windowSender {
+	s := &windowSender{window: cfg.WindowSize}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *windowSender) Acquire(seq uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seq >= s.base+uint32(s.window) && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	if seq >= s.next {
+		s.next = seq + 1
+	}
+	return nil
+}
+
+func (s *windowSender) AcquireTimeout(seq uint32, d time.Duration) error {
+	return acquireTimeout(&s.mu, s.cond, d, func() (ok, closed bool) {
+		if s.closed {
+			return false, true
+		}
+		if seq < s.base+uint32(s.window) {
+			if seq >= s.next {
+				s.next = seq + 1
+			}
+			return true, false
+		}
+		return false, false
+	})
+}
+
+// Resync assumes outstanding packets (and their acks) were lost and
+// reopens the window.
+func (s *windowSender) Resync() {
+	s.mu.Lock()
+	if s.next > s.base {
+		s.base = s.next
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *windowSender) TryAcquire(seq uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || seq >= s.base+uint32(s.window) {
+		return false
+	}
+	if seq >= s.next {
+		s.next = seq + 1
+	}
+	return true
+}
+
+func (s *windowSender) OnControl(c packet.Control) {
+	if c.Type != packet.CtrlWinAck {
+		return
+	}
+	n, err := packet.ParseCreditBody(c.Body) // cumulative ack: 4-byte seq
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n+1 > s.base {
+		s.base = n + 1
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *windowSender) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+type windowReceiver struct {
+	mu      sync.Mutex
+	highest uint32
+	seen    bool
+}
+
+func newWindowReceiver(cfg Config) *windowReceiver { return &windowReceiver{} }
+
+func (r *windowReceiver) OnData(seq uint32) []packet.Control {
+	r.mu.Lock()
+	if !r.seen || seq > r.highest {
+		r.highest = seq
+		r.seen = true
+	}
+	h := r.highest
+	r.mu.Unlock()
+	return []packet.Control{{
+		Type: packet.CtrlWinAck,
+		Body: packet.CreditBody(h),
+	}}
+}
+
+func (r *windowReceiver) Close() {}
+
+// ---------------------------------------------------------------------------
+// Rate-based: token bucket pacing, receiver-adjustable.
+
+type rateSender struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	closed bool
+}
+
+func newRateSender(cfg Config) *rateSender {
+	return &rateSender{
+		rate:   cfg.RatePerSec,
+		burst:  float64(cfg.Burst),
+		tokens: float64(cfg.Burst),
+		last:   cfg.Now(),
+		now:    cfg.Now,
+	}
+}
+
+func (s *rateSender) Acquire(uint32) error {
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return ErrClosed
+		}
+		now := s.now()
+		s.tokens += now.Sub(s.last).Seconds() * s.rate
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+		s.last = now
+		if s.tokens >= 1 {
+			s.tokens--
+			s.mu.Unlock()
+			return nil
+		}
+		need := (1 - s.tokens) / s.rate
+		s.mu.Unlock()
+		time.Sleep(time.Duration(need * float64(time.Second)))
+	}
+}
+
+// AcquireTimeout for the rate scheme simply bounds the pacing sleep.
+func (s *rateSender) AcquireTimeout(seq uint32, d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		if s.TryAcquire(seq) {
+			return nil
+		}
+		s.mu.Lock()
+		closed := s.closed
+		need := (1 - s.tokens) / s.rate
+		s.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		wait := time.Duration(need * float64(time.Second))
+		if remain := time.Until(deadline); remain <= 0 {
+			return ErrAcquireTimeout
+		} else if wait > remain {
+			wait = remain
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Resync is a no-op: token buckets refill by time, not by feedback.
+func (s *rateSender) Resync() {}
+
+func (s *rateSender) TryAcquire(uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	now := s.now()
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.last = now
+	if s.tokens < 1 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+func (s *rateSender) OnControl(c packet.Control) {
+	if c.Type != packet.CtrlRate {
+		return
+	}
+	n, err := packet.ParseCreditBody(c.Body) // packets/sec, 4 bytes
+	if err != nil || n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.rate = float64(n)
+	s.mu.Unlock()
+}
+
+func (s *rateSender) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// RateNow exposes the current rate for tests.
+func (s *rateSender) RateNow() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rate
+}
+
+// rateReceiver measures the arrival rate and periodically pushes a
+// CtrlRate adjustment to the sender: the receiver-driven adaptation of
+// rate-based flow control. The advertised rate is the observed
+// consumption rate plus 25% headroom, so a sender that outpaces the
+// receiver is throttled toward what the receiver actually absorbs,
+// while an under-driven connection is allowed to speed up.
+type rateReceiver struct {
+	mu    sync.Mutex
+	count int
+	since time.Time
+	now   func() time.Time
+
+	window      int // packets between adjustments
+	windowCount int
+	windowStart time.Time
+}
+
+func newRateReceiver(cfg Config) *rateReceiver {
+	start := cfg.Now()
+	return &rateReceiver{since: start, now: cfg.Now, window: 64, windowStart: start}
+}
+
+func (r *rateReceiver) OnData(seq uint32) []packet.Control {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.windowCount++
+	if r.windowCount < r.window {
+		return nil
+	}
+	now := r.now()
+	elapsed := now.Sub(r.windowStart).Seconds()
+	r.windowCount = 0
+	r.windowStart = now
+	if elapsed <= 0 {
+		return nil
+	}
+	observed := float64(r.window) / elapsed
+	advertised := uint32(observed * 1.25)
+	if advertised == 0 {
+		advertised = 1
+	}
+	return []packet.Control{{
+		Type: packet.CtrlRate,
+		Body: packet.CreditBody(advertised),
+	}}
+}
+
+func (r *rateReceiver) Close() {}
+
+// ObservedRate reports arrivals per second since creation.
+func (r *rateReceiver) ObservedRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	el := r.now().Sub(r.since).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.count) / el
+}

@@ -1,0 +1,309 @@
+package flowctl
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ncs/internal/packet"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{
+		None: "none", Credit: "credit", Window: "window", Rate: "rate",
+		Algorithm(9): "Algorithm(9)",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func TestNoneNeverBlocks(t *testing.T) {
+	s := NewSender(None, Config{})
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		if err := s.Acquire(uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReceiver(None, Config{})
+	defer r.Close()
+	if ctrl := r.OnData(0); ctrl != nil {
+		t.Fatalf("None receiver produced control packets: %v", ctrl)
+	}
+}
+
+func TestCreditSenderBlocksWithoutCredits(t *testing.T) {
+	s := NewSender(Credit, Config{InitialCredits: 2})
+	defer s.Close()
+
+	if err := s.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Acquire(1); err != nil {
+		t.Fatal(err)
+	}
+
+	acquired := make(chan error, 1)
+	go func() { acquired <- s.Acquire(2) }()
+	select {
+	case <-acquired:
+		t.Fatal("third Acquire succeeded with 2 credits")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Grant a credit; the blocked Acquire must complete.
+	s.OnControl(packet.Control{Type: packet.CtrlCredit, Body: packet.CreditBody(1)})
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Acquire still blocked after credit grant")
+	}
+}
+
+func TestCreditCloseUnblocks(t *testing.T) {
+	s := NewSender(Credit, Config{InitialCredits: 1})
+	if err := s.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Acquire(1) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	if err := <-errCh; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCreditSenderIgnoresForeignControl(t *testing.T) {
+	s := newCreditSender(Config{InitialCredits: 1}.withDefaults())
+	defer s.Close()
+	s.OnControl(packet.Control{Type: packet.CtrlAck, Body: packet.CreditBody(50)})
+	if s.Credits() != 1 {
+		t.Fatalf("credits = %d after foreign control, want 1", s.Credits())
+	}
+	s.OnControl(packet.Control{Type: packet.CtrlCredit, Body: nil}) // malformed
+	if s.Credits() != 1 {
+		t.Fatalf("credits = %d after malformed credit, want 1", s.Credits())
+	}
+}
+
+func TestCreditReceiverDynamicGrants(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	r := newCreditReceiver(Config{MaxCredits: 16, ActiveWindow: 10 * time.Millisecond, Now: now}.withDefaults())
+	defer r.Close()
+
+	// A rapid burst grows the grant.
+	total := 0
+	for i := 0; i < 40; i++ {
+		clock = clock.Add(time.Millisecond)
+		ctrl := r.OnData(uint32(i))
+		if len(ctrl) != 1 || ctrl[0].Type != packet.CtrlCredit {
+			t.Fatalf("OnData returned %v", ctrl)
+		}
+		n, err := packet.ParseCreditBody(ctrl[0].Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += int(n)
+	}
+	if r.GrantSize() <= 1 {
+		t.Fatalf("grant did not grow under sustained activity: %d", r.GrantSize())
+	}
+	if r.GrantSize() > 16 {
+		t.Fatalf("grant exceeded cap: %d", r.GrantSize())
+	}
+	if total <= 40 {
+		t.Fatalf("active connection earned %d credits for 40 packets; want > 40", total)
+	}
+
+	// Going idle decays the grant back to the floor.
+	clock = clock.Add(time.Second)
+	r.OnData(99)
+	if r.GrantSize() != 1 {
+		t.Fatalf("grant after idle = %d, want 1", r.GrantSize())
+	}
+}
+
+func TestWindowSenderBlocksAtWindowEdge(t *testing.T) {
+	s := NewSender(Window, Config{WindowSize: 4})
+	defer s.Close()
+
+	for seq := uint32(0); seq < 4; seq++ {
+		if err := s.Acquire(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- s.Acquire(4) }()
+	select {
+	case <-blocked:
+		t.Fatal("Acquire(4) succeeded beyond window")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// Cumulative ack of seq 1 slides the window to base=2: seq 4 < 2+4.
+	s.OnControl(packet.Control{Type: packet.CtrlWinAck, Body: packet.CreditBody(1)})
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("window never slid after ack")
+	}
+}
+
+func TestWindowReceiverCumulativeAcks(t *testing.T) {
+	r := NewReceiver(Window, Config{})
+	defer r.Close()
+
+	ctrl := r.OnData(0)
+	if len(ctrl) != 1 {
+		t.Fatalf("want 1 control packet, got %d", len(ctrl))
+	}
+	n, _ := packet.ParseCreditBody(ctrl[0].Body)
+	if n != 0 {
+		t.Fatalf("ack = %d, want 0", n)
+	}
+	r.OnData(1)
+	r.OnData(5)
+	ctrl = r.OnData(3) // out of order: highest stays 5
+	n, _ = packet.ParseCreditBody(ctrl[0].Body)
+	if n != 5 {
+		t.Fatalf("ack = %d, want 5", n)
+	}
+}
+
+func TestRateSenderPacesTransmission(t *testing.T) {
+	// 100 packets/sec, burst 1: ~10 ms between acquisitions.
+	s := NewSender(Rate, Config{RatePerSec: 100, Burst: 1})
+	defer s.Close()
+
+	if err := s.Acquire(0); err != nil { // consumes the burst token
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := s.Acquire(1); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < 5*time.Millisecond {
+		t.Fatalf("second Acquire returned in %v; pacing not enforced", took)
+	}
+}
+
+func TestRateSenderAdjustsFromControl(t *testing.T) {
+	s := newRateSender(Config{RatePerSec: 10, Burst: 1}.withDefaults())
+	defer s.Close()
+	s.OnControl(packet.Control{Type: packet.CtrlRate, Body: packet.CreditBody(5000)})
+	if s.RateNow() != 5000 {
+		t.Fatalf("rate = %v, want 5000", s.RateNow())
+	}
+	// Zero rate and malformed bodies are ignored.
+	s.OnControl(packet.Control{Type: packet.CtrlRate, Body: packet.CreditBody(0)})
+	if s.RateNow() != 5000 {
+		t.Fatalf("rate changed on zero update: %v", s.RateNow())
+	}
+}
+
+func TestRateReceiverAdvertisesRate(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	r := newRateReceiver(Config{Now: now}.withDefaults())
+	defer r.Close()
+
+	// 64 packets over 64 ms → observed 1000 pkts/s → advertised 1250.
+	var ctrls []packet.Control
+	for i := 0; i < 64; i++ {
+		clock = clock.Add(time.Millisecond)
+		ctrls = append(ctrls, r.OnData(uint32(i))...)
+	}
+	if len(ctrls) != 1 {
+		t.Fatalf("got %d rate updates, want 1 per window", len(ctrls))
+	}
+	if ctrls[0].Type != packet.CtrlRate {
+		t.Fatalf("type = %v", ctrls[0].Type)
+	}
+	n, err := packet.ParseCreditBody(ctrls[0].Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1100 || n > 1400 {
+		t.Fatalf("advertised rate = %d, want ≈1250", n)
+	}
+	// The sender applies it.
+	s := newRateSender(Config{RatePerSec: 10, Burst: 1}.withDefaults())
+	defer s.Close()
+	s.OnControl(ctrls[0])
+	if s.RateNow() != float64(n) {
+		t.Fatalf("sender rate = %v after update", s.RateNow())
+	}
+}
+
+func TestRateReceiverObservesRate(t *testing.T) {
+	clock := time.Unix(0, 0)
+	now := func() time.Time { return clock }
+	r := newRateReceiver(Config{Now: now}.withDefaults())
+	defer r.Close()
+	for i := 0; i < 100; i++ {
+		r.OnData(uint32(i))
+	}
+	clock = clock.Add(time.Second)
+	if got := r.ObservedRate(); got != 100 {
+		t.Fatalf("observed rate = %v, want 100", got)
+	}
+}
+
+// End-to-end property: a credit sender/receiver pair in a loop never
+// exceeds outstanding = credits, and all packets eventually flow.
+func TestCreditEndToEndConservation(t *testing.T) {
+	cfg := Config{InitialCredits: 3, MaxCredits: 8}
+	s := newCreditSender(cfg.withDefaults())
+	r := newCreditReceiver(cfg.withDefaults())
+	defer s.Close()
+	defer r.Close()
+
+	const total = 200
+	var outstanding, maxOutstanding atomic.Int32
+
+	var wg sync.WaitGroup
+	acked := make(chan []packet.Control, total)
+
+	wg.Add(1)
+	go func() { // "receiver": consume and grant credits
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			ctrls := <-acked
+			outstanding.Add(-1)
+			for _, c := range ctrls {
+				s.OnControl(c)
+			}
+		}
+	}()
+
+	for i := 0; i < total; i++ {
+		if err := s.Acquire(uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		cur := outstanding.Add(1)
+		for {
+			prev := maxOutstanding.Load()
+			if cur <= prev || maxOutstanding.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		acked <- r.OnData(uint32(i))
+	}
+	wg.Wait()
+
+	if maxOutstanding.Load() == 0 {
+		t.Fatal("no packets flowed")
+	}
+}

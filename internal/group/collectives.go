@@ -1,0 +1,190 @@
+package group
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ncs/internal/mcast"
+)
+
+// Scatter distributes one distinct payload per rank from root. The root
+// passes a slice indexed by rank (its own entry is returned to itself);
+// other ranks pass nil and receive their part. Distribution follows the
+// multicast tree: each interior node receives the bundle for its whole
+// subtree and forwards the relevant sub-bundles, so the root does not
+// serialise n transfers under the spanning-tree algorithm.
+func (g *Group) Scatter(root int, parts [][]byte) ([]byte, error) {
+	if root < 0 || root >= g.size {
+		return nil, ErrBadRank
+	}
+	if g.size == 1 {
+		if len(parts) != 1 {
+			return nil, fmt.Errorf("group scatter: %d parts for 1 member", len(parts))
+		}
+		return parts[0], nil
+	}
+
+	var bundle map[int][]byte
+	if g.rank == root {
+		if len(parts) != g.size {
+			return nil, fmt.Errorf("group scatter: %d parts for %d members", len(parts), g.size)
+		}
+		bundle = make(map[int][]byte, g.size)
+		for rank, p := range parts {
+			bundle[rank] = p
+		}
+	} else {
+		parent := mcast.Parent(g.alg, g.size, root, g.rank)
+		raw, err := g.conns[parent].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("group scatter recv from %d: %w", parent, err)
+		}
+		bundle, err = decodeBundle(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Forward each child the slice of the bundle covering its subtree.
+	for _, child := range mcast.Children(g.alg, g.size, root, g.rank) {
+		sub := make(map[int][]byte)
+		for _, rank := range subtree(g.alg, g.size, root, child) {
+			if p, ok := bundle[rank]; ok {
+				sub[rank] = p
+			}
+		}
+		if err := g.conns[child].Send(encodeBundle(sub)); err != nil {
+			return nil, fmt.Errorf("group scatter send to %d: %w", child, err)
+		}
+	}
+	own, ok := bundle[g.rank]
+	if !ok {
+		return nil, fmt.Errorf("group scatter: bundle missing rank %d", g.rank)
+	}
+	return own, nil
+}
+
+// Gather collects one payload per rank at root (the inverse of
+// Scatter). The root receives a slice indexed by rank; other ranks
+// receive nil.
+func (g *Group) Gather(root int, value []byte) ([][]byte, error) {
+	if root < 0 || root >= g.size {
+		return nil, ErrBadRank
+	}
+	if g.size == 1 {
+		return [][]byte{value}, nil
+	}
+
+	bundle := map[int][]byte{g.rank: value}
+	for _, child := range mcast.Children(g.alg, g.size, root, g.rank) {
+		raw, err := g.conns[child].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("group gather recv from %d: %w", child, err)
+		}
+		sub, err := decodeBundle(raw)
+		if err != nil {
+			return nil, err
+		}
+		for rank, p := range sub {
+			bundle[rank] = p
+		}
+	}
+	if g.rank != root {
+		parent := mcast.Parent(g.alg, g.size, root, g.rank)
+		if err := g.conns[parent].Send(encodeBundle(bundle)); err != nil {
+			return nil, fmt.Errorf("group gather send to %d: %w", parent, err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, g.size)
+	for rank, p := range bundle {
+		if rank >= 0 && rank < g.size {
+			out[rank] = p
+		}
+	}
+	return out, nil
+}
+
+// AllGather is Gather to rank 0 followed by a Broadcast of the bundle:
+// every member ends with every rank's payload.
+func (g *Group) AllGather(value []byte) ([][]byte, error) {
+	parts, err := g.Gather(0, value)
+	if err != nil {
+		return nil, err
+	}
+	var raw []byte
+	if g.rank == 0 {
+		bundle := make(map[int][]byte, len(parts))
+		for rank, p := range parts {
+			bundle[rank] = p
+		}
+		raw = encodeBundle(bundle)
+	}
+	raw, err = g.Broadcast(0, raw)
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := decodeBundle(raw)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, g.size)
+	for rank, p := range bundle {
+		if rank >= 0 && rank < g.size {
+			out[rank] = p
+		}
+	}
+	return out, nil
+}
+
+// subtree lists the ranks in the multicast subtree rooted at node
+// (inclusive).
+func subtree(alg mcast.Algorithm, n, root, node int) []int {
+	out := []int{node}
+	for _, c := range mcast.Children(alg, n, root, node) {
+		out = append(out, subtree(alg, n, root, c)...)
+	}
+	return out
+}
+
+// encodeBundle serialises a rank→payload map: count, then
+// (rank, length, bytes) triples.
+func encodeBundle(m map[int][]byte) []byte {
+	size := 4
+	for _, p := range m {
+		size += 8 + len(p)
+	}
+	out := make([]byte, 0, size)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(m)))
+	for rank, p := range m {
+		out = binary.BigEndian.AppendUint32(out, uint32(rank))
+		out = binary.BigEndian.AppendUint32(out, uint32(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func decodeBundle(raw []byte) (map[int][]byte, error) {
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("group: truncated bundle")
+	}
+	n := binary.BigEndian.Uint32(raw)
+	raw = raw[4:]
+	m := make(map[int][]byte, n)
+	for i := uint32(0); i < n; i++ {
+		if len(raw) < 8 {
+			return nil, fmt.Errorf("group: truncated bundle entry")
+		}
+		rank := int(binary.BigEndian.Uint32(raw))
+		length := binary.BigEndian.Uint32(raw[4:])
+		raw = raw[8:]
+		if uint32(len(raw)) < length {
+			return nil, fmt.Errorf("group: truncated bundle payload")
+		}
+		p := make([]byte, length)
+		copy(p, raw[:length])
+		m[rank] = p
+		raw = raw[length:]
+	}
+	return m, nil
+}

@@ -1,0 +1,166 @@
+package group
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ncs/internal/mcast"
+)
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, n := range []int{1, 2, 4, 7} {
+			t.Run(fmt.Sprintf("%v_n%d", alg, n), func(t *testing.T) {
+				groups, cleanup := buildGroup(t, n, alg)
+				defer cleanup()
+
+				parts := make([][]byte, n)
+				for i := range parts {
+					parts[i] = bytes.Repeat([]byte{byte(i + 1)}, 100*(i+1))
+				}
+
+				var mu sync.Mutex
+				received := make([][]byte, n)
+				runAll(t, groups, func(g *Group) error {
+					var in [][]byte
+					if g.Rank() == 0 {
+						in = parts
+					}
+					got, err := g.Scatter(0, in)
+					if err != nil {
+						return err
+					}
+					mu.Lock()
+					received[g.Rank()] = got
+					mu.Unlock()
+					return nil
+				})
+				for rank, got := range received {
+					if !bytes.Equal(got, parts[rank]) {
+						t.Fatalf("rank %d scatter mismatch", rank)
+					}
+				}
+
+				// Gather the parts back; only the root sees the bundle.
+				runAll(t, groups, func(g *Group) error {
+					out, err := g.Gather(0, received[g.Rank()])
+					if err != nil {
+						return err
+					}
+					if g.Rank() != 0 {
+						if out != nil {
+							return fmt.Errorf("non-root got gather output")
+						}
+						return nil
+					}
+					for rank, p := range out {
+						if !bytes.Equal(p, parts[rank]) {
+							return fmt.Errorf("gathered part %d mismatch", rank)
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestScatterNonZeroRoot(t *testing.T) {
+	const n = 5
+	groups, cleanup := buildGroup(t, n, mcast.SpanningTree)
+	defer cleanup()
+
+	parts := make([][]byte, n)
+	for i := range parts {
+		parts[i] = []byte(fmt.Sprintf("part-%d", i))
+	}
+	runAll(t, groups, func(g *Group) error {
+		var in [][]byte
+		if g.Rank() == 2 {
+			in = parts
+		}
+		got, err := g.Scatter(2, in)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, parts[g.Rank()]) {
+			return fmt.Errorf("rank %d got %q", g.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	const n = 6
+	groups, cleanup := buildGroup(t, n, mcast.SpanningTree)
+	defer cleanup()
+
+	runAll(t, groups, func(g *Group) error {
+		mine := []byte(fmt.Sprintf("contribution-from-%d", g.Rank()))
+		all, err := g.AllGather(mine)
+		if err != nil {
+			return err
+		}
+		if len(all) != n {
+			return fmt.Errorf("rank %d got %d parts", g.Rank(), len(all))
+		}
+		for rank, p := range all {
+			want := fmt.Sprintf("contribution-from-%d", rank)
+			if string(p) != want {
+				return fmt.Errorf("rank %d: part %d = %q", g.Rank(), rank, p)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	groups, cleanup := buildGroup(t, 3, mcast.SpanningTree)
+	defer cleanup()
+	if _, err := groups[0].Scatter(9, nil); err != ErrBadRank {
+		t.Fatalf("bad rank: %v", err)
+	}
+	// Wrong part count at root (run collectively so nothing deadlocks:
+	// only the root validates before any I/O).
+	if _, err := groups[0].Scatter(0, [][]byte{{1}}); err == nil {
+		t.Fatal("wrong part count accepted")
+	}
+}
+
+func TestBundleCodec(t *testing.T) {
+	in := map[int][]byte{0: []byte("a"), 3: {}, 7: bytes.Repeat([]byte{9}, 1000)}
+	out, err := decodeBundle(encodeBundle(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for k, v := range in {
+		if !bytes.Equal(out[k], v) {
+			t.Fatalf("key %d mismatch", k)
+		}
+	}
+	if _, err := decodeBundle([]byte{0, 0}); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}
+
+func TestSubtreeCoversAllRanks(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 13} {
+		for root := 0; root < n; root++ {
+			seen := make(map[int]bool)
+			for _, r := range subtree(mcast.SpanningTree, n, root, root) {
+				if seen[r] {
+					t.Fatalf("n=%d root=%d: rank %d twice", n, root, r)
+				}
+				seen[r] = true
+			}
+			if len(seen) != n {
+				t.Fatalf("n=%d root=%d: subtree covers %d ranks", n, root, len(seen))
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package group provides NCS group communication and synchronisation
+// services (§2: "communication services (e.g., point-to-point
+// communication, group communication, synchronization)"): process
+// groups with ranks, broadcast over a selectable multicast algorithm
+// (repetitive or spanning tree, per §2's algorithm list), reduction, and
+// barrier synchronisation.
+//
+// A Group is a collective communicator: every member must call the same
+// collective operation (Broadcast, Reduce, Barrier, AllReduce) in the
+// same order, as in MPI. The group owns its mesh of NCS connections;
+// do not reuse them for point-to-point traffic.
+package group
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/mcast"
+)
+
+// Errors returned by group operations.
+var (
+	ErrBadRank  = errors.New("group: rank out of range")
+	ErrTooSmall = errors.New("group: need at least one member")
+)
+
+// Group is one member's handle on a process group.
+type Group struct {
+	rank  int
+	size  int
+	alg   mcast.Algorithm
+	conns []*core.Connection // index = peer rank; nil at own rank
+}
+
+// Rank returns this member's rank in 0..Size()-1.
+func (g *Group) Rank() int { return g.rank }
+
+// Size returns the number of members.
+func (g *Group) Size() int { return g.size }
+
+// Algorithm returns the multicast algorithm chosen at build time.
+func (g *Group) Algorithm() mcast.Algorithm { return g.alg }
+
+// Build constructs a process group over the named systems, creating a
+// full mesh of NCS connections with the given per-connection options.
+// It returns one Group handle per member, indexed by rank (the order of
+// names). The multicast algorithm applies to Broadcast/Reduce traffic.
+func Build(nw *core.Network, names []string, opts core.Options, alg mcast.Algorithm) ([]*Group, error) {
+	if len(names) == 0 {
+		return nil, ErrTooSmall
+	}
+	if alg == 0 {
+		alg = mcast.SpanningTree
+	}
+	systems := make([]*core.System, len(names))
+	for i, name := range names {
+		s, err := nw.NewSystem(name)
+		if err != nil {
+			return nil, fmt.Errorf("group build: %w", err)
+		}
+		systems[i] = s
+	}
+	return Connect(systems, opts, alg)
+}
+
+// Connect builds the group mesh over pre-existing systems. The rank
+// order follows the systems slice.
+func Connect(systems []*core.System, opts core.Options, alg mcast.Algorithm) ([]*Group, error) {
+	n := len(systems)
+	if n == 0 {
+		return nil, ErrTooSmall
+	}
+	if alg == 0 {
+		alg = mcast.SpanningTree
+	}
+	rankOf := make(map[string]int, n)
+	for i, s := range systems {
+		rankOf[s.Name()] = i
+	}
+	groups := make([]*Group, n)
+	for i, s := range systems {
+		groups[i] = &Group{rank: i, size: n, alg: alg, conns: make([]*core.Connection, n)}
+		_ = s
+	}
+
+	// Dial the upper triangle; accept on the target side. Acceptance
+	// order is not guaranteed, so match peers by name.
+	type dialResult struct {
+		i, j int
+		conn *core.Connection
+		err  error
+	}
+	results := make(chan dialResult, n*n)
+	pending := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pending++
+			go func(i, j int) {
+				conn, err := systems[i].Connect(systems[j].Name(), opts)
+				results <- dialResult{i: i, j: j, conn: conn, err: err}
+			}(i, j)
+		}
+	}
+	// Each system j accepts connections from every i < j.
+	accepted := make(chan dialResult, n*n)
+	for j := 0; j < n; j++ {
+		for k := 0; k < j; k++ {
+			pending++
+			go func(j int) {
+				conn, err := systems[j].AcceptTimeout(10 * time.Second)
+				if err != nil {
+					accepted <- dialResult{err: err}
+					return
+				}
+				i, ok := rankOf[conn.Peer()]
+				if !ok {
+					accepted <- dialResult{err: fmt.Errorf("group: unknown peer %q", conn.Peer())}
+					return
+				}
+				accepted <- dialResult{i: i, j: j, conn: conn}
+			}(j)
+		}
+	}
+
+	var firstErr error
+	for k := 0; k < pending; k++ {
+		var r dialResult
+		select {
+		case r = <-results:
+			if r.err == nil {
+				groups[r.i].conns[r.j] = r.conn
+			}
+		case r = <-accepted:
+			if r.err == nil {
+				groups[r.j].conns[r.i] = r.conn
+			}
+		}
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return groups, nil
+}
+
+// Broadcast distributes msg from root to every member, following the
+// group's multicast algorithm. The root passes the payload; other ranks
+// pass nil and receive the payload as the return value. All members
+// must call Broadcast collectively.
+func (g *Group) Broadcast(root int, msg []byte) ([]byte, error) {
+	if root < 0 || root >= g.size {
+		return nil, ErrBadRank
+	}
+	if g.size == 1 {
+		return msg, nil
+	}
+	if g.rank != root {
+		parent := mcast.Parent(g.alg, g.size, root, g.rank)
+		m, err := g.conns[parent].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("group broadcast recv from %d: %w", parent, err)
+		}
+		msg = m
+	}
+	for _, child := range mcast.Children(g.alg, g.size, root, g.rank) {
+		if err := g.conns[child].Send(msg); err != nil {
+			return nil, fmt.Errorf("group broadcast send to %d: %w", child, err)
+		}
+	}
+	return msg, nil
+}
+
+// ReduceOp combines two partial values into one.
+type ReduceOp func(a, b []byte) []byte
+
+// Reduce combines each member's value up the multicast tree to root.
+// The root receives the fully combined value; other ranks receive nil.
+func (g *Group) Reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
+	if root < 0 || root >= g.size {
+		return nil, ErrBadRank
+	}
+	if g.size == 1 {
+		return value, nil
+	}
+	acc := value
+	// Children deliver their partials in reverse round order (deepest
+	// subtree first keeps the tree pipelined, but any fixed order works
+	// as long as both sides agree — we use the Children order).
+	for _, child := range mcast.Children(g.alg, g.size, root, g.rank) {
+		part, err := g.conns[child].Recv()
+		if err != nil {
+			return nil, fmt.Errorf("group reduce recv from %d: %w", child, err)
+		}
+		acc = op(acc, part)
+	}
+	if g.rank == root {
+		return acc, nil
+	}
+	parent := mcast.Parent(g.alg, g.size, root, g.rank)
+	if err := g.conns[parent].Send(acc); err != nil {
+		return nil, fmt.Errorf("group reduce send to %d: %w", parent, err)
+	}
+	return nil, nil
+}
+
+// AllReduce is Reduce to rank 0 followed by Broadcast of the result.
+func (g *Group) AllReduce(value []byte, op ReduceOp) ([]byte, error) {
+	acc, err := g.Reduce(0, value, op)
+	if err != nil {
+		return nil, err
+	}
+	return g.Broadcast(0, acc)
+}
+
+// Barrier blocks until every member has entered it. It is implemented
+// as an empty AllReduce over the multicast tree: ⌈log₂ n⌉ up plus
+// ⌈log₂ n⌉ down rounds under the spanning tree.
+func (g *Group) Barrier() error {
+	_, err := g.AllReduce([]byte{}, func(a, b []byte) []byte { return a })
+	return err
+}
+
+// Ranks returns all ranks ordered; handy for iteration in examples.
+func (g *Group) Ranks() []int {
+	out := make([]int, g.size)
+	for i := range out {
+		out[i] = i
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Close tears down this member's connections. Each connection is shared
+// between two members; closing from either side suffices, and closing
+// both is safe.
+func (g *Group) Close() {
+	for _, c := range g.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

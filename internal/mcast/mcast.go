@@ -1,0 +1,152 @@
+// Package mcast implements the multicast dissemination algorithms NCS
+// offers per connection (§2, "Dynamic Support for Multiple Communication
+// Algorithms"): repetitive send/receive, where the root transmits to
+// every member directly, and a binomial spanning tree, where members
+// forward to children so dissemination completes in ⌈log₂ n⌉ rounds.
+//
+// The algorithms are pure: they compute who sends to whom, and the NCS
+// Multicast Thread (or the group layer) performs the actual transfers.
+// Ranks are logical member indices 0..n-1; an arbitrary root is handled
+// by relative-rank translation, as in classic MPI broadcast trees.
+package mcast
+
+import "fmt"
+
+// Algorithm selects a dissemination strategy.
+type Algorithm int
+
+// The multicast strategies named in the paper.
+const (
+	// Repetitive sends from the root to each member in sequence.
+	Repetitive Algorithm = iota + 1
+	// SpanningTree uses a binomial tree rooted at the root.
+	SpanningTree
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Repetitive:
+		return "repetitive"
+	case SpanningTree:
+		return "spanning-tree"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Step is one point-to-point transfer in a multicast schedule.
+type Step struct {
+	Round int // transfers in the same round may proceed in parallel
+	From  int // sender rank
+	To    int // receiver rank
+}
+
+// Schedule returns the ordered transfer list that delivers a message
+// from root to all n members.
+func Schedule(alg Algorithm, n, root int) []Step {
+	if n <= 1 {
+		return nil
+	}
+	switch alg {
+	case SpanningTree:
+		return treeSchedule(n, root)
+	default:
+		return repetitiveSchedule(n, root)
+	}
+}
+
+// Rounds reports the number of sequential rounds the schedule needs —
+// the latency measure that separates the two algorithms.
+func Rounds(alg Algorithm, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	if alg == SpanningTree {
+		r := 0
+		for span := 1; span < n; span <<= 1 {
+			r++
+		}
+		return r
+	}
+	return n - 1
+}
+
+func repetitiveSchedule(n, root int) []Step {
+	steps := make([]Step, 0, n-1)
+	round := 0
+	for i := 1; i < n; i++ {
+		to := (root + i) % n
+		steps = append(steps, Step{Round: round, From: root, To: to})
+		round++ // the root sends serially: one transfer per round
+	}
+	return steps
+}
+
+func treeSchedule(n, root int) []Step {
+	var steps []Step
+	round := 0
+	for span := 1; span < n; span <<= 1 {
+		for v := 0; v < span && v+span < n; v++ {
+			steps = append(steps, Step{
+				Round: round,
+				From:  fromVirtual(v, root, n),
+				To:    fromVirtual(v+span, root, n),
+			})
+		}
+		round++
+	}
+	return steps
+}
+
+// Parent returns the rank that delivers the message to self, or -1 for
+// the root.
+func Parent(alg Algorithm, n, root, self int) int {
+	if self == root || n <= 1 {
+		return -1
+	}
+	if alg == Repetitive {
+		return root
+	}
+	v := toVirtual(self, root, n)
+	return fromVirtual(v&^highestBit(v), root, n)
+}
+
+// Children returns the ranks self must forward the message to, in the
+// round order they should be served.
+func Children(alg Algorithm, n, root, self int) []int {
+	if n <= 1 {
+		return nil
+	}
+	if alg == Repetitive {
+		if self != root {
+			return nil
+		}
+		out := make([]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			out = append(out, (root+i)%n)
+		}
+		return out
+	}
+	v := toVirtual(self, root, n)
+	var out []int
+	start := 1
+	if v > 0 {
+		start = highestBit(v) << 1
+	}
+	for span := start; v+span < n; span <<= 1 {
+		out = append(out, fromVirtual(v+span, root, n))
+	}
+	return out
+}
+
+func toVirtual(rank, root, n int) int { return (rank - root + n) % n }
+func fromVirtual(v, root, n int) int  { return (v + root) % n }
+
+func highestBit(v int) int {
+	h := 1
+	for h<<1 <= v {
+		h <<= 1
+	}
+	return h
+}

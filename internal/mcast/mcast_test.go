@@ -1,0 +1,204 @@
+package mcast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAlgorithmString(t *testing.T) {
+	if Repetitive.String() != "repetitive" || SpanningTree.String() != "spanning-tree" {
+		t.Fatal("String misbehaving")
+	}
+	if Algorithm(5).String() != "Algorithm(5)" {
+		t.Fatal("unknown algorithm String")
+	}
+}
+
+// simulate plays out a schedule and returns when each rank received the
+// message (round index), or -1 if never.
+func simulate(t *testing.T, steps []Step, n, root int) []int {
+	t.Helper()
+	recvRound := make([]int, n)
+	for i := range recvRound {
+		recvRound[i] = -1
+	}
+	recvRound[root] = 0
+	for _, s := range steps {
+		if recvRound[s.From] == -1 {
+			t.Fatalf("step %+v: sender has not received the message", s)
+		}
+		if recvRound[s.From] > s.Round {
+			t.Fatalf("step %+v: sender received only in round %d", s, recvRound[s.From])
+		}
+		if recvRound[s.To] != -1 {
+			t.Fatalf("step %+v: receiver already had the message", s)
+		}
+		recvRound[s.To] = s.Round + 1
+	}
+	return recvRound
+}
+
+func TestSchedulesDeliverToAll(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+			for _, root := range []int{0, n / 2, n - 1} {
+				if root < 0 {
+					root = 0
+				}
+				steps := Schedule(alg, n, root)
+				got := simulate(t, steps, n, root)
+				for rank, r := range got {
+					if r == -1 {
+						t.Fatalf("%v n=%d root=%d: rank %d never received", alg, n, root, rank)
+					}
+				}
+				if len(steps) != n-1 && n > 1 {
+					t.Fatalf("%v n=%d: %d steps, want %d (each member receives once)",
+						alg, n, len(steps), n-1)
+				}
+			}
+		}
+	}
+}
+
+func TestRounds(t *testing.T) {
+	tests := []struct {
+		alg  Algorithm
+		n    int
+		want int
+	}{
+		{Repetitive, 1, 0},
+		{Repetitive, 2, 1},
+		{Repetitive, 8, 7},
+		{SpanningTree, 1, 0},
+		{SpanningTree, 2, 1},
+		{SpanningTree, 8, 3},
+		{SpanningTree, 9, 4},
+		{SpanningTree, 16, 4},
+		{SpanningTree, 17, 5},
+	}
+	for _, tc := range tests {
+		if got := Rounds(tc.alg, tc.n); got != tc.want {
+			t.Errorf("Rounds(%v, %d) = %d, want %d", tc.alg, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestTreeLatencyBeatsRepetitive(t *testing.T) {
+	for _, n := range []int{8, 32, 100} {
+		tree := Rounds(SpanningTree, n)
+		rep := Rounds(Repetitive, n)
+		if tree >= rep {
+			t.Errorf("n=%d: tree rounds %d >= repetitive rounds %d", n, tree, rep)
+		}
+	}
+}
+
+func TestScheduleRoundsMatchRounds(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{2, 5, 8, 13} {
+			steps := Schedule(alg, n, 0)
+			maxRound := 0
+			for _, s := range steps {
+				if s.Round > maxRound {
+					maxRound = s.Round
+				}
+			}
+			if maxRound+1 != Rounds(alg, n) {
+				t.Errorf("%v n=%d: schedule has %d rounds, Rounds says %d",
+					alg, n, maxRound+1, Rounds(alg, n))
+			}
+		}
+	}
+}
+
+func TestParentChildrenConsistency(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{1, 2, 5, 8, 11, 16} {
+			for root := 0; root < n; root++ {
+				for self := 0; self < n; self++ {
+					p := Parent(alg, n, root, self)
+					if self == root {
+						if p != -1 {
+							t.Fatalf("%v: root has parent %d", alg, p)
+						}
+						continue
+					}
+					if p < 0 || p >= n {
+						t.Fatalf("%v n=%d root=%d self=%d: parent %d out of range",
+							alg, n, root, self, p)
+					}
+					// self must appear in its parent's children.
+					found := false
+					for _, c := range Children(alg, n, root, p) {
+						if c == self {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%v n=%d root=%d: %d not in children of parent %d",
+							alg, n, root, self, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChildrenMatchSchedule(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{2, 6, 8, 15} {
+			for _, root := range []int{0, 1, n - 1} {
+				fromSchedule := make(map[int][]int)
+				for _, s := range Schedule(alg, n, root) {
+					fromSchedule[s.From] = append(fromSchedule[s.From], s.To)
+				}
+				for self := 0; self < n; self++ {
+					kids := Children(alg, n, root, self)
+					want := fromSchedule[self]
+					if len(kids) != len(want) {
+						t.Fatalf("%v n=%d root=%d self=%d: Children=%v, schedule says %v",
+							alg, n, root, self, kids, want)
+					}
+					for i := range kids {
+						if kids[i] != want[i] {
+							t.Fatalf("%v n=%d root=%d self=%d: Children=%v, schedule says %v",
+								alg, n, root, self, kids, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Property: for any n and root, forwarding along Children delivers to
+// every rank exactly once.
+func TestQuickTreeForwardingDelivers(t *testing.T) {
+	f := func(nRaw, rootRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		root := int(rootRaw) % n
+		seen := make([]bool, n)
+		var walk func(rank int)
+		walk = func(rank int) {
+			if seen[rank] {
+				panic("double delivery")
+			}
+			seen[rank] = true
+			for _, c := range Children(SpanningTree, n, root, rank) {
+				walk(c)
+			}
+		}
+		walk(root)
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+// Package netsim simulates point-to-point network links with finite
+// bandwidth, propagation delay, packet loss, corruption, and a bounded
+// sender-side buffer.
+//
+// The paper's testbed is the NYNET ATM network; we cannot attach to 1998
+// ATM hardware, so every transport in this repository runs over either a
+// real TCP socket or a netsim link. A netsim link preserves the
+// behaviours the NCS protocol machinery reacts to:
+//
+//   - finite bandwidth: transmission time grows with message size,
+//   - propagation delay: the latency/bandwidth trade-off of WAN computing
+//     that motivates overlap (§1, §2 of the paper),
+//   - loss and corruption: exercise the error-control algorithms,
+//   - a bounded send buffer: writes block when the buffer fills, which is
+//     the kernel socket-buffer behaviour behind Figure 10's crossover.
+//
+// Links are full-duplex pipes of discrete packets; each direction has its
+// own Params. Packet boundaries are preserved (datagram semantics): the
+// stream-vs-datagram distinction is layered above, in transport.
+package netsim
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors returned by endpoint operations.
+var (
+	// ErrClosed is returned by operations on a closed endpoint.
+	ErrClosed = errors.New("netsim: endpoint closed")
+	// ErrTimeout is returned by RecvTimeout when the deadline passes.
+	ErrTimeout = errors.New("netsim: receive timeout")
+)
+
+// Params configures one direction of a link.
+type Params struct {
+	// Bandwidth is the link rate in bytes per second. Zero means
+	// infinitely fast transmission.
+	Bandwidth int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// LossRate is the probability in [0,1] that a packet is silently
+	// dropped on the wire.
+	LossRate float64
+	// CorruptRate is the probability in [0,1] that one byte of a packet
+	// is flipped in transit. Corruption is only meaningful under a
+	// transport with integrity checking (e.g. AAL5 CRC).
+	CorruptRate float64
+	// BufferBytes bounds the sender-side buffer. A Send blocks while the
+	// buffer is full, exactly like a kernel socket send buffer. Zero
+	// means unbounded.
+	BufferBytes int
+	// Seed seeds the loss/corruption generator so failure runs are
+	// reproducible. Zero selects a fixed default seed.
+	Seed int64
+}
+
+// Endpoint is one side of a duplex link.
+type Endpoint struct {
+	send *direction // traffic we transmit
+	recv *direction // traffic we receive
+
+	closeOnce sync.Once
+}
+
+// Pipe creates a duplex link. aToB configures the a→b direction and bToA
+// the reverse. Both returned endpoints must be closed by the caller.
+func Pipe(aToB, bToA Params) (a, b *Endpoint) {
+	d1 := newDirection(aToB)
+	d2 := newDirection(bToA)
+	return &Endpoint{send: d1, recv: d2}, &Endpoint{send: d2, recv: d1}
+}
+
+// LoopbackParams returns Params resembling a fast local link: no loss,
+// no delay, unbounded buffer — useful for tests and the HPI transport.
+func LoopbackParams() Params { return Params{} }
+
+// Send transmits one packet. It blocks while the send buffer is full and
+// returns ErrClosed after Close. The packet is copied; the caller may
+// reuse p.
+func (e *Endpoint) Send(p []byte) error { return e.send.enqueue(p) }
+
+// Recv returns the next delivered packet, blocking until one arrives or
+// the link closes.
+func (e *Endpoint) Recv() ([]byte, error) { return e.recv.dequeue() }
+
+// RecvTimeout is Recv with a deadline; it returns ErrTimeout when no
+// packet arrives within d.
+func (e *Endpoint) RecvTimeout(d time.Duration) ([]byte, error) {
+	return e.recv.dequeueTimeout(d)
+}
+
+// TrySend is a non-blocking Send: it returns (false, nil) when the send
+// buffer has no room, which lets user-level thread schedulers avoid
+// blocking the whole process (§4.1).
+func (e *Endpoint) TrySend(p []byte) (bool, error) { return e.send.tryEnqueue(p) }
+
+// Buffered reports the bytes currently occupying the send buffer.
+func (e *Endpoint) Buffered() int { return e.send.buffered() }
+
+// Close shuts down the endpoint: its transmit direction drains and
+// closes (waking blocked receivers on the peer), and its own receive
+// side is invalidated so local Recv calls return ErrClosed — the same
+// semantics as closing a socket. Close is idempotent.
+func (e *Endpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.recv.closeRecv()
+		e.send.close()
+	})
+	return nil
+}
+
+// direction is a unidirectional simulated wire.
+type direction struct {
+	p Params
+
+	mu         sync.Mutex
+	sendCond   *sync.Cond // waits for buffer space
+	recvCond   *sync.Cond // waits for arrivals
+	inflight   int        // bytes occupying the send buffer
+	queue      [][]byte   // packets accepted but not yet on the wire
+	arrived    [][]byte   // packets delivered to the receiver
+	closed     bool
+	recvClosed bool // the receiving endpoint closed locally
+	rng        *rand.Rand
+
+	wireWake chan struct{} // signals the wire goroutine
+	done     chan struct{} // wire goroutine exited
+
+	deliveries   chan timedPacket // wire → delivery goroutine, FIFO
+	deliveryDone chan struct{}
+}
+
+// timedPacket is a packet with its computed arrival deadline.
+type timedPacket struct {
+	payload  []byte
+	arriveAt time.Time
+}
+
+func newDirection(p Params) *direction {
+	seed := p.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	d := &direction{
+		p:            p,
+		rng:          rand.New(rand.NewSource(seed)),
+		wireWake:     make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		deliveries:   make(chan timedPacket, 64),
+		deliveryDone: make(chan struct{}),
+	}
+	d.sendCond = sync.NewCond(&d.mu)
+	d.recvCond = sync.NewCond(&d.mu)
+	go d.wire()
+	go d.deliveryLoop()
+	return d
+}
+
+func (d *direction) enqueue(p []byte) error {
+	d.mu.Lock()
+	for !d.closed && d.p.BufferBytes > 0 && d.inflight > 0 &&
+		d.inflight+len(p) > d.p.BufferBytes {
+		d.sendCond.Wait()
+	}
+	if d.closed {
+		d.mu.Unlock()
+		return ErrClosed
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	d.queue = append(d.queue, cp)
+	d.inflight += len(cp)
+	d.mu.Unlock()
+	d.kick()
+	return nil
+}
+
+func (d *direction) tryEnqueue(p []byte) (bool, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false, ErrClosed
+	}
+	if d.p.BufferBytes > 0 && d.inflight > 0 && d.inflight+len(p) > d.p.BufferBytes {
+		d.mu.Unlock()
+		return false, nil
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	d.queue = append(d.queue, cp)
+	d.inflight += len(cp)
+	d.mu.Unlock()
+	d.kick()
+	return true, nil
+}
+
+func (d *direction) kick() {
+	select {
+	case d.wireWake <- struct{}{}:
+	default:
+	}
+}
+
+func (d *direction) buffered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inflight
+}
+
+// wire drains the send queue at link speed, applies loss/corruption, and
+// hands each surviving packet to the delivery goroutine stamped with its
+// arrival deadline. Transmission time is serialised here (the line is
+// occupied packet by packet); propagation pipelines because the delivery
+// goroutine sleeps per deadline, and deadlines are monotone in send
+// order, so ordering is preserved.
+func (d *direction) wire() {
+	defer close(d.done)
+	defer close(d.deliveries)
+	// lineFree tracks when the line finishes transmitting everything
+	// accepted so far. Pacing sleeps only when the accumulated deficit
+	// exceeds a scheduling quantum, so small packets (ATM cells) are
+	// paced accurately on average instead of per-packet, where sleep
+	// granularity would inflate them ~20×.
+	var lineFree time.Time
+	const pacingQuantum = time.Millisecond
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.mu.Unlock()
+			<-d.wireWake
+			d.mu.Lock()
+		}
+		if len(d.queue) == 0 && d.closed {
+			d.mu.Unlock()
+			break
+		}
+		pkt := d.queue[0]
+		d.queue = d.queue[1:]
+		d.mu.Unlock()
+
+		// Occupy the line for the transmission time.
+		if d.p.Bandwidth > 0 {
+			tx := time.Duration(int64(len(pkt)) * int64(time.Second) / d.p.Bandwidth)
+			now := time.Now()
+			if lineFree.Before(now) {
+				lineFree = now
+			}
+			lineFree = lineFree.Add(tx)
+			if deficit := lineFree.Sub(now); deficit > pacingQuantum {
+				time.Sleep(deficit)
+			}
+		}
+
+		// The packet has left the send buffer once fully transmitted.
+		d.mu.Lock()
+		d.inflight -= len(pkt)
+		drop := d.p.LossRate > 0 && d.rng.Float64() < d.p.LossRate
+		corrupt := !drop && d.p.CorruptRate > 0 && d.rng.Float64() < d.p.CorruptRate
+		if corrupt && len(pkt) > 0 {
+			pkt[d.rng.Intn(len(pkt))] ^= 0xff
+		}
+		d.sendCond.Broadcast()
+		d.mu.Unlock()
+
+		if drop {
+			continue
+		}
+		arriveBase := time.Now()
+		if d.p.Bandwidth > 0 && lineFree.After(arriveBase) {
+			arriveBase = lineFree
+		}
+		d.deliveries <- timedPacket{payload: pkt, arriveAt: arriveBase.Add(d.p.Delay)}
+	}
+}
+
+// deliveryLoop delivers packets in FIFO order at their arrival deadlines.
+func (d *direction) deliveryLoop() {
+	defer close(d.deliveryDone)
+	for tp := range d.deliveries {
+		if wait := time.Until(tp.arriveAt); wait > 0 {
+			time.Sleep(wait)
+		}
+		d.deliver(tp.payload)
+	}
+	d.mu.Lock()
+	d.recvCond.Broadcast()
+	d.sendCond.Broadcast()
+	d.mu.Unlock()
+}
+
+func (d *direction) deliver(pkt []byte) {
+	d.mu.Lock()
+	d.arrived = append(d.arrived, pkt)
+	d.recvCond.Signal()
+	d.mu.Unlock()
+}
+
+func (d *direction) dequeue() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.arrived) == 0 || d.recvClosed {
+		if d.recvClosed || (d.closed && d.drainedLocked()) {
+			return nil, ErrClosed
+		}
+		d.recvCond.Wait()
+	}
+	p := d.arrived[0]
+	d.arrived = d.arrived[1:]
+	return p, nil
+}
+
+// closeRecv invalidates the receiving side locally, waking any blocked
+// Recv with ErrClosed.
+func (d *direction) closeRecv() {
+	d.mu.Lock()
+	d.recvClosed = true
+	d.recvCond.Broadcast()
+	d.mu.Unlock()
+}
+
+func (d *direction) dequeueTimeout(timeout time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(timeout)
+	timer := time.AfterFunc(timeout, func() {
+		d.mu.Lock()
+		d.recvCond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.arrived) == 0 || d.recvClosed {
+		if d.recvClosed || (d.closed && d.drainedLocked()) {
+			return nil, ErrClosed
+		}
+		if !time.Now().Before(deadline) {
+			return nil, ErrTimeout
+		}
+		d.recvCond.Wait()
+	}
+	p := d.arrived[0]
+	d.arrived = d.arrived[1:]
+	return p, nil
+}
+
+// drainedLocked reports whether no packets remain in flight. Caller holds mu.
+func (d *direction) drainedLocked() bool {
+	select {
+	case <-d.deliveryDone:
+		return len(d.arrived) == 0
+	default:
+		return false
+	}
+}
+
+func (d *direction) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.sendCond.Broadcast()
+	d.recvCond.Broadcast()
+	d.mu.Unlock()
+	d.kick()
+	<-d.done
+	<-d.deliveryDone
+	// Wake any receiver that raced with the delivery goroutine's exit.
+	d.mu.Lock()
+	d.recvCond.Broadcast()
+	d.mu.Unlock()
+}

@@ -1,0 +1,112 @@
+package packet
+
+import "encoding/binary"
+
+// Bitmap is the selective-repeat acknowledgment bitmap of Figure 5.
+// Bit i corresponds to SDU sequence number i within a session; following
+// the paper's convention, a set bit means the SDU was received in error
+// (or not at all) and must be retransmitted, and a clear bit means
+// "receive OK". A receiver initialises every bit to 1 and clears bits as
+// SDUs arrive; an all-zero bitmap therefore acknowledges the complete
+// message.
+type Bitmap struct {
+	n    int
+	bits []uint64
+}
+
+// NewBitmap returns a bitmap for n SDUs with every bit set (nothing yet
+// received), matching the receiver initialisation in Figure 6.
+func NewBitmap(n int) *Bitmap {
+	b := &Bitmap{n: n, bits: make([]uint64, (n+63)/64)}
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	return b
+}
+
+// Len reports the number of SDU slots tracked.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set marks SDU i as missing/errored. Out-of-range indices are ignored.
+func (b *Bitmap) Set(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.bits[i/64] |= 1 << (i % 64)
+}
+
+// Clear marks SDU i as received OK. Out-of-range indices are ignored.
+func (b *Bitmap) Clear(i int) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	b.bits[i/64] &^= 1 << (i % 64)
+}
+
+// Get reports whether SDU i is still missing.
+func (b *Bitmap) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.bits[i/64]&(1<<(i%64)) != 0
+}
+
+// AnySet reports whether any SDU is still missing — the "Bitmap > 0"
+// test in the pseudo code of Figure 6.
+func (b *Bitmap) AnySet() bool {
+	for _, w := range b.bits {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Missing returns the sequence numbers still marked missing, in order.
+func (b *Bitmap) Missing() []int {
+	var out []int
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CountSet returns the number of missing SDUs.
+func (b *Bitmap) CountSet() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Marshal encodes the bitmap as a 4-byte SDU count followed by the
+// packed words, suitable for an ACK control packet body.
+func (b *Bitmap) Marshal() []byte {
+	out := binary.BigEndian.AppendUint32(nil, uint32(b.n))
+	for _, w := range b.bits {
+		out = binary.BigEndian.AppendUint64(out, w)
+	}
+	return out
+}
+
+// UnmarshalBitmap decodes a bitmap from an ACK body.
+func UnmarshalBitmap(p []byte) (*Bitmap, error) {
+	if len(p) < 4 {
+		return nil, ErrShortPacket
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	words := (n + 63) / 64
+	if len(p) < 4+8*words {
+		return nil, ErrShortPacket
+	}
+	b := &Bitmap{n: n, bits: make([]uint64, words)}
+	for i := 0; i < words; i++ {
+		b.bits[i] = binary.BigEndian.Uint64(p[4+8*i:])
+	}
+	return b, nil
+}

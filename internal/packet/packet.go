@@ -1,0 +1,212 @@
+// Package packet defines the wire formats used by the NCS data and
+// control planes.
+//
+// The data plane carries SDUs (Service Data Units): segments of a user
+// message produced by the Error Control Thread. Each SDU carries the
+// header of Figure 5 — a sequence number and a control bit that marks the
+// final segment — plus the connection/session routing fields that
+// NCS_send() callers must supply (destination process id, destination
+// thread id, session id).
+//
+// The control plane carries small fixed-purpose packets: ACK packets with
+// the selective-repeat bitmap, CREDIT packets for the credit-based flow
+// control scheme, and connection-management packets (SETUP/ACCEPT/
+// REJECT/TEARDOWN) used by the Master Thread.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire sizes.
+const (
+	// DataHeaderSize is the byte length of an encoded SDU header.
+	DataHeaderSize = 24
+	// ControlHeaderSize is the byte length of an encoded control header.
+	ControlHeaderSize = 16
+)
+
+// Magic numbers distinguishing plane traffic; useful when a misconfigured
+// endpoint cross-connects the planes.
+const (
+	dataMagic    uint16 = 0x4e43 // "NC"
+	controlMagic uint16 = 0x4e53 // "NS"
+)
+
+// Data header flag bits.
+const (
+	// FlagEnd marks the last SDU of a segmented user message
+	// (the "control bit" of Figure 5).
+	FlagEnd uint16 = 1 << 0
+	// FlagRetransmit marks an SDU resent by the selective-repeat scheme.
+	FlagRetransmit uint16 = 1 << 1
+	// FlagUnreliable marks an SDU sent on a connection without error
+	// control (e.g. audio/video streams).
+	FlagUnreliable uint16 = 1 << 2
+)
+
+// Errors returned by decoding.
+var (
+	ErrShortPacket = errors.New("packet: truncated packet")
+	ErrBadMagic    = errors.New("packet: bad magic")
+)
+
+// DataHeader is the header attached to every SDU on a data connection.
+type DataHeader struct {
+	Flags     uint16 // FlagEnd, FlagRetransmit, ...
+	ConnID    uint32 // connection identifier assigned at setup
+	SessionID uint32 // caller-provided session id (one message exchange)
+	Seq       uint32 // SDU sequence number within the session
+	Length    uint32 // payload byte count
+}
+
+// Marshal appends the encoded header to dst and returns the result.
+func (h DataHeader) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, dataMagic)
+	dst = binary.BigEndian.AppendUint16(dst, h.Flags)
+	dst = binary.BigEndian.AppendUint32(dst, h.ConnID)
+	dst = binary.BigEndian.AppendUint32(dst, h.SessionID)
+	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, h.Length)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // reserved
+	return dst
+}
+
+// UnmarshalDataHeader decodes a header from p.
+func UnmarshalDataHeader(p []byte) (DataHeader, error) {
+	if len(p) < DataHeaderSize {
+		return DataHeader{}, ErrShortPacket
+	}
+	if binary.BigEndian.Uint16(p) != dataMagic {
+		return DataHeader{}, ErrBadMagic
+	}
+	return DataHeader{
+		Flags:     binary.BigEndian.Uint16(p[2:]),
+		ConnID:    binary.BigEndian.Uint32(p[4:]),
+		SessionID: binary.BigEndian.Uint32(p[8:]),
+		Seq:       binary.BigEndian.Uint32(p[12:]),
+		Length:    binary.BigEndian.Uint32(p[16:]),
+	}, nil
+}
+
+// End reports whether the end-of-message control bit is set.
+func (h DataHeader) End() bool { return h.Flags&FlagEnd != 0 }
+
+// ControlType enumerates control-plane packet kinds.
+type ControlType uint16
+
+const (
+	// CtrlAck carries a selective-repeat acknowledgment bitmap.
+	CtrlAck ControlType = iota + 1
+	// CtrlCredit grants transmission credits to the sender.
+	CtrlCredit
+	// CtrlSetup requests a new data connection with a QoS configuration.
+	CtrlSetup
+	// CtrlAccept confirms a CtrlSetup.
+	CtrlAccept
+	// CtrlReject refuses a CtrlSetup.
+	CtrlReject
+	// CtrlTeardown closes a connection.
+	CtrlTeardown
+	// CtrlRate carries a rate-based flow control adjustment.
+	CtrlRate
+	// CtrlNack requests retransmission under go-back-N.
+	CtrlNack
+	// CtrlWinAck carries a window flow control cumulative
+	// acknowledgment. It is distinct from CtrlAck so that window-level
+	// acknowledgments (connection-lifetime arrival indices) are never
+	// confused with error-control acknowledgments (per-session bitmaps
+	// or cumulative SDU numbers).
+	CtrlWinAck
+	// CtrlPing probes connection liveness; the peer answers CtrlPong.
+	CtrlPing
+	// CtrlPong answers a CtrlPing.
+	CtrlPong
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (t ControlType) String() string {
+	switch t {
+	case CtrlAck:
+		return "ACK"
+	case CtrlCredit:
+		return "CREDIT"
+	case CtrlSetup:
+		return "SETUP"
+	case CtrlAccept:
+		return "ACCEPT"
+	case CtrlReject:
+		return "REJECT"
+	case CtrlTeardown:
+		return "TEARDOWN"
+	case CtrlRate:
+		return "RATE"
+	case CtrlNack:
+		return "NACK"
+	case CtrlWinAck:
+		return "WINACK"
+	case CtrlPing:
+		return "PING"
+	case CtrlPong:
+		return "PONG"
+	default:
+		return fmt.Sprintf("ControlType(%d)", uint16(t))
+	}
+}
+
+// Control is a control-plane packet. Body is interpreted per Type:
+// ACK bodies hold an encoded Bitmap, CREDIT bodies a 4-byte count,
+// SETUP bodies an encoded connection configuration.
+type Control struct {
+	Type      ControlType
+	ConnID    uint32
+	SessionID uint32
+	Body      []byte
+}
+
+// Marshal appends the encoded control packet to dst and returns it.
+func (c Control) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, controlMagic)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(c.Type))
+	dst = binary.BigEndian.AppendUint32(dst, c.ConnID)
+	dst = binary.BigEndian.AppendUint32(dst, c.SessionID)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(c.Body)))
+	dst = append(dst, c.Body...)
+	return dst
+}
+
+// UnmarshalControl decodes a control packet from p. The returned Body
+// aliases p.
+func UnmarshalControl(p []byte) (Control, error) {
+	if len(p) < ControlHeaderSize {
+		return Control{}, ErrShortPacket
+	}
+	if binary.BigEndian.Uint16(p) != controlMagic {
+		return Control{}, ErrBadMagic
+	}
+	n := binary.BigEndian.Uint32(p[12:])
+	if uint32(len(p)-ControlHeaderSize) < n {
+		return Control{}, ErrShortPacket
+	}
+	return Control{
+		Type:      ControlType(binary.BigEndian.Uint16(p[2:])),
+		ConnID:    binary.BigEndian.Uint32(p[4:]),
+		SessionID: binary.BigEndian.Uint32(p[8:]),
+		Body:      p[ControlHeaderSize : ControlHeaderSize+int(n)],
+	}, nil
+}
+
+// CreditBody encodes a credit grant of n packets.
+func CreditBody(n uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, n)
+}
+
+// ParseCreditBody decodes a credit grant.
+func ParseCreditBody(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, ErrShortPacket
+	}
+	return binary.BigEndian.Uint32(p), nil
+}

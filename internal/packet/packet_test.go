@@ -1,0 +1,205 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDataHeaderRoundTrip(t *testing.T) {
+	h := DataHeader{
+		Flags:     FlagEnd | FlagRetransmit,
+		ConnID:    7,
+		SessionID: 1234,
+		Seq:       42,
+		Length:    4096,
+	}
+	buf := h.Marshal(nil)
+	if len(buf) != DataHeaderSize {
+		t.Fatalf("encoded size = %d, want %d", len(buf), DataHeaderSize)
+	}
+	got, err := UnmarshalDataHeader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v, want %+v", got, h)
+	}
+	if !got.End() {
+		t.Error("End() = false, want true")
+	}
+}
+
+func TestDataHeaderErrors(t *testing.T) {
+	if _, err := UnmarshalDataHeader(make([]byte, 3)); err != ErrShortPacket {
+		t.Errorf("short: err = %v", err)
+	}
+	bad := make([]byte, DataHeaderSize)
+	if _, err := UnmarshalDataHeader(bad); err != ErrBadMagic {
+		t.Errorf("zero magic: err = %v", err)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	c := Control{
+		Type:      CtrlCredit,
+		ConnID:    3,
+		SessionID: 9,
+		Body:      CreditBody(16),
+	}
+	buf := c.Marshal(nil)
+	got, err := UnmarshalControl(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != c.Type || got.ConnID != c.ConnID || got.SessionID != c.SessionID {
+		t.Fatalf("round trip header mismatch: %+v", got)
+	}
+	n, err := ParseCreditBody(got.Body)
+	if err != nil || n != 16 {
+		t.Fatalf("credits = %d, %v", n, err)
+	}
+}
+
+func TestControlBodyTruncation(t *testing.T) {
+	c := Control{Type: CtrlAck, Body: []byte{1, 2, 3, 4, 5}}
+	buf := c.Marshal(nil)
+	if _, err := UnmarshalControl(buf[:len(buf)-2]); err != ErrShortPacket {
+		t.Errorf("truncated body: err = %v", err)
+	}
+}
+
+func TestControlTypeString(t *testing.T) {
+	tests := map[ControlType]string{
+		CtrlAck:          "ACK",
+		CtrlCredit:       "CREDIT",
+		CtrlSetup:        "SETUP",
+		CtrlAccept:       "ACCEPT",
+		CtrlReject:       "REJECT",
+		CtrlTeardown:     "TEARDOWN",
+		CtrlRate:         "RATE",
+		CtrlNack:         "NACK",
+		CtrlWinAck:       "WINACK",
+		ControlType(250): "ControlType(250)",
+	}
+	for ct, want := range tests {
+		if got := ct.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", uint16(ct), got, want)
+		}
+	}
+}
+
+func TestBitmapLifecycle(t *testing.T) {
+	b := NewBitmap(10)
+	if !b.AnySet() {
+		t.Fatal("fresh bitmap should have all bits set")
+	}
+	if b.CountSet() != 10 {
+		t.Fatalf("CountSet = %d, want 10", b.CountSet())
+	}
+	for i := 0; i < 10; i++ {
+		b.Clear(i)
+	}
+	if b.AnySet() {
+		t.Fatalf("all cleared but AnySet; missing = %v", b.Missing())
+	}
+	b.Set(3)
+	b.Set(7)
+	missing := b.Missing()
+	if len(missing) != 2 || missing[0] != 3 || missing[1] != 7 {
+		t.Fatalf("Missing = %v, want [3 7]", missing)
+	}
+}
+
+func TestBitmapOutOfRange(t *testing.T) {
+	b := NewBitmap(4)
+	b.Set(-1)
+	b.Set(100)
+	b.Clear(-5)
+	b.Clear(99)
+	if b.Get(-1) || b.Get(100) {
+		t.Error("out-of-range Get should be false")
+	}
+	if b.CountSet() != 4 {
+		t.Errorf("CountSet = %d, want 4", b.CountSet())
+	}
+}
+
+func TestBitmapMarshal(t *testing.T) {
+	b := NewBitmap(130) // spans three words
+	b.Clear(0)
+	b.Clear(64)
+	b.Clear(129)
+	got, err := UnmarshalBitmap(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 130 {
+		t.Fatalf("Len = %d", got.Len())
+	}
+	for i := 0; i < 130; i++ {
+		if got.Get(i) != b.Get(i) {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+}
+
+func TestBitmapUnmarshalErrors(t *testing.T) {
+	if _, err := UnmarshalBitmap(nil); err != ErrShortPacket {
+		t.Errorf("nil: err = %v", err)
+	}
+	b := NewBitmap(65)
+	enc := b.Marshal()
+	if _, err := UnmarshalBitmap(enc[:8]); err != ErrShortPacket {
+		t.Errorf("truncated: err = %v", err)
+	}
+}
+
+// Property: data headers round-trip for arbitrary field values.
+func TestQuickDataHeader(t *testing.T) {
+	f := func(flags uint16, conn, sess, seq, length uint32) bool {
+		h := DataHeader{Flags: flags, ConnID: conn, SessionID: sess, Seq: seq, Length: length}
+		got, err := UnmarshalDataHeader(h.Marshal(nil))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: control packets round-trip with arbitrary bodies.
+func TestQuickControl(t *testing.T) {
+	f := func(typ uint16, conn, sess uint32, body []byte) bool {
+		c := Control{Type: ControlType(typ), ConnID: conn, SessionID: sess, Body: body}
+		got, err := UnmarshalControl(c.Marshal(nil))
+		return err == nil && got.Type == c.Type && got.ConnID == conn &&
+			got.SessionID == sess && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a bitmap with bits cleared per a received-set reports exactly
+// the complement as missing.
+func TestQuickBitmapMissing(t *testing.T) {
+	f := func(n uint8, received []uint8) bool {
+		size := int(n%200) + 1
+		b := NewBitmap(size)
+		got := make(map[int]bool)
+		for _, r := range received {
+			i := int(r) % size
+			b.Clear(i)
+			got[i] = true
+		}
+		for _, m := range b.Missing() {
+			if got[m] {
+				return false // reported missing but was received
+			}
+		}
+		return b.CountSet() == size-len(got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"ncs/internal/transport"
+)
+
+func TestPresets(t *testing.T) {
+	if !Heterogeneous(SUN4, RS6000) {
+		t.Error("SUN4 vs RS6000 should be heterogeneous")
+	}
+	if Heterogeneous(SUN4, SUN4) {
+		t.Error("SUN4 vs SUN4 should be homogeneous")
+	}
+	// The SUN-4 must be slower on every axis (the premise of Fig 12).
+	if SUN4.SyscallUS <= RS6000.SyscallUS {
+		t.Error("SUN4 syscalls should cost more than RS6000")
+	}
+	if SUN4.CopyUSPerKB <= RS6000.CopyUSPerKB {
+		t.Error("SUN4 copies should cost more than RS6000")
+	}
+}
+
+func TestSendCostScalesWithSize(t *testing.T) {
+	small := RS6000.sendCost(1)
+	large := RS6000.sendCost(64 * 1024)
+	if large <= small {
+		t.Fatalf("sendCost(64K)=%v <= sendCost(1)=%v", large, small)
+	}
+	// 64 KB at 12 µs/KB plus one 40 µs syscall ≈ 808 µs.
+	want := 808 * time.Microsecond
+	if large < want*9/10 || large > want*11/10 {
+		t.Fatalf("sendCost(64K) = %v, want ≈ %v", large, want)
+	}
+}
+
+func TestChunkedWritesPayPerChunk(t *testing.T) {
+	// SUN4 chunks at 1460: a 64 KB write pays ~45 syscalls.
+	one := SUN4.sendCost(1000)
+	big := SUN4.sendCost(64 * 1024)
+	chunks := (64*1024 + SUN4.WriteChunk - 1) / SUN4.WriteChunk
+	minWant := time.Duration(float64(chunks)*SUN4.SyscallUS) * time.Microsecond
+	if big < minWant {
+		t.Fatalf("sendCost(64K)=%v, want >= %v (%d chunked syscalls)", big, minWant, chunks)
+	}
+	if one >= big {
+		t.Fatal("larger writes must cost more")
+	}
+}
+
+func TestXDRCost(t *testing.T) {
+	if SUN4.XDRCost(0) != 0 {
+		t.Error("XDRCost(0) != 0")
+	}
+	got := SUN4.XDRCost(64 * 1024)
+	want := time.Duration(SUN4.XDRUSPerKB*64) * time.Microsecond
+	if got != want {
+		t.Errorf("XDRCost(64K) = %v, want %v", got, want)
+	}
+}
+
+func TestTaxedConnRoundTrip(t *testing.T) {
+	a, b := transport.HPIPair()
+	ta := Tax(a, RS6000)
+	tb := Tax(b, RS6000)
+	defer ta.Close()
+	defer tb.Close()
+
+	if ta.Kind() != transport.HPI {
+		t.Errorf("Kind = %v", ta.Kind())
+	}
+	if ta.Platform().Name != RS6000.Name {
+		t.Errorf("Platform = %v", ta.Platform().Name)
+	}
+
+	msg := make([]byte, 8*1024)
+	start := time.Now()
+	if err := ta.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msg) {
+		t.Fatalf("len = %d", len(got))
+	}
+	// Send tax (40 + 96 µs) + recv tax (40 + 96 µs) ≈ 272 µs minimum.
+	if el := time.Since(start); el < 250*time.Microsecond {
+		t.Fatalf("taxed round trip took %v; taxes not charged", el)
+	}
+}
+
+func TestTaxedConnRecvTimeout(t *testing.T) {
+	a, b := transport.HPIPair()
+	tb := Tax(b, RS6000)
+	defer a.Close()
+	defer tb.Close()
+
+	if _, err := tb.RecvTimeout(10 * time.Millisecond); err != transport.ErrRecvTimeout {
+		t.Fatalf("err = %v, want ErrRecvTimeout", err)
+	}
+	if err := a.Send([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.RecvTimeout(time.Second)
+	if err != nil || string(got) != "late" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestChargeShortDurationsSpin(t *testing.T) {
+	start := time.Now()
+	Charge(50 * time.Microsecond)
+	el := time.Since(start)
+	if el < 50*time.Microsecond {
+		t.Fatalf("Charge(50µs) returned after %v", el)
+	}
+	if el > 5*time.Millisecond {
+		t.Fatalf("Charge(50µs) took %v; spin loop broken", el)
+	}
+	Charge(0) // must not hang
+}

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// chunkedConn splits every outbound packet into chunks of at most
+// chunkSize bytes and reassembles inbound chunks back into whole
+// packets. It models a protocol stack that accepts only small writes
+// (the SunOS-era TCP path that p4 and MPICH rode): layered under a
+// platform tax, every chunk pays its own per-call costs, which is
+// exactly the behaviour behind the SUN-4 degradation in Figure 12.
+type chunkedConn struct {
+	inner Conn
+	chunk int
+
+	partial []byte // inbound reassembly
+}
+
+var _ Conn = (*chunkedConn)(nil)
+
+const chunkHeaderSize = 5 // 4-byte remaining-bytes counter + last flag
+
+// Chunked wraps conn so packets are carried as chunkSize-byte segments.
+// Both endpoints of a link must agree on using Chunked (the chunk sizes
+// may differ). chunkSize must be positive.
+func Chunked(conn Conn, chunkSize int) Conn {
+	if chunkSize <= 0 {
+		chunkSize = 1460
+	}
+	return &chunkedConn{inner: conn, chunk: chunkSize}
+}
+
+func (c *chunkedConn) Send(p []byte) error {
+	total := len(p)
+	if total == 0 {
+		return c.sendChunk(nil, true)
+	}
+	for off := 0; off < total; off += c.chunk {
+		hi := off + c.chunk
+		if hi > total {
+			hi = total
+		}
+		if err := c.sendChunk(p[off:hi], hi == total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *chunkedConn) sendChunk(body []byte, last bool) error {
+	buf := make([]byte, chunkHeaderSize+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	if last {
+		buf[4] = 1
+	}
+	copy(buf[chunkHeaderSize:], body)
+	return c.inner.Send(buf)
+}
+
+func (c *chunkedConn) Recv() ([]byte, error) {
+	for {
+		raw, err := c.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		done, msg, err := c.push(raw)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return msg, nil
+		}
+	}
+}
+
+func (c *chunkedConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(d)
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, ErrRecvTimeout
+		}
+		raw, err := c.inner.RecvTimeout(remain)
+		if err != nil {
+			return nil, err
+		}
+		done, msg, err := c.push(raw)
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			return msg, nil
+		}
+	}
+}
+
+func (c *chunkedConn) push(raw []byte) (bool, []byte, error) {
+	if len(raw) < chunkHeaderSize {
+		return false, nil, ErrConnClosed
+	}
+	n := binary.BigEndian.Uint32(raw)
+	last := raw[4] == 1
+	body := raw[chunkHeaderSize:]
+	if int(n) <= len(body) {
+		body = body[:n]
+	}
+	c.partial = append(c.partial, body...)
+	if !last {
+		return false, nil, nil
+	}
+	msg := c.partial
+	c.partial = nil
+	return true, msg, nil
+}
+
+func (c *chunkedConn) Close() error { return c.inner.Close() }
+
+func (c *chunkedConn) MaxPacket() int { return 0 }
+
+func (c *chunkedConn) Kind() Kind { return c.inner.Kind() }

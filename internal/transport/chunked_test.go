@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingConn counts Send calls beneath the chunker.
+type countingConn struct {
+	Conn
+	sends atomic.Int32
+}
+
+func (c *countingConn) Send(p []byte) error {
+	c.sends.Add(1)
+	return c.Conn.Send(p)
+}
+
+func TestChunkedRoundTrip(t *testing.T) {
+	a, b := HPIPair()
+	ca := Chunked(a, 100)
+	cb := Chunked(b, 100)
+	defer ca.Close()
+	defer cb.Close()
+
+	sizes := []int{0, 1, 99, 100, 101, 1000, 64 * 1024}
+	for _, n := range sizes {
+		msg := bytes.Repeat([]byte{byte(n)}, n)
+		if err := ca.Send(msg); err != nil {
+			t.Fatalf("send %d: %v", n, err)
+		}
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", n, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("size %d mismatch (got %d)", n, len(got))
+		}
+	}
+}
+
+func TestChunkedSplitsWrites(t *testing.T) {
+	a, b := HPIPair()
+	counter := &countingConn{Conn: a}
+	ca := Chunked(counter, 1460)
+	cb := Chunked(b, 1460)
+	defer ca.Close()
+	defer cb.Close()
+
+	if err := ca.Send(make([]byte, 64*1024)); err != nil {
+		t.Fatal(err)
+	}
+	wantChunks := int32((64*1024 + 1459) / 1460)
+	if got := counter.sends.Load(); got != wantChunks {
+		t.Fatalf("sends = %d, want %d", got, wantChunks)
+	}
+	if _, err := cb.Recv(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkedMixedSizesPreserveBoundaries(t *testing.T) {
+	a, b := HPIPair()
+	ca := Chunked(a, 64)
+	cb := Chunked(b, 64)
+	defer ca.Close()
+	defer cb.Close()
+
+	for i := 1; i <= 10; i++ {
+		if err := ca.Send(bytes.Repeat([]byte{byte(i)}, i*50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 10; i++ {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != i*50 || got[0] != byte(i) {
+			t.Fatalf("message %d: len=%d first=%d", i, len(got), got[0])
+		}
+	}
+}
+
+func TestChunkedRecvTimeout(t *testing.T) {
+	a, b := HPIPair()
+	ca := Chunked(a, 32)
+	cb := Chunked(b, 32)
+	defer ca.Close()
+	defer cb.Close()
+
+	if _, err := cb.RecvTimeout(10 * time.Millisecond); err != ErrRecvTimeout {
+		t.Fatalf("err = %v, want ErrRecvTimeout", err)
+	}
+	if err := ca.Send([]byte("arrives")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.RecvTimeout(time.Second)
+	if err != nil || string(got) != "arrives" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestChunkedDefaultSize(t *testing.T) {
+	a, b := HPIPair()
+	ca := Chunked(a, 0) // defaults to 1460
+	cb := Chunked(b, 0)
+	defer ca.Close()
+	defer cb.Close()
+	if err := ca.Send(make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cb.Recv()
+	if err != nil || len(got) != 5000 {
+		t.Fatalf("len=%d err=%v", len(got), err)
+	}
+}

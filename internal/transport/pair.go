@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"fmt"
+
+	"ncs/internal/atm"
+)
+
+// PairConfig controls NewPair.
+type PairConfig struct {
+	Kind Kind
+	// QoS applies to ACI pairs.
+	QoS atm.QoS
+}
+
+// NewPair returns two connected Conns of the requested kind, plus a
+// cleanup function. It hides the per-interface setup (TCP listener
+// handshake, ATM signaling) so tests and benchmarks can get a connected
+// pair in one call.
+func NewPair(cfg PairConfig) (a, b Conn, cleanup func(), err error) {
+	switch cfg.Kind {
+	case HPI:
+		a, b = HPIPair()
+		return a, b, func() { a.Close(); b.Close() }, nil
+
+	case ACI:
+		nw := atm.NewNetwork()
+		h1 := nw.Host("pair-a")
+		h2 := nw.Host("pair-b")
+		acceptCh := make(chan *atm.VC, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			vc, err := h2.Accept()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			acceptCh <- vc
+		}()
+		out, err := h1.Dial("pair-b", cfg.QoS)
+		if err != nil {
+			nw.Close()
+			return nil, nil, nil, err
+		}
+		select {
+		case vc := <-acceptCh:
+			a, b = NewACI(out), NewACI(vc)
+			return a, b, func() { a.Close(); b.Close(); nw.Close() }, nil
+		case err := <-errCh:
+			nw.Close()
+			return nil, nil, nil, err
+		}
+
+	case SCI:
+		l, err := ListenSCI("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		connCh := make(chan Conn, 1)
+		errCh := make(chan error, 1)
+		go func() {
+			c, err := l.Accept()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			connCh <- c
+		}()
+		out, err := DialSCI(l.Addr())
+		if err != nil {
+			l.Close()
+			return nil, nil, nil, err
+		}
+		select {
+		case in := <-connCh:
+			return out, in, func() { out.Close(); in.Close(); l.Close() }, nil
+		case err := <-errCh:
+			out.Close()
+			l.Close()
+			return nil, nil, nil, err
+		}
+
+	default:
+		return nil, nil, nil, fmt.Errorf("transport: unknown kind %v", cfg.Kind)
+	}
+}

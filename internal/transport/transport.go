@@ -1,0 +1,332 @@
+// Package transport provides the three NCS application communication
+// interfaces behind a single abstraction:
+//
+//   - SCI (Socket Communication Interface): TCP with length-prefix
+//     framing. Portable; flow and error control are inherited from
+//     TCP/IP, so NCS connections over SCI normally bypass the Flow
+//     Control and Error Control Threads (§3.1, final paragraph).
+//   - ACI (ATM Communication Interface): AAL5 frames over a simulated
+//     ATM virtual circuit with per-connection QoS. No built-in flow or
+//     error control — precisely why NCS supplies its own, selectable
+//     per connection.
+//   - HPI (High Performance Interface): an in-process, trap-style
+//     interface with minimal per-message overhead, standing in for the
+//     modified-firmware path the paper targets at tightly-coupled
+//     homogeneous clusters.
+//
+// A Conn is datagram-oriented: packet boundaries are preserved, because
+// the NCS data plane exchanges discrete SDUs.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"ncs/internal/atm"
+	"ncs/internal/netsim"
+)
+
+// Kind identifies which communication interface a Conn uses.
+type Kind int
+
+// The three NCS application communication interfaces.
+const (
+	SCI Kind = iota + 1
+	ACI
+	HPI
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SCI:
+		return "SCI"
+	case ACI:
+		return "ACI"
+	case HPI:
+		return "HPI"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Reliable reports whether the interface provides loss-free, ordered
+// delivery by itself (true only for SCI/TCP and the in-process HPI).
+// Connections over unreliable interfaces need NCS error control.
+func (k Kind) Reliable() bool { return k == SCI || k == HPI }
+
+// Errors returned by Conn operations.
+var (
+	// ErrConnClosed is returned by operations on a closed Conn.
+	ErrConnClosed = errors.New("transport: connection closed")
+	// ErrRecvTimeout is returned by RecvTimeout when the deadline passes.
+	ErrRecvTimeout = errors.New("transport: receive timeout")
+)
+
+// Conn is a duplex, packet-boundary-preserving connection.
+type Conn interface {
+	// Send transmits one packet. The implementation copies p if it
+	// needs to retain it.
+	Send(p []byte) error
+	// Recv blocks for the next packet.
+	Recv() ([]byte, error)
+	// RecvTimeout is Recv with a deadline; it returns ErrRecvTimeout if
+	// no packet arrives in time. On SCI a timeout that lands mid-packet
+	// desynchronises the stream and surfaces as a hard error; use
+	// generous deadlines on SCI.
+	RecvTimeout(d time.Duration) ([]byte, error)
+	// Close releases the connection. Blocked Recv calls return an error.
+	Close() error
+	// MaxPacket is the largest packet Send accepts; 0 means unlimited.
+	MaxPacket() int
+	// Kind reports the interface type.
+	Kind() Kind
+}
+
+// Listener accepts inbound connections for one interface kind.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr returns the listener's address in a form Dial understands.
+	Addr() string
+}
+
+// ---------------------------------------------------------------------------
+// SCI: TCP with 4-byte big-endian length prefixes.
+
+type sciConn struct {
+	c net.Conn
+
+	readMu  sync.Mutex
+	writeMu sync.Mutex
+	lenBuf  [4]byte
+}
+
+var _ Conn = (*sciConn)(nil)
+
+// DialSCI connects to a ListenSCI address ("host:port").
+func DialSCI(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sci dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &sciConn{c: c}, nil
+}
+
+type sciListener struct{ l net.Listener }
+
+var _ Listener = (*sciListener)(nil)
+
+// ListenSCI listens on a TCP address; pass "127.0.0.1:0" for an
+// ephemeral local port.
+func ListenSCI(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sci listen %s: %w", addr, err)
+	}
+	return &sciListener{l: l}, nil
+}
+
+func (l *sciListener) Accept() (Conn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	return &sciConn{c: c}, nil
+}
+
+func (l *sciListener) Close() error { return l.l.Close() }
+func (l *sciListener) Addr() string { return l.l.Addr().String() }
+
+func (s *sciConn) Send(p []byte) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(p)))
+	if _, err := s.c.Write(lenBuf[:]); err != nil {
+		return s.mapErr(err)
+	}
+	if _, err := s.c.Write(p); err != nil {
+		return s.mapErr(err)
+	}
+	return nil
+}
+
+func (s *sciConn) Recv() ([]byte, error) {
+	s.readMu.Lock()
+	defer s.readMu.Unlock()
+	if _, err := io.ReadFull(s.c, s.lenBuf[:]); err != nil {
+		return nil, s.mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(s.lenBuf[:])
+	p := make([]byte, n)
+	if _, err := io.ReadFull(s.c, p); err != nil {
+		return nil, s.mapErr(err)
+	}
+	return p, nil
+}
+
+func (s *sciConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	s.readMu.Lock()
+	defer s.readMu.Unlock()
+	if err := s.c.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, s.mapErr(err)
+	}
+	defer s.c.SetReadDeadline(time.Time{})
+
+	n0, err := io.ReadFull(s.c, s.lenBuf[:])
+	if err != nil {
+		if n0 == 0 && isTimeout(err) {
+			return nil, ErrRecvTimeout
+		}
+		return nil, s.mapErr(err)
+	}
+	n := binary.BigEndian.Uint32(s.lenBuf[:])
+	p := make([]byte, n)
+	if _, err := io.ReadFull(s.c, p); err != nil {
+		// A timeout here means the stream is desynchronised; surface it
+		// as a hard error rather than ErrRecvTimeout.
+		return nil, s.mapErr(err)
+	}
+	return p, nil
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+func (s *sciConn) Close() error   { return s.c.Close() }
+func (s *sciConn) MaxPacket() int { return 0 }
+func (s *sciConn) Kind() Kind     { return SCI }
+func (s *sciConn) mapErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+		return ErrConnClosed
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// ACI: AAL5 frames over a simulated ATM VC.
+
+type aciConn struct{ vc *atm.VC }
+
+var _ Conn = (*aciConn)(nil)
+
+// NewACI wraps an established ATM virtual circuit as a Conn.
+func NewACI(vc *atm.VC) Conn { return &aciConn{vc: vc} }
+
+func (a *aciConn) Send(p []byte) error {
+	if err := a.vc.SendFrame(p); err != nil {
+		if errors.Is(err, atm.ErrVCClosed) {
+			return ErrConnClosed
+		}
+		return err
+	}
+	return nil
+}
+
+func (a *aciConn) Recv() ([]byte, error) {
+	p, err := a.vc.RecvFrame()
+	if err != nil {
+		if errors.Is(err, atm.ErrVCClosed) {
+			return nil, ErrConnClosed
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *aciConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	p, err := a.vc.RecvFrameTimeout(d)
+	if err != nil {
+		switch {
+		case errors.Is(err, atm.ErrRecvTimeout):
+			return nil, ErrRecvTimeout
+		case errors.Is(err, atm.ErrVCClosed):
+			return nil, ErrConnClosed
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *aciConn) Close() error   { return a.vc.Close() }
+func (a *aciConn) MaxPacket() int { return atm.MaxFrameSize }
+func (a *aciConn) Kind() Kind     { return ACI }
+
+// VC exposes the underlying circuit (for QoS inspection and loss stats).
+func (a *aciConn) VC() *atm.VC { return a.vc }
+
+// ACIStats extracts frame-drop statistics if c is an ACI connection.
+func ACIStats(c Conn) (dropped int, ok bool) {
+	a, isACI := c.(*aciConn)
+	if !isACI {
+		return 0, false
+	}
+	return a.vc.FramesDropped(), true
+}
+
+// ---------------------------------------------------------------------------
+// HPI: in-process shared-memory style interface.
+
+type hpiConn struct{ ep *netsim.Endpoint }
+
+var _ Conn = (*hpiConn)(nil)
+
+// HPIPair returns two connected HPI endpoints. The underlying channel is
+// an in-process queue with no simulated bandwidth or delay, modelling a
+// trap/firmware interface on a tightly coupled cluster.
+func HPIPair() (Conn, Conn) {
+	a, b := netsim.Pipe(netsim.LoopbackParams(), netsim.LoopbackParams())
+	return &hpiConn{ep: a}, &hpiConn{ep: b}
+}
+
+// HPIPairWithParams returns a connected HPI pair whose two directions
+// use the given link parameters — useful for tests that need loss or
+// bounded buffers without the ATM cell machinery.
+func HPIPairWithParams(aToB, bToA netsim.Params) (Conn, Conn) {
+	a, b := netsim.Pipe(aToB, bToA)
+	return &hpiConn{ep: a}, &hpiConn{ep: b}
+}
+
+func (h *hpiConn) Send(p []byte) error {
+	if err := h.ep.Send(p); err != nil {
+		return ErrConnClosed
+	}
+	return nil
+}
+
+func (h *hpiConn) Recv() ([]byte, error) {
+	p, err := h.ep.Recv()
+	if err != nil {
+		return nil, ErrConnClosed
+	}
+	return p, nil
+}
+
+func (h *hpiConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	p, err := h.ep.RecvTimeout(d)
+	if err != nil {
+		if errors.Is(err, netsim.ErrTimeout) {
+			return nil, ErrRecvTimeout
+		}
+		return nil, ErrConnClosed
+	}
+	return p, nil
+}
+
+func (h *hpiConn) Close() error   { return h.ep.Close() }
+func (h *hpiConn) MaxPacket() int { return 0 }
+func (h *hpiConn) Kind() Kind     { return HPI }

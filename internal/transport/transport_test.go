@@ -1,0 +1,272 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"ncs/internal/atm"
+	"ncs/internal/netsim"
+)
+
+func allKinds() []Kind { return []Kind{SCI, ACI, HPI} }
+
+func TestPairRoundTripAllKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			msgs := [][]byte{
+				[]byte(""),
+				[]byte("x"),
+				bytes.Repeat([]byte("abc"), 1000),
+				make([]byte, 60000),
+			}
+			for i, m := range msgs {
+				if err := a.Send(m); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+				got, err := b.Recv()
+				if err != nil {
+					t.Fatalf("recv %d: %v", i, err)
+				}
+				if !bytes.Equal(got, m) {
+					t.Fatalf("msg %d: got %d bytes, want %d", i, len(got), len(m))
+				}
+			}
+		})
+	}
+}
+
+func TestPacketBoundariesPreserved(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			for i := 1; i <= 20; i++ {
+				if err := a.Send(bytes.Repeat([]byte{byte(i)}, i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 1; i <= 20; i++ {
+				p, err := b.Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(p) != i || p[0] != byte(i) {
+					t.Fatalf("packet %d: len=%d first=%d", i, len(p), p[0])
+				}
+			}
+		})
+	}
+}
+
+func TestDuplexAllKinds(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			if err := a.Send([]byte("ping")); err != nil {
+				t.Fatal(err)
+			}
+			if p, _ := b.Recv(); string(p) != "ping" {
+				t.Fatalf("got %q", p)
+			}
+			if err := b.Send([]byte("pong")); err != nil {
+				t.Fatal(err)
+			}
+			if p, _ := a.Recv(); string(p) != "pong" {
+				t.Fatalf("got %q", p)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := b.Recv(); err == nil {
+					t.Error("Recv returned nil error after peer close")
+				}
+			}()
+			a.Close()
+			// For SCI the peer sees EOF; for ACI/HPI the pipe closes.
+			b.Close()
+			wg.Wait()
+		})
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	if !SCI.Reliable() || !HPI.Reliable() {
+		t.Error("SCI and HPI must be reliable")
+	}
+	if ACI.Reliable() {
+		t.Error("ACI must be unreliable (NCS provides its own error control)")
+	}
+	if SCI.String() != "SCI" || ACI.String() != "ACI" || HPI.String() != "HPI" {
+		t.Error("Kind.String misbehaving")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}
+
+func TestACIMaxPacket(t *testing.T) {
+	a, b, cleanup, err := NewPair(PairConfig{Kind: ACI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	_ = b
+	if a.MaxPacket() != atm.MaxFrameSize {
+		t.Fatalf("ACI MaxPacket = %d, want %d", a.MaxPacket(), atm.MaxFrameSize)
+	}
+	if err := a.Send(make([]byte, atm.MaxFrameSize+1)); err == nil {
+		t.Fatal("oversized ACI packet accepted")
+	}
+}
+
+func TestACILossStats(t *testing.T) {
+	a, b, cleanup, err := NewPair(PairConfig{
+		Kind: ACI,
+		QoS:  atm.QoS{CellLossRate: 0.5, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	// Multi-cell frames: partial cell loss leaves evidence (a frame that
+	// fails CRC/length), unlike single-cell frames that vanish whole.
+	for i := 0; i < 30; i++ {
+		if err := a.Send(bytes.Repeat([]byte{byte(i)}, 500)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	for {
+		if _, err := b.Recv(); err != nil {
+			break
+		}
+	}
+	dropped, ok := ACIStats(b)
+	if !ok {
+		t.Fatal("ACIStats not available on ACI conn")
+	}
+	if dropped == 0 {
+		t.Fatal("expected frame drops at 50% cell loss")
+	}
+	if _, ok := ACIStats(a); !ok {
+		t.Fatal("ACIStats should work on sender side too")
+	}
+}
+
+func TestHPIPairWithParams(t *testing.T) {
+	a, b := HPIPairWithParams(
+		netsim.Params{LossRate: 1.0},
+		netsim.Params{},
+	)
+	defer b.Close()
+	for i := 0; i < 3; i++ {
+		if err := a.Send([]byte("gone")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	if _, err := b.Recv(); err != ErrConnClosed {
+		t.Fatalf("err = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestSendAfterCloseErrors(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+			_ = b
+			a.Close()
+			if err := a.Send([]byte("x")); err == nil {
+				t.Fatal("Send after Close succeeded")
+			}
+		})
+	}
+}
+
+func TestConcurrentSendersInterleave(t *testing.T) {
+	for _, k := range allKinds() {
+		t.Run(k.String(), func(t *testing.T) {
+			a, b, cleanup, err := NewPair(PairConfig{Kind: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cleanup()
+
+			const senders, per = 4, 20
+			var wg sync.WaitGroup
+			for s := 0; s < senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					payload := bytes.Repeat([]byte{byte(s + 1)}, 100)
+					for i := 0; i < per; i++ {
+						if err := a.Send(payload); err != nil {
+							t.Errorf("send: %v", err)
+							return
+						}
+					}
+				}(s)
+			}
+			recvDone := make(chan struct{})
+			go func() {
+				defer close(recvDone)
+				for i := 0; i < senders*per; i++ {
+					p, err := b.Recv()
+					if err != nil {
+						t.Errorf("recv: %v", err)
+						return
+					}
+					// Each packet must be internally consistent (no
+					// interleaving of two senders' bytes).
+					if len(p) != 100 {
+						t.Errorf("packet len %d", len(p))
+						return
+					}
+					for _, c := range p {
+						if c != p[0] {
+							t.Error("interleaved packet bytes")
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			<-recvDone
+		})
+	}
+}

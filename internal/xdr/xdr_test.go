@@ -1,0 +1,218 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	e := NewEncoder(64)
+	e.PutUint32(0xdeadbeef)
+	e.PutInt32(-42)
+	e.PutUint64(1 << 40)
+	e.PutInt64(-1 << 40)
+	e.PutBool(true)
+	e.PutBool(false)
+	e.PutFloat32(3.5)
+	e.PutFloat64(-2.25)
+
+	d := NewDecoder(e.Bytes())
+	if v, err := d.Uint32(); err != nil || v != 0xdeadbeef {
+		t.Fatalf("Uint32 = %v, %v", v, err)
+	}
+	if v, err := d.Int32(); err != nil || v != -42 {
+		t.Fatalf("Int32 = %v, %v", v, err)
+	}
+	if v, err := d.Uint64(); err != nil || v != 1<<40 {
+		t.Fatalf("Uint64 = %v, %v", v, err)
+	}
+	if v, err := d.Int64(); err != nil || v != -1<<40 {
+		t.Fatalf("Int64 = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != true {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Bool(); err != nil || v != false {
+		t.Fatalf("Bool = %v, %v", v, err)
+	}
+	if v, err := d.Float32(); err != nil || v != 3.5 {
+		t.Fatalf("Float32 = %v, %v", v, err)
+	}
+	if v, err := d.Float64(); err != nil || v != -2.25 {
+		t.Fatalf("Float64 = %v, %v", v, err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", d.Remaining())
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		e := NewEncoder(32)
+		payload := bytes.Repeat([]byte{0xab}, n)
+		e.PutOpaque(payload)
+		if e.Len()%4 != 0 {
+			t.Errorf("len(%d-byte opaque) = %d, not 4-aligned", n, e.Len())
+		}
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		if err != nil {
+			t.Fatalf("Opaque(%d): %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("Opaque(%d) round trip mismatch", n)
+		}
+		if d.Remaining() != 0 {
+			t.Errorf("Opaque(%d) left %d bytes", n, d.Remaining())
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	tests := []string{"", "a", "hello", "padded!", "exact４"}
+	for _, s := range tests {
+		e := NewEncoder(32)
+		e.PutString(s)
+		d := NewDecoder(e.Bytes())
+		got, err := d.String()
+		if err != nil {
+			t.Fatalf("String(%q): %v", s, err)
+		}
+		if got != s {
+			t.Errorf("String(%q) = %q", s, got)
+		}
+	}
+}
+
+func TestSlices(t *testing.T) {
+	ints := []int32{1, -2, 3, math.MaxInt32, math.MinInt32}
+	floats := []float64{0, 1.5, -2.25, math.Inf(1)}
+
+	e := NewEncoder(128)
+	e.PutInt32Slice(ints)
+	e.PutFloat64Slice(floats)
+
+	d := NewDecoder(e.Bytes())
+	gotInts, err := d.Int32Slice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ints {
+		if gotInts[i] != ints[i] {
+			t.Errorf("int[%d] = %d, want %d", i, gotInts[i], ints[i])
+		}
+	}
+	gotFloats, err := d.Float64Slice()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range floats {
+		if gotFloats[i] != floats[i] {
+			t.Errorf("float[%d] = %v, want %v", i, gotFloats[i], floats[i])
+		}
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{0, 0})
+	if _, err := d.Uint32(); err != ErrShortBuffer {
+		t.Errorf("Uint32 on short buffer: err = %v", err)
+	}
+	if _, err := d.Uint64(); err != ErrShortBuffer {
+		t.Errorf("Uint64 on short buffer: err = %v", err)
+	}
+	// Opaque claiming more data than present.
+	e := NewEncoder(8)
+	e.PutUint32(100)
+	d = NewDecoder(e.Bytes())
+	if _, err := d.Opaque(); err != ErrShortBuffer {
+		t.Errorf("Opaque with bogus length: err = %v", err)
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	e := NewEncoder(4)
+	e.PutUint32(7)
+	d := NewDecoder(e.Bytes())
+	if _, err := d.Bool(); err == nil {
+		t.Error("Bool(7) succeeded, want error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	e := NewEncoder(8)
+	e.PutUint32(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.PutUint32(2)
+	d := NewDecoder(e.Bytes())
+	if v, _ := d.Uint32(); v != 2 {
+		t.Fatalf("after Reset got %d, want 2", v)
+	}
+}
+
+// Property: any byte slice round-trips through opaque encoding.
+func TestQuickOpaqueRoundTrip(t *testing.T) {
+	f := func(p []byte) bool {
+		e := NewEncoder(len(p) + 8)
+		e.PutOpaque(p)
+		d := NewDecoder(e.Bytes())
+		got, err := d.Opaque()
+		return err == nil && bytes.Equal(got, p) && d.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mixed scalar sequences round-trip.
+func TestQuickScalarRoundTrip(t *testing.T) {
+	f := func(a int32, b uint64, c float64, s string) bool {
+		e := NewEncoder(64)
+		e.PutInt32(a)
+		e.PutUint64(b)
+		e.PutFloat64(c)
+		e.PutString(s)
+		d := NewDecoder(e.Bytes())
+		ga, err1 := d.Int32()
+		gb, err2 := d.Uint64()
+		gc, err3 := d.Float64()
+		gs, err4 := d.String()
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return false
+		}
+		// NaN != NaN; compare bit patterns.
+		return ga == a && gb == b &&
+			math.Float64bits(gc) == math.Float64bits(c) && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoded length is always 4-byte aligned.
+func TestQuickAlignment(t *testing.T) {
+	f := func(p []byte, s string) bool {
+		e := NewEncoder(0)
+		e.PutOpaque(p)
+		e.PutString(s)
+		return e.Len()%4 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeOpaque4K(b *testing.B) {
+	p := make([]byte, 4096)
+	e := NewEncoder(4200)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		e.PutOpaque(p)
+	}
+}

@@ -1,0 +1,173 @@
+package ncs
+
+import (
+	"errors"
+	"fmt"
+
+	"ncs/internal/xdr"
+)
+
+// ErrDecode is returned when a typed message cannot be decoded.
+var ErrDecode = errors.New("ncs: typed message decode failed")
+
+// Packer builds a typed message in external data representation, the
+// way PVM's pvm_pk* family does: values packed on any platform unpack
+// identically on any other, which is what lets one NCS program span
+// the heterogeneous clusters of Figure 3. Use NewPacker, pack values
+// in order, then Send the Bytes over any connection; the receiver
+// unpacks with an Unpacker in the same order.
+type Packer struct {
+	enc *xdr.Encoder
+}
+
+// NewPacker returns an empty Packer.
+func NewPacker() *Packer { return &Packer{enc: xdr.NewEncoder(64)} }
+
+// Int64 packs a 64-bit integer.
+func (p *Packer) Int64(v int64) *Packer { p.enc.PutInt64(v); return p }
+
+// Uint32 packs a 32-bit unsigned integer.
+func (p *Packer) Uint32(v uint32) *Packer { p.enc.PutUint32(v); return p }
+
+// Float64 packs a double.
+func (p *Packer) Float64(v float64) *Packer { p.enc.PutFloat64(v); return p }
+
+// Bool packs a boolean.
+func (p *Packer) Bool(v bool) *Packer { p.enc.PutBool(v); return p }
+
+// String packs a string.
+func (p *Packer) String(s string) *Packer { p.enc.PutString(s); return p }
+
+// Bytes packs opaque bytes.
+func (p *Packer) Bytes(b []byte) *Packer { p.enc.PutOpaque(b); return p }
+
+// Float64s packs a counted slice of doubles.
+func (p *Packer) Float64s(vs []float64) *Packer { p.enc.PutFloat64Slice(vs); return p }
+
+// Int32s packs a counted slice of 32-bit integers.
+func (p *Packer) Int32s(vs []int32) *Packer { p.enc.PutInt32Slice(vs); return p }
+
+// Message returns the packed wire form, ready for Connection.Send or
+// any group collective.
+func (p *Packer) Message() []byte { return p.enc.Bytes() }
+
+// Unpacker decodes a typed message produced by a Packer. Each method
+// consumes the next value; types and order must match the packing
+// side. The first failure sticks: subsequent calls return zero values
+// and Err reports the cause.
+type Unpacker struct {
+	dec *xdr.Decoder
+	err error
+}
+
+// NewUnpacker reads the typed message in p.
+func NewUnpacker(p []byte) *Unpacker { return &Unpacker{dec: xdr.NewDecoder(p)} }
+
+// Err returns the first decode error, if any.
+func (u *Unpacker) Err() error { return u.err }
+
+func fail[T any](u *Unpacker, err error) T {
+	var zero T
+	if u.err == nil {
+		u.err = fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return zero
+}
+
+// Int64 unpacks a 64-bit integer.
+func (u *Unpacker) Int64() int64 {
+	if u.err != nil {
+		return 0
+	}
+	v, err := u.dec.Int64()
+	if err != nil {
+		return fail[int64](u, err)
+	}
+	return v
+}
+
+// Uint32 unpacks a 32-bit unsigned integer.
+func (u *Unpacker) Uint32() uint32 {
+	if u.err != nil {
+		return 0
+	}
+	v, err := u.dec.Uint32()
+	if err != nil {
+		return fail[uint32](u, err)
+	}
+	return v
+}
+
+// Float64 unpacks a double.
+func (u *Unpacker) Float64() float64 {
+	if u.err != nil {
+		return 0
+	}
+	v, err := u.dec.Float64()
+	if err != nil {
+		return fail[float64](u, err)
+	}
+	return v
+}
+
+// Bool unpacks a boolean.
+func (u *Unpacker) Bool() bool {
+	if u.err != nil {
+		return false
+	}
+	v, err := u.dec.Bool()
+	if err != nil {
+		return fail[bool](u, err)
+	}
+	return v
+}
+
+// String unpacks a string.
+func (u *Unpacker) String() string {
+	if u.err != nil {
+		return ""
+	}
+	v, err := u.dec.String()
+	if err != nil {
+		return fail[string](u, err)
+	}
+	return v
+}
+
+// Bytes unpacks opaque bytes (copied; safe to retain).
+func (u *Unpacker) Bytes() []byte {
+	if u.err != nil {
+		return nil
+	}
+	v, err := u.dec.Opaque()
+	if err != nil {
+		return fail[[]byte](u, err)
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out
+}
+
+// Float64s unpacks a counted slice of doubles.
+func (u *Unpacker) Float64s() []float64 {
+	if u.err != nil {
+		return nil
+	}
+	v, err := u.dec.Float64Slice()
+	if err != nil {
+		return fail[[]float64](u, err)
+	}
+	return v
+}
+
+// Int32s unpacks a counted slice of 32-bit integers.
+func (u *Unpacker) Int32s() []int32 {
+	if u.err != nil {
+		return nil
+	}
+	v, err := u.dec.Int32Slice()
+	if err != nil {
+		return fail[[]int32](u, err)
+	}
+	return v
+}

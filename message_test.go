@@ -1,0 +1,118 @@
+package ncs_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ncs"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	msg := ncs.NewPacker().
+		Int64(-42).
+		Uint32(7).
+		Float64(3.14159).
+		Bool(true).
+		String("typed message").
+		Bytes([]byte{1, 2, 3}).
+		Float64s([]float64{1.5, -2.5}).
+		Int32s([]int32{10, -20, 30}).
+		Message()
+
+	u := ncs.NewUnpacker(msg)
+	if got := u.Int64(); got != -42 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := u.Uint32(); got != 7 {
+		t.Fatalf("Uint32 = %d", got)
+	}
+	if got := u.Float64(); got != 3.14159 {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if !u.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if got := u.String(); got != "typed message" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := u.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("Bytes = %v", got)
+	}
+	if got := u.Float64s(); len(got) != 2 || got[0] != 1.5 {
+		t.Fatalf("Float64s = %v", got)
+	}
+	if got := u.Int32s(); len(got) != 3 || got[1] != -20 {
+		t.Fatalf("Int32s = %v", got)
+	}
+	if u.Err() != nil {
+		t.Fatal(u.Err())
+	}
+}
+
+func TestUnpackerErrorSticks(t *testing.T) {
+	u := ncs.NewUnpacker([]byte{0, 0}) // too short for anything
+	_ = u.Int64()
+	if u.Err() == nil {
+		t.Fatal("short decode succeeded")
+	}
+	// Subsequent reads return zero values, not panics.
+	if u.String() != "" || u.Bytes() != nil || u.Float64() != 0 {
+		t.Fatal("post-error reads returned non-zero values")
+	}
+}
+
+func TestTypedMessageOverConnection(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "tm-a", "tm-b", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		msg := ncs.NewPacker().
+			String("result").
+			Float64s([]float64{math.Pi, math.E}).
+			Message()
+		_ = conn.Send(msg)
+	}()
+	raw, err := peer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ncs.NewUnpacker(raw)
+	if got := u.String(); got != "result" {
+		t.Fatalf("label = %q", got)
+	}
+	vals := u.Float64s()
+	if u.Err() != nil || len(vals) != 2 || vals[0] != math.Pi {
+		t.Fatalf("vals = %v, err = %v", vals, u.Err())
+	}
+}
+
+func TestQuickPackUnpack(t *testing.T) {
+	f := func(i int64, s string, b []byte, fs []float64) bool {
+		msg := ncs.NewPacker().Int64(i).String(s).Bytes(b).Float64s(fs).Message()
+		u := ncs.NewUnpacker(msg)
+		gi := u.Int64()
+		gs := u.String()
+		gb := u.Bytes()
+		gf := u.Float64s()
+		if u.Err() != nil {
+			return false
+		}
+		if gi != i || gs != s || !bytes.Equal(gb, b) || len(gf) != len(fs) {
+			return false
+		}
+		for k := range fs {
+			if math.Float64bits(gf[k]) != math.Float64bits(fs[k]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

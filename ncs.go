@@ -1,0 +1,220 @@
+// Package ncs is a Go implementation of NCS — the NYNET Communication
+// System — the multithreaded message-passing system for high performance
+// distributed computing described in:
+//
+//	Park, Lee, Hariri. "A Multithreaded Message-Passing System for High
+//	Performance Distributed Computing Applications." Syracuse
+//	University, 1998.
+//
+// NCS provides low-latency, high-throughput communication services whose
+// behaviour is selected per connection at runtime:
+//
+//   - three communication interfaces: SCI (sockets, portable), ACI
+//     (ATM virtual circuits with per-connection QoS, simulated), and
+//     HPI (a trap-style in-process interface for tightly coupled
+//     clusters);
+//   - flow control algorithms: credit-based (default), window-based,
+//     rate-based, or none;
+//   - error control algorithms: selective repeat (default), go-back-N,
+//     or none;
+//   - multicast algorithms for group communication: repetitive
+//     send/receive or a binomial spanning tree;
+//   - separated control and data connections: acknowledgments and
+//     credits never compete with payload for data-path bandwidth;
+//   - a thread-per-function runtime (Master, Flow Control, Error
+//     Control, Control Send/Receive, and per-connection Send/Receive
+//     threads) plus a thread-bypassing fast path for latency-critical
+//     connections (§4.2 of the paper).
+//
+// # Quick start
+//
+//	nw := ncs.NewNetwork()
+//	defer nw.Close()
+//
+//	alice, _ := nw.NewSystem("alice")
+//	bob, _ := nw.NewSystem("bob")
+//
+//	conn, _ := alice.Connect("bob", ncs.Options{Interface: ncs.HPI})
+//	peer, _ := bob.Accept()
+//
+//	go conn.Send([]byte("hello, NCS"))
+//	msg, _ := peer.Recv()
+//
+// Connections are full duplex; Send blocks until the transfer completes
+// under the connection's error control scheme. Group communication
+// (broadcast, reduce, barrier) is built with BuildGroup.
+package ncs
+
+import (
+	"ncs/internal/atm"
+	"ncs/internal/core"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/group"
+	"ncs/internal/mcast"
+	"ncs/internal/thread"
+	"ncs/internal/transport"
+)
+
+// Core runtime types.
+type (
+	// Network is the signaling fabric binding Systems together.
+	Network = core.Network
+	// System is one NCS process attached to a Network.
+	System = core.System
+	// Connection is a configured point-to-point NCS connection.
+	Connection = core.Connection
+	// Options selects a connection's interface, flow control, error
+	// control, SDU size, QoS, and fast-path mode.
+	Options = core.Options
+	// Message is a received payload plus loss metadata (unreliable
+	// connections report how many SDUs never arrived).
+	Message = core.Message
+	// SendTrace is the Table I per-stage send-cost breakdown captured
+	// by Connection.SendInstrumented.
+	SendTrace = core.SendTrace
+	// Stats are the cumulative per-connection counters returned by
+	// Connection.Stats.
+	Stats = core.Stats
+	// QoS is the ATM traffic contract applied to ACI connections.
+	QoS = atm.QoS
+	// Topology is a switched ATM fabric: switches, capacity-managed
+	// links, and host attachments. ACI connections over a topology are
+	// routed hop by hop and admitted against link capacity.
+	Topology = atm.Topology
+	// LinkSpec describes one physical link of a Topology.
+	LinkSpec = atm.LinkSpec
+	// Group is a process group supporting broadcast, reduce, allreduce
+	// and barrier over a selectable multicast algorithm.
+	Group = group.Group
+	// ReduceOp combines two partial reduction values.
+	ReduceOp = group.ReduceOp
+	// FlowConfig tunes the selected flow control algorithm.
+	FlowConfig = flowctl.Config
+)
+
+// Interface kinds (§2, "Multiple Communication Interfaces").
+const (
+	// SCI is the Socket Communication Interface: TCP, maximally
+	// portable; NCS flow/error control is bypassed (TCP provides both).
+	SCI = transport.SCI
+	// ACI is the ATM Communication Interface: AAL5 frames over
+	// simulated virtual circuits with per-connection QoS.
+	ACI = transport.ACI
+	// HPI is the High Performance Interface: an in-process, trap-style
+	// path with minimal per-message overhead.
+	HPI = transport.HPI
+)
+
+// Flow control algorithms (§3.3).
+const (
+	FlowNone   = flowctl.None
+	FlowCredit = flowctl.Credit
+	FlowWindow = flowctl.Window
+	FlowRate   = flowctl.Rate
+)
+
+// Error control algorithms (§3.2).
+const (
+	ErrorNone            = errctl.None
+	ErrorSelectiveRepeat = errctl.SelectiveRepeat
+	ErrorGoBackN         = errctl.GoBackN
+)
+
+// Multicast algorithms (§2).
+const (
+	MulticastRepetitive   = mcast.Repetitive
+	MulticastSpanningTree = mcast.SpanningTree
+)
+
+// Errors re-exported for matching with errors.Is.
+var (
+	ErrSystemClosed    = core.ErrSystemClosed
+	ErrConnClosed      = core.ErrConnClosed
+	ErrRecvTimeout     = core.ErrRecvTimeout
+	ErrPeerUnreachable = core.ErrPeerUnreachable
+)
+
+// Multithreading services (§2: "thread synchronization, thread
+// management"). Compute Threads run application work and use NCS
+// primitives to communicate; the two package architectures correspond
+// to §4.1's QuickThreads-style user-level scheduler and Pthread-style
+// kernel-level threads.
+type (
+	// ThreadPackage provides Spawn, Yield, and synchronisation
+	// primitives for Compute Threads.
+	ThreadPackage = thread.Package
+	// Thread is a handle on a spawned Compute Thread.
+	Thread = thread.Thread
+	// Mutex is a lock usable from Compute Threads.
+	Mutex = thread.Mutex
+	// Semaphore is a counting semaphore usable from Compute Threads.
+	Semaphore = thread.Semaphore
+)
+
+// Thread package architectures.
+const (
+	// KernelLevelThreads maps Compute Threads onto goroutines: blocking
+	// calls suspend only the calling thread.
+	KernelLevelThreads = thread.KernelLevel
+	// UserLevelThreads is a cooperative run-to-block scheduler with
+	// very cheap context switches; one blocking system call stalls
+	// every thread in the package (§4.1).
+	UserLevelThreads = thread.UserLevel
+)
+
+// NewThreads creates a Compute Thread package of the given
+// architecture. Shut it down after all threads finish.
+func NewThreads(model thread.Model) ThreadPackage { return thread.New(model) }
+
+// NewNetwork creates a fabric on which Systems are registered. The
+// caller owns it and must Close it.
+func NewNetwork() *Network { return core.NewNetwork() }
+
+// NewTopology creates an empty switched ATM fabric description.
+func NewTopology() *Topology { return atm.NewTopology() }
+
+// NewNetworkWithTopology creates a fabric whose ACI connections are
+// routed over the given switched topology with connection admission
+// control. Attach each system's name to a switch with
+// Topology.AttachHost before connecting over ACI.
+func NewNetworkWithTopology(t *Topology) *Network {
+	return core.NewNetworkWithTopology(t)
+}
+
+// BuildGroup registers one system per name on the network and connects
+// them in a full mesh with the given per-connection options, returning
+// one Group handle per member, indexed by rank. The multicast algorithm
+// governs Broadcast/Reduce dissemination; pass 0 for the spanning-tree
+// default.
+func BuildGroup(nw *Network, names []string, opts Options, alg mcast.Algorithm) ([]*Group, error) {
+	return group.Build(nw, names, opts, alg)
+}
+
+// ConnectGroup builds a group over already-registered systems.
+func ConnectGroup(systems []*System, opts Options, alg mcast.Algorithm) ([]*Group, error) {
+	return group.Connect(systems, opts, alg)
+}
+
+// Pair is a convenience for examples, tests and benchmarks: it creates
+// two systems on the network and returns both ends of a connection
+// between them.
+func Pair(nw *Network, a, b string, opts Options) (*Connection, *Connection, error) {
+	sa, err := nw.NewSystem(a)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := nw.NewSystem(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := sa.Connect(b, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	peer, err := sb.Accept()
+	if err != nil {
+		return nil, nil, err
+	}
+	return conn, peer, nil
+}

@@ -1,0 +1,246 @@
+package ncs_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ncs"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+
+	conn, peer, err := ncs.Pair(nw, "alice", "bob", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := conn.Send([]byte("hello, NCS")); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	msg, err := peer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "hello, NCS" {
+		t.Fatalf("got %q", msg)
+	}
+}
+
+func TestPublicOptionsMatrix(t *testing.T) {
+	cases := []ncs.Options{
+		{Interface: ncs.SCI},
+		{Interface: ncs.HPI, FastPath: true},
+		{Interface: ncs.ACI, FlowControl: ncs.FlowWindow, ErrorControl: ncs.ErrorGoBackN},
+		{Interface: ncs.ACI, FlowControl: ncs.FlowCredit, ErrorControl: ncs.ErrorSelectiveRepeat,
+			QoS: ncs.QoS{PeakCellRate: 500_000}},
+	}
+	for i, opts := range cases {
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			nw := ncs.NewNetwork()
+			defer nw.Close()
+			conn, peer, err := ncs.Pair(nw, "a", "b", opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg := bytes.Repeat([]byte{7}, 9000)
+			errCh := make(chan error, 1)
+			go func() { errCh <- conn.Send(msg) }()
+			got, err := peer.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, msg) {
+				t.Fatal("mismatch")
+			}
+		})
+	}
+}
+
+func TestPublicGroupAPI(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+
+	groups, err := ncs.BuildGroup(nw, []string{"g0", "g1", "g2", "g3"},
+		ncs.Options{Interface: ncs.HPI}, ncs.MulticastSpanningTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(a, b []byte) []byte {
+		return binary.BigEndian.AppendUint64(nil,
+			binary.BigEndian.Uint64(a)+binary.BigEndian.Uint64(b))
+	}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *ncs.Group) {
+			defer wg.Done()
+			val := binary.BigEndian.AppendUint64(nil, uint64(g.Rank()))
+			res, err := g.AllReduce(val, sum)
+			if err != nil {
+				t.Errorf("rank %d: %v", g.Rank(), err)
+				return
+			}
+			if got := binary.BigEndian.Uint64(res); got != 6 {
+				t.Errorf("rank %d: allreduce = %d, want 6", g.Rank(), got)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestPublicErrors(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "x", "y", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = conn
+	if _, err := peer.RecvTimeout(20 * time.Millisecond); err != ncs.ErrRecvTimeout {
+		t.Fatalf("err = %v, want ErrRecvTimeout", err)
+	}
+}
+
+func TestPublicThreadServices(t *testing.T) {
+	pkg := ncs.NewThreads(ncs.UserLevelThreads)
+	defer pkg.Shutdown()
+
+	mu := pkg.NewMutex()
+	sem := pkg.NewSemaphore(0)
+	shared := 0
+
+	producer, err := pkg.Spawn("producer", func() {
+		for i := 0; i < 10; i++ {
+			mu.Lock()
+			shared++
+			mu.Unlock()
+			sem.Release()
+			pkg.Yield()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consumer, err := pkg.Spawn("consumer", func() {
+		for i := 0; i < 10; i++ {
+			sem.Acquire()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer.Join()
+	consumer.Join()
+	if shared != 10 {
+		t.Fatalf("shared = %d", shared)
+	}
+}
+
+func TestComputeThreadsDriveConnections(t *testing.T) {
+	// Compute Threads using NCS primitives, per the paper's programming
+	// model: a kernel-level package so the blocking Send suspends only
+	// its thread.
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "ct-a", "ct-b", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := ncs.NewThreads(ncs.KernelLevelThreads)
+	defer pkg.Shutdown()
+
+	sender, err := pkg.Spawn("sender", func() {
+		for i := 0; i < 5; i++ {
+			if err := conn.Send([]byte{byte(i)}); err != nil {
+				t.Errorf("send: %v", err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := pkg.Spawn("receiver", func() {
+		for i := 0; i < 5; i++ {
+			m, err := peer.Recv()
+			if err != nil || m[0] != byte(i) {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sender.Join()
+	receiver.Join()
+}
+
+func TestPublicTopologyRouting(t *testing.T) {
+	topo := ncs.NewTopology()
+	topo.AddSwitch("campus").AddSwitch("downtown")
+	if err := topo.Link("campus", "downtown", ncs.LinkSpec{
+		Delay:    2 * time.Millisecond,
+		CellRate: 200_000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("uni", "campus"); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AttachHost("lab", "downtown"); err != nil {
+		t.Fatal(err)
+	}
+
+	nw := ncs.NewNetworkWithTopology(topo)
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "uni", "lab", ncs.Options{
+		Interface: ncs.ACI,
+		QoS:       ncs.QoS{PeakCellRate: 50_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	go conn.Send([]byte("routed hello"))
+	msg, err := peer.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg) != "routed hello" {
+		t.Fatalf("got %q", msg)
+	}
+	// The path's 2 ms propagation must be observable end to end.
+	if since := time.Since(start); since < 2*time.Millisecond {
+		t.Fatalf("delivery in %v; path delay not applied", since)
+	}
+	// Two circuits (data + control) × 50k cells each = 100k reserved.
+	if got := topo.Reserved("campus", "downtown"); got != 100_000 {
+		t.Fatalf("reserved = %d, want 100000 (data + control VCs)", got)
+	}
+}
+
+func ExamplePair() {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+
+	conn, peer, err := ncs.Pair(nw, "alice", "bob", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	go conn.Send([]byte("hello, NCS"))
+	msg, _ := peer.Recv()
+	fmt.Println(string(msg))
+	// Output: hello, NCS
+}
