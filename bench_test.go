@@ -407,6 +407,94 @@ func BenchmarkGroupCollectives(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-regression benchmarks for the pooled buffer pipeline.
+// These two points are the acceptance gates for internal/buf: the HPI
+// fast-path echo (§4.2's thread-bypassing procedures) and a threaded
+// SCI 4KB send. Track them with:
+//
+//	go test -bench='BenchmarkAlloc' -benchmem -count=10 | benchstat
+//
+// BenchmarkAllocHPIFastpathEcho measures one full echo round trip
+// (Send + Recv on both sides) over the in-process HPI with the fast
+// path enabled on both endpoints.
+func BenchmarkAllocHPIFastpathEcho(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-fp-a", "alloc-fp-b", ncs.Options{
+		Interface: ncs.HPI,
+		FastPath:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
+// BenchmarkAllocSCISend4KB measures a threaded 4KB send over SCI (TCP
+// loopback), the configuration where the Send Thread's staging and the
+// transport framing dominate per-message allocation.
+func BenchmarkAllocSCISend4KB(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-sci-a", "alloc-sci-b", ncs.Options{
+		Interface: ncs.SCI,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := peer.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
 func sizeName(n int) string {
 	if n >= 1024 && n%1024 == 0 {
 		return fmt.Sprintf("%dKB", n/1024)

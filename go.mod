@@ -1,0 +1,3 @@
+module ncs
+
+go 1.24

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"ncs/internal/buf"
 )
 
 // AAL5 limits.
@@ -31,27 +33,45 @@ var (
 	ErrFrameTooLarge = errors.New("atm: frame exceeds AAL5 maximum")
 )
 
+// frameLength returns the total AAL5 frame length (payload + pad +
+// trailer, a whole number of cell payloads) for a payload of n bytes.
+func frameLength(n int) int {
+	raw := n + aal5TrailerSize
+	return (raw + CellPayloadSize - 1) / CellPayloadSize * CellPayloadSize
+}
+
+// finishAAL5Frame completes an AAL5 frame in place: frame's first
+// payloadLen bytes hold user data, the rest is overwritten with the pad
+// and the trailer (UU, CPI, length, CRC-32 over everything but the CRC
+// field). len(frame) must equal frameLength(payloadLen).
+func finishAAL5Frame(frame []byte, payloadLen int) {
+	total := len(frame)
+	clear(frame[payloadLen : total-4]) // pad + UU + CPI (+ length slot)
+	tr := frame[total-aal5TrailerSize:]
+	binary.BigEndian.PutUint16(tr[2:4], uint16(payloadLen))
+	crc := crc32.ChecksumIEEE(frame[:total-4])
+	binary.BigEndian.PutUint32(tr[4:8], crc)
+}
+
 // SegmentAAL5 splits payload into ATM cells for the given circuit,
 // appending the AAL5 trailer (with CRC-32 over payload+pad+trailer) and
 // padding so the frame occupies a whole number of cells. The final cell
 // carries the end-of-frame PTI bit.
+//
+// The hot path (VC.SendFrame) does not materialise []Cell; it stages
+// the frame in a pooled buffer and marshals cells straight onto the
+// link. SegmentAAL5 remains the reference implementation and the API
+// for callers that want the cells themselves.
 func SegmentAAL5(vpi uint8, vci uint16, payload []byte) ([]Cell, error) {
 	if len(payload) > MaxFrameSize {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	// Total frame length: payload + pad + trailer, multiple of 48.
-	raw := len(payload) + aal5TrailerSize
-	total := (raw + CellPayloadSize - 1) / CellPayloadSize * CellPayloadSize
-	frame := make([]byte, total)
+	total := frameLength(len(payload))
+	fb := buf.Get(total)
+	defer fb.Release()
+	frame := fb.B
 	copy(frame, payload)
-	// Trailer occupies the final 8 bytes.
-	tr := frame[total-aal5TrailerSize:]
-	tr[0] = 0 // CPCS-UU
-	tr[1] = 0 // CPI
-	binary.BigEndian.PutUint16(tr[2:4], uint16(len(payload)))
-	// CRC-32 over the frame with the CRC field itself zeroed.
-	crc := crc32.ChecksumIEEE(frame[:total-4])
-	binary.BigEndian.PutUint32(tr[4:8], crc)
+	finishAAL5Frame(frame, len(payload))
 
 	cells := make([]Cell, 0, total/CellPayloadSize)
 	for off := 0; off < total; off += CellPayloadSize {
@@ -65,37 +85,62 @@ func SegmentAAL5(vpi uint8, vci uint16, payload []byte) ([]Cell, error) {
 	return cells, nil
 }
 
-// Reassembler rebuilds AAL5 frames from a cell stream for one VC.
-// The zero value is ready to use.
+// Reassembler rebuilds AAL5 frames from a cell stream for one VC,
+// staging them in a pooled buffer. The zero value is ready to use.
 type Reassembler struct {
-	buf []byte
+	fb *buf.Buffer // pooled staging; nil between frames
 }
 
-// Push adds a cell's payload. When the cell carries the end-of-frame
-// bit, Push validates the trailer and returns (payload, true, nil) on
-// success. On CRC or length failure the partial frame is discarded and
-// an error is returned; the reassembler is then ready for the next
-// frame, mirroring AAL5's frame-drop behaviour.
+// Push adds a cell's payload. It is PushFrame for legacy []byte
+// callers: a completed frame is detached from the pool into an
+// ordinary heap slice the caller owns.
 func (r *Reassembler) Push(c Cell) ([]byte, bool, error) {
-	r.buf = append(r.buf, c.Payload[:]...)
+	fb, done, err := r.PushFrame(c)
+	if fb == nil {
+		return nil, done, err
+	}
+	return fb.TakeBytes(), done, err
+}
+
+// PushFrame adds a cell's payload. When the cell carries the
+// end-of-frame bit, PushFrame validates the trailer and returns the
+// frame payload in a pooled buffer (trimmed to the payload length)
+// that the caller owns and must Release. On CRC or length failure the
+// partial frame is discarded and an error is returned; the reassembler
+// is then ready for the next frame, mirroring AAL5's frame-drop
+// behaviour.
+func (r *Reassembler) PushFrame(c Cell) (*buf.Buffer, bool, error) {
+	if r.fb == nil {
+		// Stage in the size class fitting a default-SDU frame (4 KB
+		// payload + headers + trailer), the common case. Larger frames
+		// grow by append past the pooled store — the pre-pool
+		// behaviour — which beats staging everything in the 64 KB tier:
+		// receivers that retain completed frames (selective repeat)
+		// would otherwise pin a top-tier buffer per 4 KB segment.
+		r.fb = buf.GetCap(buf.DefaultSDUStage)
+	}
+	r.fb.B = append(r.fb.B, c.Payload[:]...)
 	if !c.EndOfFrame() {
 		// Guard against an end-bit lost to cell drop: once the buffer
 		// exceeds the largest legal frame, discard it.
-		if len(r.buf) > MaxFrameSize+CellPayloadSize+aal5TrailerSize {
-			r.buf = r.buf[:0]
+		if len(r.fb.B) > MaxFrameSize+CellPayloadSize+aal5TrailerSize {
+			r.Reset()
 			return nil, false, ErrFrameLength
 		}
 		return nil, false, nil
 	}
-	frame := r.buf
-	r.buf = nil
+	fb := r.fb
+	r.fb = nil
+	frame := fb.B
 	if len(frame) < aal5TrailerSize {
+		fb.Release()
 		return nil, false, ErrFrameLength
 	}
 	tr := frame[len(frame)-aal5TrailerSize:]
 	length := int(binary.BigEndian.Uint16(tr[2:4]))
 	wantCRC := binary.BigEndian.Uint32(tr[4:8])
 	if got := crc32.ChecksumIEEE(frame[:len(frame)-4]); got != wantCRC {
+		fb.Release()
 		return nil, false, ErrFrameCRC
 	}
 	// The payload must fit within the frame minus the trailer, and the
@@ -103,14 +148,27 @@ func (r *Reassembler) Push(c Cell) ([]byte, bool, error) {
 	// way CRC happened to miss — impossible for CRC-32 over <64KB, but
 	// cheap to check).
 	if length > len(frame)-aal5TrailerSize {
+		fb.Release()
 		return nil, false, ErrFrameLength
 	}
-	return frame[:length], true, nil
+	fb.B = frame[:length]
+	return fb, true, nil
 }
 
 // Pending reports the number of buffered bytes awaiting an end-of-frame
 // cell.
-func (r *Reassembler) Pending() int { return len(r.buf) }
+func (r *Reassembler) Pending() int {
+	if r.fb == nil {
+		return 0
+	}
+	return r.fb.Len()
+}
 
-// Reset drops any partially reassembled frame.
-func (r *Reassembler) Reset() { r.buf = r.buf[:0] }
+// Reset drops any partially reassembled frame, returning the staging
+// buffer to its pool.
+func (r *Reassembler) Reset() {
+	if r.fb != nil {
+		r.fb.Release()
+		r.fb = nil
+	}
+}

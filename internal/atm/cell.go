@@ -54,16 +54,24 @@ func (c *Cell) EndOfFrame() bool { return c.PTI&1 != 0 }
 // header bytes: a stand-in for the real CRC-8 HEC that still catches
 // single-byte header corruption injected by the link simulator.
 func (c *Cell) Marshal(dst []byte) []byte {
+	return AppendCell(dst, c.VPI, c.VCI, c.PTI, c.CLP, c.Payload[:])
+}
+
+// AppendCell appends one marshalled cell to dst: the streaming form of
+// Cell.Marshal, used by the pooled send path to build cells straight
+// from a frame staging buffer without materialising Cell values.
+// payload must be exactly CellPayloadSize bytes.
+func AppendCell(dst []byte, vpi uint8, vci uint16, pti uint8, clp bool, payload []byte) []byte {
 	var hdr [CellHeaderSize]byte
-	hdr[0] = c.VPI
-	binary.BigEndian.PutUint16(hdr[1:3], c.VCI)
-	hdr[3] = c.PTI << 1
-	if c.CLP {
+	hdr[0] = vpi
+	binary.BigEndian.PutUint16(hdr[1:3], vci)
+	hdr[3] = pti << 1
+	if clp {
 		hdr[3] |= 1
 	}
 	hdr[4] = hdr[0] ^ hdr[1] ^ hdr[2] ^ hdr[3] // HEC
 	dst = append(dst, hdr[:]...)
-	dst = append(dst, c.Payload[:]...)
+	dst = append(dst, payload...)
 	return dst
 }
 

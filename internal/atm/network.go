@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ncs/internal/buf"
 	"ncs/internal/netsim"
 )
 
@@ -227,16 +228,28 @@ func (vc *VC) QoS() QoS { return vc.qos }
 // RemoteHost returns the peer host name.
 func (vc *VC) RemoteHost() string { return vc.remoteHost }
 
-// SendFrame transmits one AAL5 frame (at most MaxFrameSize bytes).
+// SendFrame transmits one AAL5 frame (at most MaxFrameSize bytes). The
+// frame is staged in a pooled buffer and each cell is marshalled into
+// a pooled buffer handed zero-copy to the link — the hot path never
+// materialises Cell values.
 func (vc *VC) SendFrame(payload []byte) error {
-	cells, err := SegmentAAL5(0, vc.vci, payload)
-	if err != nil {
-		return err
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(payload))
 	}
-	buf := make([]byte, 0, CellSize)
-	for i := range cells {
-		buf = cells[i].Marshal(buf[:0])
-		if err := vc.link.Send(buf); err != nil {
+	total := frameLength(len(payload))
+	fb := buf.Get(total)
+	defer fb.Release()
+	copy(fb.B, payload)
+	finishAAL5Frame(fb.B, len(payload))
+
+	for off := 0; off < total; off += CellPayloadSize {
+		var pti uint8
+		if off+CellPayloadSize == total {
+			pti = 1 // end of frame
+		}
+		cb := buf.GetCap(CellSize)
+		cb.B = AppendCell(cb.B, 0, vc.vci, pti, false, fb.B[off:off+CellPayloadSize])
+		if err := vc.link.SendBuf(cb); err != nil {
 			return vc.mapErr(err)
 		}
 	}
@@ -245,38 +258,58 @@ func (vc *VC) SendFrame(payload []byte) error {
 
 // RecvFrame returns the next intact AAL5 frame. Frames that fail CRC or
 // lose cells are counted and skipped.
-func (vc *VC) RecvFrame() ([]byte, error) { return vc.recvFrame(0) }
+func (vc *VC) RecvFrame() ([]byte, error) {
+	b, err := vc.recvFrame(0)
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvFrameBuf is RecvFrame returning the reassembler's pooled staging
+// buffer; the caller owns it and must Release.
+func (vc *VC) RecvFrameBuf() (*buf.Buffer, error) { return vc.recvFrame(0) }
 
 // RecvFrameTimeout is RecvFrame with an overall deadline; it returns
 // ErrRecvTimeout if no intact frame completes within d.
 func (vc *VC) RecvFrameTimeout(d time.Duration) ([]byte, error) {
+	b, err := vc.recvFrame(d)
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvFrameBufTimeout is RecvFrameBuf with an overall deadline.
+func (vc *VC) RecvFrameBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	return vc.recvFrame(d)
 }
 
-func (vc *VC) recvFrame(timeout time.Duration) ([]byte, error) {
+func (vc *VC) recvFrame(timeout time.Duration) (*buf.Buffer, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
 	}
 	for {
-		var raw []byte
+		var raw *buf.Buffer
 		var err error
 		if timeout > 0 {
 			remain := time.Until(deadline)
 			if remain <= 0 {
 				return nil, ErrRecvTimeout
 			}
-			raw, err = vc.link.RecvTimeout(remain)
+			raw, err = vc.link.RecvBufTimeout(remain)
 			if errors.Is(err, netsim.ErrTimeout) {
 				return nil, ErrRecvTimeout
 			}
 		} else {
-			raw, err = vc.link.Recv()
+			raw, err = vc.link.RecvBuf()
 		}
 		if err != nil {
 			return nil, vc.mapErr(err)
 		}
-		cell, err := UnmarshalCell(raw)
+		cell, err := UnmarshalCell(raw.B)
+		raw.Release()
 		if err != nil {
 			// Header corruption: the cell is undeliverable; the frame it
 			// belonged to will fail CRC/length at end-of-frame, or we
@@ -290,7 +323,7 @@ func (vc *VC) recvFrame(timeout time.Duration) ([]byte, error) {
 			continue
 		}
 		vc.mu.Lock()
-		payload, done, err := vc.reass.Push(cell)
+		payload, done, err := vc.reass.PushFrame(cell)
 		if err != nil {
 			vc.drops++
 			vc.mu.Unlock()

@@ -1,0 +1,176 @@
+// Package buf provides the pooled, reference-counted buffers that the
+// NCS data and control pipelines thread from the transport layer up to
+// the core threads, replacing the per-packet allocations and defensive
+// copies the layers used to make at every boundary.
+//
+// # Ownership rules
+//
+// Every Buffer carries a reference count. The rules, which every layer
+// of the pipeline follows:
+//
+//   - Get/GetCap return a Buffer owned by the caller with one
+//     reference.
+//   - Retain adds a reference; Release drops one. When the count
+//     reaches zero the storage returns to its size-class pool.
+//     Releasing below zero or retaining an already-released Buffer
+//     panics — a refcounting bug, never a recoverable condition.
+//   - transport.Conn.SendBuf and SendBatch CONSUME one reference per
+//     buffer (they release after the wire accepts the bytes, or on
+//     error). The caller must not touch a buffer after handing it to a
+//     send path unless it retained it first.
+//   - transport.Conn.RecvBuf returns a Buffer the caller OWNS and must
+//     Release when done with every slice that aliases it.
+//   - A parsed view (an SDU payload, a control-packet body) aliasing a
+//     Buffer's storage may outlive the function that parsed it only if
+//     the holder retains the Buffer — see Handoff — and releases it
+//     when the view is dropped.
+//
+// The contents live in the exported field B, fasthttp-style, so the
+// existing append-based Marshal helpers work unchanged:
+//
+//	b := buf.GetCap(packet.DataHeaderSize + len(payload))
+//	b.B = hdr.Marshal(b.B[:0])
+//	b.B = append(b.B, payload...)
+//	conn.SendBuf(b) // consumes the reference
+//
+// Size classes are tiered around the pipeline's real packet sizes: the
+// control plane (acks, credits), the default 4 KB SDU plus data
+// header, and the 16/64 KB SDU tiers up to the AAL5 frame maximum.
+// Larger requests are satisfied with plain allocations that skip the
+// pools.
+package buf
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSDUStage is the capacity that comfortably stages a packet
+// carrying the paper's default 4 KB SDU plus its headers and transport
+// framing (data header 24 B, chunk header 5 B, AAL5 trailer/padding).
+// Layers that pre-size a staging buffer for the common case (AAL5
+// reassembly, chunk reassembly) request this so they land in the
+// matching size class.
+const DefaultSDUStage = 4*1024 + 128
+
+// Size-class capacities. Each tier comfortably holds its namesake
+// payload plus the packet headers and transport framing that ride
+// along.
+var tierSizes = [...]int{
+	256,             // control packets: acks, bitmaps, credits, signaling
+	DefaultSDUStage, // the paper's default 4 KB SDU + headers
+	16*1024 + 128,   // mid-size SDUs
+	64 * 1024,       // MaxSDUSize / AAL5 frame ceiling
+}
+
+var pools [len(tierSizes)]sync.Pool
+
+// Buffer is a pooled, reference-counted byte buffer.
+//
+// B holds the current contents and may be re-sliced or appended to
+// freely by the owner; appending past the pooled capacity falls back
+// to the Go allocator (the oversized array is garbage collected, the
+// original storage still returns to its pool on Release).
+type Buffer struct {
+	// B is the buffer contents.
+	B []byte
+
+	store []byte // pooled backing array (B usually aliases it)
+	tier  int8   // size-class index; -1 when unpooled
+	refs  atomic.Int32
+}
+
+// Get returns a buffer with len(b.B) == n, zero-filled only as far as
+// pool reuse left it (callers overwrite, as with make without zeroing
+// guarantees — the transport read paths fill it entirely).
+func Get(n int) *Buffer {
+	b := GetCap(n)
+	b.B = b.B[:n]
+	return b
+}
+
+// GetCap returns an empty buffer (len(b.B) == 0) with capacity at
+// least n, for append-style marshalling.
+func GetCap(n int) *Buffer {
+	for t, size := range tierSizes {
+		if n <= size {
+			if v := pools[t].Get(); v != nil {
+				b := v.(*Buffer)
+				b.B = b.store[:0]
+				b.refs.Store(1)
+				return b
+			}
+			store := make([]byte, tierSizes[t])
+			b := &Buffer{store: store, B: store[:0], tier: int8(t)}
+			b.refs.Store(1)
+			return b
+		}
+	}
+	// Oversized: plain allocation, never pooled.
+	store := make([]byte, n)
+	b := &Buffer{store: store, B: store[:0], tier: -1}
+	b.refs.Store(1)
+	return b
+}
+
+// Len returns len(b.B).
+func (b *Buffer) Len() int { return len(b.B) }
+
+// Retain adds a reference and returns b. It panics if the buffer has
+// already been fully released: a released buffer may be concurrently
+// reused through the pool, so resurrecting it is always a bug.
+func (b *Buffer) Retain() *Buffer {
+	if n := b.refs.Add(1); n <= 1 {
+		panic(fmt.Sprintf("buf: retain of released buffer (refs=%d)", n-1))
+	}
+	return b
+}
+
+// Release drops one reference. When the last reference is dropped the
+// storage returns to its size-class pool. Releasing more times than
+// the buffer was retained panics.
+func (b *Buffer) Release() {
+	switch n := b.refs.Add(-1); {
+	case n > 0:
+		return
+	case n < 0:
+		panic(fmt.Sprintf("buf: over-release (refs=%d)", n))
+	}
+	if b.tier >= 0 {
+		b.B = nil // drop any oversized append spill before pooling
+		pools[b.tier].Put(b)
+	}
+}
+
+// Handoff retains b and returns it. Use it at the point where a parsed
+// view aliasing b's storage — typically a control-packet body — escapes
+// the goroutine that owns b: the receiving side takes over the returned
+// reference and must Release it once the view is dropped. It replaces
+// the defensive copy the receive loops used to make before a body
+// crossed to another goroutine.
+func (b *Buffer) Handoff() *Buffer { return b.Retain() }
+
+// TakeBytes consumes the caller's reference and returns the contents
+// as an ordinary heap slice with unbounded lifetime. When the caller
+// held the last reference the backing array is simply handed over
+// (escaping the pool, at no copy); if other references remain the
+// contents are copied so later Releases cannot recycle storage the
+// caller still aliases. It bridges the pooled pipeline to legacy
+// []byte APIs.
+func (b *Buffer) TakeBytes() []byte {
+	p := b.B
+	switch n := b.refs.Add(-1); {
+	case n == 0:
+		// Last reference: give the storage away instead of pooling it.
+		return p
+	case n < 0:
+		panic(fmt.Sprintf("buf: TakeBytes of released buffer (refs=%d)", n))
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	return cp
+}
+
+// Refs reports the current reference count (for tests and debugging).
+func (b *Buffer) Refs() int { return int(b.refs.Load()) }

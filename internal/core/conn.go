@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ncs/internal/buf"
 	"ncs/internal/errctl"
 	"ncs/internal/flowctl"
 	"ncs/internal/packet"
@@ -24,6 +25,15 @@ const maxTrackedSessions = 64
 // backpressure toward the data connection).
 const deliveredQueueDepth = 128
 
+// sendQueueDepth is the Send Thread's queue. Deep enough that a
+// multi-SDU transfer can pipeline SDUs behind flow-control admission,
+// which is what gives the Send Thread batches to coalesce.
+const sendQueueDepth = 64
+
+// sendBatchMax bounds how many queued SDUs the Send Thread coalesces
+// into one vectored transport write.
+const sendBatchMax = 16
+
 // Message is a received user message. Lost reports SDUs missing from an
 // unreliable (ErrorControl: None) transfer; it is always zero on
 // reliable connections.
@@ -41,6 +51,23 @@ type sendItem struct {
 	ctrl  *packet.Control
 	trace *SendTrace
 	done  chan struct{} // non-nil: Send Thread closes after transmission
+}
+
+// ctrlEvent is a control packet leaving a receive loop for another
+// goroutine. ref is the pooled receive buffer backing ctl.Body — a
+// reference handed off by the receive loop (buf.Handoff) that the
+// consumer must release once it is done with the body; nil when the
+// body does not alias pooled storage.
+type ctrlEvent struct {
+	ctl packet.Control
+	ref *buf.Buffer
+}
+
+// release drops the event's buffer reference, if it carries one.
+func (e ctrlEvent) release() {
+	if e.ref != nil {
+		e.ref.Release()
+	}
 }
 
 // recvSession wraps an inbound error-control session with its delivery
@@ -73,7 +100,7 @@ type Connection struct {
 	mu       sync.Mutex
 	sessions map[uint32]*recvSession
 	sessAge  []uint32
-	waiters  map[uint32]chan packet.Control
+	waiters  map[uint32]chan ctrlEvent
 
 	nextSession atomic.Uint32
 
@@ -84,7 +111,6 @@ type Connection struct {
 	rxCounter atomic.Uint32
 
 	fastSendMu sync.Mutex // serialises fast-path senders
-	fastBuf    []byte     // fast-path staging buffer (under fastSendMu)
 	fastRecvMu sync.Mutex // serialises fast-path receivers
 
 	closeOnce sync.Once
@@ -113,11 +139,11 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		ctrl:      ctrl,
 		fcSend:    flowctl.NewSender(opts.FlowControl, opts.FlowConfig),
 		fcRecv:    flowctl.NewReceiver(opts.FlowControl, opts.FlowConfig),
-		sendQ:     make(chan sendItem, 1),
+		sendQ:     make(chan sendItem, sendQueueDepth),
 		ctrlQ:     make(chan packet.Control, 16),
 		delivered: make(chan Message, deliveredQueueDepth),
 		sessions:  make(map[uint32]*recvSession),
-		waiters:   make(map[uint32]chan packet.Control),
+		waiters:   make(map[uint32]chan ctrlEvent),
 		closedCh:  make(chan struct{}),
 	}
 	c.lastHeard.Store(time.Now().UnixNano())
@@ -201,11 +227,45 @@ func (c *Connection) Send(msg []byte) error {
 	return c.sendThreaded(msg, nil)
 }
 
+// singleSDU reports whether msg completes in one SDU on a connection
+// without error control — the case where the whole per-message
+// sender/receiver machinery (session objects, segmentation slices,
+// reassembly maps) can be skipped: a None session never retransmits,
+// so nothing ever refers to it again.
+func (c *Connection) singleSDU(msg []byte) bool {
+	return c.opts.ErrorControl == errctl.None &&
+		len(msg) <= errctl.EffectiveSDUSize(c.opts.SDUSize)
+}
+
+// singleSDUHeader builds the header Segment would give the sole SDU of
+// an unreliable message.
+func (c *Connection) singleSDUHeader(msg []byte, sess uint32) packet.DataHeader {
+	return packet.DataHeader{
+		Flags:     packet.FlagEnd | packet.FlagUnreliable,
+		ConnID:    c.id,
+		SessionID: sess,
+		Seq:       0,
+		Length:    uint32(len(msg)),
+	}
+}
+
 func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 	if err := c.checkSendSize(msg); err != nil {
 		return err
 	}
 	sess := c.nextSession.Add(1)
+	if c.singleSDU(msg) {
+		// One-SDU unreliable transfer: no sender state machine needed.
+		if tr != nil {
+			tr.stamp(&tr.tHeader)
+		}
+		one := [1]errctl.SDU{{Header: c.singleSDUHeader(msg, sess), Payload: msg}}
+		if err := c.transmit(one[:], tr, true); err != nil {
+			return err
+		}
+		c.stats.messagesSent.Add(1)
+		return nil
+	}
 	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
 	if tr != nil {
 		tr.stamp(&tr.tHeader)
@@ -221,7 +281,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		return nil
 	}
 
-	ackCh := make(chan packet.Control, 4)
+	ackCh := make(chan ctrlEvent, 4)
 	c.mu.Lock()
 	c.waiters[sess] = ackCh
 	c.mu.Unlock()
@@ -229,6 +289,18 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		c.mu.Lock()
 		delete(c.waiters, sess)
 		c.mu.Unlock()
+		// Deposits happen under c.mu, so after the delete no new event
+		// can land: drain whatever is buffered and release the receive
+		// buffers those events retained (e.g. a duplicate final ack
+		// that raced this session's completion).
+		for {
+			select {
+			case ev := <-ackCh:
+				ev.release()
+			default:
+				return
+			}
+		}
 	}()
 
 	if err := c.transmit(snd.Initial(), tr, false); err != nil {
@@ -246,11 +318,14 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 	defer timer.Stop()
 	for {
 		select {
-		case ack := <-ackCh:
+		case ev := <-ackCh:
 			if c.opts.AdaptiveTimeout && !retransmitted {
 				c.rtt.observe(time.Since(lastSend))
 			}
-			rt, done, err := snd.OnAck(ack)
+			rt, done, err := snd.OnAck(ev.ctl)
+			// OnAck parses the body synchronously, so the handed-off
+			// receive buffer can recycle now.
+			ev.release()
 			if err != nil && !errors.Is(err, errctl.ErrSessionDone) {
 				return err
 			}
@@ -289,6 +364,13 @@ func resetTimer(t *time.Timer, d time.Duration) {
 	t.Reset(d)
 }
 
+// doneChPool recycles the one-shot channels that synchronise a sender
+// with the Send Thread's transmission confirmation. The Send Thread
+// deposits a token (rather than closing), so a consumed channel is
+// clean for reuse; channels abandoned on connection close are simply
+// garbage collected.
+var doneChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
+
 // transmit performs the Error-Control → Flow-Control → Send-Thread
 // hand-off for a batch of SDUs. When sync is true it waits for the Send
 // Thread to confirm the final SDU left the interface.
@@ -317,7 +399,7 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		if i == len(sdus)-1 {
 			item.trace = tr
 			if sync {
-				item.done = make(chan struct{})
+				item.done = doneChPool.Get().(chan struct{})
 			}
 		}
 		if tr != nil && i == len(sdus)-1 {
@@ -331,10 +413,13 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		if item.done != nil {
 			select {
 			case <-item.done:
+				doneChPool.Put(item.done)
 				if tr != nil {
 					tr.stamp(&tr.tReturned)
 				}
 			case <-c.closedCh:
+				// The channel may still receive its token; abandon it
+				// to the garbage collector rather than repooling.
 				return ErrConnClosed
 			}
 		}
@@ -350,29 +435,54 @@ func (c *Connection) checkSendSize(msg []byte) error {
 }
 
 // sendThread is the per-connection Send Thread: it drains the message
-// queue and performs only the data transfer for this connection.
+// queue and performs only the data transfer for this connection. It
+// drains sendQ opportunistically, coalescing up to sendBatchMax queued
+// packets into one vectored transport write — under load, N SDUs share
+// a single syscall and its framing cost; an idle connection still
+// transmits each SDU the moment it arrives.
 func (c *Connection) sendThread() {
 	defer c.wg.Done()
-	buf := make([]byte, 0, c.opts.SDUSize+packet.DataHeaderSize)
+	items := make([]sendItem, 0, sendBatchMax)
+	batch := make([]*buf.Buffer, 0, sendBatchMax)
 	for {
 		select {
 		case item := <-c.sendQ:
-			if item.trace != nil {
-				item.trace.stamp(&item.trace.tDequeued)
+			items = append(items[:0], item)
+		drain:
+			for len(items) < sendBatchMax {
+				select {
+				case next := <-c.sendQ:
+					items = append(items, next)
+				default:
+					break drain
+				}
 			}
-			if item.ctrl != nil {
-				buf = item.ctrl.Marshal(buf[:0])
-				c.stats.controlSent.Add(1)
-			} else {
-				buf = item.sdu.Header.Marshal(buf[:0])
-				buf = append(buf, item.sdu.Payload...)
+			batch = batch[:0]
+			for i := range items {
+				it := &items[i]
+				if it.trace != nil {
+					it.trace.stamp(&it.trace.tDequeued)
+				}
+				var sb *buf.Buffer
+				if it.ctrl != nil {
+					sb = buf.GetCap(packet.ControlHeaderSize + len(it.ctrl.Body))
+					sb.B = it.ctrl.Marshal(sb.B)
+					c.stats.controlSent.Add(1)
+				} else {
+					sb = buf.GetCap(packet.DataHeaderSize + len(it.sdu.Payload))
+					sb.B = packet.AppendSDU(sb.B, it.sdu.Header, it.sdu.Payload)
+				}
+				batch = append(batch, sb)
 			}
-			err := c.data.Send(buf)
-			if item.trace != nil {
-				item.trace.stamp(&item.trace.tTransmitted)
-			}
-			if item.done != nil {
-				close(item.done)
+			err := c.data.SendBatch(batch) // consumes the buffer refs
+			for i := range items {
+				it := &items[i]
+				if it.trace != nil {
+					it.trace.stamp(&it.trace.tTransmitted)
+				}
+				if it.done != nil {
+					it.done <- struct{}{} // one-token confirmation (pooled chan)
+				}
 			}
 			if err != nil {
 				// The connection is going down; Send callers see
@@ -438,35 +548,32 @@ func (c *Connection) RecvMessageTimeout(d time.Duration) (Message, error) {
 }
 
 // recvThread is the per-connection Receive Thread: it reads the data
-// connection and activates the flow- and error-control machinery.
+// connection into pooled buffers and activates the flow- and
+// error-control machinery. The receive buffer is released here; any
+// layer that needs a payload view beyond this loop iteration (the
+// error-control reassembly, a control waiter) retains it.
 func (c *Connection) recvThread() {
 	defer c.wg.Done()
 	for {
-		raw, err := c.data.Recv()
+		b, err := c.data.RecvBuf()
 		if err != nil {
 			return
 		}
 		c.lastHeard.Store(time.Now().UnixNano())
-		h, err := packet.UnmarshalDataHeader(raw)
-		if err != nil {
+		h, payload, perr := packet.SplitData(b.B)
+		if perr != nil {
 			// In in-band mode the data connection also carries control
 			// packets; demultiplex them here (the per-packet cost the
 			// separate control connection eliminates).
 			if c.opts.InbandControl {
-				if ctl, cerr := packet.UnmarshalControl(raw); cerr == nil {
-					body := make([]byte, len(ctl.Body))
-					copy(body, ctl.Body)
-					ctl.Body = body
-					c.routeControl(ctl)
-				}
+				c.demuxControl(b)
 			}
+			b.Release()
 			continue
 		}
-		payload := raw[packet.DataHeaderSize:]
-		if int(h.Length) <= len(payload) {
-			payload = payload[:h.Length]
-		}
-		if m, ok := c.dispatchData(h, payload, c.enqueueCtrl); ok {
+		m, ok := c.dispatchData(h, payload, b, c.enqueueCtrl)
+		b.Release()
+		if ok {
 			select {
 			case c.delivered <- m:
 			case <-c.closedCh:
@@ -477,9 +584,12 @@ func (c *Connection) recvThread() {
 }
 
 // dispatchData runs one arriving SDU through the receive-side flow and
-// error control, emitting control packets via emit. It returns a
-// completed message when the SDU finishes a session.
-func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, emit func(packet.Control) bool) (Message, bool) {
+// error control, emitting control packets via emit. payload aliases
+// the pooled receive buffer ref (which the error control retains if it
+// must hold the segment); the caller still owns ref and releases it
+// after dispatchData returns. It returns a completed message when the
+// SDU finishes a session.
+func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.Buffer, emit func(packet.Control) bool) (Message, bool) {
 	// Step 8–9: the Flow Control Thread updates its state and returns
 	// credit/ack information over the control connection. Flow control
 	// sees the connection-lifetime arrival index, not the per-session
@@ -496,6 +606,18 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, emit func
 	c.stats.sdusReceived.Add(1)
 	c.stats.bytesReceived.Add(uint64(len(payload)))
 
+	// Fast path mirroring the send side's singleSDU: a one-SDU message
+	// on a connection without error control is complete on arrival — no
+	// acknowledgments will follow and no retransmission can ever revive
+	// the session, so the session table and reassembly machinery are
+	// skipped entirely. Only the user-facing copy is made.
+	if h.Seq == 0 && h.End() && c.opts.ErrorControl == errctl.None {
+		c.stats.messagesReceived.Add(1)
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		return Message{Data: out}, true
+	}
+
 	// Step 10: the Error Control Thread reassembles and acknowledges.
 	c.mu.Lock()
 	rs, ok := c.sessions[h.SessionID]
@@ -507,7 +629,7 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, emit func
 	}
 	c.mu.Unlock()
 
-	acks, done := rs.rcv.OnData(h, payload)
+	acks, done := rs.rcv.OnData(h, payload, ref)
 	for _, a := range acks {
 		a.ConnID = c.id
 		a.SessionID = h.SessionID
@@ -527,9 +649,20 @@ func (c *Connection) pruneSessionsLocked() {
 	for len(c.sessAge) > maxTrackedSessions {
 		victim := c.sessAge[0]
 		c.sessAge = c.sessAge[1:]
-		if rs, ok := c.sessions[victim]; ok && rs.delivered {
-			delete(c.sessions, victim)
+		rs, ok := c.sessions[victim]
+		if !ok {
+			continue
 		}
+		if !rs.delivered {
+			// An incomplete session this old has no live sender (a
+			// connection carries one outbound session at a time, and 64
+			// newer ones have completed since): release the retained
+			// segment buffers it pins. Should a retransmission somehow
+			// still arrive, a fresh session restarts reassembly — the
+			// whole-message retransmit schemes recover from empty.
+			rs.rcv.Abandon()
+		}
+		delete(c.sessions, victim)
 	}
 }
 
@@ -555,16 +688,17 @@ func (c *Connection) enqueueCtrl(ctl packet.Control) bool {
 }
 
 // ctrlSendThread serialises control packets onto the control connection
-// (the Control Send Thread of Figure 1).
+// (the Control Send Thread of Figure 1), staging each through a pooled
+// buffer.
 func (c *Connection) ctrlSendThread() {
 	defer c.wg.Done()
-	buf := make([]byte, 0, 256)
 	for {
 		select {
 		case ctl := <-c.ctrlQ:
-			buf = ctl.Marshal(buf[:0])
+			sb := buf.GetCap(packet.ControlHeaderSize + len(ctl.Body))
+			sb.B = ctl.Marshal(sb.B)
 			c.stats.controlSent.Add(1)
-			if err := c.ctrl.Send(buf); err != nil {
+			if err := c.ctrl.SendBuf(sb); err != nil {
 				return
 			}
 		case <-c.closedCh:
@@ -579,24 +713,36 @@ func (c *Connection) ctrlSendThread() {
 func (c *Connection) ctrlRecvThread() {
 	defer c.wg.Done()
 	for {
-		raw, err := c.ctrl.Recv()
+		b, err := c.ctrl.RecvBuf()
 		if err != nil {
 			return
 		}
-		ctl, err := packet.UnmarshalControl(raw)
-		if err != nil {
-			continue
-		}
-		// Control bodies alias the transport buffer; copy before the
-		// buffer escapes to another goroutine.
-		body := make([]byte, len(ctl.Body))
-		copy(body, ctl.Body)
-		ctl.Body = body
-		c.routeControl(ctl)
+		c.demuxControl(b)
+		b.Release()
 	}
 }
 
-func (c *Connection) routeControl(ctl packet.Control) {
+// demuxControl parses and routes one control packet out of the pooled
+// receive buffer b. The body stays aliased to b throughout: routing
+// either consumes it synchronously on this goroutine (credits, rate
+// and window updates, pings) or hands the waiting sender a retained
+// reference (buf.Handoff) alongside the event. This is the single
+// demultiplex point shared by the control-path receive loop and the
+// in-band data-path receive loop, which used to duplicate a defensive
+// body copy here.
+func (c *Connection) demuxControl(b *buf.Buffer) {
+	ctl, err := packet.UnmarshalControl(b.B)
+	if err != nil {
+		return
+	}
+	c.routeControl(ctl, b)
+}
+
+// routeControl dispatches a parsed control packet whose body aliases
+// the pooled buffer ref (nil when the body has heap lifetime). The
+// caller keeps its reference to ref; routeControl retains it only for
+// events that cross to another goroutine.
+func (c *Connection) routeControl(ctl packet.Control, ref *buf.Buffer) {
 	c.stats.controlReceived.Add(1)
 	c.lastHeard.Store(time.Now().UnixNano())
 	switch ctl.Type {
@@ -607,17 +753,24 @@ func (c *Connection) routeControl(ctl packet.Control) {
 	case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
 		c.fcSend.OnControl(ctl)
 	case packet.CtrlAck, packet.CtrlNack:
+		// The deposit stays under c.mu so a completing sender can
+		// delete its waiter and then drain the channel without racing a
+		// late deposit (the channel is buffered; the send never blocks).
 		c.mu.Lock()
-		w := c.waiters[ctl.SessionID]
-		c.mu.Unlock()
-		if w != nil {
+		if w := c.waiters[ctl.SessionID]; w != nil {
+			ev := ctrlEvent{ctl: ctl}
+			if ref != nil {
+				ev.ref = ref.Handoff()
+			}
 			select {
-			case w <- ctl:
+			case w <- ev:
 			default:
 				// The session is busy processing a previous ack; dropping
 				// this one is safe — the sender's timer recovers.
+				ev.release()
 			}
 		}
+		c.mu.Unlock()
 	}
 }
 

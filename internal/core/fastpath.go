@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"ncs/internal/buf"
 	"ncs/internal/errctl"
 	"ncs/internal/packet"
 	"ncs/internal/transport"
@@ -22,6 +23,11 @@ import (
 // writes the data connection; Recv reads the data connection and writes
 // the control connection — so an echo exchange may run Send and Recv
 // from different goroutines concurrently.
+//
+// Packets stage through the pooled buffers of internal/buf end to end:
+// on HPI the SDU written here is the very storage the peer's receive
+// procedure parses (a true zero-copy handoff), and steady-state sends
+// allocate nothing.
 
 // maxCreditWait bounds how long a fast-path sender waits for flow
 // control admission before giving up, in multiples of AckTimeout.
@@ -35,14 +41,25 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 	defer c.fastSendMu.Unlock()
 
 	sess := c.nextSession.Add(1)
+	if c.singleSDU(msg) {
+		// One-SDU unreliable transfer: flow-control admission, one
+		// pooled staging buffer, one transport write — the procedure
+		// call §4.2 promises, with no per-message protocol objects.
+		if err := c.fastAdmit(sess, nil); err != nil {
+			return err
+		}
+		sb := buf.GetCap(packet.DataHeaderSize + len(msg))
+		sb.B = packet.AppendSDU(sb.B, c.singleSDUHeader(msg, sess), msg)
+		if err := c.data.SendBuf(sb); err != nil {
+			return ErrConnClosed
+		}
+		c.stats.sdusSent.Add(1)
+		c.stats.bytesSent.Add(uint64(len(msg)))
+		c.stats.messagesSent.Add(1)
+		return nil
+	}
 	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
 
-	// The staging buffer persists across sends (guarded by fastSendMu):
-	// the fast path's whole point is removing per-send overhead.
-	if cap(c.fastBuf) < c.opts.SDUSize+packet.DataHeaderSize {
-		c.fastBuf = make([]byte, 0, c.opts.SDUSize+packet.DataHeaderSize)
-	}
-	buf := c.fastBuf
 	queue := snd.Initial()
 	for {
 		// Transmit the queued SDUs, processing control traffic inline
@@ -51,9 +68,9 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			if err := c.fastAdmit(sess, snd); err != nil {
 				return err
 			}
-			buf = sdu.Header.Marshal(buf[:0])
-			buf = append(buf, sdu.Payload...)
-			if err := c.data.Send(buf); err != nil {
+			sb := buf.GetCap(packet.DataHeaderSize + len(sdu.Payload))
+			sb.B = packet.AppendSDU(sb.B, sdu.Header, sdu.Payload)
+			if err := c.data.SendBuf(sb); err != nil {
 				return ErrConnClosed
 			}
 			c.stats.sdusSent.Add(1)
@@ -69,7 +86,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 		}
 
 		// Await the acknowledgment (or retransmit on timeout).
-		ctl, err := c.ctrl.RecvTimeout(c.opts.AckTimeout)
+		cb, err := c.ctrl.RecvBufTimeout(c.opts.AckTimeout)
 		switch {
 		case errors.Is(err, transport.ErrRecvTimeout):
 			queue = snd.OnTimeout()
@@ -77,28 +94,42 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 		case err != nil:
 			return ErrConnClosed
 		}
-		pkt, perr := packet.UnmarshalControl(ctl)
+		pkt, perr := packet.UnmarshalControl(cb.B)
 		if perr != nil {
+			cb.Release()
 			continue
 		}
 		c.stats.controlReceived.Add(1)
+		var (
+			rt      []errctl.SDU
+			done    bool
+			ackErr  error
+			matched bool
+		)
 		switch pkt.Type {
 		case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
 			c.fcSend.OnControl(pkt)
 		case packet.CtrlAck, packet.CtrlNack:
-			if pkt.SessionID != sess {
-				continue // stale ack from an earlier session
+			if pkt.SessionID == sess {
+				matched = true
+				rt, done, ackErr = snd.OnAck(pkt)
 			}
-			rt, done, err := snd.OnAck(pkt)
-			if err != nil && !errors.Is(err, errctl.ErrSessionDone) {
-				return err
-			}
-			if done {
-				c.stats.messagesSent.Add(1)
-				return nil
-			}
-			queue = rt
+			// Otherwise: stale ack from an earlier session; ignore.
 		}
+		// Control handling is synchronous; the receive buffer can
+		// recycle before we act on the outcome.
+		cb.Release()
+		if !matched {
+			continue
+		}
+		if ackErr != nil && !errors.Is(ackErr, errctl.ErrSessionDone) {
+			return ackErr
+		}
+		if done {
+			c.stats.messagesSent.Add(1)
+			return nil
+		}
+		queue = rt
 	}
 }
 
@@ -110,7 +141,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 		return nil
 	}
 	for attempt := 0; attempt < maxCreditWait; attempt++ {
-		ctl, err := c.ctrl.RecvTimeout(c.opts.AckTimeout)
+		cb, err := c.ctrl.RecvBufTimeout(c.opts.AckTimeout)
 		if errors.Is(err, transport.ErrRecvTimeout) {
 			// No control traffic at all: assume credit loss and resync.
 			c.fcSend.Resync()
@@ -122,7 +153,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 		if err != nil {
 			return ErrConnClosed
 		}
-		pkt, perr := packet.UnmarshalControl(ctl)
+		pkt, perr := packet.UnmarshalControl(cb.B)
 		if perr == nil {
 			c.fcSend.OnControl(pkt)
 			// Acks that arrive while we wait for credits still belong to
@@ -134,6 +165,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 				_ = snd
 			}
 		}
+		cb.Release()
 		if c.fcSend.TryAcquire(idx) {
 			return nil
 		}
@@ -150,36 +182,37 @@ func (c *Connection) recvFast(timeout time.Duration) (Message, error) {
 		deadline = time.Now().Add(timeout)
 	}
 	emit := func(ctl packet.Control) bool {
+		sb := buf.GetCap(packet.ControlHeaderSize + len(ctl.Body))
+		sb.B = ctl.Marshal(sb.B)
 		c.stats.controlSent.Add(1)
-		return c.ctrl.Send(ctl.Marshal(nil)) == nil
+		return c.ctrl.SendBuf(sb) == nil
 	}
 	for {
-		var raw []byte
+		var b *buf.Buffer
 		var err error
 		if timeout > 0 {
 			remain := time.Until(deadline)
 			if remain <= 0 {
 				return Message{}, ErrRecvTimeout
 			}
-			raw, err = c.data.RecvTimeout(remain)
+			b, err = c.data.RecvBufTimeout(remain)
 			if errors.Is(err, transport.ErrRecvTimeout) {
 				return Message{}, ErrRecvTimeout
 			}
 		} else {
-			raw, err = c.data.Recv()
+			b, err = c.data.RecvBuf()
 		}
 		if err != nil {
 			return Message{}, ErrConnClosed
 		}
-		h, perr := packet.UnmarshalDataHeader(raw)
+		h, payload, perr := packet.SplitData(b.B)
 		if perr != nil {
+			b.Release()
 			continue
 		}
-		payload := raw[packet.DataHeaderSize:]
-		if int(h.Length) <= len(payload) {
-			payload = payload[:h.Length]
-		}
-		if m, ok := c.dispatchData(h, payload, emit); ok {
+		m, ok := c.dispatchData(h, payload, b, emit)
+		b.Release()
+		if ok {
 			return m, nil
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ncs/internal/buf"
 	"ncs/internal/packet"
 )
 
@@ -79,27 +80,74 @@ type Sender interface {
 
 // Receiver drives the receive side of one message transfer.
 type Receiver interface {
-	// OnData consumes one arriving SDU. acks carries any control
-	// packets to return to the sender; done reports that the message is
-	// fully reassembled.
-	OnData(h packet.DataHeader, payload []byte) (acks []packet.Control, done bool)
+	// OnData consumes one arriving SDU. payload may alias the pooled
+	// receive buffer ref; when ref is non-nil the receiver RETAINS it
+	// to hold the segment zero-copy (releasing on delivery) instead of
+	// copying — the caller keeps its own reference and releases it
+	// after OnData returns. A nil ref (tests, legacy callers) falls
+	// back to copying. acks carries any control packets to return to
+	// the sender — the slice is only valid until the next OnData call;
+	// done reports that the message is fully reassembled.
+	OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer) (acks []packet.Control, done bool)
 	// Message returns the reassembled user message; valid once done.
+	// It releases the retained segment buffers on first call and caches
+	// the assembled message for any repeat call.
 	Message() []byte
 	// LostSDUs reports segments that were never received (only ever
 	// non-zero for the None algorithm, which does not recover losses).
 	LostSDUs() int
+	// Abandon releases any retained segment buffers without delivering
+	// the message. Callers use it when evicting an incomplete session;
+	// the receiver must not be used afterwards. It is a no-op on a
+	// receiver whose message was already delivered.
+	Abandon()
+}
+
+// segment is one received SDU payload: a byte view plus the pooled
+// buffer backing it. ref is nil when the payload was copied to the
+// heap instead (no pooled buffer was offered).
+type segment struct {
+	data []byte
+	ref  *buf.Buffer
+}
+
+// holdSegment takes ownership of payload for reassembly: zero-copy via
+// a retained reference on the backing buffer when one is offered,
+// otherwise a heap copy.
+func holdSegment(payload []byte, ref *buf.Buffer) segment {
+	if ref != nil {
+		return segment{data: payload, ref: ref.Retain()}
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return segment{data: cp}
+}
+
+// release drops the segment's buffer reference, if it holds one.
+func (s segment) release() {
+	if s.ref != nil {
+		s.ref.Release()
+	}
+}
+
+// EffectiveSDUSize clamps a configured SDU size exactly the way
+// Segment does, letting callers predict the segmentation (for example,
+// whether a message fits in a single SDU).
+func EffectiveSDUSize(n int) int {
+	if n <= 0 {
+		return DefaultSDUSize
+	}
+	if n > MaxSDUSize {
+		return MaxSDUSize
+	}
+	return n
 }
 
 // Segment splits msg into SDU payloads of at most sduSize bytes,
 // attaching sequence numbers and the end bit; it implements steps 1–2 of
 // Figure 5 and is shared by all sender implementations.
 func Segment(msg []byte, sduSize int, connID, sessionID uint32, extraFlags uint16) []SDU {
-	if sduSize <= 0 {
-		sduSize = DefaultSDUSize
-	}
-	if sduSize > MaxSDUSize {
-		sduSize = MaxSDUSize
-	}
+	sduSize = EffectiveSDUSize(sduSize)
 	n := (len(msg) + sduSize - 1) / sduSize
 	if n == 0 {
 		n = 1 // an empty message still needs one (empty) end SDU

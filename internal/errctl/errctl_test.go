@@ -65,7 +65,7 @@ func TestSegment(t *testing.T) {
 // deliver pushes SDUs through a receiver, returning all acks produced.
 func deliver(r Receiver, sdus []SDU) (acks []packet.Control, done bool) {
 	for _, s := range sdus {
-		a, d := r.OnData(s.Header, s.Payload)
+		a, d := r.OnData(s.Header, s.Payload, nil)
 		acks = append(acks, a...)
 		done = d
 	}
@@ -242,7 +242,7 @@ func TestGoBackNGapTriggersNack(t *testing.T) {
 	for _, a := range acks0 {
 		s.OnAck(a)
 	}
-	acks, _ := r.OnData(initial[3].Header, initial[3].Payload)
+	acks, _ := r.OnData(initial[3].Header, initial[3].Payload, nil)
 	if len(acks) != 1 || acks[0].Type != packet.CtrlNack {
 		t.Fatalf("gap did not produce NACK: %+v", acks)
 	}
@@ -355,7 +355,7 @@ func lossySimulate(t *testing.T, alg Algorithm, msg []byte, sduSize int, dataLos
 				continue // dropped on the wire
 			}
 			progressed = true
-			a, _ := r.OnData(sdu.Header, sdu.Payload)
+			a, _ := r.OnData(sdu.Header, sdu.Payload, nil)
 			acks = append(acks, a...)
 		}
 		queue = nil
@@ -424,7 +424,7 @@ func TestQuickReliableDelivery(t *testing.T) {
 					if rng.Float64() < loss {
 						continue
 					}
-					a, _ := r.OnData(sdu.Header, sdu.Payload)
+					a, _ := r.OnData(sdu.Header, sdu.Payload, nil)
 					acks = append(acks, a...)
 				}
 				queue = nil

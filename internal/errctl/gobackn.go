@@ -1,6 +1,7 @@
 package errctl
 
 import (
+	"ncs/internal/buf"
 	"ncs/internal/packet"
 )
 
@@ -78,27 +79,40 @@ func (s *gbnSender) Done() bool { return s.done }
 // gbnReceiver accepts only the expected next SDU; anything else is
 // dropped and answered with a NACK carrying the expected sequence
 // number. Every accepted SDU produces a cumulative ACK.
+// gbnReceiver accepts only in-order SDUs, so reassembly appends into
+// one amortised contiguous buffer: holding retained packet buffers
+// would pin a pooled buffer per SDU for data that is already final,
+// which is why this receiver copies where the selective-repeat one
+// retains.
 type gbnReceiver struct {
 	expected uint32
 	total    int // learned from the end bit; -1 until known
 	buf      []byte
 	done     bool
+	ctlOut   [1]packet.Control
 }
 
 var _ Receiver = (*gbnReceiver)(nil)
 
 func newGBNReceiver() *gbnReceiver { return &gbnReceiver{total: -1} }
 
-func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+// stage puts one control packet in the receiver's scratch slot (valid
+// until the next OnData call, per the Receiver contract).
+func (r *gbnReceiver) stage(c packet.Control) []packet.Control {
+	r.ctlOut[0] = c
+	return r.ctlOut[:1]
+}
+
+func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte, _ *buf.Buffer) ([]packet.Control, bool) {
 	if r.done {
 		// A retransmission after completion means the final cumulative
 		// ACK was lost; repeat it so the sender can finish.
-		return []packet.Control{{
+		return r.stage(packet.Control{
 			Type:      packet.CtrlAck,
 			ConnID:    h.ConnID,
 			SessionID: h.SessionID,
 			Body:      packet.CreditBody(r.expected - 1),
-		}}, true
+		}), true
 	}
 	if h.Seq != r.expected {
 		// Out of order: duplicate (already have it) or a gap (cells
@@ -106,14 +120,14 @@ func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Cont
 		// gap needs the sender to go back. Both are answered with the
 		// current cumulative position.
 		if h.Seq > r.expected {
-			return []packet.Control{{
+			return r.stage(packet.Control{
 				Type:      packet.CtrlNack,
 				ConnID:    h.ConnID,
 				SessionID: h.SessionID,
 				Body:      packet.CreditBody(r.expected),
-			}}, false
+			}), false
 		}
-		return []packet.Control{r.ackLocked(h)}, false
+		return r.stage(r.ackLocked(h)), false
 	}
 	r.buf = append(r.buf, payload...)
 	r.expected++
@@ -123,7 +137,7 @@ func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Cont
 	if r.total >= 0 && int(r.expected) >= r.total {
 		r.done = true
 	}
-	return []packet.Control{r.ackLocked(h)}, r.done
+	return r.stage(r.ackLocked(h)), r.done
 }
 
 func (r *gbnReceiver) ackLocked(h packet.DataHeader) packet.Control {
@@ -156,3 +170,7 @@ func (r *gbnReceiver) Message() []byte {
 }
 
 func (r *gbnReceiver) LostSDUs() int { return 0 }
+
+// Abandon is a no-op: go-back-N assembles into an ordinary heap
+// buffer and never retains pooled segments.
+func (r *gbnReceiver) Abandon() {}

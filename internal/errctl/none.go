@@ -1,6 +1,7 @@
 package errctl
 
 import (
+	"ncs/internal/buf"
 	"ncs/internal/packet"
 )
 
@@ -31,26 +32,30 @@ func (s *noneSender) Done() bool { return true }
 // noneReceiver reassembles whatever arrives; the message completes when
 // the end-bit SDU shows up, with missing segments simply absent. The
 // LostSDUs counter lets media applications observe the loss they chose
-// to tolerate.
+// to tolerate. Segments are retained views of the pooled receive
+// buffers, released when Message assembles the delivery.
 type noneReceiver struct {
-	segments map[uint32][]byte
-	total    int
-	done     bool
+	segments  map[uint32]segment
+	total     int
+	done      bool
+	msg       []byte
+	assembled bool
 }
 
 var _ Receiver = (*noneReceiver)(nil)
 
 func newNoneReceiver() *noneReceiver {
-	return &noneReceiver{segments: make(map[uint32][]byte), total: -1}
+	return &noneReceiver{segments: make(map[uint32]segment), total: -1}
 }
 
-func (r *noneReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+func (r *noneReceiver) OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer) ([]packet.Control, bool) {
 	if r.done {
 		return nil, true
 	}
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
-	r.segments[h.Seq] = cp
+	if old, dup := r.segments[h.Seq]; dup {
+		old.release()
+	}
+	r.segments[h.Seq] = holdSegment(payload, ref)
 	if h.End() {
 		r.total = int(h.Seq) + 1
 		r.done = true
@@ -62,13 +67,30 @@ func (r *noneReceiver) Message() []byte {
 	if !r.done {
 		return nil
 	}
-	var out []byte
-	for i := 0; i < r.total; i++ {
-		if seg, ok := r.segments[uint32(i)]; ok {
-			out = append(out, seg...)
+	if !r.assembled {
+		var out []byte
+		for i := 0; i < r.total; i++ {
+			if seg, ok := r.segments[uint32(i)]; ok {
+				out = append(out, seg.data...)
+			}
 		}
+		// Release the retained buffers but keep the keys: LostSDUs
+		// still counts which sequence numbers ever arrived.
+		for seq, s := range r.segments {
+			s.release()
+			r.segments[seq] = segment{}
+		}
+		r.msg = out
+		r.assembled = true
 	}
-	return out
+	return r.msg
+}
+
+func (r *noneReceiver) Abandon() {
+	for _, s := range r.segments {
+		s.release() // no-op on already-assembled (zeroed) entries
+	}
+	r.segments = nil
 }
 
 func (r *noneReceiver) LostSDUs() int {

@@ -1,6 +1,7 @@
 package errctl
 
 import (
+	"ncs/internal/buf"
 	"ncs/internal/packet"
 )
 
@@ -76,40 +77,49 @@ func (s *srSender) Done() bool { return s.done }
 
 // srReceiver implements the receiver half: clear bitmap positions as
 // SDUs arrive; when an end-bit SDU arrives, send an ACK carrying the
-// bitmap; the message completes when the bitmap is empty.
+// bitmap; the message completes when the bitmap is empty. Segments are
+// held as retained views of the pooled receive buffers (zero-copy)
+// until Message assembles and releases them.
 type srReceiver struct {
-	segments map[uint32][]byte
+	segments map[uint32]segment
 	bitmap   *packet.Bitmap
 	total    int // SDU count, learned from the end packet
 	haveEnd  bool
 	done     bool
+	msg      []byte // cached assembly; segments released once set
+	ackOut   [1]packet.Control
 }
 
 var _ Receiver = (*srReceiver)(nil)
 
 func newSRReceiver() *srReceiver {
-	return &srReceiver{segments: make(map[uint32][]byte)}
+	return &srReceiver{segments: make(map[uint32]segment)}
 }
 
-func (r *srReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Control, bool) {
+// ack stages an acknowledgment in the receiver's scratch slot (valid
+// until the next OnData call, per the Receiver contract).
+func (r *srReceiver) ack(h packet.DataHeader) []packet.Control {
+	r.ackOut[0] = packet.Control{
+		Type:      packet.CtrlAck,
+		ConnID:    h.ConnID,
+		SessionID: h.SessionID,
+		Body:      r.bitmap.Marshal(),
+	}
+	return r.ackOut[:1]
+}
+
+func (r *srReceiver) OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer) ([]packet.Control, bool) {
 	if r.done {
 		// The sender retransmitting after completion means our final
 		// ACK was lost: answer end-flagged SDUs with the (empty) bitmap
 		// again so the sender can finish.
 		if h.End() {
-			return []packet.Control{{
-				Type:      packet.CtrlAck,
-				ConnID:    h.ConnID,
-				SessionID: h.SessionID,
-				Body:      r.bitmap.Marshal(),
-			}}, true
+			return r.ack(h), true
 		}
 		return nil, true
 	}
 	if _, dup := r.segments[h.Seq]; !dup {
-		cp := make([]byte, len(payload))
-		copy(cp, payload)
-		r.segments[h.Seq] = cp
+		r.segments[h.Seq] = holdSegment(payload, ref)
 	}
 	// The first end-flagged SDU we see fixes the message length. Before
 	// the receiver has ever acknowledged, every end-flagged packet
@@ -131,16 +141,10 @@ func (r *srReceiver) OnData(h packet.DataHeader, payload []byte) ([]packet.Contr
 	// the re-flagged last packet of a retransmission batch).
 	if h.End() && r.haveEnd {
 		done := !r.bitmap.AnySet()
-		ack := packet.Control{
-			Type:      packet.CtrlAck,
-			ConnID:    h.ConnID,
-			SessionID: h.SessionID,
-			Body:      r.bitmap.Marshal(),
-		}
 		if done {
 			r.done = true
 		}
-		return []packet.Control{ack}, done
+		return r.ack(h), done
 	}
 	return nil, false
 }
@@ -149,15 +153,31 @@ func (r *srReceiver) Message() []byte {
 	if !r.done {
 		return nil
 	}
-	var size int
-	for i := 0; i < r.total; i++ {
-		size += len(r.segments[uint32(i)])
+	if r.msg == nil {
+		var size int
+		for i := 0; i < r.total; i++ {
+			size += len(r.segments[uint32(i)].data)
+		}
+		out := make([]byte, 0, size)
+		for i := 0; i < r.total; i++ {
+			out = append(out, r.segments[uint32(i)].data...)
+		}
+		// Delivery: the assembled message replaces the retained pooled
+		// views, whose buffers can now recycle.
+		for _, s := range r.segments {
+			s.release()
+		}
+		r.segments = nil
+		r.msg = out
 	}
-	out := make([]byte, 0, size)
-	for i := 0; i < r.total; i++ {
-		out = append(out, r.segments[uint32(i)]...)
-	}
-	return out
+	return r.msg
 }
 
 func (r *srReceiver) LostSDUs() int { return 0 }
+
+func (r *srReceiver) Abandon() {
+	for _, s := range r.segments {
+		s.release()
+	}
+	r.segments = nil
+}

@@ -140,7 +140,11 @@ type Sender interface {
 type Receiver interface {
 	// OnData records the arrival of the packet with the given sequence
 	// number and returns any control packets that must travel back to
-	// the sender.
+	// the sender. The returned slice is a scratch staging area valid
+	// only until the next OnData call (the credit-return hot path runs
+	// once per SDU, so it must not allocate); callers enqueue or
+	// marshal the packets before returning to the receive loop, which
+	// every NCS receive path does.
 	OnData(seq uint32) []packet.Control
 	// Close releases resources.
 	Close()
@@ -326,6 +330,7 @@ type creditReceiver struct {
 	lastSeen   time.Time
 	burstCount int // arrivals within the current activity window
 	grantSize  int // current per-arrival grant
+	out        [1]packet.Control
 }
 
 func newCreditReceiver(cfg Config) *creditReceiver {
@@ -351,12 +356,13 @@ func (r *creditReceiver) OnData(seq uint32) []packet.Control {
 	}
 	r.lastSeen = now
 	grant := r.grantSize
-	r.mu.Unlock()
-
-	return []packet.Control{{
+	r.out[0] = packet.Control{
 		Type: packet.CtrlCredit,
 		Body: packet.CreditBody(uint32(grant)),
-	}}
+	}
+	r.mu.Unlock()
+
+	return r.out[:1]
 }
 
 func (r *creditReceiver) Close() {}
@@ -466,6 +472,7 @@ type windowReceiver struct {
 	mu      sync.Mutex
 	highest uint32
 	seen    bool
+	out     [1]packet.Control
 }
 
 func newWindowReceiver(cfg Config) *windowReceiver { return &windowReceiver{} }
@@ -476,12 +483,12 @@ func (r *windowReceiver) OnData(seq uint32) []packet.Control {
 		r.highest = seq
 		r.seen = true
 	}
-	h := r.highest
-	r.mu.Unlock()
-	return []packet.Control{{
+	r.out[0] = packet.Control{
 		Type: packet.CtrlWinAck,
-		Body: packet.CreditBody(h),
-	}}
+		Body: packet.CreditBody(r.highest),
+	}
+	r.mu.Unlock()
+	return r.out[:1]
 }
 
 func (r *windowReceiver) Close() {}
@@ -620,6 +627,7 @@ type rateReceiver struct {
 	window      int // packets between adjustments
 	windowCount int
 	windowStart time.Time
+	out         [1]packet.Control
 }
 
 func newRateReceiver(cfg Config) *rateReceiver {
@@ -647,10 +655,11 @@ func (r *rateReceiver) OnData(seq uint32) []packet.Control {
 	if advertised == 0 {
 		advertised = 1
 	}
-	return []packet.Control{{
+	r.out[0] = packet.Control{
 		Type: packet.CtrlRate,
 		Body: packet.CreditBody(advertised),
-	}}
+	}
+	return r.out[:1]
 }
 
 func (r *rateReceiver) Close() {}

@@ -299,7 +299,10 @@ func TestCreditEndToEndConservation(t *testing.T) {
 				break
 			}
 		}
-		acked <- r.OnData(uint32(i))
+		// OnData's scratch slice is only valid until the next call;
+		// copy the packets out before shipping them across goroutines
+		// (the runtime's receive loops enqueue the values the same way).
+		acked <- append([]packet.Control(nil), r.OnData(uint32(i))...)
 	}
 	wg.Wait()
 

@@ -24,6 +24,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"ncs/internal/buf"
 )
 
 // Errors returned by endpoint operations.
@@ -78,24 +80,65 @@ func Pipe(aToB, bToA Params) (a, b *Endpoint) {
 func LoopbackParams() Params { return Params{} }
 
 // Send transmits one packet. It blocks while the send buffer is full and
-// returns ErrClosed after Close. The packet is copied; the caller may
-// reuse p.
-func (e *Endpoint) Send(p []byte) error { return e.send.enqueue(p) }
+// returns ErrClosed after Close. The packet is copied (into a pooled
+// buffer); the caller may reuse p.
+func (e *Endpoint) Send(p []byte) error {
+	cp := buf.Get(len(p))
+	copy(cp.B, p)
+	if err := e.send.enqueue(cp); err != nil {
+		cp.Release()
+		return err
+	}
+	return nil
+}
+
+// SendBuf is the zero-copy Send: it transfers ownership of b (one
+// reference) to the link — the wire mutates and eventually releases it.
+// The caller must not touch b afterwards unless it retained it first.
+func (e *Endpoint) SendBuf(b *buf.Buffer) error {
+	if err := e.send.enqueue(b); err != nil {
+		b.Release()
+		return err
+	}
+	return nil
+}
 
 // Recv returns the next delivered packet, blocking until one arrives or
 // the link closes.
-func (e *Endpoint) Recv() ([]byte, error) { return e.recv.dequeue() }
+func (e *Endpoint) Recv() ([]byte, error) {
+	b, err := e.recv.dequeue()
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvBuf is the pooled Recv: the returned buffer is owned by the
+// caller, who must Release it.
+func (e *Endpoint) RecvBuf() (*buf.Buffer, error) { return e.recv.dequeue() }
 
 // RecvTimeout is Recv with a deadline; it returns ErrTimeout when no
 // packet arrives within d.
 func (e *Endpoint) RecvTimeout(d time.Duration) ([]byte, error) {
+	b, err := e.recv.dequeueTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvBufTimeout is RecvBuf with a deadline.
+func (e *Endpoint) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	return e.recv.dequeueTimeout(d)
 }
 
 // TrySend is a non-blocking Send: it returns (false, nil) when the send
 // buffer has no room, which lets user-level thread schedulers avoid
-// blocking the whole process (§4.1).
-func (e *Endpoint) TrySend(p []byte) (bool, error) { return e.send.tryEnqueue(p) }
+// blocking the whole process (§4.1). The packet is copied only once
+// accepted, so a busy-polling sender pays nothing for rejections.
+func (e *Endpoint) TrySend(p []byte) (bool, error) {
+	return e.send.tryEnqueueCopy(p)
+}
 
 // Buffered reports the bytes currently occupying the send buffer.
 func (e *Endpoint) Buffered() int { return e.send.buffered() }
@@ -120,8 +163,8 @@ type direction struct {
 	sendCond   *sync.Cond // waits for buffer space
 	recvCond   *sync.Cond // waits for arrivals
 	inflight   int        // bytes occupying the send buffer
-	queue      [][]byte   // packets accepted but not yet on the wire
-	arrived    [][]byte   // packets delivered to the receiver
+	queue      bufDeque   // packets accepted but not yet on the wire
+	arrived    bufDeque   // packets delivered to the receiver
 	closed     bool
 	recvClosed bool // the receiving endpoint closed locally
 	rng        *rand.Rand
@@ -135,8 +178,43 @@ type direction struct {
 
 // timedPacket is a packet with its computed arrival deadline.
 type timedPacket struct {
-	payload  []byte
+	payload  *buf.Buffer
 	arriveAt time.Time
+}
+
+// bufDeque is a head-indexed FIFO of buffers: popping advances a head
+// index instead of re-slicing, so the backing array is reused once
+// drained rather than abandoned to the allocator on every refill.
+// Callers synchronise externally (direction.mu).
+type bufDeque struct {
+	items []*buf.Buffer
+	head  int
+}
+
+func (q *bufDeque) empty() bool { return q.head == len(q.items) }
+
+func (q *bufDeque) push(p *buf.Buffer) {
+	if q.head > 0 && q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	q.items = append(q.items, p)
+}
+
+// pop removes the head packet; callers check empty first. A
+// long-lagging head is compacted away so a deque that never fully
+// drains cannot grow its array without bound.
+func (q *bufDeque) pop() *buf.Buffer {
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head >= 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
 }
 
 func newDirection(p Params) *direction {
@@ -159,26 +237,29 @@ func newDirection(p Params) *direction {
 	return d
 }
 
-func (d *direction) enqueue(p []byte) error {
+// enqueue takes ownership of p's reference; the caller handles release
+// on error (so the Endpoint wrappers can keep uniform consume-on-error
+// semantics without a double release here).
+func (d *direction) enqueue(p *buf.Buffer) error {
 	d.mu.Lock()
 	for !d.closed && d.p.BufferBytes > 0 && d.inflight > 0 &&
-		d.inflight+len(p) > d.p.BufferBytes {
+		d.inflight+p.Len() > d.p.BufferBytes {
 		d.sendCond.Wait()
 	}
 	if d.closed {
 		d.mu.Unlock()
 		return ErrClosed
 	}
-	cp := make([]byte, len(p))
-	copy(cp, p)
-	d.queue = append(d.queue, cp)
-	d.inflight += len(cp)
+	d.queue.push(p)
+	d.inflight += p.Len()
 	d.mu.Unlock()
 	d.kick()
 	return nil
 }
 
-func (d *direction) tryEnqueue(p []byte) (bool, error) {
+// tryEnqueueCopy admits p non-blockingly, copying it into a pooled
+// buffer only after the room check succeeds.
+func (d *direction) tryEnqueueCopy(p []byte) (bool, error) {
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -188,10 +269,10 @@ func (d *direction) tryEnqueue(p []byte) (bool, error) {
 		d.mu.Unlock()
 		return false, nil
 	}
-	cp := make([]byte, len(p))
-	copy(cp, p)
-	d.queue = append(d.queue, cp)
-	d.inflight += len(cp)
+	cp := buf.Get(len(p))
+	copy(cp.B, p)
+	d.queue.push(cp)
+	d.inflight += cp.Len()
 	d.mu.Unlock()
 	d.kick()
 	return true, nil
@@ -228,22 +309,21 @@ func (d *direction) wire() {
 	const pacingQuantum = time.Millisecond
 	for {
 		d.mu.Lock()
-		for len(d.queue) == 0 && !d.closed {
+		for d.queue.empty() && !d.closed {
 			d.mu.Unlock()
 			<-d.wireWake
 			d.mu.Lock()
 		}
-		if len(d.queue) == 0 && d.closed {
+		if d.queue.empty() && d.closed {
 			d.mu.Unlock()
 			break
 		}
-		pkt := d.queue[0]
-		d.queue = d.queue[1:]
+		pkt := d.queue.pop()
 		d.mu.Unlock()
 
 		// Occupy the line for the transmission time.
 		if d.p.Bandwidth > 0 {
-			tx := time.Duration(int64(len(pkt)) * int64(time.Second) / d.p.Bandwidth)
+			tx := time.Duration(int64(pkt.Len()) * int64(time.Second) / d.p.Bandwidth)
 			now := time.Now()
 			if lineFree.Before(now) {
 				lineFree = now
@@ -256,16 +336,19 @@ func (d *direction) wire() {
 
 		// The packet has left the send buffer once fully transmitted.
 		d.mu.Lock()
-		d.inflight -= len(pkt)
+		d.inflight -= pkt.Len()
 		drop := d.p.LossRate > 0 && d.rng.Float64() < d.p.LossRate
 		corrupt := !drop && d.p.CorruptRate > 0 && d.rng.Float64() < d.p.CorruptRate
-		if corrupt && len(pkt) > 0 {
-			pkt[d.rng.Intn(len(pkt))] ^= 0xff
+		if corrupt && pkt.Len() > 0 {
+			// Safe to mutate: the sender transferred its reference, so
+			// the wire is the sole owner here.
+			pkt.B[d.rng.Intn(pkt.Len())] ^= 0xff
 		}
 		d.sendCond.Broadcast()
 		d.mu.Unlock()
 
 		if drop {
+			pkt.Release()
 			continue
 		}
 		arriveBase := time.Now()
@@ -291,25 +374,23 @@ func (d *direction) deliveryLoop() {
 	d.mu.Unlock()
 }
 
-func (d *direction) deliver(pkt []byte) {
+func (d *direction) deliver(pkt *buf.Buffer) {
 	d.mu.Lock()
-	d.arrived = append(d.arrived, pkt)
+	d.arrived.push(pkt)
 	d.recvCond.Signal()
 	d.mu.Unlock()
 }
 
-func (d *direction) dequeue() ([]byte, error) {
+func (d *direction) dequeue() (*buf.Buffer, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.arrived) == 0 || d.recvClosed {
+	for d.arrived.empty() || d.recvClosed {
 		if d.recvClosed || (d.closed && d.drainedLocked()) {
 			return nil, ErrClosed
 		}
 		d.recvCond.Wait()
 	}
-	p := d.arrived[0]
-	d.arrived = d.arrived[1:]
-	return p, nil
+	return d.arrived.pop(), nil
 }
 
 // closeRecv invalidates the receiving side locally, waking any blocked
@@ -321,7 +402,7 @@ func (d *direction) closeRecv() {
 	d.mu.Unlock()
 }
 
-func (d *direction) dequeueTimeout(timeout time.Duration) ([]byte, error) {
+func (d *direction) dequeueTimeout(timeout time.Duration) (*buf.Buffer, error) {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
 		d.mu.Lock()
@@ -332,7 +413,7 @@ func (d *direction) dequeueTimeout(timeout time.Duration) ([]byte, error) {
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for len(d.arrived) == 0 || d.recvClosed {
+	for d.arrived.empty() || d.recvClosed {
 		if d.recvClosed || (d.closed && d.drainedLocked()) {
 			return nil, ErrClosed
 		}
@@ -341,16 +422,14 @@ func (d *direction) dequeueTimeout(timeout time.Duration) ([]byte, error) {
 		}
 		d.recvCond.Wait()
 	}
-	p := d.arrived[0]
-	d.arrived = d.arrived[1:]
-	return p, nil
+	return d.arrived.pop(), nil
 }
 
 // drainedLocked reports whether no packets remain in flight. Caller holds mu.
 func (d *direction) drainedLocked() bool {
 	select {
 	case <-d.deliveryDone:
-		return len(d.arrived) == 0
+		return d.arrived.empty()
 	default:
 		return false
 	}

@@ -94,6 +94,31 @@ func UnmarshalDataHeader(p []byte) (DataHeader, error) {
 // End reports whether the end-of-message control bit is set.
 func (h DataHeader) End() bool { return h.Flags&FlagEnd != 0 }
 
+// AppendSDU appends one encoded SDU — header then payload — to dst and
+// returns the result. With a pooled dst (buf.Buffer.B re-sliced to
+// zero) this is the single staging step of the send path: no
+// intermediate packet buffer exists.
+func AppendSDU(dst []byte, h DataHeader, payload []byte) []byte {
+	dst = h.Marshal(dst)
+	return append(dst, payload...)
+}
+
+// SplitData decodes a data packet into its header and payload view.
+// The payload ALIASES p (and therefore whatever pooled buffer p lives
+// in — holders that outlive the buffer's owner must retain it, see
+// package buf) and is trimmed to the header's length field.
+func SplitData(p []byte) (DataHeader, []byte, error) {
+	h, err := UnmarshalDataHeader(p)
+	if err != nil {
+		return DataHeader{}, nil, err
+	}
+	payload := p[DataHeaderSize:]
+	if int(h.Length) <= len(payload) {
+		payload = payload[:h.Length]
+	}
+	return h, payload, nil
+}
+
 // ControlType enumerates control-plane packet kinds.
 type ControlType uint16
 

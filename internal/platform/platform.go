@@ -25,6 +25,7 @@ package platform
 import (
 	"time"
 
+	"ncs/internal/buf"
 	"ncs/internal/transport"
 )
 
@@ -114,6 +115,22 @@ func (t *TaxedConn) Send(p []byte) error {
 	return t.inner.Send(p)
 }
 
+// SendBuf charges the platform send cost, then forwards the buffer.
+func (t *TaxedConn) SendBuf(b *buf.Buffer) error {
+	busyWait(t.plat.sendCost(b.Len()))
+	return t.inner.SendBuf(b)
+}
+
+// SendBatch charges the per-packet send cost for every packet — a 1998
+// stack had no vectored fast path, so coalescing must not dodge the
+// modelled syscall and copy taxes — then forwards the batch.
+func (t *TaxedConn) SendBatch(bs []*buf.Buffer) error {
+	for _, b := range bs {
+		busyWait(t.plat.sendCost(b.Len()))
+	}
+	return t.inner.SendBatch(bs)
+}
+
 // Recv forwards, then charges the platform receive cost.
 func (t *TaxedConn) Recv() ([]byte, error) {
 	p, err := t.inner.Recv()
@@ -124,6 +141,16 @@ func (t *TaxedConn) Recv() ([]byte, error) {
 	return p, nil
 }
 
+// RecvBuf forwards, then charges the platform receive cost.
+func (t *TaxedConn) RecvBuf() (*buf.Buffer, error) {
+	b, err := t.inner.RecvBuf()
+	if err != nil {
+		return nil, err
+	}
+	busyWait(t.plat.recvCost(b.Len()))
+	return b, nil
+}
+
 // RecvTimeout forwards with the deadline, then charges the receive cost.
 func (t *TaxedConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	p, err := t.inner.RecvTimeout(d)
@@ -132,6 +159,17 @@ func (t *TaxedConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	}
 	busyWait(t.plat.recvCost(len(p)))
 	return p, nil
+}
+
+// RecvBufTimeout forwards with the deadline, then charges the receive
+// cost.
+func (t *TaxedConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
+	b, err := t.inner.RecvBufTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	busyWait(t.plat.recvCost(b.Len()))
+	return b, nil
 }
 
 // Close closes the wrapped connection.

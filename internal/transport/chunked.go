@@ -3,6 +3,8 @@ package transport
 import (
 	"encoding/binary"
 	"time"
+
+	"ncs/internal/buf"
 )
 
 // chunkedConn splits every outbound packet into chunks of at most
@@ -15,7 +17,7 @@ type chunkedConn struct {
 	inner Conn
 	chunk int
 
-	partial []byte // inbound reassembly
+	partial *buf.Buffer // inbound reassembly (owned until handed out)
 }
 
 var _ Conn = (*chunkedConn)(nil)
@@ -49,19 +51,45 @@ func (c *chunkedConn) Send(p []byte) error {
 	return nil
 }
 
+// SendBuf chunks the packet through pooled chunk buffers, then
+// releases it.
+func (c *chunkedConn) SendBuf(b *buf.Buffer) error {
+	err := c.Send(b.B)
+	b.Release()
+	return err
+}
+
+// SendBatch forwards packet by packet: the chunk framing already
+// interleaves per-chunk costs, which is the behaviour this wrapper
+// exists to model, so batching below it would be self-defeating.
+func (c *chunkedConn) SendBatch(bs []*buf.Buffer) error {
+	return sendBatchSeq(c.SendBuf, bs)
+}
+
+// sendChunk stages one chunk in a pooled buffer and hands it down.
 func (c *chunkedConn) sendChunk(body []byte, last bool) error {
-	buf := make([]byte, chunkHeaderSize+len(body))
-	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	cb := buf.Get(chunkHeaderSize + len(body))
+	binary.BigEndian.PutUint32(cb.B, uint32(len(body)))
+	cb.B[4] = 0
 	if last {
-		buf[4] = 1
+		cb.B[4] = 1
 	}
-	copy(buf[chunkHeaderSize:], body)
-	return c.inner.Send(buf)
+	copy(cb.B[chunkHeaderSize:], body)
+	return c.inner.SendBuf(cb)
 }
 
 func (c *chunkedConn) Recv() ([]byte, error) {
+	b, err := c.RecvBuf()
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvBuf reassembles chunks into a pooled buffer owned by the caller.
+func (c *chunkedConn) RecvBuf() (*buf.Buffer, error) {
 	for {
-		raw, err := c.inner.Recv()
+		raw, err := c.inner.RecvBuf()
 		if err != nil {
 			return nil, err
 		}
@@ -76,13 +104,21 @@ func (c *chunkedConn) Recv() ([]byte, error) {
 }
 
 func (c *chunkedConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	b, err := c.RecvBufTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+func (c *chunkedConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	deadline := time.Now().Add(d)
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
 			return nil, ErrRecvTimeout
 		}
-		raw, err := c.inner.RecvTimeout(remain)
+		raw, err := c.inner.RecvBufTimeout(remain)
 		if err != nil {
 			return nil, err
 		}
@@ -96,17 +132,28 @@ func (c *chunkedConn) RecvTimeout(d time.Duration) ([]byte, error) {
 	}
 }
 
-func (c *chunkedConn) push(raw []byte) (bool, []byte, error) {
-	if len(raw) < chunkHeaderSize {
+// push consumes raw (releasing it) after copying its body into the
+// pooled reassembly buffer; on the final chunk it hands the assembled
+// packet to the caller.
+func (c *chunkedConn) push(raw *buf.Buffer) (bool, *buf.Buffer, error) {
+	defer raw.Release()
+	if raw.Len() < chunkHeaderSize {
 		return false, nil, ErrConnClosed
 	}
-	n := binary.BigEndian.Uint32(raw)
-	last := raw[4] == 1
-	body := raw[chunkHeaderSize:]
+	n := binary.BigEndian.Uint32(raw.B)
+	last := raw.B[4] == 1
+	body := raw.B[chunkHeaderSize:]
 	if int(n) <= len(body) {
 		body = body[:n]
 	}
-	c.partial = append(c.partial, body...)
+	if c.partial == nil {
+		// Size for the pipeline's common packet (a 4 KB SDU plus
+		// header) rather than one chunk: sizing by len(body) would pick
+		// the smallest tier and force every multi-chunk packet to
+		// regrow off-pool.
+		c.partial = buf.GetCap(buf.DefaultSDUStage)
+	}
+	c.partial.B = append(c.partial.B, body...)
 	if !last {
 		return false, nil, nil
 	}
@@ -115,6 +162,10 @@ func (c *chunkedConn) push(raw []byte) (bool, []byte, error) {
 	return true, msg, nil
 }
 
+// Close closes the inner connection. A partially reassembled packet is
+// left to the garbage collector rather than released here: the receive
+// loop may still be touching it, and an unreleased buffer is merely a
+// pool miss, never a leak.
 func (c *chunkedConn) Close() error { return c.inner.Close() }
 
 func (c *chunkedConn) MaxPacket() int { return 0 }

@@ -5,9 +5,13 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"ncs/internal/buf"
 )
 
-// countingConn counts Send calls beneath the chunker.
+// countingConn counts per-packet sends beneath the chunker (the
+// chunker stages chunks in pooled buffers, so SendBuf is its inner
+// path).
 type countingConn struct {
 	Conn
 	sends atomic.Int32
@@ -16,6 +20,11 @@ type countingConn struct {
 func (c *countingConn) Send(p []byte) error {
 	c.sends.Add(1)
 	return c.Conn.Send(p)
+}
+
+func (c *countingConn) SendBuf(b *buf.Buffer) error {
+	c.sends.Add(1)
+	return c.Conn.SendBuf(b)
 }
 
 func TestChunkedRoundTrip(t *testing.T) {

@@ -16,6 +16,24 @@
 //
 // A Conn is datagram-oriented: packet boundaries are preserved, because
 // the NCS data plane exchanges discrete SDUs.
+//
+// # Buffer ownership
+//
+// The pooled paths (SendBuf, SendBatch, RecvBuf, RecvBufTimeout) move
+// packets in reference-counted buf.Buffers so the hot pipeline never
+// copies at a layer boundary. The ownership contract, repeated from
+// package buf:
+//
+//   - SendBuf and SendBatch CONSUME one reference per buffer: the
+//     transport releases it once the wire has accepted the bytes (or
+//     the send failed). Callers that need the contents afterwards must
+//     Retain first.
+//   - RecvBuf and RecvBufTimeout return a buffer the caller OWNS: the
+//     caller must Release it when every slice aliasing it is dropped.
+//
+// The []byte paths (Send, Recv, RecvTimeout) remain for callers
+// outside the hot pipeline; they stage through the same pools where
+// possible but return heap-lifetime slices.
 package transport
 
 import (
@@ -28,6 +46,7 @@ import (
 	"time"
 
 	"ncs/internal/atm"
+	"ncs/internal/buf"
 	"ncs/internal/netsim"
 )
 
@@ -73,19 +92,56 @@ type Conn interface {
 	// Send transmits one packet. The implementation copies p if it
 	// needs to retain it.
 	Send(p []byte) error
+	// SendBuf transmits one packet from a pooled buffer, consuming the
+	// caller's reference (see the package comment for ownership rules).
+	SendBuf(b *buf.Buffer) error
+	// SendBatch transmits the packets in order, consuming one reference
+	// each — even on error, every buffer is released. Packet boundaries
+	// are preserved; implementations with vectored I/O (SCI) coalesce
+	// the batch into a single writev so queued SDUs share the syscall
+	// and framing cost.
+	SendBatch(bs []*buf.Buffer) error
 	// Recv blocks for the next packet.
 	Recv() ([]byte, error)
+	// RecvBuf blocks for the next packet, staged in a pooled buffer the
+	// caller owns and must Release.
+	RecvBuf() (*buf.Buffer, error)
 	// RecvTimeout is Recv with a deadline; it returns ErrRecvTimeout if
 	// no packet arrives in time. On SCI a timeout that lands mid-packet
 	// desynchronises the stream and surfaces as a hard error; use
 	// generous deadlines on SCI.
 	RecvTimeout(d time.Duration) ([]byte, error)
+	// RecvBufTimeout is RecvBuf with a deadline (same SCI caveat as
+	// RecvTimeout).
+	RecvBufTimeout(d time.Duration) (*buf.Buffer, error)
 	// Close releases the connection. Blocked Recv calls return an error.
 	Close() error
 	// MaxPacket is the largest packet Send accepts; 0 means unlimited.
 	MaxPacket() int
 	// Kind reports the interface type.
 	Kind() Kind
+}
+
+// releaseAll drops one reference from every buffer of a batch; send
+// paths use it to uphold SendBatch's consume-even-on-error contract.
+func releaseAll(bs []*buf.Buffer) {
+	for _, b := range bs {
+		b.Release()
+	}
+}
+
+// sendBatchSeq is the sequential SendBatch fallback for transports
+// without vectored I/O: each packet goes through send (which consumes
+// its reference); on error the unsent remainder is released so the
+// consume-even-on-error contract holds in exactly one place.
+func sendBatchSeq(send func(*buf.Buffer) error, bs []*buf.Buffer) error {
+	for i, b := range bs {
+		if err := send(b); err != nil {
+			releaseAll(bs[i+1:])
+			return err
+		}
+	}
+	return nil
 }
 
 // Listener accepts inbound connections for one interface kind.
@@ -105,6 +161,11 @@ type sciConn struct {
 	readMu  sync.Mutex
 	writeMu sync.Mutex
 	lenBuf  [4]byte
+
+	// Batch-write scratch, reused under writeMu: the length prefixes
+	// and the iovec for SendBatch's writev.
+	prefixes []byte
+	vec      net.Buffers
 }
 
 var _ Conn = (*sciConn)(nil)
@@ -163,21 +224,78 @@ func (s *sciConn) Send(p []byte) error {
 	return nil
 }
 
+// SendBuf frames and writes one packet, then releases the buffer.
+func (s *sciConn) SendBuf(b *buf.Buffer) error {
+	err := s.Send(b.B)
+	b.Release()
+	return err
+}
+
+// SendBatch coalesces the whole batch — every length prefix and every
+// payload — into one vectored write (writev on TCP), so N queued SDUs
+// cost one syscall instead of 2N.
+func (s *sciConn) SendBatch(bs []*buf.Buffer) error {
+	defer releaseAll(bs)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if cap(s.prefixes) < 4*len(bs) {
+		s.prefixes = make([]byte, 0, 4*len(bs))
+	}
+	if cap(s.vec) < 2*len(bs) {
+		s.vec = make(net.Buffers, 0, 2*len(bs))
+	}
+	pre := s.prefixes[:0]
+	vec := s.vec[:0]
+	for _, b := range bs {
+		off := len(pre)
+		pre = binary.BigEndian.AppendUint32(pre, uint32(b.Len()))
+		vec = append(vec, pre[off:off+4], b.B)
+	}
+	work := vec // WriteTo consumes its receiver; keep vec for reuse
+	_, err := work.WriteTo(s.c)
+	for i := range vec {
+		vec[i] = nil // unpin the released buffers from the scratch array
+	}
+	if err != nil {
+		return s.mapErr(err)
+	}
+	return nil
+}
+
 func (s *sciConn) Recv() ([]byte, error) {
+	b, err := s.RecvBuf()
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+// RecvBuf reads the next length-prefixed packet into a pooled buffer
+// owned by the caller.
+func (s *sciConn) RecvBuf() (*buf.Buffer, error) {
 	s.readMu.Lock()
 	defer s.readMu.Unlock()
 	if _, err := io.ReadFull(s.c, s.lenBuf[:]); err != nil {
 		return nil, s.mapErr(err)
 	}
 	n := binary.BigEndian.Uint32(s.lenBuf[:])
-	p := make([]byte, n)
-	if _, err := io.ReadFull(s.c, p); err != nil {
+	b := buf.Get(int(n))
+	if _, err := io.ReadFull(s.c, b.B); err != nil {
+		b.Release()
 		return nil, s.mapErr(err)
 	}
-	return p, nil
+	return b, nil
 }
 
 func (s *sciConn) RecvTimeout(d time.Duration) ([]byte, error) {
+	b, err := s.RecvBufTimeout(d)
+	if err != nil {
+		return nil, err
+	}
+	return b.TakeBytes(), nil
+}
+
+func (s *sciConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	s.readMu.Lock()
 	defer s.readMu.Unlock()
 	if err := s.c.SetReadDeadline(time.Now().Add(d)); err != nil {
@@ -193,13 +311,14 @@ func (s *sciConn) RecvTimeout(d time.Duration) ([]byte, error) {
 		return nil, s.mapErr(err)
 	}
 	n := binary.BigEndian.Uint32(s.lenBuf[:])
-	p := make([]byte, n)
-	if _, err := io.ReadFull(s.c, p); err != nil {
+	b := buf.Get(int(n))
+	if _, err := io.ReadFull(s.c, b.B); err != nil {
 		// A timeout here means the stream is desynchronised; surface it
 		// as a hard error rather than ErrRecvTimeout.
+		b.Release()
 		return nil, s.mapErr(err)
 	}
-	return p, nil
+	return b, nil
 }
 
 func isTimeout(err error) bool {
@@ -237,6 +356,20 @@ func (a *aciConn) Send(p []byte) error {
 	return nil
 }
 
+// SendBuf segments the frame into cells (staged through the cell
+// pools), then releases the buffer.
+func (a *aciConn) SendBuf(b *buf.Buffer) error {
+	err := a.Send(b.B)
+	b.Release()
+	return err
+}
+
+// SendBatch sends the frames back to back; ATM cells already pipeline
+// on the VC, so there is no separate vectored path to exploit.
+func (a *aciConn) SendBatch(bs []*buf.Buffer) error {
+	return sendBatchSeq(a.SendBuf, bs)
+}
+
 func (a *aciConn) Recv() ([]byte, error) {
 	p, err := a.vc.RecvFrame()
 	if err != nil {
@@ -246,6 +379,19 @@ func (a *aciConn) Recv() ([]byte, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// RecvBuf returns the next intact AAL5 frame in the reassembler's
+// pooled staging buffer, owned by the caller.
+func (a *aciConn) RecvBuf() (*buf.Buffer, error) {
+	b, err := a.vc.RecvFrameBuf()
+	if err != nil {
+		if errors.Is(err, atm.ErrVCClosed) {
+			return nil, ErrConnClosed
+		}
+		return nil, err
+	}
+	return b, nil
 }
 
 func (a *aciConn) RecvTimeout(d time.Duration) ([]byte, error) {
@@ -260,6 +406,20 @@ func (a *aciConn) RecvTimeout(d time.Duration) ([]byte, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+func (a *aciConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
+	b, err := a.vc.RecvFrameBufTimeout(d)
+	if err != nil {
+		switch {
+		case errors.Is(err, atm.ErrRecvTimeout):
+			return nil, ErrRecvTimeout
+		case errors.Is(err, atm.ErrVCClosed):
+			return nil, ErrConnClosed
+		}
+		return nil, err
+	}
+	return b, nil
 }
 
 func (a *aciConn) Close() error   { return a.vc.Close() }
@@ -308,12 +468,35 @@ func (h *hpiConn) Send(p []byte) error {
 	return nil
 }
 
+// SendBuf hands the buffer to the in-process link zero-copy: the
+// receiver's RecvBuf surfaces the very same storage.
+func (h *hpiConn) SendBuf(b *buf.Buffer) error {
+	if err := h.ep.SendBuf(b); err != nil {
+		return ErrConnClosed
+	}
+	return nil
+}
+
+// SendBatch enqueues the batch back to back; HPI has no syscall to
+// amortise, so the win is just the zero-copy handoff per packet.
+func (h *hpiConn) SendBatch(bs []*buf.Buffer) error {
+	return sendBatchSeq(h.SendBuf, bs)
+}
+
 func (h *hpiConn) Recv() ([]byte, error) {
 	p, err := h.ep.Recv()
 	if err != nil {
 		return nil, ErrConnClosed
 	}
 	return p, nil
+}
+
+func (h *hpiConn) RecvBuf() (*buf.Buffer, error) {
+	b, err := h.ep.RecvBuf()
+	if err != nil {
+		return nil, ErrConnClosed
+	}
+	return b, nil
 }
 
 func (h *hpiConn) RecvTimeout(d time.Duration) ([]byte, error) {
@@ -325,6 +508,17 @@ func (h *hpiConn) RecvTimeout(d time.Duration) ([]byte, error) {
 		return nil, ErrConnClosed
 	}
 	return p, nil
+}
+
+func (h *hpiConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
+	b, err := h.ep.RecvBufTimeout(d)
+	if err != nil {
+		if errors.Is(err, netsim.ErrTimeout) {
+			return nil, ErrRecvTimeout
+		}
+		return nil, ErrConnClosed
+	}
+	return b, nil
 }
 
 func (h *hpiConn) Close() error   { return h.ep.Close() }
