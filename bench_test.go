@@ -10,6 +10,7 @@
 package ncs_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -493,6 +494,88 @@ func BenchmarkAllocSCISend4KB(b *testing.B) {
 	conn.Close()
 	peer.Close()
 	<-done
+}
+
+// ---------------------------------------------------------------------------
+// RPC layer benchmarks. BenchmarkAllocRPCEchoHPIFastpath is the alloc
+// acceptance gate for the RPC subsystem: one full call round trip
+// (encode, multiplex, dispatch on the worker pool, reply, demultiplex)
+// must stay in low single-digit allocs/op — the pooled call states,
+// XDR encoders, and buffer pipeline doing their job.
+
+// rpcEchoPair builds an RPC client/server echo pair over one connection.
+func rpcEchoPair(b *testing.B, nw *ncs.Network, opts ncs.Options) (*ncs.RPCClient, *ncs.RPCServer) {
+	b.Helper()
+	conn, peer, err := ncs.Pair(nw, "rpc-bench-a", "rpc-bench-b", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := ncs.NewServer(ncs.RPCServerOptions{Workers: 4})
+	srv.Handle("echo", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	srv.ServeConn(peer)
+	b.Cleanup(srv.Shutdown)
+	cli := ncs.NewClient(conn)
+	b.Cleanup(func() { cli.Close() })
+	return cli, srv
+}
+
+func benchmarkRPCEcho(b *testing.B, opts ncs.Options, size int) {
+	b.Helper()
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	cli, _ := rpcEchoPair(b, nw, opts)
+	req := make([]byte, size)
+	ctx := context.Background()
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Call(ctx, "echo", req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocRPCEchoHPIFastpath: the acceptance gate — an RPC echo
+// round trip over the §4.2 fast path must cost at most 8 allocs/op.
+func BenchmarkAllocRPCEchoHPIFastpath(b *testing.B) {
+	benchmarkRPCEcho(b, ncs.Options{Interface: ncs.HPI, FastPath: true}, 4096)
+}
+
+// BenchmarkAllocRPCEchoSCI tracks the threaded TCP-loopback variant.
+func BenchmarkAllocRPCEchoSCI(b *testing.B) {
+	benchmarkRPCEcho(b, ncs.Options{Interface: ncs.SCI}, 4096)
+}
+
+// BenchmarkRPCEchoSizes sweeps payload sizes over the fast path.
+func BenchmarkRPCEchoSizes(b *testing.B) {
+	for _, size := range []int{64, 4096, 65536} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			benchmarkRPCEcho(b, ncs.Options{Interface: ncs.HPI, FastPath: true}, size)
+		})
+	}
+}
+
+// BenchmarkRPCEchoConcurrent measures multiplexed throughput: many
+// goroutines share one threaded HPI connection and its server pool.
+func BenchmarkRPCEchoConcurrent(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	cli, _ := rpcEchoPair(b, nw, ncs.Options{Interface: ncs.HPI})
+	req := make([]byte, 512)
+	b.SetBytes(int64(len(req)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			if _, err := cli.Call(ctx, "echo", req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func sizeName(n int) string {

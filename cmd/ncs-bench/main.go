@@ -11,7 +11,12 @@
 //	ncs-bench -exp fig12 -platform sun4
 //	ncs-bench -exp fig12 -platform rs6000
 //	ncs-bench -exp fig13
+//	ncs-bench -exp rpc
 //	ncs-bench -exp all
+//
+// The rpc experiment is not from the paper: it exercises the RPC layer
+// (echo latency per interface, multiplexed throughput) built on top of
+// the substrate the paper's figures evaluate.
 package main
 
 import (
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, all")
+		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, all")
 		plat  = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters = flag.Int("iters", 10, "iterations per point for echo experiments")
 	)
@@ -48,6 +53,8 @@ func run(exp, plat string, iters int) error {
 		return runFig12(plat, iters)
 	case "fig13":
 		return runFig13(iters)
+	case "rpc":
+		return runRPC(iters)
 	case "all":
 		for _, e := range []func() error{
 			runTable1,
@@ -56,6 +63,7 @@ func run(exp, plat string, iters int) error {
 			func() error { return runFig12("sun4", iters) },
 			func() error { return runFig12("rs6000", iters) },
 			func() error { return runFig13(iters) },
+			func() error { return runRPC(iters) },
 		} {
 			if err := e(); err != nil {
 				return err

@@ -17,6 +17,12 @@ func TestRunFig12SmallIters(t *testing.T) {
 	}
 }
 
+func TestRunRPC(t *testing.T) {
+	if err := run("rpc", "sun4", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
 	if err := run("fig99", "sun4", 1); err == nil {
 		t.Error("unknown experiment accepted")

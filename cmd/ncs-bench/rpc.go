@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ncs"
+	"ncs/internal/bench"
+)
+
+// The rpc experiment is not a figure from the paper: it measures the
+// request/response layer built on top of the substrate the paper
+// evaluates. One full RPC round trip covers XDR framing, call-ID
+// multiplexing, transport, and server worker-pool dispatch, so the
+// sweep shows what the §4.2 fast path buys an RPC workload, and the
+// throughput run shows how far one connection multiplexes.
+
+// rpcVariants are the connection configurations the latency sweep
+// compares.
+var rpcVariants = []struct {
+	label string
+	opts  ncs.Options
+}{
+	{"HPI-fastpath", ncs.Options{Interface: ncs.HPI, FastPath: true}},
+	{"HPI-threaded", ncs.Options{Interface: ncs.HPI}},
+	{"SCI", ncs.Options{Interface: ncs.SCI}},
+}
+
+var rpcSizes = []int{64, 1024, 4096, 16384, 65536}
+
+func runRPC(iters int) error {
+	fig := bench.Figure{
+		Title:  "RPC echo round trip (client call -> server dispatch -> reply)",
+		YLabel: "median round-trip time",
+	}
+	for _, v := range rpcVariants {
+		series := bench.Series{Label: v.label}
+		for _, size := range rpcSizes {
+			rtt, err := rpcEchoRTT(v.opts, size, iters)
+			if err != nil {
+				return fmt.Errorf("rpc %s/%d: %w", v.label, size, err)
+			}
+			series.Points = append(series.Points, bench.Point{Size: size, Value: rtt})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	fmt.Print(fig.Render())
+
+	rate, callers, err := rpcThroughput(iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("multiplexed throughput: %.0f calls/s (%d concurrent callers, "+
+		"512-byte echo, one HPI connection)\n", rate, callers)
+	return nil
+}
+
+// rpcEcho builds an echo client/server pair over one connection with
+// the given options.
+func rpcEcho(nw *ncs.Network, opts ncs.Options, workers int) (*ncs.RPCClient, *ncs.RPCServer, error) {
+	conn, peer, err := ncs.Pair(nw, "rpc-bench-client", "rpc-bench-server", opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := ncs.NewServer(ncs.RPCServerOptions{Workers: workers})
+	srv.Handle("echo", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	srv.ServeConn(peer)
+	return ncs.NewClient(conn), srv, nil
+}
+
+// rpcEchoRTT measures the median round-trip time of iters sequential
+// echo calls carrying size-byte payloads.
+func rpcEchoRTT(opts ncs.Options, size, iters int) (time.Duration, error) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	cli, srv, err := rpcEcho(nw, opts, 2)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Shutdown()
+	defer cli.Close()
+
+	req := make([]byte, size)
+	ctx := context.Background()
+	if _, err := cli.Call(ctx, "echo", req); err != nil { // warm the pools
+		return 0, err
+	}
+	samples := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := cli.Call(ctx, "echo", req); err != nil {
+			return 0, err
+		}
+		samples = append(samples, time.Since(start))
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[len(samples)/2], nil
+}
+
+// rpcThroughput floods one threaded HPI connection with concurrent
+// 512-byte echo calls and reports the sustained call rate.
+func rpcThroughput(iters int) (rate float64, callers int, err error) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	cli, srv, err := rpcEcho(nw, ncs.Options{Interface: ncs.HPI}, 8)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Shutdown()
+	defer cli.Close()
+
+	callers = 16
+	callsEach := 25 * iters
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	start := time.Now()
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := make([]byte, 512)
+			for i := 0; i < callsEach; i++ {
+				if _, err := cli.Call(context.Background(), "echo", req); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, 0, err
+	}
+	elapsed := time.Since(start)
+	return float64(callers*callsEach) / elapsed.Seconds(), callers, nil
+}

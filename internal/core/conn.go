@@ -71,11 +71,15 @@ func (e ctrlEvent) release() {
 }
 
 // recvSession wraps an inbound error-control session with its delivery
-// state.
+// state. Sessions recycle through recvSessionPool when pruned: one
+// arrives per received message, so on unreliable streams the wrapper
+// would otherwise be a steady per-message allocation.
 type recvSession struct {
 	rcv       errctl.Receiver
 	delivered bool
 }
+
+var recvSessionPool = sync.Pool{New: func() any { return new(recvSession) }}
 
 // Connection is one NCS point-to-point connection: a data connection
 // and a control connection, the per-connection threads of Figure 4, and
@@ -205,6 +209,27 @@ func (c *Connection) closeErr() error {
 	return ErrConnClosed
 }
 
+// Done returns a channel closed when the connection has shut down —
+// locally via Close or remotely via a heartbeat-declared peer failure.
+// Layers above the core (the RPC client, application select loops) use
+// it to observe connection state without polling.
+func (c *Connection) Done() <-chan struct{} { return c.closedCh }
+
+// Err reports the connection's terminal state: nil while it is live,
+// ErrPeerUnreachable after a heartbeat failure, ErrConnClosed after any
+// other shutdown.
+func (c *Connection) Err() error {
+	select {
+	case <-c.closedCh:
+		return c.closeErr()
+	default:
+		if c.failed.Load() {
+			return ErrPeerUnreachable
+		}
+		return nil
+	}
+}
+
 // ID returns the connection identifier assigned at setup.
 func (c *Connection) ID() uint32 { return c.id }
 
@@ -227,26 +252,64 @@ func (c *Connection) Send(msg []byte) error {
 	return c.sendThreaded(msg, nil)
 }
 
-// singleSDU reports whether msg completes in one SDU on a connection
-// without error control — the case where the whole per-message
-// sender/receiver machinery (session objects, segmentation slices,
-// reassembly maps) can be skipped: a None session never retransmits,
-// so nothing ever refers to it again.
-func (c *Connection) singleSDU(msg []byte) bool {
-	return c.opts.ErrorControl == errctl.None &&
-		len(msg) <= errctl.EffectiveSDUSize(c.opts.SDUSize)
+// unreliableSDU builds the header Segment would give SDU i of n of an
+// unreliable message carrying payload.
+func (c *Connection) unreliableSDU(payload []byte, sess uint32, i, n int) errctl.SDU {
+	var flags uint16 = packet.FlagUnreliable
+	if i == n-1 {
+		flags |= packet.FlagEnd
+	}
+	return errctl.SDU{
+		Header: packet.DataHeader{
+			Flags:     flags,
+			ConnID:    c.id,
+			SessionID: sess,
+			Seq:       uint32(i),
+			Length:    uint32(len(payload)),
+		},
+		Payload: payload,
+	}
 }
 
-// singleSDUHeader builds the header Segment would give the sole SDU of
-// an unreliable message.
-func (c *Connection) singleSDUHeader(msg []byte, sess uint32) packet.DataHeader {
-	return packet.DataHeader{
-		Flags:     packet.FlagEnd | packet.FlagUnreliable,
-		ConnID:    c.id,
-		SessionID: sess,
-		Seq:       0,
-		Length:    uint32(len(msg)),
+// unreliableSegments returns the segmentation arithmetic for an
+// unreliable message: the effective SDU size and the SDU count (an
+// empty message still takes one empty end SDU).
+func (c *Connection) unreliableSegments(msg []byte) (sduSize, n int) {
+	sduSize = errctl.EffectiveSDUSize(c.opts.SDUSize)
+	n = (len(msg) + sduSize - 1) / sduSize
+	if n == 0 {
+		n = 1
 	}
+	return sduSize, n
+}
+
+// sendUnreliable hands an unreliable (None error control) message to
+// the Send Thread with no per-message sender machinery: a None session
+// never retransmits, so nothing ever refers to it again and the whole
+// sender object (session state, segmentation slice) can be skipped.
+// Segmentation happens inline on the caller's stack; steady-state
+// unreliable sends allocate nothing.
+func (c *Connection) sendUnreliable(msg []byte, sess uint32, tr *SendTrace) error {
+	sduSize, n := c.unreliableSegments(msg)
+	var one [1]errctl.SDU
+	for i := 0; i < n; i++ {
+		lo := i * sduSize
+		hi := lo + sduSize
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		one[0] = c.unreliableSDU(msg[lo:hi], sess, i, n)
+		last := i == n-1
+		var ltr *SendTrace
+		if last {
+			ltr = tr
+		}
+		if err := c.transmit(one[:], ltr, last); err != nil {
+			return err
+		}
+	}
+	c.stats.messagesSent.Add(1)
+	return nil
 }
 
 func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
@@ -254,31 +317,15 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		return err
 	}
 	sess := c.nextSession.Add(1)
-	if c.singleSDU(msg) {
-		// One-SDU unreliable transfer: no sender state machine needed.
+	if c.opts.ErrorControl == errctl.None {
 		if tr != nil {
 			tr.stamp(&tr.tHeader)
 		}
-		one := [1]errctl.SDU{{Header: c.singleSDUHeader(msg, sess), Payload: msg}}
-		if err := c.transmit(one[:], tr, true); err != nil {
-			return err
-		}
-		c.stats.messagesSent.Add(1)
-		return nil
+		return c.sendUnreliable(msg, sess, tr)
 	}
 	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
 	if tr != nil {
 		tr.stamp(&tr.tHeader)
-	}
-
-	if snd.Done() {
-		// Unreliable transfer: hand every SDU to the Send Thread; the
-		// session completes as soon as the last is transmitted.
-		if err := c.transmit(snd.Initial(), tr, true); err != nil {
-			return err
-		}
-		c.stats.messagesSent.Add(1)
-		return nil
 	}
 
 	ackCh := make(chan ctrlEvent, 4)
@@ -431,6 +478,14 @@ func (c *Connection) checkSendSize(msg []byte) error {
 	if max := c.data.MaxPacket(); max > 0 && c.opts.SDUSize+packet.DataHeaderSize > max {
 		return ErrSendTooLarge
 	}
+	if c.opts.ErrorControl == errctl.None {
+		// The receiver's dense unreliable reassembly tracks at most
+		// MaxUnreliableSegments; a larger message would transmit fully
+		// yet never complete on the far side, so refuse it here.
+		if _, n := c.unreliableSegments(msg); n > errctl.MaxUnreliableSegments {
+			return ErrSendTooLarge
+		}
+	}
 	return nil
 }
 
@@ -485,8 +540,9 @@ func (c *Connection) sendThread() {
 				}
 			}
 			if err != nil {
-				// The connection is going down; Send callers see
-				// ErrConnClosed via closedCh.
+				// The connection is going down; propagate so Send
+				// callers see ErrConnClosed via closedCh.
+				go c.Close()
 				return
 			}
 		case <-c.closedCh:
@@ -557,6 +613,14 @@ func (c *Connection) recvThread() {
 	for {
 		b, err := c.data.RecvBuf()
 		if err != nil {
+			// The data transport died: the peer tore the connection
+			// down (or the local side is closing). Propagate to
+			// connection state so blocked senders — e.g. a flow-control
+			// admission retrying against a peer that will never grant
+			// another credit — observe the teardown instead of spinning
+			// forever. Close from a fresh goroutine: Close waits for
+			// this thread via wg.Wait.
+			go c.Close()
 			return
 		}
 		c.lastHeard.Store(time.Now().UnixNano())
@@ -622,7 +686,8 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 	c.mu.Lock()
 	rs, ok := c.sessions[h.SessionID]
 	if !ok {
-		rs = &recvSession{rcv: errctl.NewReceiver(c.opts.ErrorControl)}
+		rs = recvSessionPool.Get().(*recvSession)
+		rs.rcv = errctl.NewReceiver(c.opts.ErrorControl)
 		c.sessions[h.SessionID] = rs
 		c.sessAge = append(c.sessAge, h.SessionID)
 		c.pruneSessionsLocked()
@@ -663,6 +728,12 @@ func (c *Connection) pruneSessionsLocked() {
 			rs.rcv.Abandon()
 		}
 		delete(c.sessions, victim)
+		// The dispatch loop is the sole user of the session (one
+		// receive goroutine per connection), so once it leaves the
+		// table its receiver and wrapper can recycle.
+		errctl.Recycle(rs.rcv)
+		*rs = recvSession{}
+		recvSessionPool.Put(rs)
 	}
 }
 
@@ -699,6 +770,7 @@ func (c *Connection) ctrlSendThread() {
 			sb.B = ctl.Marshal(sb.B)
 			c.stats.controlSent.Add(1)
 			if err := c.ctrl.SendBuf(sb); err != nil {
+				go c.Close()
 				return
 			}
 		case <-c.closedCh:
@@ -715,6 +787,9 @@ func (c *Connection) ctrlRecvThread() {
 	for {
 		b, err := c.ctrl.RecvBuf()
 		if err != nil {
+			// Control transport death is connection death: propagate,
+			// as the Receive Thread does for the data connection.
+			go c.Close()
 			return
 		}
 		c.demuxControl(b)

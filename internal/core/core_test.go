@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -56,6 +57,24 @@ func TestSendRecvAllInterfaces(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestUnreliableSendTooLarge: an unreliable message spanning more
+// segments than the receiver's dense reassembly tracks is refused at
+// Send rather than transmitted and silently never delivered.
+func TestUnreliableSendTooLarge(t *testing.T) {
+	// Small SDUs keep the oversized message affordable: 65537 segments
+	// of 64 bytes. One segment fewer must still be accepted by the
+	// size check (delivery itself is exercised elsewhere).
+	conn, _, cleanup := newPairT(t, Options{Interface: transport.HPI, SDUSize: 64})
+	defer cleanup()
+	tooBig := make([]byte, (errctl.MaxUnreliableSegments+1)*64)
+	if err := conn.Send(tooBig); !errors.Is(err, ErrSendTooLarge) {
+		t.Fatalf("oversized unreliable send: err = %v, want ErrSendTooLarge", err)
+	}
+	if err := conn.checkSendSize(tooBig[:errctl.MaxUnreliableSegments*64]); err != nil {
+		t.Fatalf("max-sized unreliable send refused: %v", err)
 	}
 }
 

@@ -19,6 +19,10 @@ import (
 //
 // The flow- and error-control state machines are the same objects the
 // threads drive; here they execute inline on the caller's goroutine.
+// With no threads to observe transport death, the inline procedures
+// propagate it themselves: any non-timeout transport failure closes
+// the connection, so Done/Err observers (the RPC layer, select loops)
+// see fast-path teardown exactly as they see threaded teardown.
 // Full duplex is preserved — Send reads only the control connection and
 // writes the data connection; Recv reads the data connection and writes
 // the control connection — so an echo exchange may run Send and Recv
@@ -41,20 +45,31 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 	defer c.fastSendMu.Unlock()
 
 	sess := c.nextSession.Add(1)
-	if c.singleSDU(msg) {
-		// One-SDU unreliable transfer: flow-control admission, one
-		// pooled staging buffer, one transport write — the procedure
+	if c.opts.ErrorControl == errctl.None {
+		// Unreliable transfer: flow-control admission, one pooled
+		// staging buffer, one transport write per SDU — the procedure
 		// call §4.2 promises, with no per-message protocol objects.
-		if err := c.fastAdmit(sess, nil); err != nil {
-			return err
+		// Segmentation happens inline; nothing allocates.
+		sduSize, n := c.unreliableSegments(msg)
+		for i := 0; i < n; i++ {
+			lo := i * sduSize
+			hi := lo + sduSize
+			if hi > len(msg) {
+				hi = len(msg)
+			}
+			if err := c.fastAdmit(sess, nil); err != nil {
+				return err
+			}
+			sdu := c.unreliableSDU(msg[lo:hi], sess, i, n)
+			sb := buf.GetCap(packet.DataHeaderSize + len(sdu.Payload))
+			sb.B = packet.AppendSDU(sb.B, sdu.Header, sdu.Payload)
+			if err := c.data.SendBuf(sb); err != nil {
+				c.Close()
+				return ErrConnClosed
+			}
+			c.stats.sdusSent.Add(1)
+			c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
 		}
-		sb := buf.GetCap(packet.DataHeaderSize + len(msg))
-		sb.B = packet.AppendSDU(sb.B, c.singleSDUHeader(msg, sess), msg)
-		if err := c.data.SendBuf(sb); err != nil {
-			return ErrConnClosed
-		}
-		c.stats.sdusSent.Add(1)
-		c.stats.bytesSent.Add(uint64(len(msg)))
 		c.stats.messagesSent.Add(1)
 		return nil
 	}
@@ -71,6 +86,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			sb := buf.GetCap(packet.DataHeaderSize + len(sdu.Payload))
 			sb.B = packet.AppendSDU(sb.B, sdu.Header, sdu.Payload)
 			if err := c.data.SendBuf(sb); err != nil {
+				c.Close()
 				return ErrConnClosed
 			}
 			c.stats.sdusSent.Add(1)
@@ -92,6 +108,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			queue = snd.OnTimeout()
 			continue
 		case err != nil:
+			c.Close()
 			return ErrConnClosed
 		}
 		pkt, perr := packet.UnmarshalControl(cb.B)
@@ -151,6 +168,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 			continue
 		}
 		if err != nil {
+			c.Close()
 			return ErrConnClosed
 		}
 		pkt, perr := packet.UnmarshalControl(cb.B)
@@ -203,6 +221,7 @@ func (c *Connection) recvFast(timeout time.Duration) (Message, error) {
 			b, err = c.data.RecvBuf()
 		}
 		if err != nil {
+			c.Close()
 			return Message{}, ErrConnClosed
 		}
 		h, payload, perr := packet.SplitData(b.B)

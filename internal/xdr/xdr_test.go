@@ -2,7 +2,9 @@ package xdr
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -214,5 +216,156 @@ func BenchmarkEncodeOpaque4K(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.Reset()
 		e.PutOpaque(p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hostile-input decoder tests. The decoder now parses RPC headers
+// arriving off the wire, so truncated or corrupt input must surface
+// errors — never panic, never over-read.
+
+// TestDecodeTruncatedEverywhere builds a valid multi-field stream and
+// verifies that decoding any strict prefix of it fails cleanly at some
+// field, with ErrShortBuffer and no panic.
+func TestDecodeTruncatedEverywhere(t *testing.T) {
+	e := NewEncoder(128)
+	e.PutUint32(42)
+	e.PutUint64(1 << 40)
+	e.PutString("method/name")
+	e.PutOpaque([]byte{1, 2, 3, 4, 5})
+	e.PutInt32Slice([]int32{-1, 0, 1})
+	e.PutFloat64Slice([]float64{3.14})
+	e.PutBool(true)
+	whole := e.Bytes()
+
+	decodeAll := func(d *Decoder) error {
+		if _, err := d.Uint32(); err != nil {
+			return err
+		}
+		if _, err := d.Uint64(); err != nil {
+			return err
+		}
+		if _, err := d.String(); err != nil {
+			return err
+		}
+		if _, err := d.Opaque(); err != nil {
+			return err
+		}
+		if _, err := d.Int32Slice(); err != nil {
+			return err
+		}
+		if _, err := d.Float64Slice(); err != nil {
+			return err
+		}
+		if _, err := d.Bool(); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	if err := decodeAll(NewDecoder(whole)); err != nil {
+		t.Fatalf("full stream failed: %v", err)
+	}
+	for cut := 0; cut < len(whole); cut++ {
+		err := decodeAll(NewDecoder(whole[:cut]))
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(whole))
+		}
+		if !errors.Is(err, ErrShortBuffer) {
+			t.Fatalf("prefix %d: err = %v, want ErrShortBuffer", cut, err)
+		}
+	}
+}
+
+// TestDecodeCorruptLengths attacks every length-prefixed decode with
+// lengths that are absurd, near-overflow, or merely larger than the
+// remaining input.
+func TestDecodeCorruptLengths(t *testing.T) {
+	put32 := func(v uint32) []byte {
+		e := NewEncoder(4)
+		e.PutUint32(v)
+		return e.Bytes()
+	}
+
+	// Opaque/String with a length beyond the sanity maximum.
+	for _, n := range []uint32{1<<30 + 1, 1<<31 + 7, 0xFFFFFFFF} {
+		if _, err := NewDecoder(put32(n)).Opaque(); err == nil {
+			t.Errorf("Opaque with length %#x succeeded", n)
+		}
+		if _, err := NewDecoder(put32(n)).String(); err == nil {
+			t.Errorf("String with length %#x succeeded", n)
+		}
+	}
+
+	// Counted arrays whose element count exceeds the input. The count
+	// checks must not overflow into accepting the header.
+	for _, n := range []uint32{16, 1 << 28, 0xFFFFFFFF} {
+		if _, err := NewDecoder(put32(n)).Int32Slice(); !errors.Is(err, ErrShortBuffer) {
+			t.Errorf("Int32Slice count %#x: err = %v, want ErrShortBuffer", n, err)
+		}
+		if _, err := NewDecoder(put32(n)).Float64Slice(); !errors.Is(err, ErrShortBuffer) {
+			t.Errorf("Float64Slice count %#x: err = %v, want ErrShortBuffer", n, err)
+		}
+	}
+
+	// FixedOpaque with negative and over-large sizes.
+	d := NewDecoder([]byte{1, 2, 3, 4})
+	if _, err := d.FixedOpaque(-1); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("FixedOpaque(-1): err = %v, want ErrShortBuffer", err)
+	}
+	if _, err := d.FixedOpaque(5); !errors.Is(err, ErrShortBuffer) {
+		t.Errorf("FixedOpaque(5) on 4 bytes: err = %v, want ErrShortBuffer", err)
+	}
+}
+
+// TestDecodeMissingPadding: opaque data whose bytes are present but
+// whose pad-to-4 tail was cut off must fail rather than read past the
+// buffer or silently accept.
+func TestDecodeMissingPadding(t *testing.T) {
+	e := NewEncoder(16)
+	e.PutOpaque([]byte{9, 9, 9}) // 4-byte length + 3 bytes + 1 pad byte
+	whole := e.Bytes()
+	if len(whole) != 8 {
+		t.Fatalf("encoded length = %d, want 8", len(whole))
+	}
+	d := NewDecoder(whole[:7]) // drop the pad byte
+	if _, err := d.Opaque(); !errors.Is(err, ErrShortBuffer) {
+		t.Fatalf("Opaque without padding: err = %v, want ErrShortBuffer", err)
+	}
+
+	// A decoder must not consume anything it later rejects: after the
+	// failure, a fresh decode of the intact stream still works.
+	d = NewDecoder(whole)
+	p, err := d.Opaque()
+	if err != nil || len(p) != 3 {
+		t.Fatalf("intact stream: p = %v, err = %v", p, err)
+	}
+}
+
+// TestDecodeGarbageNoPanic feeds deterministic pseudo-random garbage to
+// every decoder entry point; nothing may panic.
+func TestDecodeGarbageNoPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for trial := 0; trial < 200; trial++ {
+		raw := make([]byte, rng.Intn(64))
+		rng.Read(raw)
+		d := NewDecoder(raw)
+		// Rotate through typed reads until the input runs dry or a
+		// decode rejects it; any panic fails the test.
+		var err error
+		for err == nil && d.Remaining() >= 4 {
+			switch trial % 5 {
+			case 0:
+				_, err = d.Opaque()
+			case 1:
+				_, err = d.String()
+			case 2:
+				_, err = d.Int32Slice()
+			case 3:
+				_, err = d.Float64Slice()
+			default:
+				_, err = d.Bool()
+			}
+		}
 	}
 }

@@ -24,7 +24,11 @@
 //   - a thread-per-function runtime (Master, Flow Control, Error
 //     Control, Control Send/Receive, and per-connection Send/Receive
 //     threads) plus a thread-bypassing fast path for latency-critical
-//     connections (§4.2 of the paper).
+//     connections (§4.2 of the paper);
+//   - an RPC layer on top of any connection: multiplexed named-method
+//     request/response calls with per-call deadlines, application-error
+//     propagation, and a worker-pool dispatcher running on either
+//     thread architecture (NewClient, NewServer).
 //
 // # Quick start
 //
@@ -43,6 +47,20 @@
 // Connections are full duplex; Send blocks until the transfer completes
 // under the connection's error control scheme. Group communication
 // (broadcast, reduce, barrier) is built with BuildGroup.
+//
+// For request/response workloads, attach the RPC layer to both ends of
+// a connection instead of hand-rolling matching over Send/Recv:
+//
+//	srv := ncs.NewServer(ncs.RPCServerOptions{})
+//	srv.Handle("echo", func(ctx context.Context, req []byte) ([]byte, error) {
+//		return req, nil
+//	})
+//	srv.ServeConn(peer)
+//	defer srv.Shutdown()
+//
+//	cli := ncs.NewClient(conn)
+//	defer cli.Close()
+//	resp, _ := cli.Call(context.Background(), "echo", []byte("hi"))
 package ncs
 
 import (
@@ -52,6 +70,7 @@ import (
 	"ncs/internal/flowctl"
 	"ncs/internal/group"
 	"ncs/internal/mcast"
+	"ncs/internal/rpc"
 	"ncs/internal/thread"
 	"ncs/internal/transport"
 )
@@ -134,6 +153,42 @@ var (
 	ErrRecvTimeout     = core.ErrRecvTimeout
 	ErrPeerUnreachable = core.ErrPeerUnreachable
 )
+
+// RPC layer (internal/rpc): multiplexed request/response calls over any
+// NCS connection.
+type (
+	// RPCClient issues multiplexed named-method calls over one
+	// connection; create one with NewClient.
+	RPCClient = rpc.Client
+	// RPCServer dispatches calls from any number of connections onto a
+	// worker pool; create one with NewServer.
+	RPCServer = rpc.Server
+	// RPCHandler services one call on the server.
+	RPCHandler = rpc.Handler
+	// RPCServerOptions sizes the server's dispatcher and selects its
+	// thread architecture.
+	RPCServerOptions = rpc.ServerOptions
+	// RPCServerError is an application error propagated from a handler
+	// to the caller; match it with errors.As.
+	RPCServerError = rpc.ServerError
+)
+
+// RPC errors re-exported for matching with errors.Is.
+var (
+	ErrRPCNoMethod     = rpc.ErrNoMethod
+	ErrRPCShuttingDown = rpc.ErrShuttingDown
+	ErrRPCClientClosed = rpc.ErrClientClosed
+)
+
+// NewClient attaches an RPC client to an established connection. The
+// client owns the connection's receive side and tears the connection
+// down on Close.
+func NewClient(conn *Connection) *RPCClient { return rpc.NewClient(conn) }
+
+// NewServer creates an RPC server and starts its worker pool. Register
+// handlers with Handle, attach accepted connections with ServeConn, and
+// stop with Shutdown (which drains in-flight calls).
+func NewServer(opts RPCServerOptions) *RPCServer { return rpc.NewServer(opts) }
 
 // Multithreading services (§2: "thread synchronization, thread
 // management"). Compute Threads run application work and use NCS
