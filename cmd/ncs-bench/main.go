@@ -12,11 +12,15 @@
 //	ncs-bench -exp fig12 -platform rs6000
 //	ncs-bench -exp fig13
 //	ncs-bench -exp rpc
+//	ncs-bench -exp loss
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
 // (echo latency per interface, multiplexed throughput) built on top of
-// the substrate the paper's figures evaluate.
+// the substrate the paper's figures evaluate. The loss experiment
+// reproduces the paper's error-control comparison (§3.2): the same
+// stream pushed through None, go-back-N, and selective repeat while
+// the simulated link loses an increasing fraction of its packets.
 package main
 
 import (
@@ -30,7 +34,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, all")
+		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, all")
 		plat  = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters = flag.Int("iters", 10, "iterations per point for echo experiments")
 	)
@@ -55,6 +59,8 @@ func run(exp, plat string, iters int) error {
 		return runFig13(iters)
 	case "rpc":
 		return runRPC(iters)
+	case "loss":
+		return runLoss(iters)
 	case "all":
 		for _, e := range []func() error{
 			runTable1,
@@ -64,6 +70,7 @@ func run(exp, plat string, iters int) error {
 			func() error { return runFig12("rs6000", iters) },
 			func() error { return runFig13(iters) },
 			func() error { return runRPC(iters) },
+			func() error { return runLoss(iters) },
 		} {
 			if err := e(); err != nil {
 				return err
@@ -123,6 +130,17 @@ func runFig12(plat string, iters int) error {
 	case "rs6000":
 		fmt.Println("paper: p4 best on RS6000; PVM worst; NCS second.")
 	}
+	return nil
+}
+
+func runLoss(iters int) error {
+	res, err := bench.LossSweep(bench.LossConfig{Messages: iters * 3})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	fmt.Println("paper: \"none\" keeps line-rate timeliness but drops data; selective repeat\n" +
+		"recovers with the fewest retransmissions; go-back-N replays the window tail.")
 	return nil
 }
 

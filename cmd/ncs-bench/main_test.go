@@ -23,6 +23,12 @@ func TestRunRPC(t *testing.T) {
 	}
 }
 
+func TestRunLoss(t *testing.T) {
+	if err := run("loss", "sun4", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
 	if err := run("fig99", "sun4", 1); err == nil {
 		t.Error("unknown experiment accepted")

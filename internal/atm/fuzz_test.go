@@ -1,0 +1,120 @@
+package atm
+
+import (
+	"bytes"
+	"testing"
+
+	"ncs/internal/buf"
+)
+
+// Fuzz targets for the cell codec and AAL5 reassembly. The reassembler
+// receives whatever survives a lossy, reordering wire, so arbitrary
+// cell streams must never panic it, never hand back an oversized
+// frame, and never leak the pooled staging buffer. Seed corpora live
+// in testdata/fuzz; CI runs each target briefly.
+
+func FuzzUnmarshalCell(f *testing.F) {
+	var c Cell
+	c.VPI, c.VCI, c.PTI = 1, 0x0203, 1
+	copy(c.Payload[:], "cell payload")
+	f.Add(c.Marshal(nil))
+	f.Add(make([]byte, CellSize))               // all-zero cell (valid HEC)
+	f.Add(make([]byte, CellSize-1))             // short
+	f.Add(bytes.Repeat([]byte{0xff}, CellSize)) // HEC mismatch
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCell(data)
+		if err != nil {
+			return
+		}
+		re := c.Marshal(nil)
+		c2, err := UnmarshalCell(re)
+		if err != nil {
+			t.Fatalf("re-encoded cell failed to decode: %v", err)
+		}
+		if c2 != c {
+			t.Fatalf("round trip diverged: %+v vs %+v", c2, c)
+		}
+	})
+}
+
+// FuzzReassembler interprets the input as a cell stream — 49-byte
+// units of one flag byte (bit 0: end of frame) plus one cell payload —
+// and pushes it through a Reassembler, checking the structural
+// invariants and the pooled-buffer accounting.
+func FuzzReassembler(f *testing.F) {
+	// One whole-frame cell with the end bit (CRC will fail — that is a
+	// legitimate, common path), a frame spread over three cells, and a
+	// headless tail.
+	one := append([]byte{1}, make([]byte, CellPayloadSize)...)
+	f.Add(one)
+	multi := append([]byte{0}, bytes.Repeat([]byte{0xaa}, CellPayloadSize)...)
+	multi = append(multi, append([]byte{0}, bytes.Repeat([]byte{0xbb}, CellPayloadSize)...)...)
+	multi = append(multi, one...)
+	f.Add(multi)
+	f.Add(append([]byte{0}, bytes.Repeat([]byte{0xcc}, CellPayloadSize)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		baseline := buf.Outstanding()
+		var r Reassembler
+		const maxCells = 64
+		for n := 0; len(data) >= 1+CellPayloadSize && n < maxCells; n++ {
+			var c Cell
+			c.PTI = data[0] & 1
+			copy(c.Payload[:], data[1:1+CellPayloadSize])
+			data = data[1+CellPayloadSize:]
+			fb, done, err := r.PushFrame(c)
+			if err != nil {
+				if fb != nil {
+					t.Fatal("PushFrame returned both a frame and an error")
+				}
+				continue
+			}
+			if !done {
+				if r.Pending() > MaxFrameSize+CellPayloadSize+8 {
+					t.Fatalf("reassembler buffered %d bytes past the frame ceiling", r.Pending())
+				}
+				continue
+			}
+			if fb.Len() > MaxFrameSize {
+				t.Fatalf("reassembled frame of %d bytes exceeds MaxFrameSize", fb.Len())
+			}
+			fb.Release()
+		}
+		r.Reset()
+		if now := buf.Outstanding(); now != baseline {
+			t.Fatalf("reassembler leaked %d pooled buffer refs", now-baseline)
+		}
+	})
+}
+
+// FuzzAAL5RoundTrip checks the full segmentation/reassembly cycle:
+// any payload within the AAL5 limit must survive cells → frame intact.
+func FuzzAAL5RoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("hello, AAL5"))
+	f.Add(bytes.Repeat([]byte{0x5a}, 4096))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > MaxFrameSize {
+			payload = payload[:MaxFrameSize]
+		}
+		cells, err := SegmentAAL5(0, 42, payload)
+		if err != nil {
+			t.Fatalf("SegmentAAL5: %v", err)
+		}
+		var r Reassembler
+		for i, c := range cells {
+			out, done, err := r.Push(c)
+			if err != nil {
+				t.Fatalf("cell %d: %v", i, err)
+			}
+			if done != (i == len(cells)-1) {
+				t.Fatalf("frame completed at cell %d of %d", i+1, len(cells))
+			}
+			if done && !bytes.Equal(out, payload) {
+				t.Fatalf("round trip corrupted: got %d bytes, want %d", len(out), len(payload))
+			}
+		}
+		if r.Pending() != 0 {
+			t.Fatalf("%d bytes left pending after a complete frame", r.Pending())
+		}
+	})
+}

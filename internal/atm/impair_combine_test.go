@@ -1,0 +1,64 @@
+package atm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ncs/internal/netsim"
+)
+
+func TestCombineImpair(t *testing.T) {
+	a := netsim.Impairments{
+		DupRate:       0.1,
+		ReorderRate:   0.2,
+		ReorderJitter: time.Millisecond,
+	}
+	b := netsim.Impairments{
+		DupRate:       0.1,
+		ReorderRate:   0.5,
+		ReorderJitter: 2 * time.Millisecond,
+		Partitioned:   true,
+	}
+	got := combineImpair(a, b)
+	if want := 1 - 0.9*0.9; math.Abs(got.DupRate-want) > 1e-12 {
+		t.Errorf("DupRate = %v, want %v (compounded)", got.DupRate, want)
+	}
+	if want := 1 - 0.8*0.5; math.Abs(got.ReorderRate-want) > 1e-12 {
+		t.Errorf("ReorderRate = %v, want %v (compounded)", got.ReorderRate, want)
+	}
+	if got.ReorderJitter != 3*time.Millisecond {
+		t.Errorf("ReorderJitter = %v, want summed 3ms", got.ReorderJitter)
+	}
+	if !got.Partitioned {
+		t.Error("partition on one link must partition the path")
+	}
+}
+
+// TestCombineImpairBurstDominance pins the regression where a burst
+// model expressing i.i.d. loss through LossGood (the documented way
+// to put plain loss on the impairment RNG stream) was discarded in
+// favour of a zero model because dominance compared only LossBad.
+func TestCombineImpairBurstDominance(t *testing.T) {
+	iid := netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.15}}
+
+	// Composing with a clean link must keep the lossy model, from
+	// either side.
+	if got := combineImpair(netsim.Impairments{}, iid); got.Burst != iid.Burst {
+		t.Errorf("clean+iid kept %+v, want the i.i.d. model", got.Burst)
+	}
+	if got := combineImpair(iid, netsim.Impairments{}); got.Burst != iid.Burst {
+		t.Errorf("iid+clean kept %+v, want the i.i.d. model", got.Burst)
+	}
+
+	// A heavy good-state model beats a burst model that rarely bites:
+	// the long-run loss decides, not the bad-state peak.
+	rareBurst := netsim.Impairments{Burst: netsim.GilbertElliott{
+		PGoodBad: 0.001, PBadGood: 0.9, LossBad: 0.5,
+	}}
+	heavy := netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.4}}
+	if got := combineImpair(rareBurst, heavy); got.Burst != heavy.Burst {
+		t.Errorf("kept %+v (steady loss %.4f), want the heavier %+v (steady loss %.4f)",
+			got.Burst, got.Burst.SteadyLoss(), heavy.Burst, heavy.Burst.SteadyLoss())
+	}
+}

@@ -33,8 +33,21 @@ type QoS struct {
 	CellLossRate float64
 	// CellCorruptRate is the probability a cell byte is corrupted.
 	CellCorruptRate float64
-	// Seed makes loss/corruption reproducible; zero uses a default.
+	// Seed makes loss/corruption/impairments reproducible; zero uses a
+	// default.
 	Seed int64
+	// Impair applies programmable cell-level impairments (duplication,
+	// reordering, burst loss, partition) to the circuit, on top of
+	// whatever the routed path's links contribute. Reordered or
+	// duplicated cells inside one AAL5 frame break its CRC, so at the
+	// frame level these largely manifest as loss — exactly how a real
+	// misbehaving ATM fabric presents to AAL5.
+	Impair netsim.Impairments
+	// Schedule drives the circuit's impairments through a deterministic
+	// sequence of packet-count-keyed phases (see netsim.Phase). It is a
+	// circuit-level contract; per-link Impair config from a Topology is
+	// folded into each phase's steady state by Dial.
+	Schedule []netsim.Phase
 }
 
 func (q QoS) linkParams() netsim.Params {
@@ -48,7 +61,31 @@ func (q QoS) linkParams() netsim.Params {
 		LossRate:    q.CellLossRate,
 		CorruptRate: q.CellCorruptRate,
 		Seed:        q.Seed,
+		Impair:      q.Impair,
+		Schedule:    q.Schedule,
 	}
+}
+
+// combineImpair merges two impairment configurations the way a path
+// composes its links: independent duplication/reorder probabilities
+// compound, jitters add (delays accumulate hop by hop), a partition
+// anywhere partitions the path, and the burst-loss model with the
+// larger long-run loss (SteadyLoss) dominates — merging the Markov
+// chains exactly is not worth the state explosion for a simulator,
+// but the dominance metric must see good-state loss too, since that
+// is how i.i.d. loss is expressed on the impairment RNG stream.
+func combineImpair(a, b netsim.Impairments) netsim.Impairments {
+	out := netsim.Impairments{
+		DupRate:       1 - (1-a.DupRate)*(1-b.DupRate),
+		ReorderRate:   1 - (1-a.ReorderRate)*(1-b.ReorderRate),
+		ReorderJitter: a.ReorderJitter + b.ReorderJitter,
+		Partitioned:   a.Partitioned || b.Partitioned,
+		Burst:         a.Burst,
+	}
+	if b.Burst.SteadyLoss() > a.Burst.SteadyLoss() {
+		out.Burst = b.Burst
+	}
+	return out
 }
 
 // Network is a simulated ATM network: a set of named hosts that can
@@ -153,11 +190,22 @@ func (h *Host) Dial(remote string, qos QoS) (*VC, error) {
 			return nil, err
 		}
 		// The circuit experiences the path: summed propagation,
-		// compounded loss, and the admitted (or bottleneck) cell rate,
-		// on top of whatever the caller requested.
+		// compounded loss, composed impairments, and the admitted (or
+		// bottleneck) cell rate, on top of whatever the caller requested.
 		effective.Delay = qos.Delay + derived.Delay
 		effective.CellLossRate = 1 - (1-qos.CellLossRate)*(1-derived.CellLossRate)
 		effective.PeakCellRate = derived.PeakCellRate
+		if len(qos.Schedule) > 0 {
+			// A scheduled circuit keeps its phase structure; the path's
+			// per-link impairments fold into every phase's steady state.
+			sched := make([]netsim.Phase, len(qos.Schedule))
+			for i, ph := range qos.Schedule {
+				sched[i] = netsim.Phase{Packets: ph.Packets, Imp: combineImpair(ph.Imp, derived.Impair)}
+			}
+			effective.Schedule = sched
+		} else {
+			effective.Impair = combineImpair(qos.Impair, derived.Impair)
+		}
 	}
 
 	vci := h.network.allocVCI()
@@ -323,6 +371,12 @@ func (vc *VC) recvFrame(timeout time.Duration) (*buf.Buffer, error) {
 			continue
 		}
 		vc.mu.Lock()
+		if vc.closed {
+			// Close already reset the reassembler; staging this cell
+			// would re-pin a pooled buffer nothing will release.
+			vc.mu.Unlock()
+			return nil, ErrVCClosed
+		}
 		payload, done, err := vc.reass.PushFrame(cell)
 		if err != nil {
 			vc.drops++
@@ -344,8 +398,25 @@ func (vc *VC) FramesDropped() int {
 	return vc.drops
 }
 
+// SetImpairments replaces the cell-level impairments applied to the
+// circuit's transmit direction mid-run, cancelling any remaining
+// schedule. Each end of the VC impairs its own transmit side.
+func (vc *VC) SetImpairments(imp netsim.Impairments) { vc.link.SetImpairments(imp) }
+
+// Partition cuts the circuit's transmit direction (cells silently
+// dropped) until Heal.
+func (vc *VC) Partition() { vc.link.Partition() }
+
+// Heal reopens a transmit direction cut by Partition.
+func (vc *VC) Heal() { vc.link.Heal() }
+
+// ImpairStats reports the cell-level impairment decisions made on the
+// circuit's transmit direction.
+func (vc *VC) ImpairStats() netsim.ImpairStats { return vc.link.ImpairStats() }
+
 // Close releases the circuit, returning any admitted capacity to the
-// fabric.
+// fabric and dropping any partially reassembled frame (whose pooled
+// staging buffer would otherwise never return to its pool).
 func (vc *VC) Close() error {
 	vc.mu.Lock()
 	if vc.closed {
@@ -353,6 +424,7 @@ func (vc *VC) Close() error {
 		return nil
 	}
 	vc.closed = true
+	vc.reass.Reset()
 	vc.mu.Unlock()
 	if vc.topo != nil {
 		vc.topo.release(vc.path, vc.reservedPCR)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ncs/internal/netsim"
 )
 
 // Topology errors.
@@ -23,6 +25,11 @@ type LinkSpec struct {
 	CellRate int64
 	// CellLossRate is the link's intrinsic loss probability.
 	CellLossRate float64
+	// Impair is the link's programmable impairment profile (burst
+	// loss, duplication, reordering, partition). Circuits routed over
+	// the link inherit it, composed with every other link of the path
+	// and with the circuit's own QoS.Impair (see combineImpair).
+	Impair netsim.Impairments
 }
 
 // Topology is a switched ATM fabric: named switches, links between
@@ -175,6 +182,7 @@ func (t *Topology) admit(path []edgeKey, pcr int64) (QoS, error) {
 		}
 		agg.Delay += l.spec.Delay
 		survive *= 1 - l.spec.CellLossRate
+		agg.Impair = combineImpair(agg.Impair, l.spec.Impair)
 	}
 	agg.CellLossRate = 1 - survive
 	agg.PeakCellRate = pcr

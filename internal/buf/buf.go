@@ -81,6 +81,19 @@ type Buffer struct {
 	refs  atomic.Int32
 }
 
+// outstanding counts buffers handed out by Get/GetCap whose last
+// reference has not yet been dropped (by Release or TakeBytes). It is
+// the refcount audit hook behind Outstanding: a pipeline that releases
+// everything it retained leaves the count exactly where it found it.
+var outstanding atomic.Int64
+
+// Outstanding reports the number of live pooled buffers: buffers
+// created and not yet fully released. Leak-audit tests snapshot it
+// before a scenario, drive the pipeline to quiescence, and assert the
+// count returned to the snapshot — any difference is a retained
+// reference that will pin pooled storage forever.
+func Outstanding() int64 { return outstanding.Load() }
+
 // Get returns a buffer with len(b.B) == n, zero-filled only as far as
 // pool reuse left it (callers overwrite, as with make without zeroing
 // guarantees — the transport read paths fill it entirely).
@@ -93,6 +106,7 @@ func Get(n int) *Buffer {
 // GetCap returns an empty buffer (len(b.B) == 0) with capacity at
 // least n, for append-style marshalling.
 func GetCap(n int) *Buffer {
+	outstanding.Add(1)
 	for t, size := range tierSizes {
 		if n <= size {
 			if v := pools[t].Get(); v != nil {
@@ -137,6 +151,7 @@ func (b *Buffer) Release() {
 	case n < 0:
 		panic(fmt.Sprintf("buf: over-release (refs=%d)", n))
 	}
+	outstanding.Add(-1)
 	if b.tier >= 0 {
 		b.B = nil // drop any oversized append spill before pooling
 		pools[b.tier].Put(b)
@@ -163,6 +178,7 @@ func (b *Buffer) TakeBytes() []byte {
 	switch n := b.refs.Add(-1); {
 	case n == 0:
 		// Last reference: give the storage away instead of pooling it.
+		outstanding.Add(-1)
 		return p
 	case n < 0:
 		panic(fmt.Sprintf("buf: TakeBytes of released buffer (refs=%d)", n))

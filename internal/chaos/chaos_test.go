@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"ncs/internal/buf"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/transport"
+)
+
+// TestMain audits the whole matrix for leaks: every run closes its
+// network, so once the tests finish the process must quiesce back to
+// the pre-test goroutine count with zero pooled buffers outstanding.
+// A goroutine left behind is a connection thread that survived Close;
+// a buffer left behind is a retained receive reference nothing will
+// release.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := awaitQuiescence(baseline, 10*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+func awaitQuiescence(baseline int, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		goroutines := runtime.NumGoroutine()
+		bufs := buf.Outstanding()
+		if goroutines <= baseline && bufs == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<20)
+			stack = stack[:runtime.Stack(stack, true)]
+			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
+				goroutines, baseline, bufs, stack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// baseSeed lets a failing run be replayed under a different seed
+// sweep: NCS_CHAOS_SEED=7 go test ./internal/chaos -run <subtest>.
+func baseSeed(t *testing.T) int64 {
+	if s := os.Getenv("NCS_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("NCS_CHAOS_SEED=%q: %v", s, err)
+		}
+		return n
+	}
+	return 1
+}
+
+var (
+	errctls  = []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN, errctl.None}
+	flowctls = []flowctl.Algorithm{flowctl.None, flowctl.Credit, flowctl.Window, flowctl.Rate}
+	models   = []bool{false, true} // threaded, fastpath
+)
+
+// matrixFlowctls trims the flow-control axis in -short mode (the CI
+// smoke run): Credit is the paper's default and None the bypass; the
+// full axis runs in the regular -race matrix.
+func matrixFlowctls() []flowctl.Algorithm {
+	if testing.Short() {
+		return []flowctl.Algorithm{flowctl.None, flowctl.Credit}
+	}
+	return flowctls
+}
+
+// TestChaosMatrix sweeps the full protocol matrix — error control ×
+// flow control × impairable transport × thread model — through every
+// named impairment schedule, plus the clean schedule over SCI (a real
+// socket takes no injected faults). Subtest names are replay
+// coordinates: the seed pins every stochastic decision in the run.
+func TestChaosMatrix(t *testing.T) {
+	seed := baseSeed(t)
+	messages := 6
+	if testing.Short() {
+		messages = 3
+	}
+	for _, ec := range errctls {
+		for _, fc := range matrixFlowctls() {
+			for _, fast := range models {
+				for _, sched := range Schedules {
+					for _, tr := range []transport.Kind{transport.HPI, transport.ACI} {
+						cfg := Config{
+							ErrCtl: ec, FlowCtl: fc, Transport: tr, FastPath: fast,
+							Schedule: sched, Seed: seed, Messages: messages,
+						}
+						t.Run(cfg.Name(), func(t *testing.T) {
+							t.Parallel()
+							if err := Run(cfg); err != nil {
+								t.Fatal(err)
+							}
+						})
+					}
+				}
+				// SCI: conformance baseline only (no fault injection on
+				// a real TCP socket).
+				cfg := Config{
+					ErrCtl: ec, FlowCtl: fc, Transport: transport.SCI, FastPath: fast,
+					Schedule: Schedule{Name: "clean"}, Seed: seed, Messages: messages,
+				}
+				t.Run(cfg.Name(), func(t *testing.T) {
+					t.Parallel()
+					if err := Run(cfg); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRPCContract runs the RPC layer over a hostile subset of the
+// matrix: reliable calls must complete correctly through every
+// schedule; unreliable calls must fail by their deadline, promptly.
+func TestRPCContract(t *testing.T) {
+	seed := baseSeed(t)
+	calls := 5
+	if testing.Short() {
+		calls = 3
+	}
+	for _, ec := range []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN, errctl.None} {
+		for _, fast := range models {
+			for _, sched := range Schedules {
+				cfg := Config{
+					ErrCtl: ec, FlowCtl: flowctl.Credit, Transport: transport.HPI,
+					FastPath: fast, Schedule: sched, Seed: seed, Messages: calls,
+				}
+				t.Run("rpc/"+cfg.Name(), func(t *testing.T) {
+					t.Parallel()
+					if err := RunRPC(cfg); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSCIRejectsInjectedSchedule pins the harness's honesty: a real
+// socket cannot be impaired, so asking for it must error rather than
+// silently running clean.
+func TestSCIRejectsInjectedSchedule(t *testing.T) {
+	sched, ok := ScheduleByName("burst")
+	if !ok {
+		t.Fatal("burst schedule missing")
+	}
+	cfg := Config{
+		ErrCtl: errctl.SelectiveRepeat, FlowCtl: flowctl.None,
+		Transport: transport.SCI, Schedule: sched,
+	}
+	if err := Run(cfg); err == nil {
+		t.Fatal("SCI accepted an impairment schedule")
+	}
+}
+
+// TestScheduleRoster pins the named schedules the matrix must cover.
+func TestScheduleRoster(t *testing.T) {
+	for _, name := range []string{"clean", "loss", "duplicate", "reorder", "burst", "partition", "mutate"} {
+		if _, ok := ScheduleByName(name); !ok {
+			t.Errorf("schedule %q missing from roster", name)
+		}
+	}
+	if _, ok := ScheduleByName("nope"); ok {
+		t.Error("unknown schedule resolved")
+	}
+}

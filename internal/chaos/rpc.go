@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/rpc"
+)
+
+// RPC call deadlines: reliable error control must push a call through
+// any schedule (retransmission grinds through partitions), so its
+// deadline is generous and completion is mandatory; unreliable calls
+// may legitimately lose their frames, so the contract degrades to
+// "fail by the caller's deadline, promptly".
+const (
+	rpcReliableDeadline   = 15 * time.Second
+	rpcUnreliableDeadline = 400 * time.Millisecond
+	// rpcDeadlineGrace bounds how far past its deadline a failing call
+	// may return: the contract is that cancellation is prompt, not
+	// merely eventual.
+	rpcDeadlineGrace = 2 * time.Second
+)
+
+// RunRPC layers an echo RPC server and client over the configured
+// combination and asserts the call contract: every call either
+// completes with a byte-identical echo, or (on unreliable error
+// control only) fails within the caller's deadline plus a small grace.
+func RunRPC(cfg Config) error {
+	cfg = cfg.withDefaults()
+	nw := core.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := cfg.connect(nw)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	defer peer.Close()
+
+	srv := rpc.NewServer(rpc.ServerOptions{})
+	srv.Handle("echo", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	srv.ServeConn(peer)
+	defer srv.Shutdown()
+
+	cli := rpc.NewClient(conn)
+	defer cli.Close()
+
+	deadline := rpcUnreliableDeadline
+	if cfg.reliable() {
+		deadline = rpcReliableDeadline
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 0; i < cfg.Messages; i++ {
+		req := make([]byte, 1+rng.Intn(cfg.MaxMsg))
+		rng.Read(req)
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		start := time.Now()
+		resp, err := cli.Call(ctx, "echo", req)
+		elapsed := time.Since(start)
+		cancel()
+		switch {
+		case err == nil:
+			if !bytes.Equal(resp, req) {
+				return cfg.violation("call %d echoed %d bytes, want %d (corrupted reply)", i, len(resp), len(req))
+			}
+		case cfg.reliable():
+			return cfg.violation("call %d failed on reliable error control: %v", i, err)
+		case elapsed > deadline+rpcDeadlineGrace:
+			return cfg.violation("call %d failed %v after its %v deadline: %v", i, elapsed-deadline, deadline, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScaledPreservesPerSDUPressure pins the cell-level scaling: a
+// schedule applied per ATM cell must exert roughly the same per-SDU
+// pressure as the same schedule applied per packet — otherwise the
+// matrix compares modes under unequal conditions and the ACI runs
+// drift toward wholesale loss.
+func TestScaledPreservesPerSDUPressure(t *testing.T) {
+	loss, ok := ScheduleByName("loss")
+	if !ok {
+		t.Fatal("loss schedule missing")
+	}
+	perSDU := loss.Phases[0].Imp.Burst.LossGood
+	scaled := loss.scaled()
+	perCell := scaled[0].Imp.Burst.LossGood
+	// A frame of cellsPerSDU cells survives iff every cell does.
+	frameLoss := 1 - math.Pow(1-perCell, cellsPerSDU)
+	if math.Abs(frameLoss-perSDU) > 1e-9 {
+		t.Errorf("cell-level loss %.5f gives per-SDU loss %.5f, want %.5f", perCell, frameLoss, perSDU)
+	}
+
+	burst, ok := ScheduleByName("burst")
+	if !ok {
+		t.Fatal("burst schedule missing")
+	}
+	b := burst.Phases[0].Imp.Burst
+	sb := burst.scaled()[0].Imp.Burst
+	// Burst entry per SDU and burst dwell in SDUs must both carry
+	// over: both transition probabilities divide by cellsPerSDU.
+	if got, want := sb.PGoodBad, b.PGoodBad/cellsPerSDU; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled PGoodBad = %v, want %v", got, want)
+	}
+	if got, want := sb.PBadGood, b.PBadGood/cellsPerSDU; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled PBadGood = %v, want %v", got, want)
+	}
+	// Loss density inside a burst stays full strength: an unscaled bad
+	// state is what makes a burst a burst.
+	if sb.LossBad != b.LossBad {
+		t.Errorf("scaled LossBad = %v, want %v unchanged", sb.LossBad, b.LossBad)
+	}
+
+	// Phase lengths stretch so partitions swallow the same number of
+	// SDUs.
+	part, _ := ScheduleByName("partition")
+	if got, want := part.scaled()[1].Packets, part.Phases[1].Packets*cellsPerSDU; got != want {
+		t.Errorf("scaled partition phase = %d cells, want %d", got, want)
+	}
+}

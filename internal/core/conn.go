@@ -9,6 +9,7 @@ import (
 	"ncs/internal/buf"
 	"ncs/internal/errctl"
 	"ncs/internal/flowctl"
+	"ncs/internal/netsim"
 	"ncs/internal/packet"
 	"ncs/internal/platform"
 	"ncs/internal/transport"
@@ -871,8 +872,18 @@ func (c *Connection) SendInstrumented(msg []byte) (*SendTrace, error) {
 	return tr, nil
 }
 
+// ImpairData applies programmable impairments to this side's data
+// transport mid-run (see transport.Impair): packets sent from here are
+// impaired from the next one onward. It reports false when the data
+// transport has no simulated link (SCI).
+func (c *Connection) ImpairData(imp netsim.Impairments) bool {
+	return transport.Impair(c.data, imp)
+}
+
 // Close tears the connection down: both transport connections, the flow
-// control state, and all four per-connection threads.
+// control state, and all four per-connection threads. Inbound sessions
+// still incomplete at teardown are abandoned so the pooled receive
+// buffers they retained return to their pools.
 func (c *Connection) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
@@ -881,6 +892,37 @@ func (c *Connection) Close() error {
 		c.data.Close()
 		c.ctrl.Close()
 		c.wg.Wait()
+		if c.opts.FastPath {
+			// No threads to join; a fast-path Recv may still be inside
+			// the session machinery (possibly the very caller running
+			// this Close after a transport error). Reap from a fresh
+			// goroutine once the receive procedure lock frees — the
+			// closed transports unblock it promptly.
+			go func() {
+				c.fastRecvMu.Lock()
+				defer c.fastRecvMu.Unlock()
+				c.reapSessions()
+			}()
+		} else {
+			// The receive threads have exited; nothing touches the
+			// session table concurrently anymore.
+			c.reapSessions()
+		}
 	})
 	return nil
+}
+
+// reapSessions abandons inbound sessions still incomplete at teardown,
+// releasing the pooled receive buffers their reassembly retained.
+func (c *Connection) reapSessions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, rs := range c.sessions {
+		if !rs.delivered {
+			rs.rcv.Abandon()
+		}
+		delete(c.sessions, id)
+		errctl.Recycle(rs.rcv)
+	}
+	c.sessAge = nil
 }

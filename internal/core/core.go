@@ -35,6 +35,7 @@ import (
 	"ncs/internal/atm"
 	"ncs/internal/errctl"
 	"ncs/internal/flowctl"
+	"ncs/internal/netsim"
 	"ncs/internal/platform"
 	"ncs/internal/transport"
 )
@@ -70,6 +71,14 @@ type Options struct {
 	SDUSize int
 	// QoS configures the ATM virtual circuits for ACI connections.
 	QoS atm.QoS
+	// HPILink, when non-nil, configures the simulated link under an HPI
+	// connection's data path (both directions): bandwidth, delay, loss,
+	// and the programmable impairments of internal/netsim — the hook
+	// the chaos harness uses to put a hostile network under the full
+	// protocol stack without the ATM cell machinery. The control
+	// connection stays clean, mirroring the loss-free control circuit
+	// ACI connections get (the paper's separated control plane).
+	HPILink *netsim.Params
 	// FastPath selects the §4.2 procedure variant: no per-connection
 	// threads; Send/Recv run the protocol inline on the caller.
 	FastPath bool
@@ -234,21 +243,28 @@ func (n *Network) lookup(name string) (*System, error) {
 func (n *Network) newConnPair(from, to *System, opts Options) (data, peerData, ctrl, peerCtrl transport.Conn, err error) {
 	switch opts.Interface {
 	case transport.HPI:
-		data, peerData = transport.HPIPair()
+		if opts.HPILink != nil {
+			data, peerData = transport.HPIPairWithParams(*opts.HPILink, *opts.HPILink)
+		} else {
+			data, peerData = transport.HPIPair()
+		}
 		ctrl, peerCtrl = transport.HPIPair()
 		return data, peerData, ctrl, peerCtrl, nil
 
 	case transport.ACI:
 		// Two VCs per connection: the separated data and control
-		// circuits of Figure 4. Control rides a loss-free circuit with
-		// the same propagation profile: in NYNET terms, a low-bandwidth
-		// high-priority VC. Loss on the control VC would only slow
-		// convergence (timeout retransmission), not correctness, but a
-		// clean control channel matches the paper's architecture.
+		// circuits of Figure 4. Control rides a loss-free, unimpaired
+		// circuit with the same propagation profile: in NYNET terms, a
+		// low-bandwidth high-priority VC. Loss on the control VC would
+		// only slow convergence (timeout retransmission), not
+		// correctness, but a clean control channel matches the paper's
+		// architecture.
 		dataQoS := opts.QoS
 		ctrlQoS := opts.QoS
 		ctrlQoS.CellLossRate = 0
 		ctrlQoS.CellCorruptRate = 0
+		ctrlQoS.Impair = netsim.Impairments{}
+		ctrlQoS.Schedule = nil
 		dvc, dpeer, err := n.dialVC(from, to, dataQoS)
 		if err != nil {
 			return nil, nil, nil, nil, err

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ncs/internal/buf"
+)
+
+// TestMain is the package's goleak-style audit: after every test has
+// run (and closed its networks), the process must quiesce back to the
+// pre-test goroutine count and to zero outstanding pooled buffers.
+// Goroutine leaks are connection threads that survived Close; buffer
+// leaks are retained receive references nothing will ever release
+// (e.g. reassembly state of a session abandoned at teardown).
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if err := awaitQuiescence(baseline, 5*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// awaitQuiescence polls until the goroutine count returns to the
+// baseline and no pooled buffers remain outstanding, tolerating the
+// short tail of exiting threads after the final Close.
+func awaitQuiescence(baseline int, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		goroutines := runtime.NumGoroutine()
+		bufs := buf.Outstanding()
+		if goroutines <= baseline && bufs == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<20)
+			stack = stack[:runtime.Stack(stack, true)]
+			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
+				goroutines, baseline, bufs, stack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

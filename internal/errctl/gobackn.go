@@ -11,13 +11,22 @@ import (
 type gbnSender struct {
 	sdus []SDU
 	base int // first unacknowledged SDU index
-	done bool
+	// nackedAt is the base value of the last NACK-triggered replay.
+	// The receiver NACKs every out-of-order arrival, so one loss inside
+	// a window produces a NACK per in-flight SDU behind it; replaying
+	// the window for each would answer k NACKs with k·(window) SDUs,
+	// each generating a further control packet — on a fast-path sender
+	// that consumes one control packet per replay batch, an unbounded
+	// amplification livelock. Replaying once per base value keeps NACK
+	// recovery one-shot; the retransmission timer covers a lost replay.
+	nackedAt int
+	done     bool
 }
 
 var _ Sender = (*gbnSender)(nil)
 
 func newGBNSender(msg []byte, sduSize int, connID, sessionID uint32) *gbnSender {
-	return &gbnSender{sdus: Segment(msg, sduSize, connID, sessionID, 0)}
+	return &gbnSender{sdus: Segment(msg, sduSize, connID, sessionID, 0), nackedAt: -1}
 }
 
 func (s *gbnSender) Initial() []SDU { return s.sdus }
@@ -48,6 +57,11 @@ func (s *gbnSender) OnAck(c packet.Control) ([]SDU, bool, error) {
 		if int(n) > s.base {
 			s.base = int(n)
 		}
+		if s.base == s.nackedAt {
+			// Duplicate or stale NACK: this base was already replayed.
+			return nil, false, nil
+		}
+		s.nackedAt = s.base
 		return s.replay(), false, nil
 	default:
 		return nil, false, nil

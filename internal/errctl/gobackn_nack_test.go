@@ -1,0 +1,60 @@
+package errctl
+
+import (
+	"testing"
+
+	"ncs/internal/packet"
+)
+
+// Regression test for the chaos-harness livelock
+// (go-back-n/window/ACI/fastpath/reorder): the receiver NACKs every
+// out-of-order arrival, so one loss inside a window yields a NACK per
+// in-flight SDU behind it. The sender must replay the window once per
+// base value, not once per NACK — otherwise each replayed SDU breeds
+// another control packet faster than a fast-path sender consumes them.
+func TestGBNSenderSuppressesDuplicateNACKs(t *testing.T) {
+	msg := make([]byte, 10*64)
+	s := newGBNSender(msg, 64, 1, 1)
+	if got := len(s.Initial()); got != 10 {
+		t.Fatalf("segmented into %d SDUs, want 10", got)
+	}
+
+	nack := func(n uint32) []SDU {
+		rt, done, err := s.OnAck(packet.Control{Type: packet.CtrlNack, Body: packet.CreditBody(n)})
+		if err != nil || done {
+			t.Fatalf("NACK(%d): rt=%d done=%v err=%v", n, len(rt), done, err)
+		}
+		return rt
+	}
+
+	if rt := nack(2); len(rt) != 8 {
+		t.Fatalf("first NACK(2) replayed %d SDUs, want 8 (from base 2)", len(rt))
+	}
+	// The storm: duplicates of the same NACK, and stale earlier ones.
+	for i := 0; i < 5; i++ {
+		if rt := nack(2); rt != nil {
+			t.Fatalf("duplicate NACK(2) replayed %d SDUs, want none", len(rt))
+		}
+		if rt := nack(1); rt != nil {
+			t.Fatalf("stale NACK(1) replayed %d SDUs, want none", len(rt))
+		}
+	}
+	// Progress reopens replay: a NACK at a new base replays once.
+	if rt := nack(5); len(rt) != 5 {
+		t.Fatalf("NACK(5) replayed %d SDUs, want 5", len(rt))
+	}
+	if rt := nack(5); rt != nil {
+		t.Fatalf("duplicate NACK(5) replayed %d SDUs, want none", len(rt))
+	}
+	// A lost replay is the timer's job, and the timer is never
+	// suppressed.
+	if rt := s.OnTimeout(); len(rt) != 5 {
+		t.Fatalf("timeout replayed %d SDUs, want 5", len(rt))
+	}
+
+	// Completion via cumulative ACK still works after suppression.
+	rt, done, err := s.OnAck(packet.Control{Type: packet.CtrlAck, Body: packet.CreditBody(9)})
+	if err != nil || !done || rt != nil {
+		t.Fatalf("final ACK: rt=%d done=%v err=%v", len(rt), done, err)
+	}
+}

@@ -1,0 +1,25 @@
+package errctl
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"ncs/internal/buf"
+)
+
+// TestMain audits the package's pooled-buffer accounting: errctl
+// receivers retain segment references during reassembly, and every
+// test must end with those references released (via delivery, Abandon,
+// or Recycle). A non-zero count here is a refcount leak that would pin
+// pooled storage forever in a long-running process.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if n := buf.Outstanding(); n != 0 {
+			fmt.Fprintf(os.Stderr, "errctl tests leaked %d pooled buffer refs\n", n)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

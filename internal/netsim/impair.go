@@ -1,0 +1,222 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Impairments configures the programmable failure modes of one link
+// direction, beyond the steady-state Params (bandwidth, delay, i.i.d.
+// loss, corruption). Every stochastic decision is drawn from the
+// direction's seeded RNG in a fixed per-packet order, so a run with the
+// same seed, the same configuration, and the same packet sequence
+// replays its failures exactly — the property the chaos harness keys
+// its reproductions on.
+type Impairments struct {
+	// DupRate is the probability in [0,1] that a packet is delivered
+	// twice. The duplicate shares the original's storage (one extra
+	// reference) and arrival deadline, exercising the receiver's
+	// duplicate handling and any aliasing bugs at once.
+	DupRate float64
+	// ReorderRate is the probability in [0,1] that a packet is held
+	// back by an extra jitter delay, letting packets sent after it
+	// arrive first (out-of-order delivery).
+	ReorderRate float64
+	// ReorderJitter bounds the extra delay of a reordered packet; the
+	// actual delay is drawn uniformly from (0, ReorderJitter]. Zero
+	// with a non-zero ReorderRate uses DefaultReorderJitter.
+	ReorderJitter time.Duration
+	// Burst enables two-state Gilbert–Elliott burst loss; the zero
+	// value disables it.
+	Burst GilbertElliott
+	// Partitioned silently drops every packet — a link partition. Heal
+	// by clearing it (via a schedule Phase or SetImpairments).
+	Partitioned bool
+}
+
+// DefaultReorderJitter is the reorder delay bound used when
+// ReorderRate is set but ReorderJitter is not.
+const DefaultReorderJitter = 2 * time.Millisecond
+
+// GilbertElliott is the classic two-state Markov burst-loss model: the
+// link flips between a Good and a Bad state per packet, with a
+// state-dependent loss probability. High LossBad with a low PGoodBad
+// and moderate PBadGood yields rare but dense loss bursts — the ATM
+// WAN behaviour that distinguishes go-back-N from selective repeat far
+// more sharply than i.i.d. loss does.
+type GilbertElliott struct {
+	// PGoodBad is the per-packet probability of entering the Bad state.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of recovering to Good.
+	PBadGood float64
+	// LossGood is the loss probability while Good (usually 0).
+	LossGood float64
+	// LossBad is the loss probability while Bad (usually near 1).
+	LossBad float64
+}
+
+// enabled reports whether the model can ever lose a packet.
+func (g GilbertElliott) enabled() bool {
+	return g.LossBad > 0 || g.LossGood > 0
+}
+
+// SteadyLoss reports the model's long-run loss probability: the
+// stationary mix of good- and bad-state loss. A model expressing
+// i.i.d. loss through LossGood alone scores exactly that rate. Path
+// composition (atm.combineImpair) uses it as the dominance metric
+// when two links both carry burst models.
+func (g GilbertElliott) SteadyLoss() float64 {
+	if !g.enabled() {
+		return 0
+	}
+	switch {
+	case g.PGoodBad <= 0:
+		return g.LossGood // starts Good and never leaves it
+	case g.PBadGood <= 0:
+		return g.LossBad // absorbed into Bad
+	}
+	bad := g.PGoodBad / (g.PGoodBad + g.PBadGood)
+	return (1-bad)*g.LossGood + bad*g.LossBad
+}
+
+// Phase is one step of an impairment schedule: Imp applies to the next
+// Packets packets the wire processes (sent, dropped, or partitioned —
+// every packet advances the schedule). Packets <= 0 makes the phase
+// hold forever; the final phase holds forever regardless. Keying
+// phases by packet count rather than wall time keeps schedules
+// deterministic under arbitrary scheduler jitter.
+type Phase struct {
+	Packets int
+	Imp     Impairments
+}
+
+// ImpairStats counts the impairment decisions one link direction has
+// made. Because every decision is RNG-driven, two runs with the same
+// seed and packet sequence produce identical stats — the deterministic
+// replay tests assert exactly that.
+type ImpairStats struct {
+	// Sent counts packets the wire processed (before any impairment).
+	Sent int64
+	// Dropped counts packets lost to LossRate, burst loss, or partition.
+	Dropped int64
+	// Duplicated counts packets delivered twice.
+	Duplicated int64
+	// Reordered counts packets given extra jitter delay.
+	Reordered int64
+	// Corrupted counts packets with a flipped byte.
+	Corrupted int64
+}
+
+// impairer holds the mutable impairment state of one direction: the
+// active configuration, the remaining schedule, the Gilbert–Elliott
+// state, and the decision counters. The owning direction's mutex
+// guards it; all RNG draws happen on the wire goroutine in send order.
+type impairer struct {
+	imp       Impairments
+	schedule  []Phase
+	phaseLeft int // packets remaining in the active schedule phase
+	geBad     bool
+	stats     ImpairStats
+}
+
+func newImpairer(imp Impairments, schedule []Phase) *impairer {
+	ip := &impairer{imp: imp, schedule: schedule}
+	ip.advanceSchedule()
+	return ip
+}
+
+// advanceSchedule activates the next schedule phase if the current one
+// is exhausted. The last phase (or a Packets<=0 phase) holds forever.
+func (ip *impairer) advanceSchedule() {
+	for len(ip.schedule) > 0 && ip.phaseLeft == 0 {
+		ph := ip.schedule[0]
+		ip.imp = ph.Imp
+		if ph.Packets <= 0 || len(ip.schedule) == 1 {
+			// Terminal phase: hold forever.
+			ip.schedule = nil
+			ip.phaseLeft = -1
+			return
+		}
+		ip.schedule = ip.schedule[1:]
+		ip.phaseLeft = ph.Packets
+	}
+}
+
+// set replaces the active impairments programmatically, cancelling any
+// remaining schedule (the caller has taken manual control).
+func (ip *impairer) set(imp Impairments) {
+	ip.imp = imp
+	ip.schedule = nil
+	ip.phaseLeft = -1
+}
+
+// decision is the outcome of one packet's impairment draws.
+type decision struct {
+	drop    bool
+	dup     bool
+	corrupt bool
+	jitter  time.Duration // extra delay for reordered packets
+}
+
+// decide draws this packet's fate. The draw order is fixed —
+// burst-loss transition, burst/i.i.d. loss, corruption, duplication,
+// reorder (+ jitter) — so a given seed and packet sequence always
+// replays the same decisions. lossRate and corruptRate are the
+// steady-state Params rates, folded in here so the whole failure
+// process consumes one RNG stream.
+func (ip *impairer) decide(rng *rand.Rand, lossRate, corruptRate float64) decision {
+	ip.stats.Sent++
+	if ip.phaseLeft > 0 {
+		ip.phaseLeft--
+		if ip.phaseLeft == 0 {
+			defer ip.advanceSchedule()
+		}
+	}
+	imp := ip.imp
+	var d decision
+	if imp.Partitioned {
+		ip.stats.Dropped++
+		d.drop = true
+		return d
+	}
+	if g := imp.Burst; g.enabled() {
+		if ip.geBad {
+			if g.PBadGood > 0 && rng.Float64() < g.PBadGood {
+				ip.geBad = false
+			}
+		} else if g.PGoodBad > 0 && rng.Float64() < g.PGoodBad {
+			ip.geBad = true
+		}
+		p := g.LossGood
+		if ip.geBad {
+			p = g.LossBad
+		}
+		if p > 0 && rng.Float64() < p {
+			d.drop = true
+		}
+	}
+	if !d.drop && lossRate > 0 && rng.Float64() < lossRate {
+		d.drop = true
+	}
+	if d.drop {
+		ip.stats.Dropped++
+		return d
+	}
+	if corruptRate > 0 && rng.Float64() < corruptRate {
+		d.corrupt = true
+		ip.stats.Corrupted++
+	}
+	if imp.DupRate > 0 && rng.Float64() < imp.DupRate {
+		d.dup = true
+		ip.stats.Duplicated++
+	}
+	if imp.ReorderRate > 0 && rng.Float64() < imp.ReorderRate {
+		jitter := imp.ReorderJitter
+		if jitter <= 0 {
+			jitter = DefaultReorderJitter
+		}
+		d.jitter = time.Duration(1 + rng.Int63n(int64(jitter)))
+		ip.stats.Reordered++
+	}
+	return d
+}

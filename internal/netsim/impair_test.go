@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+)
+
+// runImpaired pushes n sequence-numbered packets through a link whose
+// a→b direction uses params, closes the sender, drains the receiver,
+// and returns the delivered sequence numbers in arrival order plus the
+// sender-side impairment stats.
+func runImpaired(t *testing.T, params Params, n int) ([]int, ImpairStats) {
+	t.Helper()
+	a, b := Pipe(params, Params{})
+	defer b.Close()
+	for i := 0; i < n; i++ {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], uint32(i))
+		if err := a.Send(p[:]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	stats := make(chan ImpairStats, 1)
+	go func() {
+		// Close drains the wire; stats are final once it returns.
+		a.Close()
+		stats <- a.ImpairStats()
+	}()
+	var got []int
+	for {
+		p, err := b.Recv()
+		if errors.Is(err, ErrClosed) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if len(p) != 4 {
+			t.Fatalf("recv returned %d bytes", len(p))
+		}
+		got = append(got, int(binary.BigEndian.Uint32(p)))
+	}
+	return got, <-stats
+}
+
+// multiset returns the delivered counts per sequence number.
+func multiset(ids []int) map[int]int {
+	m := make(map[int]int, len(ids))
+	for _, id := range ids {
+		m[id]++
+	}
+	return m
+}
+
+// TestDuplicateReplay checks that duplication is applied, duplicates
+// carry the same payload, and the whole failure pattern replays
+// exactly from the seed.
+func TestDuplicateReplay(t *testing.T) {
+	params := Params{Seed: 7, Impair: Impairments{DupRate: 0.2}}
+	const n = 300
+	first, fstats := runImpaired(t, params, n)
+	if fstats.Duplicated == 0 {
+		t.Fatal("no duplicates with DupRate=0.2 over 300 packets")
+	}
+	if fstats.Sent != n || fstats.Dropped != 0 {
+		t.Fatalf("stats = %+v", fstats)
+	}
+	if len(first) != n+int(fstats.Duplicated) {
+		t.Fatalf("delivered %d packets, want %d + %d dups", len(first), n, fstats.Duplicated)
+	}
+	for id, count := range multiset(first) {
+		if count > 2 {
+			t.Fatalf("packet %d delivered %d times", id, count)
+		}
+	}
+	second, sstats := runImpaired(t, params, n)
+	if sstats != fstats {
+		t.Fatalf("replay stats diverged: %+v vs %+v", sstats, fstats)
+	}
+	fm, sm := multiset(first), multiset(second)
+	for id := 0; id < n; id++ {
+		if fm[id] != sm[id] {
+			t.Fatalf("replay diverged at packet %d: delivered %d then %d times", id, fm[id], sm[id])
+		}
+	}
+}
+
+// TestReorderReplay checks that jittered packets really arrive out of
+// order, nothing is lost, and the reorder decisions replay from the
+// seed.
+func TestReorderReplay(t *testing.T) {
+	params := Params{Seed: 11, Impair: Impairments{ReorderRate: 0.2, ReorderJitter: 20 * time.Millisecond}}
+	const n = 50
+	first, fstats := runImpaired(t, params, n)
+	if fstats.Reordered == 0 {
+		t.Fatal("no reorders with ReorderRate=0.2 over 50 packets")
+	}
+	if len(first) != n {
+		t.Fatalf("delivered %d packets, want %d (reorder must not lose)", len(first), n)
+	}
+	inversions := 0
+	for i := 1; i < len(first); i++ {
+		if first[i] < first[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no out-of-order arrivals despite reordered packets")
+	}
+	_, sstats := runImpaired(t, params, n)
+	if sstats != fstats {
+		t.Fatalf("replay stats diverged: %+v vs %+v", sstats, fstats)
+	}
+}
+
+// TestBurstLossReplay checks the Gilbert–Elliott model produces
+// multi-packet loss bursts (not i.i.d. speckle) and replays exactly.
+func TestBurstLossReplay(t *testing.T) {
+	params := Params{Seed: 3, Impair: Impairments{Burst: GilbertElliott{
+		PGoodBad: 0.03,
+		PBadGood: 0.25,
+		LossBad:  0.95,
+	}}}
+	const n = 500
+	first, fstats := runImpaired(t, params, n)
+	if fstats.Dropped == 0 {
+		t.Fatal("no loss from the burst model over 500 packets")
+	}
+	// Without reorder the survivors stay in order, so a gap of k in the
+	// delivered sequence is k consecutive losses.
+	maxBurst, prev := 0, -1
+	for _, id := range first {
+		if gap := id - prev - 1; gap > maxBurst {
+			maxBurst = gap
+		}
+		prev = id
+	}
+	if maxBurst < 2 {
+		t.Fatalf("longest loss burst = %d packets; want >= 2 from the Gilbert–Elliott bad state", maxBurst)
+	}
+	second, sstats := runImpaired(t, params, n)
+	if sstats != fstats {
+		t.Fatalf("replay stats diverged: %+v vs %+v", sstats, fstats)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("replay delivered %d packets, first run %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at position %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestPartitionHealReplay runs a packet-count-keyed partition/heal
+// schedule and asserts the exact delivered set — the schedule makes
+// the outcome fully deterministic, not merely statistically stable.
+func TestPartitionHealReplay(t *testing.T) {
+	params := Params{Seed: 5, Schedule: []Phase{
+		{Packets: 50, Imp: Impairments{}},
+		{Packets: 100, Imp: Impairments{Partitioned: true}},
+		{Imp: Impairments{}},
+	}}
+	const n = 300
+	got, stats := runImpaired(t, params, n)
+	if stats.Dropped != 100 {
+		t.Fatalf("dropped %d packets, want exactly the 100 partitioned ones", stats.Dropped)
+	}
+	want := make([]int, 0, n-100)
+	for i := 0; i < 50; i++ {
+		want = append(want, i)
+	}
+	for i := 150; i < n; i++ {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d = packet %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMutationScheduleReplay flips impairment parameters mid-run via a
+// schedule (clean → full duplication → clean) and asserts the exact
+// per-phase behaviour.
+func TestMutationScheduleReplay(t *testing.T) {
+	params := Params{Seed: 9, Schedule: []Phase{
+		{Packets: 100, Imp: Impairments{}},
+		{Packets: 50, Imp: Impairments{DupRate: 1.0}},
+		{Imp: Impairments{}},
+	}}
+	const n = 200
+	got, stats := runImpaired(t, params, n)
+	if stats.Duplicated != 50 {
+		t.Fatalf("duplicated %d packets, want exactly the 50 in the DupRate=1 phase", stats.Duplicated)
+	}
+	if len(got) != n+50 {
+		t.Fatalf("delivered %d packets, want %d", len(got), n+50)
+	}
+	m := multiset(got)
+	for id := 0; id < n; id++ {
+		want := 1
+		if id >= 100 && id < 150 {
+			want = 2
+		}
+		if m[id] != want {
+			t.Fatalf("packet %d delivered %d times, want %d", id, m[id], want)
+		}
+	}
+}
+
+// TestSetImpairmentsMidRun exercises the programmatic mutation path:
+// partition the live link, observe silent drops, heal, observe
+// delivery resume.
+func TestSetImpairmentsMidRun(t *testing.T) {
+	a, b := Pipe(Params{}, Params{})
+	defer a.Close()
+	defer b.Close()
+
+	send := func(id uint32) {
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], id)
+		if err := a.Send(p[:]); err != nil {
+			t.Fatalf("send %d: %v", id, err)
+		}
+	}
+	recvID := func() uint32 {
+		t.Helper()
+		p, err := b.RecvTimeout(2 * time.Second)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		return binary.BigEndian.Uint32(p)
+	}
+
+	send(1)
+	if id := recvID(); id != 1 {
+		t.Fatalf("got packet %d, want 1", id)
+	}
+
+	a.Partition()
+	send(2)
+	if _, err := b.RecvTimeout(50 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("partitioned link delivered a packet (err=%v)", err)
+	}
+
+	a.Heal()
+	send(3)
+	if id := recvID(); id != 3 {
+		t.Fatalf("got packet %d after heal, want 3", id)
+	}
+	if stats := a.ImpairStats(); stats.Dropped != 1 {
+		t.Fatalf("dropped %d packets, want 1 (the partitioned one)", stats.Dropped)
+	}
+}

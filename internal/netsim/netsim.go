@@ -14,6 +14,15 @@
 //   - a bounded send buffer: writes block when the buffer fills, which is
 //     the kernel socket-buffer behaviour behind Figure 10's crossover.
 //
+// Beyond the steady-state Params, each direction accepts programmable
+// impairments (Impairments): duplication, reordering via delay jitter,
+// Gilbert–Elliott burst loss, and link partition/heal — mutable mid-run
+// either deterministically through a packet-count-keyed Schedule of
+// Phases or programmatically through Endpoint.SetImpairments. Every
+// stochastic decision comes from the direction's seeded RNG in a fixed
+// per-packet order, so a failure run replays exactly from its seed;
+// ImpairStats exposes the decisions for replay assertions.
+//
 // Links are full-duplex pipes of discrete packets; each direction has its
 // own Params. Packet boundaries are preserved (datagram semantics): the
 // stream-vs-datagram distinction is layered above, in transport.
@@ -54,9 +63,17 @@ type Params struct {
 	// buffer is full, exactly like a kernel socket send buffer. Zero
 	// means unbounded.
 	BufferBytes int
-	// Seed seeds the loss/corruption generator so failure runs are
-	// reproducible. Zero selects a fixed default seed.
+	// Seed seeds the loss/corruption/impairment generator so failure
+	// runs are reproducible. Zero selects a fixed default seed.
 	Seed int64
+	// Impair configures the direction's programmable impairments
+	// (duplication, reordering, burst loss, partition). Ignored when
+	// Schedule is non-empty.
+	Impair Impairments
+	// Schedule, when non-empty, drives the impairments through a
+	// deterministic sequence of packet-count-keyed phases; the final
+	// phase holds forever. See Phase.
+	Schedule []Phase
 }
 
 // Endpoint is one side of a duplex link.
@@ -143,6 +160,28 @@ func (e *Endpoint) TrySend(p []byte) (bool, error) {
 // Buffered reports the bytes currently occupying the send buffer.
 func (e *Endpoint) Buffered() int { return e.send.buffered() }
 
+// SetImpairments replaces the impairments applied to traffic this
+// endpoint transmits, taking effect from the next packet the wire
+// processes. It cancels any remaining Schedule: a programmatic
+// mutation means the caller has taken manual control of the link's
+// failure process. Impairing both directions of a link requires a call
+// on each endpoint.
+func (e *Endpoint) SetImpairments(imp Impairments) { e.send.setImpairments(imp) }
+
+// Partition cuts this endpoint's transmit direction: every packet is
+// silently dropped until Heal (or a SetImpairments that clears
+// Partitioned). Other active impairments are preserved.
+func (e *Endpoint) Partition() { e.send.setPartitioned(true) }
+
+// Heal reopens a transmit direction cut by Partition.
+func (e *Endpoint) Heal() { e.send.setPartitioned(false) }
+
+// ImpairStats reports the impairment decisions made on traffic this
+// endpoint has transmitted. Decisions are RNG-driven, so two runs with
+// the same seed, configuration, and packet sequence report identical
+// stats — the hook deterministic replay tests key on.
+func (e *Endpoint) ImpairStats() ImpairStats { return e.send.impairStats() }
+
 // Close shuts down the endpoint: its transmit direction drains and
 // closes (waking blocked receivers on the peer), and its own receive
 // side is invalidated so local Recv calls return ErrClosed — the same
@@ -168,18 +207,79 @@ type direction struct {
 	closed     bool
 	recvClosed bool // the receiving endpoint closed locally
 	rng        *rand.Rand
+	ip         *impairer
 
 	wireWake chan struct{} // signals the wire goroutine
 	done     chan struct{} // wire goroutine exited
 
-	deliveries   chan timedPacket // wire → delivery goroutine, FIFO
+	deliveries   chan timedPacket // wire → delivery goroutine
 	deliveryDone chan struct{}
+	deliverySeq  uint64 // FIFO tiebreak for equal arrival deadlines
 }
 
-// timedPacket is a packet with its computed arrival deadline.
+// timedPacket is a packet with its computed arrival deadline. seq
+// preserves send order among packets with equal deadlines.
 type timedPacket struct {
 	payload  *buf.Buffer
 	arriveAt time.Time
+	seq      uint64
+}
+
+// deliveryHeap orders pending deliveries by arrival deadline (send
+// order breaking ties), which is what lets a jittered packet overtake
+// nothing while later packets overtake it — out-of-order delivery.
+// It is hand-rolled rather than container/heap because the latter
+// boxes every element into an interface, putting an allocation per
+// packet on the delivery hot path.
+type deliveryHeap []timedPacket
+
+func (h deliveryHeap) less(i, j int) bool {
+	if !h[i].arriveAt.Equal(h[j].arriveAt) {
+		return h[i].arriveAt.Before(h[j].arriveAt)
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *deliveryHeap) push(tp timedPacket) {
+	q := append(*h, tp)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+	*h = q
+}
+
+// pop removes the minimum element; the heap must be non-empty.
+func (h *deliveryHeap) pop() timedPacket {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = timedPacket{}
+	q = q[:n]
+	i := 0
+	for {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && q.less(left, least) {
+			least = left
+		}
+		if right < n && q.less(right, least) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	*h = q
+	return top
 }
 
 // bufDeque is a head-indexed FIFO of buffers: popping advances a head
@@ -225,6 +325,7 @@ func newDirection(p Params) *direction {
 	d := &direction{
 		p:            p,
 		rng:          rand.New(rand.NewSource(seed)),
+		ip:           newImpairer(p.Impair, p.Schedule),
 		wireWake:     make(chan struct{}, 1),
 		done:         make(chan struct{}),
 		deliveries:   make(chan timedPacket, 64),
@@ -337,9 +438,8 @@ func (d *direction) wire() {
 		// The packet has left the send buffer once fully transmitted.
 		d.mu.Lock()
 		d.inflight -= pkt.Len()
-		drop := d.p.LossRate > 0 && d.rng.Float64() < d.p.LossRate
-		corrupt := !drop && d.p.CorruptRate > 0 && d.rng.Float64() < d.p.CorruptRate
-		if corrupt && pkt.Len() > 0 {
+		dec := d.ip.decide(d.rng, d.p.LossRate, d.p.CorruptRate)
+		if dec.corrupt && pkt.Len() > 0 {
 			// Safe to mutate: the sender transferred its reference, so
 			// the wire is the sole owner here.
 			pkt.B[d.rng.Intn(pkt.Len())] ^= 0xff
@@ -347,7 +447,7 @@ func (d *direction) wire() {
 		d.sendCond.Broadcast()
 		d.mu.Unlock()
 
-		if drop {
+		if dec.drop {
 			pkt.Release()
 			continue
 		}
@@ -355,18 +455,72 @@ func (d *direction) wire() {
 		if d.p.Bandwidth > 0 && lineFree.After(arriveBase) {
 			arriveBase = lineFree
 		}
-		d.deliveries <- timedPacket{payload: pkt, arriveAt: arriveBase.Add(d.p.Delay)}
+		arriveAt := arriveBase.Add(d.p.Delay + dec.jitter)
+		if dec.dup {
+			// The duplicate shares the original's storage: take its
+			// reference BEFORE publishing the original, which the
+			// receiver may otherwise fully consume first.
+			pkt.Retain()
+		}
+		d.deliveries <- timedPacket{payload: pkt, arriveAt: arriveAt, seq: d.deliverySeq}
+		d.deliverySeq++
+		if dec.dup {
+			d.deliveries <- timedPacket{payload: pkt, arriveAt: arriveAt, seq: d.deliverySeq}
+			d.deliverySeq++
+		}
 	}
 }
 
-// deliveryLoop delivers packets in FIFO order at their arrival deadlines.
+// deliveryLoop delivers packets at their arrival deadlines, earliest
+// deadline first. Unjittered packets have monotone deadlines and keep
+// FIFO order; a jittered (reordered) packet waits in the heap while
+// later packets overtake it.
 func (d *direction) deliveryLoop() {
 	defer close(d.deliveryDone)
-	for tp := range d.deliveries {
-		if wait := time.Until(tp.arriveAt); wait > 0 {
-			time.Sleep(wait)
+	var pending deliveryHeap
+	// One timer reused across wakeups: it is always quiescent (fired
+	// and drained, or stopped and drained) before the next Reset, per
+	// the Timer.Reset contract.
+	var timer *time.Timer
+	open := true
+	for open || len(pending) > 0 {
+		if len(pending) == 0 {
+			tp, ok := <-d.deliveries
+			if !ok {
+				open = false
+				continue
+			}
+			pending.push(tp)
+			continue
 		}
-		d.deliver(tp.payload)
+		next := pending[0]
+		wait := time.Until(next.arriveAt)
+		if wait <= 0 {
+			pending.pop()
+			d.deliver(next.payload)
+			continue
+		}
+		if !open {
+			time.Sleep(wait)
+			continue
+		}
+		if timer == nil {
+			timer = time.NewTimer(wait)
+		} else {
+			timer.Reset(wait)
+		}
+		select {
+		case tp, ok := <-d.deliveries:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			if !ok {
+				open = false
+			} else {
+				pending.push(tp)
+			}
+		case <-timer.C:
+		}
 	}
 	d.mu.Lock()
 	d.recvCond.Broadcast()
@@ -376,9 +530,42 @@ func (d *direction) deliveryLoop() {
 
 func (d *direction) deliver(pkt *buf.Buffer) {
 	d.mu.Lock()
+	if d.recvClosed {
+		// The receiving endpoint is gone; releasing here (instead of
+		// parking the packet on a queue nobody will drain) keeps the
+		// pooled-buffer audit clean after Close.
+		d.mu.Unlock()
+		pkt.Release()
+		return
+	}
 	d.arrived.push(pkt)
 	d.recvCond.Signal()
 	d.mu.Unlock()
+}
+
+// setImpairments replaces the active impairments (see
+// Endpoint.SetImpairments).
+func (d *direction) setImpairments(imp Impairments) {
+	d.mu.Lock()
+	d.ip.set(imp)
+	d.mu.Unlock()
+}
+
+// setPartitioned toggles only the partition bit, preserving the other
+// active impairments (it still cancels a running schedule — the caller
+// has taken manual control).
+func (d *direction) setPartitioned(on bool) {
+	d.mu.Lock()
+	imp := d.ip.imp
+	imp.Partitioned = on
+	d.ip.set(imp)
+	d.mu.Unlock()
+}
+
+func (d *direction) impairStats() ImpairStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ip.stats
 }
 
 func (d *direction) dequeue() (*buf.Buffer, error) {
@@ -394,10 +581,14 @@ func (d *direction) dequeue() (*buf.Buffer, error) {
 }
 
 // closeRecv invalidates the receiving side locally, waking any blocked
-// Recv with ErrClosed.
+// Recv with ErrClosed and releasing packets already delivered but
+// never read (the local endpoint abandoned them by closing).
 func (d *direction) closeRecv() {
 	d.mu.Lock()
 	d.recvClosed = true
+	for !d.arrived.empty() {
+		d.arrived.pop().Release()
+	}
 	d.recvCond.Broadcast()
 	d.mu.Unlock()
 }

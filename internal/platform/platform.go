@@ -184,6 +184,10 @@ func (t *TaxedConn) Kind() transport.Kind { return t.inner.Kind() }
 // Platform returns the platform whose costs this connection charges.
 func (t *TaxedConn) Platform() Platform { return t.plat }
 
+// Unwrap exposes the wrapped connection, letting transport-level
+// helpers (e.g. transport.Impair) reach the underlying link.
+func (t *TaxedConn) Unwrap() transport.Conn { return t.inner }
+
 // XDRCost returns the conversion tax for n bytes on this platform.
 func (p Platform) XDRCost(n int) time.Duration {
 	return time.Duration(p.XDRUSPerKB * float64(n) / 1024 * float64(time.Microsecond))

@@ -438,6 +438,26 @@ func ACIStats(c Conn) (dropped int, ok bool) {
 	return a.vc.FramesDropped(), true
 }
 
+// Impair applies programmable impairments to the connection's transmit
+// direction mid-run: packets (HPI) or cells (ACI) this side sends are
+// impaired from the next one onward. It reports false for transports
+// with no simulated link to impair (SCI rides a real TCP socket).
+// Wrapped connections are unwrapped via an Unwrap() Conn method.
+func Impair(c Conn, imp netsim.Impairments) bool {
+	switch t := c.(type) {
+	case *hpiConn:
+		t.ep.SetImpairments(imp)
+		return true
+	case *aciConn:
+		t.vc.SetImpairments(imp)
+		return true
+	}
+	if u, ok := c.(interface{ Unwrap() Conn }); ok {
+		return Impair(u.Unwrap(), imp)
+	}
+	return false
+}
+
 // ---------------------------------------------------------------------------
 // HPI: in-process shared-memory style interface.
 

@@ -70,6 +70,7 @@ import (
 	"ncs/internal/flowctl"
 	"ncs/internal/group"
 	"ncs/internal/mcast"
+	"ncs/internal/netsim"
 	"ncs/internal/rpc"
 	"ncs/internal/thread"
 	"ncs/internal/transport"
@@ -110,6 +111,28 @@ type (
 	ReduceOp = group.ReduceOp
 	// FlowConfig tunes the selected flow control algorithm.
 	FlowConfig = flowctl.Config
+)
+
+// Fault-injection types (internal/netsim), re-exported so applications
+// and tests can put a hostile network under a connection: configure a
+// simulated HPI link via Options.HPILink, or cell-level circuit
+// impairments via QoS.Impair / QoS.Schedule and Topology LinkSpecs.
+// Every impairment decision is drawn from the link's seeded RNG, so a
+// failure run replays exactly from its seed.
+type (
+	// LinkParams configures one direction of a simulated link:
+	// bandwidth, delay, loss, and programmable impairments.
+	LinkParams = netsim.Params
+	// Impairments selects the programmable failure modes of a link:
+	// duplication, reordering, Gilbert–Elliott burst loss, partition.
+	Impairments = netsim.Impairments
+	// GilbertElliott parameterises two-state burst loss.
+	GilbertElliott = netsim.GilbertElliott
+	// ImpairPhase is one packet-count-keyed step of a deterministic
+	// impairment schedule.
+	ImpairPhase = netsim.Phase
+	// ImpairStats counts the impairment decisions a link has made.
+	ImpairStats = netsim.ImpairStats
 )
 
 // Interface kinds (§2, "Multiple Communication Interfaces").
