@@ -460,6 +460,51 @@ func BenchmarkAllocHPIFastpathEcho(b *testing.B) {
 	<-done
 }
 
+// BenchmarkAllocHPIShardedEcho measures the same echo round trip on
+// the sharded runtime: both endpoints driven by their systems' shard
+// pools instead of per-connection threads. The gate keeps the shard
+// path's queue hop from growing per-message allocations.
+func BenchmarkAllocHPIShardedEcho(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-sh-a", "alloc-sh-b", ncs.Options{
+		Interface: ncs.HPI,
+		Runtime:   ncs.RuntimeSharded,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
 // BenchmarkAllocSCISend4KB measures a threaded 4KB send over SCI (TCP
 // loopback), the configuration where the Send Thread's staging and the
 // transport framing dominate per-message allocation.

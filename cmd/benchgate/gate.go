@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one benchmark line's gated metrics.
+type sample struct {
+	nsPerOp     float64
+	allocsPerOp float64
+	hasAllocs   bool
+}
+
+// bench aggregates repeated runs (-count=N) of one benchmark.
+type bench struct {
+	times  []float64
+	allocs []float64
+}
+
+// parseFile reads Go benchmark output: lines of the form
+//
+//	BenchmarkName-8  92341  12345 ns/op  67 B/op  8 allocs/op
+//
+// keyed by benchmark name with the trailing -GOMAXPROCS stripped, so a
+// baseline recorded on an 8-core machine compares against a 4-core
+// run. The "cpu:" header line, when present, identifies the machine
+// the run was recorded on (see compare: absolute ns/op is only gated
+// between matching CPUs).
+func parseFile(path string) (map[string]*bench, string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	out := make(map[string]*bench)
+	cpu := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			cpu = strings.TrimSpace(rest)
+			continue
+		}
+		name, s, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		b := out[name]
+		if b == nil {
+			b = &bench{}
+			out[name] = b
+		}
+		b.times = append(b.times, s.nsPerOp)
+		if s.hasAllocs {
+			b.allocs = append(b.allocs, s.allocsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, "", fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, cpu, nil
+}
+
+// parseLine extracts one benchmark result line; ok is false for
+// non-benchmark lines (headers, PASS, etc.).
+func parseLine(line string) (name string, s sample, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", sample{}, false
+	}
+	name = stripProcs(fields[0])
+	for i := 2; i+1 < len(fields); i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsPerOp = v
+			ok = true
+		case "allocs/op":
+			s.allocsPerOp = v
+			s.hasAllocs = true
+		}
+	}
+	return name, s, ok
+}
+
+// stripProcs removes the -GOMAXPROCS suffix from a benchmark name.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare gates cur against base, returning a human-readable report
+// and whether any gate failed. The time gate only fails when both
+// runs were recorded on the same CPU model: absolute ns/op is not
+// comparable across machines (a runner-generation change would flake
+// every PR red), so on a CPU mismatch time regressions downgrade to
+// warnings while the allocs/op gate — deterministic everywhere —
+// stays hard.
+func compare(base, cur map[string]*bench, timeThreshold float64, sameCPU bool) (string, bool) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	failed := false
+	if !sameCPU {
+		b.WriteString("note: baseline and current runs are from different CPUs; time/op regressions are warnings, allocs/op still gates\n")
+	}
+	for _, name := range names {
+		c := cur[name]
+		bl, inBase := base[name]
+		if !inBase {
+			fmt.Fprintf(&b, "NEW    %s: no baseline (refresh testdata/bench-baseline.txt to start gating it)\n", name)
+			continue
+		}
+		ct, bt := median(c.times), median(bl.times)
+		switch {
+		case bt > 0 && ct > bt*(1+timeThreshold) && sameCPU:
+			fmt.Fprintf(&b, "FAIL   %s: time/op %.0fns vs baseline %.0fns (+%.1f%%, threshold %.0f%%)\n",
+				name, ct, bt, 100*(ct/bt-1), 100*timeThreshold)
+			failed = true
+		case bt > 0 && ct > bt*(1+timeThreshold):
+			fmt.Fprintf(&b, "WARN   %s: time/op %.0fns vs baseline %.0fns (+%.1f%%, different CPU — not gated)\n",
+				name, ct, bt, 100*(ct/bt-1))
+		default:
+			fmt.Fprintf(&b, "ok     %s: time/op %.0fns vs %.0fns\n", name, ct, bt)
+		}
+		if len(c.allocs) > 0 && len(bl.allocs) > 0 {
+			ca, ba := median(c.allocs), median(bl.allocs)
+			if ca > ba {
+				fmt.Fprintf(&b, "FAIL   %s: allocs/op %.0f vs baseline %.0f — the pooled pipeline lost an optimisation\n",
+					name, ca, ba)
+				failed = true
+			}
+		}
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Fprintf(&b, "GONE   %s: in baseline but not in this run\n", name)
+		}
+	}
+	if failed {
+		b.WriteString("benchgate: REGRESSION — see FAIL lines above\n")
+	} else {
+		b.WriteString("benchgate: all gates passed\n")
+	}
+	return b.String(), failed
+}

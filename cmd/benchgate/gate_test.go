@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baselineSample = `goos: linux
+goarch: amd64
+pkg: ncs
+BenchmarkAllocHPIFastpathEcho-8   	  123456	      9000 ns/op	 455.1 MB/s	      67 B/op	       2 allocs/op
+BenchmarkAllocHPIFastpathEcho-8   	  123456	     10000 ns/op	 455.1 MB/s	      67 B/op	       2 allocs/op
+BenchmarkAllocHPIFastpathEcho-8   	  123456	     11000 ns/op	 455.1 MB/s	      67 B/op	       2 allocs/op
+BenchmarkAllocSCISend4KB-8        	   50000	     20000 ns/op	     120 B/op	       2 allocs/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFile(t *testing.T) {
+	p := writeTemp(t, "base.txt", baselineSample)
+	got, _, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := got["BenchmarkAllocHPIFastpathEcho"]
+	if b == nil {
+		t.Fatalf("benchmark not parsed (keys: %v)", got)
+	}
+	if len(b.times) != 3 || median(b.times) != 10000 {
+		t.Fatalf("times = %v, want 3 samples with median 10000", b.times)
+	}
+	if len(b.allocs) != 3 || median(b.allocs) != 2 {
+		t.Fatalf("allocs = %v, want 3 samples of 2", b.allocs)
+	}
+}
+
+func TestStripProcsCrossMachine(t *testing.T) {
+	// A 4-core run must compare against an 8-core baseline.
+	cur := `BenchmarkAllocSCISend4KB-4  50000  20500 ns/op  120 B/op  2 allocs/op` + "\n"
+	base, _, err := parseFile(writeTemp(t, "b.txt", baselineSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := parseFile(writeTemp(t, "c.txt", cur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, failed := compare(base, c, 0.10, true)
+	if failed {
+		t.Fatalf("2.5%% time delta failed the 10%% gate:\n%s", report)
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
+	cur := `BenchmarkAllocSCISend4KB-8  50000  20000 ns/op  180 B/op  3 allocs/op` + "\n"
+	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
+	report, failed := compare(base, c, 0.10, true)
+	if !failed {
+		t.Fatalf("+1 alloc/op passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op 3 vs baseline 2") {
+		t.Fatalf("report does not explain the alloc regression:\n%s", report)
+	}
+}
+
+func TestTimeRegressionFails(t *testing.T) {
+	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
+	cur := `BenchmarkAllocSCISend4KB-8  50000  25000 ns/op  120 B/op  2 allocs/op` + "\n"
+	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
+	report, failed := compare(base, c, 0.10, true)
+	if !failed {
+		t.Fatalf("+25%% time/op passed the 10%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("no FAIL line:\n%s", report)
+	}
+}
+
+func TestTimeImprovementAndSlackPass(t *testing.T) {
+	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
+	cur := `BenchmarkAllocSCISend4KB-8  50000  21900 ns/op  120 B/op  2 allocs/op
+BenchmarkAllocHPIFastpathEcho-8  123456  5000 ns/op  67 B/op  1 allocs/op
+` // -9.5% is inside the 10% band; faster + fewer allocs always passes
+	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
+	report, failed := compare(base, c, 0.10, true)
+	if failed {
+		t.Fatalf("improvement or in-band noise failed the gate:\n%s", report)
+	}
+}
+
+// TestCrossCPUTimeNotGated pins the flake guard: when baseline and
+// current runs come from different CPU models, a time/op blowup is a
+// warning (absolute ns/op is not comparable across machines) — but an
+// allocs/op regression still fails, because allocation counts are
+// deterministic everywhere.
+func TestCrossCPUTimeNotGated(t *testing.T) {
+	baseSrc := "cpu: Intel(R) Xeon(R) Processor @ 2.10GHz\n" + baselineSample
+	curSrc := "cpu: AMD EPYC 7763\nBenchmarkAllocSCISend4KB-8  50000  90000 ns/op  120 B/op  2 allocs/op\n"
+	base, baseCPU, err := parseFile(writeTemp(t, "b.txt", baseSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, curCPU, err := parseFile(writeTemp(t, "c.txt", curSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseCPU == curCPU || baseCPU == "" || curCPU == "" {
+		t.Fatalf("cpu lines not parsed: %q vs %q", baseCPU, curCPU)
+	}
+	report, failed := compare(base, c, 0.10, baseCPU == curCPU)
+	if failed {
+		t.Fatalf("cross-CPU time delta failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "WARN") {
+		t.Fatalf("cross-CPU time regression not surfaced as a warning:\n%s", report)
+	}
+
+	// Same machines, same numbers: the alloc gate still bites.
+	curSrc = "cpu: AMD EPYC 7763\nBenchmarkAllocSCISend4KB-8  50000  90000 ns/op  120 B/op  5 allocs/op\n"
+	c, _, _ = parseFile(writeTemp(t, "c2.txt", curSrc))
+	if _, failed := compare(base, c, 0.10, false); !failed {
+		t.Fatal("allocs/op regression passed on cross-CPU comparison")
+	}
+}
+
+func TestNewBenchmarkDoesNotFail(t *testing.T) {
+	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
+	cur := baselineSample + "BenchmarkBrandNew-8  1000  99999 ns/op  5000 B/op  99 allocs/op\n"
+	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
+	report, failed := compare(base, c, 0.10, true)
+	if failed {
+		t.Fatalf("unbaselined benchmark failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "NEW") {
+		t.Fatalf("new benchmark not reported:\n%s", report)
+	}
+}

@@ -1,0 +1,61 @@
+// Command benchgate is the CI benchmark-regression gate: it compares
+// two Go benchmark output files (a checked-in baseline and a fresh
+// run, both produced with -benchmem, ideally -count=6 or more) and
+// exits nonzero when the fresh run regresses.
+//
+// Gates:
+//
+//   - allocs/op: any increase of the median fails. Allocation counts
+//     are deterministic enough that a +1 is a real regression (a lost
+//     pooling or staging optimisation), which is exactly what the
+//     pooled-buffer pipeline's acceptance numbers protect.
+//   - ns/op: a median regression beyond -time-threshold (default 10%)
+//     fails — but only when both files were recorded on the same CPU
+//     model (the "cpu:" header line). Absolute ns/op is meaningless
+//     across machines, so a cross-CPU comparison downgrades time
+//     regressions to warnings instead of flaking PRs red whenever the
+//     CI runner generation differs from the baseline machine.
+//
+// Benchmarks present in only one file are reported but do not fail
+// the gate: a brand-new benchmark has no baseline yet (refresh the
+// baseline to start gating it — see README "Scaling" for the refresh
+// command), and a deleted one gates nothing.
+//
+// Usage:
+//
+//	benchgate [-time-threshold 0.10] baseline.txt current.txt
+//
+// benchstat (golang.org/x/perf) renders a nicer statistical comparison
+// of the same two files; benchgate exists to turn the comparison into
+// a reliable pass/fail without parsing benchstat's output format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("time-threshold", 0.10, "fail when median ns/op regresses more than this fraction")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-time-threshold 0.10] baseline.txt current.txt")
+		os.Exit(2)
+	}
+	base, baseCPU, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, curCPU, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report, failed := compare(base, cur, *threshold, baseCPU == curCPU)
+	fmt.Print(report)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 //	ncs-bench -exp fig13
 //	ncs-bench -exp rpc
 //	ncs-bench -exp loss
+//	ncs-bench -exp scale -scale-max 4096 -scale-dur 400ms -scale-out BENCH_scale.json
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
@@ -20,52 +21,101 @@
 // the substrate the paper's figures evaluate. The loss experiment
 // reproduces the paper's error-control comparison (§3.2): the same
 // stream pushed through None, go-back-N, and selective repeat while
-// the simulated link loses an increasing fraction of its packets.
+// the simulated link loses an increasing fraction of its packets. The
+// scale experiment is the many-connection sweep: a fan-in/fan-out echo
+// workload from 16 to thousands of concurrent connections comparing
+// the threaded and sharded runtimes on throughput, tail latency,
+// goroutine count and allocations, with machine-readable results
+// written as JSON for CI archival.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"ncs/internal/bench"
 	"ncs/internal/platform"
 )
 
+// scaleOpts carries the scale experiment's knobs from flags to run.
+type scaleOpts struct {
+	max int
+	dur time.Duration
+	out string
+}
+
+// experiments maps each -exp value to its runner; "all" runs the
+// paper's set in order. Kept as a table so the usage string and the
+// unknown-experiment error can never drift from what actually runs.
+func experiments(plat string, iters int, sc scaleOpts) map[string]func() error {
+	return map[string]func() error{
+		"table1": runTable1,
+		"fig10":  runFig10,
+		"fig11":  runFig11,
+		"fig12":  func() error { return runFig12(plat, iters) },
+		"fig13":  func() error { return runFig13(iters) },
+		"rpc":    func() error { return runRPC(iters) },
+		"loss":   func() error { return runLoss(iters) },
+		"scale":  func() error { return runScale(sc) },
+	}
+}
+
+// experimentList returns the valid -exp values, sorted, for usage and
+// error messages.
+func experimentList(plat string, iters int, sc scaleOpts) []string {
+	names := make([]string, 0, 9)
+	for name := range experiments(plat, iters, sc) {
+		names = append(names, name)
+	}
+	names = append(names, "all")
+	sort.Strings(names)
+	return names
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, all")
-		plat  = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
-		iters = flag.Int("iters", 10, "iterations per point for echo experiments")
+		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, all")
+		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
+		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
+		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep")
+		scaleDur = flag.Duration("scale-dur", 400*time.Millisecond, "scale: measured interval per point")
+		scaleOut = flag.String("scale-out", "BENCH_scale.json", "scale: JSON results path (empty: skip)")
 	)
 	flag.Parse()
-	if err := run(*exp, *plat, *iters); err != nil {
+	sc := scaleOpts{max: *scaleMax, dur: *scaleDur, out: *scaleOut}
+	if flag.NArg() > 0 {
+		// A bare "ncs-bench scale" would otherwise silently run the
+		// default experiment set and exit 0.
+		fmt.Fprintf(os.Stderr, "ncs-bench: unexpected argument %q (experiments are selected with -exp <name>)\n", flag.Arg(0))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc), ", "))
+		os.Exit(2)
+	}
+	if err := run(*exp, *plat, *iters, sc); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, plat string, iters int) error {
-	switch exp {
-	case "table1":
-		return runTable1()
-	case "fig10":
-		return runFig10()
-	case "fig11":
-		return runFig11()
-	case "fig12":
-		return runFig12(plat, iters)
-	case "fig13":
-		return runFig13(iters)
-	case "rpc":
-		return runRPC(iters)
-	case "loss":
-		return runLoss(iters)
-	case "all":
+func run(exp, plat string, iters int, sc scaleOpts) error {
+	exps := experiments(plat, iters, sc)
+	if e, ok := exps[exp]; ok {
+		return e()
+	}
+	if exp == "all" {
+		// The paper's experiments in publication order; scale is
+		// excluded (it is the CI workload, minutes long at full sweep)
+		// and runs via -exp scale.
+		for _, name := range []string{"table1", "fig10", "fig11"} {
+			if err := exps[name](); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
 		for _, e := range []func() error{
-			runTable1,
-			runFig10,
-			runFig11,
 			func() error { return runFig12("sun4", iters) },
 			func() error { return runFig12("rs6000", iters) },
 			func() error { return runFig13(iters) },
@@ -78,9 +128,41 @@ func run(exp, plat string, iters int) error {
 			fmt.Println()
 		}
 		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	return fmt.Errorf("unknown experiment %q (experiments: %s)",
+		exp, strings.Join(experimentList(plat, iters, sc), ", "))
+}
+
+// runScale executes the many-connection sweep and writes the JSON
+// artifact.
+func runScale(sc scaleOpts) error {
+	if sc.max < 1 {
+		return fmt.Errorf("scale: -scale-max must be at least 1 (got %d)", sc.max)
+	}
+	conns := []int{}
+	for _, n := range []int{16, 64, 256, 1024, 2048, 4096} {
+		if n <= sc.max {
+			conns = append(conns, n)
+		}
+	}
+	if len(conns) == 0 {
+		conns = []int{sc.max}
+	}
+	res, err := bench.ScaleSweep(bench.ScaleConfig{
+		Conns:    conns,
+		Duration: sc.dur,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if sc.out != "" {
+		if err := res.WriteJSON(sc.out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", sc.out)
+	}
+	return nil
 }
 
 func runTable1() error {

@@ -1,9 +1,21 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ncs/internal/bench"
+)
+
+// quickScale keeps test runs of the scale experiment small.
+var quickScale = scaleOpts{max: 16, dur: 50 * time.Millisecond, out: ""}
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "sun4", 2); err != nil {
+	if err := run("table1", "sun4", 2, quickScale); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -12,28 +24,92 @@ func TestRunFig12SmallIters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("echo sweep")
 	}
-	if err := run("fig12", "rs6000", 2); err != nil {
+	if err := run("fig12", "rs6000", 2, quickScale); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRPC(t *testing.T) {
-	if err := run("rpc", "sun4", 1); err != nil {
+	if err := run("rpc", "sun4", 1, quickScale); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLoss(t *testing.T) {
-	if err := run("loss", "sun4", 1); err != nil {
+	if err := run("loss", "sun4", 1, quickScale); err != nil {
 		t.Fatal(err)
 	}
 }
 
-func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("fig99", "sun4", 1); err == nil {
-		t.Error("unknown experiment accepted")
+// TestRunScale runs a miniature sweep and checks the JSON artifact is
+// written and well-formed.
+func TestRunScale(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	sc := scaleOpts{max: 32, dur: 50 * time.Millisecond, out: out}
+	if err := run("scale", "sun4", 1, sc); err != nil {
+		t.Fatal(err)
 	}
-	if err := run("fig12", "cray", 1); err == nil {
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.ScaleResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_scale.json does not parse: %v", err)
+	}
+	// Two runtimes × the one sweep point under the cap ({16}).
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Messages == 0 || p.Throughput <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+	}
+}
+
+// TestRunRejectsUnknown pins the failure mode: an unknown -exp value
+// must return an error (main exits nonzero on it) that lists the valid
+// experiments, so a typo cannot silently succeed.
+func TestRunRejectsUnknown(t *testing.T) {
+	err := run("fig99", "sun4", 1, quickScale)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"table1", "fig12", "rpc", "loss", "scale", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-experiment error does not list %q: %v", want, err)
+		}
+	}
+	if err := run("fig12", "cray", 1, quickScale); err == nil {
 		t.Error("unknown platform accepted")
+	}
+	for _, max := range []int{0, -1} {
+		sc := quickScale
+		sc.max = max
+		if err := run("scale", "sun4", 1, sc); err == nil {
+			t.Errorf("scale accepted -scale-max %d", max)
+		}
+	}
+}
+
+// TestExperimentListComplete keeps the usage/error roster in sync with
+// the runnable experiments.
+func TestExperimentListComplete(t *testing.T) {
+	exps := experiments("sun4", 1, quickScale)
+	list := experimentList("sun4", 1, quickScale)
+	if len(list) != len(exps)+1 { // +1 for "all"
+		t.Fatalf("experiment list %v out of sync with table (%d entries)", list, len(exps))
+	}
+	for name := range exps {
+		found := false
+		for _, l := range list {
+			if l == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("experiment %q missing from list %v", name, list)
+		}
 	}
 }

@@ -61,6 +61,10 @@ type Config struct {
 	// FastPath selects the §4.2 thread-bypassing procedures instead of
 	// the per-connection threads.
 	FastPath bool
+	// Sharded drives the connection from the System's shard pool
+	// (core.RuntimeSharded) instead of per-connection threads. Ignored
+	// when FastPath is set (the fast path bypasses both runtimes).
+	Sharded bool
 	// Schedule is the impairment schedule applied to the data path
 	// (both directions); the control path stays clean, per the paper's
 	// separated control plane.
@@ -187,8 +191,11 @@ func (c Config) withDefaults() Config {
 // replay the run exactly.
 func (c Config) Name() string {
 	model := "threaded"
-	if c.FastPath {
+	switch {
+	case c.FastPath:
 		model = "fastpath"
+	case c.Sharded:
+		model = "sharded"
 	}
 	return fmt.Sprintf("%v/%v/%v/%s/%s/seed%d",
 		c.ErrCtl, c.FlowCtl, c.Transport, model, c.Schedule.Name, c.Seed)
@@ -204,6 +211,9 @@ func (c Config) options() (core.Options, error) {
 		SDUSize:      harnessSDU,
 		AckTimeout:   harnessAckTimeout,
 		FastPath:     c.FastPath,
+	}
+	if c.Sharded && !c.FastPath {
+		opts.Runtime = core.RuntimeSharded
 	}
 	switch c.Transport {
 	case transport.HPI:

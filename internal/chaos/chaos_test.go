@@ -63,10 +63,22 @@ func baseSeed(t *testing.T) int64 {
 	return 1
 }
 
+// model is one point on the matrix's runtime axis: the paper's
+// per-connection threads, the §4.2 fast path, or the shard pool.
+type model struct {
+	name     string
+	fastPath bool
+	sharded  bool
+}
+
 var (
 	errctls  = []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN, errctl.None}
 	flowctls = []flowctl.Algorithm{flowctl.None, flowctl.Credit, flowctl.Window, flowctl.Rate}
-	models   = []bool{false, true} // threaded, fastpath
+	models   = []model{
+		{name: "threaded"},
+		{name: "fastpath", fastPath: true},
+		{name: "sharded", sharded: true},
+	}
 )
 
 // matrixFlowctls trims the flow-control axis in -short mode (the CI
@@ -92,11 +104,12 @@ func TestChaosMatrix(t *testing.T) {
 	}
 	for _, ec := range errctls {
 		for _, fc := range matrixFlowctls() {
-			for _, fast := range models {
+			for _, m := range models {
 				for _, sched := range Schedules {
 					for _, tr := range []transport.Kind{transport.HPI, transport.ACI} {
 						cfg := Config{
-							ErrCtl: ec, FlowCtl: fc, Transport: tr, FastPath: fast,
+							ErrCtl: ec, FlowCtl: fc, Transport: tr,
+							FastPath: m.fastPath, Sharded: m.sharded,
 							Schedule: sched, Seed: seed, Messages: messages,
 						}
 						t.Run(cfg.Name(), func(t *testing.T) {
@@ -110,7 +123,8 @@ func TestChaosMatrix(t *testing.T) {
 				// SCI: conformance baseline only (no fault injection on
 				// a real TCP socket).
 				cfg := Config{
-					ErrCtl: ec, FlowCtl: fc, Transport: transport.SCI, FastPath: fast,
+					ErrCtl: ec, FlowCtl: fc, Transport: transport.SCI,
+					FastPath: m.fastPath, Sharded: m.sharded,
 					Schedule: Schedule{Name: "clean"}, Seed: seed, Messages: messages,
 				}
 				t.Run(cfg.Name(), func(t *testing.T) {
@@ -134,11 +148,12 @@ func TestRPCContract(t *testing.T) {
 		calls = 3
 	}
 	for _, ec := range []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN, errctl.None} {
-		for _, fast := range models {
+		for _, m := range models {
 			for _, sched := range Schedules {
 				cfg := Config{
 					ErrCtl: ec, FlowCtl: flowctl.Credit, Transport: transport.HPI,
-					FastPath: fast, Schedule: sched, Seed: seed, Messages: calls,
+					FastPath: m.fastPath, Sharded: m.sharded,
+					Schedule: sched, Seed: seed, Messages: calls,
 				}
 				t.Run("rpc/"+cfg.Name(), func(t *testing.T) {
 					t.Parallel()

@@ -1,0 +1,195 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/transport"
+)
+
+// churnConns is the connection count the scaling assertions run at.
+// The ISSUE's acceptance point: after a 1024-connection churn, the
+// process must be back at baseline, and with 1024 sharded connections
+// OPEN the goroutine count must be O(shards), not O(connections).
+const churnConns = 1024
+
+func churnCount(t *testing.T) int {
+	if testing.Short() {
+		return 256
+	}
+	return churnConns
+}
+
+// openConns establishes n connections from a to b and returns both
+// ends.
+func openConns(t *testing.T, a, b *core.System, peerName string, opts core.Options, n int) (conns, peers []*core.Connection) {
+	t.Helper()
+	peerCh := make(chan *core.Connection, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			p, err := b.Accept()
+			if err != nil {
+				return
+			}
+			peerCh <- p
+		}
+	}()
+	conns = make([]*core.Connection, 0, n)
+	peers = make([]*core.Connection, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := a.Connect(peerName, opts)
+		if err != nil {
+			t.Fatalf("connect %d/%d: %v", i+1, n, err)
+		}
+		conns = append(conns, c)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case p := <-peerCh:
+			peers = append(peers, p)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("accepted only %d/%d connections", i, n)
+		}
+	}
+	return conns, peers
+}
+
+// TestShardedGoroutinesOShards opens churnConns sharded HPI
+// connections, pushes a message through each, and asserts the
+// goroutine count stays O(shards): the whole point of the sharded
+// runtime. (The threaded runtime at this scale would sit at 8
+// goroutines per connection.)
+func TestShardedGoroutinesOShards(t *testing.T) {
+	n := churnCount(t)
+	base := runtime.NumGoroutine()
+
+	nw := core.NewNetwork()
+	defer nw.Close()
+	a, err := nw.NewSystem("scale-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.NewSystem("scale-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Interface: transport.HPI, Runtime: core.RuntimeSharded}
+	conns, peers := openConns(t, a, b, "scale-b", opts, n)
+
+	// Traffic on every connection, so the scaling claim covers active
+	// connections, not just idle ones.
+	errCh := make(chan error, n)
+	for i, c := range conns {
+		go func(i int, c *core.Connection) {
+			if err := c.Send([]byte(fmt.Sprintf("conn %d", i))); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := peers[i].RecvTimeout(10 * time.Second); err != nil {
+				errCh <- fmt.Errorf("conn %d recv: %w", i, err)
+				return
+			}
+			errCh <- nil
+		}(i, c)
+	}
+	for range conns {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Both systems run at most GOMAXPROCS shards plus a master thread;
+	// the slack absorbs test goroutines still exiting. Anything near
+	// O(n) means per-connection goroutines crept back in.
+	limit := base + 2*runtime.GOMAXPROCS(0) + 32
+	if limit > base+n/4 {
+		t.Skipf("GOMAXPROCS too large for %d conns to discriminate", n)
+	}
+	if g := runtime.NumGoroutine(); g > limit {
+		t.Fatalf("%d goroutines with %d sharded connections open (baseline %d, limit %d): O(connections), want O(shards)",
+			g, n, base, limit)
+	}
+}
+
+// TestConnectionChurn cycles open → send → close through churnConns
+// connections on BOTH runtimes and asserts the process returns to its
+// pre-churn goroutine count: no runtime may leak per-connection state.
+// (The package TestMain additionally audits pooled buffers.)
+func TestConnectionChurn(t *testing.T) {
+	for _, rt := range []core.Runtime{core.RuntimeThreaded, core.RuntimeSharded} {
+		t.Run(rt.String(), func(t *testing.T) {
+			n := churnCount(t)
+			base := runtime.NumGoroutine()
+
+			nw := core.NewNetwork()
+			defer nw.Close()
+			a, err := nw.NewSystem("churn-a-" + rt.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := nw.NewSystem("churn-b-" + rt.String())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Interface: transport.HPI, Runtime: rt}
+
+			// Churn in batches so the threaded runtime's transient
+			// goroutines stay bounded while total churn still reaches n.
+			const batch = 64
+			peerCh := make(chan *core.Connection, batch)
+			go func() {
+				for {
+					p, err := b.Accept()
+					if err != nil {
+						return
+					}
+					peerCh <- p
+				}
+			}()
+			for done := 0; done < n; done += batch {
+				conns := make([]*core.Connection, 0, batch)
+				peers := make([]*core.Connection, 0, batch)
+				for i := 0; i < batch; i++ {
+					c, err := a.Connect("churn-b-"+rt.String(), opts)
+					if err != nil {
+						t.Fatalf("churn %d: %v", done+i, err)
+					}
+					conns = append(conns, c)
+					select {
+					case p := <-peerCh:
+						peers = append(peers, p)
+					case <-time.After(10 * time.Second):
+						t.Fatalf("churn %d: accept timed out", done+i)
+					}
+				}
+				for i, c := range conns {
+					if err := c.Send([]byte{byte(i)}); err != nil {
+						t.Fatalf("churn send: %v", err)
+					}
+					if _, err := peers[i].RecvTimeout(10 * time.Second); err != nil {
+						t.Fatalf("churn recv: %v", err)
+					}
+				}
+				for i := range conns {
+					conns[i].Close()
+					peers[i].Close()
+				}
+			}
+
+			// Quiesce: only the accept helper, the masters, and (for
+			// sharded) the fixed pool may remain.
+			limit := base + 2*runtime.GOMAXPROCS(0) + 16
+			deadline := time.Now().Add(10 * time.Second)
+			for runtime.NumGoroutine() > limit && time.Now().Before(deadline) {
+				time.Sleep(20 * time.Millisecond)
+			}
+			if g := runtime.NumGoroutine(); g > limit {
+				t.Fatalf("%d goroutines after churning %d connections (baseline %d, limit %d)",
+					g, n, base, limit)
+			}
+		})
+	}
+}

@@ -118,6 +118,12 @@ type Connection struct {
 	fastSendMu sync.Mutex // serialises fast-path senders
 	fastRecvMu sync.Mutex // serialises fast-path receivers
 
+	// sh is the connection's shard attachment (RuntimeSharded only);
+	// inbox, when bound, merges this connection's deliveries into a
+	// shared queue.
+	sh    *shardConn
+	inbox atomic.Pointer[Inbox]
+
 	closeOnce sync.Once
 	closedCh  chan struct{}
 	wg        sync.WaitGroup
@@ -154,7 +160,13 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 	c.lastHeard.Store(time.Now().UnixNano())
 	switch {
 	case opts.FastPath:
-		// No threads: Send/Recv run the protocol inline (§4.2).
+		// No threads: Send/Recv run the protocol inline (§4.2). The
+		// fast path bypasses the sharded runtime exactly as it
+		// bypasses the threads.
+	case opts.Runtime == RuntimeSharded:
+		// No per-connection threads either: the System's shard pool
+		// drives the connection's protocol machinery (shard.go).
+		c.attachShard()
 	case opts.InbandControl:
 		// Ablation mode: control shares the data connection, so the
 		// Send Thread carries both and the Receive Thread demultiplexes
@@ -171,11 +183,67 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		go c.ctrlSendThread()
 		go c.ctrlRecvThread()
 	}
-	if opts.Heartbeat > 0 && !opts.FastPath {
+	if opts.Heartbeat > 0 && !opts.FastPath && c.sh == nil {
 		c.wg.Add(1)
 		go c.heartbeatThread()
 	}
 	return c
+}
+
+// attachShard registers the connection with its System's shard pool:
+// pollable transports (HPI) feed the shard's event loop directly at
+// zero goroutines; others get a minimal pump goroutine per transport
+// that only reads the wire — every protocol decision still runs on
+// the shard.
+func (c *Connection) attachShard() {
+	sh := c.sys.shardFor(c.id)
+	sc := &shardConn{
+		shard:     sh,
+		sendSlots: make(chan struct{}, sendQueueDepth),
+		lastPing:  time.Now(),
+	}
+	c.sh = sc
+	if p, ok := transport.AsPoller(c.data); ok {
+		sc.dataPoll = p
+	} else {
+		sc.dataIn = make(chan *buf.Buffer, pumpDepth)
+		c.wg.Add(1)
+		go c.pump(c.data, sc.dataIn)
+	}
+	if !c.opts.InbandControl {
+		if p, ok := transport.AsPoller(c.ctrl); ok {
+			sc.ctrlPoll = p
+		} else {
+			sc.ctrlIn = make(chan *buf.Buffer, pumpDepth)
+			c.wg.Add(1)
+			go c.pump(c.ctrl, sc.ctrlIn)
+		}
+	}
+	sh.register(c)
+}
+
+// pump bridges a non-pollable transport into the shard loop: it parks
+// in the blocking receive (the thing the transport cannot avoid) and
+// hands packets over; everything else — demux, protocol, delivery —
+// happens on the shard. Blocking on a full channel is the same
+// backpressure a Receive Thread applies by not reading.
+func (c *Connection) pump(t transport.Conn, ch chan *buf.Buffer) {
+	defer c.wg.Done()
+	for {
+		b, err := t.RecvBuf()
+		if err != nil {
+			// Transport death is connection death, as in recvThread.
+			go c.Close()
+			return
+		}
+		select {
+		case ch <- b:
+			c.sh.shard.requeue(c)
+		case <-c.closedCh:
+			b.Release()
+			return
+		}
+	}
 }
 
 // heartbeatThread probes the peer and declares it unreachable after
@@ -453,9 +521,7 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		if tr != nil && i == len(sdus)-1 {
 			tr.stamp(&tr.tQueued)
 		}
-		select {
-		case c.sendQ <- item:
-		case <-c.closedCh:
+		if !c.enqueueData(item) {
 			return ErrConnClosed
 		}
 		if item.done != nil {
@@ -473,6 +539,33 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		}
 	}
 	return nil
+}
+
+// enqueueData hands one data SDU to the connection's runtime: the Send
+// Thread's queue (threaded) or the shard's outbound queue (sharded,
+// after taking one of the connection's send slots — the same depth
+// bound sendQ provides). It reports false when the connection closed.
+func (c *Connection) enqueueData(item sendItem) bool {
+	if sc := c.sh; sc != nil {
+		select {
+		case sc.sendSlots <- struct{}{}:
+		case <-c.closedCh:
+			return false
+		}
+		return sc.shard.enqueueOut(outItem{
+			c:     c,
+			sdu:   item.sdu,
+			trace: item.trace,
+			done:  item.done,
+			slot:  true,
+		})
+	}
+	select {
+	case c.sendQ <- item:
+		return true
+	case <-c.closedCh:
+		return false
+	}
 }
 
 func (c *Connection) checkSendSize(msg []byte) error {
@@ -569,6 +662,7 @@ func (c *Connection) RecvMessage() (Message, error) {
 	}
 	select {
 	case m := <-c.delivered:
+		c.afterRecv()
 		return m, nil
 	case <-c.closedCh:
 		// Drain anything completed before close.
@@ -578,6 +672,15 @@ func (c *Connection) RecvMessage() (Message, error) {
 		default:
 			return Message{}, c.closeErr()
 		}
+	}
+}
+
+// afterRecv runs after a delivery-queue take: if the shard parked
+// completed messages because the queue was full, ring it so they flush
+// into the space just freed.
+func (c *Connection) afterRecv() {
+	if sc := c.sh; sc != nil && sc.hasStalled.Load() {
+		sc.shard.requeue(c)
 	}
 }
 
@@ -596,12 +699,27 @@ func (c *Connection) RecvMessageTimeout(d time.Duration) (Message, error) {
 	}
 	select {
 	case m := <-c.delivered:
+		c.afterRecv()
 		return m, nil
 	case <-c.closedCh:
 		return Message{}, c.closeErr()
 	case <-time.After(d):
 		return Message{}, ErrRecvTimeout
 	}
+}
+
+// BindInbox merges this connection's future deliveries into ib: they
+// become InboxMessages on the shared queue instead of landing on the
+// connection's own delivery queue. Bind before traffic starts (right
+// after Connect/Accept); messages already delivered remain readable
+// via Recv. Fast-path connections run delivery inline in Recv and
+// cannot bind.
+func (c *Connection) BindInbox(ib *Inbox) error {
+	if c.opts.FastPath {
+		return ErrFastPathOnly
+	}
+	c.inbox.Store(ib)
+	return nil
 }
 
 // recvThread is the per-connection Receive Thread: it reads the data
@@ -639,6 +757,19 @@ func (c *Connection) recvThread() {
 		m, ok := c.dispatchData(h, payload, b, c.enqueueCtrl)
 		b.Release()
 		if ok {
+			if ib := c.inbox.Load(); ib != nil {
+				if ib.put(c, m) {
+					continue
+				}
+				select {
+				case <-c.closedCh:
+					return
+				default:
+				}
+				// The inbox closed under a live connection: unbind and
+				// fall back to the connection's own queue.
+				c.inbox.CompareAndSwap(ib, nil)
+			}
 			select {
 			case c.delivered <- m:
 			case <-c.closedCh:
@@ -742,6 +873,17 @@ func (c *Connection) pruneSessionsLocked() {
 // in in-band mode, to the Send Thread where it competes with data).
 // It reports false when the connection closed.
 func (c *Connection) enqueueCtrl(ctl packet.Control) bool {
+	if sc := c.sh; sc != nil {
+		// Sharded: the shard loop writes it, batched with whatever
+		// else this cycle produced. Control packets are bounded by the
+		// inbound budget that produced them, so they take no slot.
+		return sc.shard.enqueueOut(outItem{
+			c:        c,
+			ctrl:     ctl,
+			isCtrl:   true,
+			ctrlPath: !c.opts.InbandControl,
+		})
+	}
 	if c.opts.InbandControl {
 		item := sendItem{ctrl: &ctl}
 		select {
@@ -892,6 +1034,16 @@ func (c *Connection) Close() error {
 		c.data.Close()
 		c.ctrl.Close()
 		c.wg.Wait()
+		if sc := c.sh; sc != nil {
+			// Pumps have exited (wg). Deregister and barrier against
+			// the cycle that may still be dispatching our packets; the
+			// closed transports guarantee no new ones can surface. Then
+			// drain the pump channels' pooled buffers and reap.
+			sc.shard.unregister(c)
+			sc.drainInbound()
+			c.reapSessions()
+			return
+		}
 		if c.opts.FastPath {
 			// No threads to join; a fast-path Recv may still be inside
 			// the session machinery (possibly the very caller running

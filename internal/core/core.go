@@ -50,6 +50,8 @@ var (
 	ErrNotFastPath     = errors.New("ncs: connection not configured for fast path")
 	ErrFastPathOnly    = errors.New("ncs: connection configured for fast path")
 	ErrPeerUnreachable = errors.New("ncs: peer unreachable (heartbeat timeout)")
+
+	errShardsStarted = errors.New("ncs: shard pool already started")
 )
 
 // Options configures one NCS connection at establishment time — the
@@ -82,6 +84,16 @@ type Options struct {
 	// FastPath selects the §4.2 procedure variant: no per-connection
 	// threads; Send/Recv run the protocol inline on the caller.
 	FastPath bool
+	// Runtime selects the connection's runtime architecture:
+	// RuntimeThreaded (default) gives it the paper's dedicated
+	// per-connection threads; RuntimeSharded drives it from the
+	// System's fixed pool of I/O shards, which demultiplex receives
+	// and coalesce sends across every sharded connection — the
+	// many-connection scale-out. FastPath takes precedence: a
+	// fast-path connection bypasses shards exactly as it bypasses
+	// threads. The option travels through signaling, so both endpoints
+	// run the architecture the dialer chose.
+	Runtime Runtime
 	// AckTimeout is the retransmission timer (§3.2 step 5).
 	// Default 200 ms.
 	AckTimeout time.Duration
@@ -378,6 +390,14 @@ type System struct {
 	mu     sync.Mutex
 	conns  []*Connection
 	closed bool
+
+	// The sharded runtime's I/O pool, built lazily on the first
+	// RuntimeSharded connection (see shard.go).
+	shardMu      sync.Mutex
+	shards       []*shard
+	shardN       int
+	shardStopped bool
+	shardWG      sync.WaitGroup
 }
 
 // Name returns the system's registered name.
@@ -494,4 +514,5 @@ func (s *System) Close() {
 	for _, c := range conns {
 		c.Close()
 	}
+	s.stopShards()
 }

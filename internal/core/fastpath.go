@@ -19,6 +19,10 @@ import (
 //
 // The flow- and error-control state machines are the same objects the
 // threads drive; here they execute inline on the caller's goroutine.
+// FastPath takes precedence over Options.Runtime: a fast-path
+// connection bypasses the sharded runtime's event loops (shard.go)
+// exactly as it bypasses the per-connection threads — there is nothing
+// between the caller and the transport either way.
 // With no threads to observe transport death, the inline procedures
 // propagate it themselves: any non-timeout transport failure closes
 // the connection, so Done/Err observers (the RPC layer, select loops)

@@ -1,0 +1,705 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncs/internal/buf"
+	"ncs/internal/errctl"
+	"ncs/internal/packet"
+	"ncs/internal/transport"
+)
+
+// The sharded runtime is the scale-out alternative to the paper's
+// thread-per-function architecture. The paper gives every connection
+// dedicated Send/Receive (and Control Send/Receive) threads — faithful,
+// and ideal up to a few hundred connections, but each connection then
+// costs four goroutines and four channel hops whether it is busy or
+// idle. A server facing thousands of connections wants the opposite
+// trade: a small fixed pool of event loops that amortise scheduling and
+// syscall cost across every connection they own.
+//
+// A System lazily builds one pool of I/O shards (default GOMAXPROCS;
+// see SetShards). Connections established with Options.Runtime ==
+// RuntimeSharded hash onto a shard by connection ID and are driven
+// entirely by that shard's loop:
+//
+//   - receives: the shard demultiplexes arrivals across all of its
+//     connections — via transport.Poller (HPI exposes its arrival queue
+//     plus a readiness doorbell, so an idle connection costs zero
+//     goroutines) or, for transports that cannot be polled (SCI rides a
+//     kernel socket, ACI a cell reassembler), via a minimal pump
+//     goroutine that feeds the loop;
+//   - sends: NCS_send callers run flow-control admission on their own
+//     goroutine exactly as in the threaded runtime, then deposit SDUs
+//     on the shard's outbound queue; each loop cycle drains the queue
+//     and issues one vectored SendBatch per connection — PR 1's
+//     per-connection 16-SDU coalescing extended across connections, so
+//     one wakeup flushes many connections' traffic;
+//   - flow/error control state stays strictly per-connection (the same
+//     objects the threads drive); the shard serialises all receive-side
+//     protocol work for a connection on one goroutine, which is the
+//     same single-writer discipline the per-connection Receive Thread
+//     provided;
+//   - the §4.2 fast path bypasses shards exactly as it bypasses
+//     threads: Options.FastPath takes precedence over Options.Runtime.
+//
+// Backpressure never blocks a shard: when a connection's delivery
+// queue (or bound Inbox) is full, its completed messages park on a
+// per-connection stall list and its data path pauses; the consumer's
+// next Recv rings the shard's doorbell to resume. Control packets keep
+// flowing while data is stalled, so acknowledgment clocks never stop.
+//
+// The shard loops are plain goroutines (kernel-level threads in the
+// paper's §4.1 taxonomy) on purpose: they block in transport writes,
+// and a user-level package would stall every connection on the shard
+// for the duration of one blocking call — the exact pathology Figure
+// 10 measures.
+
+// Runtime selects a connection's runtime architecture.
+type Runtime int
+
+const (
+	// RuntimeThreaded is the paper's architecture: dedicated Send,
+	// Receive, Control Send, and Control Receive threads per
+	// connection. Lowest latency at modest connection counts; cost
+	// grows linearly with connections. The default.
+	RuntimeThreaded Runtime = iota
+	// RuntimeSharded drives the connection from its System's shard
+	// pool: a fixed set of event loops demultiplexing receives and
+	// coalescing sends across all sharded connections. Goroutine count
+	// stays O(shards) regardless of connection count (on pollable
+	// transports), at the price of one queue hop per packet.
+	RuntimeSharded
+)
+
+// String implements fmt.Stringer.
+func (r Runtime) String() string {
+	switch r {
+	case RuntimeThreaded:
+		return "threaded"
+	case RuntimeSharded:
+		return "sharded"
+	default:
+		return "runtime?"
+	}
+}
+
+// shardRecvBudget bounds how many packets one cycle drains from a
+// single connection's data (and control) path before yielding, so one
+// busy connection cannot starve its shard-mates. A connection with
+// leftover backlog is simply re-queued.
+const shardRecvBudget = 64
+
+// pumpDepth is the inbound queue between a pump goroutine and the
+// shard loop for non-pollable transports. The pump blocks when it
+// fills — per-connection backpressure toward the transport, exactly
+// like a Receive Thread that stopped reading.
+const pumpDepth = 64
+
+// outItem is one outbound unit deposited on a shard's queue: a data
+// SDU or a control packet, with the transmission bookkeeping the
+// threaded Send Thread would have carried.
+type outItem struct {
+	c        *Connection
+	sdu      errctl.SDU
+	ctrl     packet.Control
+	isCtrl   bool
+	ctrlPath bool          // write to the control connection (false: data)
+	trace    *SendTrace    // stamped as the threaded Send Thread would
+	done     chan struct{} // non-nil: deposit a token after transmission
+	slot     bool          // release one of the connection's send slots after transmission
+}
+
+// shardConn is a connection's attachment to its shard. Fields marked
+// loop-owned are touched only by the shard loop goroutine.
+type shardConn struct {
+	shard *shard
+
+	dataPoll transport.Poller // non-nil: poll the data transport directly
+	ctrlPoll transport.Poller // non-nil: poll the control transport directly
+	dataIn   chan *buf.Buffer // pump-fed when dataPoll is nil
+	ctrlIn   chan *buf.Buffer // pump-fed when ctrlPoll is nil (nil in in-band mode)
+
+	queued       atomic.Bool   // on the shard's ready list
+	inboxWaiting atomic.Bool   // registered as a bound Inbox's wake waiter
+	hasStalled   atomic.Bool   // completed messages await delivery space
+	sendSlots    chan struct{} // bounds outbound data SDUs in the shard queue
+
+	// Loop-owned state.
+	stalled  []Message // completed messages awaiting delivery space
+	lastPing time.Time // heartbeat bookkeeping
+
+	// Loop-owned cycle scratch: the per-connection batches one flush
+	// builds and writes.
+	inCycle   bool
+	dataBatch []*buf.Buffer
+	dataItems []outItem
+	ctrlBatch []*buf.Buffer
+	ctrlItems []outItem
+}
+
+// shard is one event loop of a System's pool.
+type shard struct {
+	sys *System
+	id  int
+
+	doorbell chan struct{} // level-triggered wakeup, capacity 1
+	quit     chan struct{}
+
+	// serviceMu is held by the loop across each cycle. Connection.Close
+	// acquires it (after deregistering) as a barrier: once it is
+	// released, no in-flight cycle is still dispatching the closing
+	// connection's packets, so the session table can be reaped.
+	serviceMu sync.Mutex
+
+	mu      sync.Mutex
+	conns   map[*Connection]struct{}
+	ready   []*Connection
+	outQ    []outItem
+	hbEvery time.Duration // min heartbeat interval among registered conns
+
+	// Loop-owned scratch, ping-ponged with the locked slices.
+	readyScratch []*Connection
+	outScratch   []outItem
+	active       []*Connection
+
+	wakeups        atomic.Uint64
+	batches        atomic.Uint64
+	batchedPackets atomic.Uint64
+}
+
+func newShard(sys *System, id int) *shard {
+	return &shard{
+		sys:      sys,
+		id:       id,
+		doorbell: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		conns:    make(map[*Connection]struct{}),
+	}
+}
+
+// ring wakes the loop; a full doorbell already guarantees a wakeup.
+func (sh *shard) ring() {
+	select {
+	case sh.doorbell <- struct{}{}:
+	default:
+	}
+}
+
+// requeue flags c for service. Idempotent while the flag is pending;
+// the loop clears it just before servicing, so an event arriving
+// mid-service re-queues the connection for another pass. Membership is
+// checked under the lock so a stale wakeup — a transport notify or an
+// afterRecv drain racing Close — can never resurrect a deregistered
+// connection on the ready list (the loop must not touch its state
+// after unregister's barrier).
+func (sh *shard) requeue(c *Connection) {
+	sc := c.sh
+	if sc.queued.Swap(true) {
+		return
+	}
+	sh.mu.Lock()
+	if _, registered := sh.conns[c]; !registered {
+		sh.mu.Unlock()
+		return
+	}
+	sh.ready = append(sh.ready, c)
+	sh.mu.Unlock()
+	sh.ring()
+}
+
+// enqueueOut deposits one outbound item; it reports false when the
+// connection has closed.
+func (sh *shard) enqueueOut(it outItem) bool {
+	select {
+	case <-it.c.closedCh:
+		return false
+	default:
+	}
+	sh.mu.Lock()
+	sh.outQ = append(sh.outQ, it)
+	sh.mu.Unlock()
+	sh.ring()
+	return true
+}
+
+// register attaches a connection: readiness hooks ring this shard's
+// doorbell, and an initial requeue catches anything that arrived
+// before the hooks were installed.
+func (sh *shard) register(c *Connection) {
+	sc := c.sh
+	sh.mu.Lock()
+	sh.conns[c] = struct{}{}
+	if hb := c.opts.Heartbeat; hb > 0 && (sh.hbEvery == 0 || hb < sh.hbEvery) {
+		sh.hbEvery = hb
+	}
+	sh.mu.Unlock()
+	if sc.dataPoll != nil {
+		sc.dataPoll.SetRecvNotify(func() { sh.requeue(c) })
+	}
+	if sc.ctrlPoll != nil {
+		sc.ctrlPoll.SetRecvNotify(func() { sh.requeue(c) })
+	}
+	sh.requeue(c)
+}
+
+// unregister detaches a closing connection and barriers against the
+// cycle that may be dispatching its packets. After unregister returns,
+// the loop will never run the connection's receive-side protocol again
+// (leftover outbound items still flush — into a closed transport,
+// which releases them). The caller may then reap session state.
+func (sh *shard) unregister(c *Connection) {
+	sc := c.sh
+	if sc.dataPoll != nil {
+		sc.dataPoll.SetRecvNotify(nil)
+	}
+	if sc.ctrlPoll != nil {
+		sc.ctrlPoll.SetRecvNotify(nil)
+	}
+	sh.mu.Lock()
+	delete(sh.conns, c)
+	for i, rc := range sh.ready {
+		if rc == c {
+			sh.ready = append(sh.ready[:i], sh.ready[i+1:]...)
+			break
+		}
+	}
+	// Recompute the heartbeat minimum so the ticker stops once the
+	// last heartbeat-enabled connection is gone (register only
+	// ratchets it down). Connections without heartbeat cannot have
+	// set it, so the scan is skipped on their (common) close.
+	if c.opts.Heartbeat > 0 {
+		sh.hbEvery = 0
+		for rc := range sh.conns {
+			if hb := rc.opts.Heartbeat; hb > 0 && (sh.hbEvery == 0 || hb < sh.hbEvery) {
+				sh.hbEvery = hb
+			}
+		}
+	}
+	sh.mu.Unlock()
+	sh.serviceMu.Lock()
+	//lint:ignore SA2001 empty critical section: the acquire itself is the barrier.
+	sh.serviceMu.Unlock()
+}
+
+// loop is the shard's event loop.
+func (sh *shard) loop() {
+	defer sh.sys.shardWG.Done()
+	var (
+		ticker    *time.Ticker
+		tickC     <-chan time.Time
+		tickEvery time.Duration
+	)
+	defer func() {
+		if ticker != nil {
+			ticker.Stop()
+		}
+	}()
+	for {
+		select {
+		case <-sh.doorbell:
+		case <-tickC:
+			sh.heartbeatSweep()
+		case <-sh.quit:
+			return
+		}
+		sh.wakeups.Add(1)
+		sh.cycle()
+
+		// Heartbeat ticker maintenance: track the minimum interval
+		// registration has seen so far.
+		sh.mu.Lock()
+		hb := sh.hbEvery
+		sh.mu.Unlock()
+		if hb != tickEvery {
+			if ticker != nil {
+				ticker.Stop()
+			}
+			tickEvery = hb
+			if hb > 0 {
+				ticker = time.NewTicker(hb)
+				tickC = ticker.C
+			} else {
+				ticker, tickC = nil, nil
+			}
+		}
+	}
+}
+
+// cycle is one turn of the loop: flush outbound, service every ready
+// connection, flush the outbound traffic those services produced
+// (acknowledgments, credits) before sleeping again.
+func (sh *shard) cycle() {
+	sh.serviceMu.Lock()
+	defer sh.serviceMu.Unlock()
+
+	sh.flushOut()
+
+	sh.mu.Lock()
+	ready := sh.ready
+	sh.ready = sh.readyScratch[:0]
+	sh.readyScratch = ready
+	sh.mu.Unlock()
+
+	for i, c := range ready {
+		c.sh.queued.Store(false)
+		sh.service(c)
+		ready[i] = nil
+	}
+
+	sh.flushOut()
+}
+
+// flushOut drains the outbound queue, building one data batch and one
+// control batch per connection, then issues one vectored SendBatch per
+// batch — the cross-connection coalescing that lets a single wakeup
+// flush many connections' queued SDUs.
+func (sh *shard) flushOut() {
+	sh.mu.Lock()
+	out := sh.outQ
+	sh.outQ = sh.outScratch[:0]
+	sh.outScratch = out
+	sh.mu.Unlock()
+	if len(out) == 0 {
+		return
+	}
+
+	active := sh.active[:0]
+	for i := range out {
+		it := &out[i]
+		sc := it.c.sh
+		var sb *buf.Buffer
+		if it.isCtrl {
+			sb = buf.GetCap(packet.ControlHeaderSize + len(it.ctrl.Body))
+			sb.B = it.ctrl.Marshal(sb.B)
+			it.c.stats.controlSent.Add(1)
+		} else {
+			if it.trace != nil {
+				it.trace.stamp(&it.trace.tDequeued)
+			}
+			sb = buf.GetCap(packet.DataHeaderSize + len(it.sdu.Payload))
+			sb.B = packet.AppendSDU(sb.B, it.sdu.Header, it.sdu.Payload)
+		}
+		if it.ctrlPath {
+			sc.ctrlBatch = append(sc.ctrlBatch, sb)
+			sc.ctrlItems = append(sc.ctrlItems, *it)
+		} else {
+			sc.dataBatch = append(sc.dataBatch, sb)
+			sc.dataItems = append(sc.dataItems, *it)
+		}
+		if !sc.inCycle {
+			sc.inCycle = true
+			active = append(active, it.c)
+		}
+	}
+	sh.active = active
+
+	for i, c := range active {
+		sc := c.sh
+		var failed bool
+		if len(sc.dataBatch) > 0 {
+			sh.batches.Add(1)
+			sh.batchedPackets.Add(uint64(len(sc.dataBatch)))
+			if err := c.data.SendBatch(sc.dataBatch); err != nil { // consumes the buffer refs
+				failed = true
+			}
+			sh.finishItems(c, sc.dataItems)
+		}
+		if len(sc.ctrlBatch) > 0 {
+			sh.batches.Add(1)
+			sh.batchedPackets.Add(uint64(len(sc.ctrlBatch)))
+			if err := c.ctrl.SendBatch(sc.ctrlBatch); err != nil {
+				failed = true
+			}
+			sh.finishItems(c, sc.ctrlItems)
+		}
+		sc.dataBatch = sc.dataBatch[:0]
+		sc.ctrlBatch = sc.ctrlBatch[:0]
+		clearItems(&sc.dataItems)
+		clearItems(&sc.ctrlItems)
+		sc.inCycle = false
+		if failed {
+			// The transport died; propagate as the threaded Send
+			// Thread does, from a fresh goroutine (Close barriers on
+			// this loop via serviceMu).
+			go c.Close()
+		}
+		active[i] = nil
+	}
+
+	clearItems(&out)
+	sh.outScratch = out
+}
+
+// finishItems performs per-item post-transmission bookkeeping: trace
+// stamps, done tokens, send-slot releases.
+func (sh *shard) finishItems(c *Connection, items []outItem) {
+	for i := range items {
+		it := &items[i]
+		if it.trace != nil {
+			it.trace.stamp(&it.trace.tTransmitted)
+		}
+		if it.done != nil {
+			it.done <- struct{}{} // one-token confirmation (pooled chan)
+		}
+		if it.slot {
+			<-c.sh.sendSlots
+		}
+	}
+}
+
+// clearItems zeroes a drained item slice so payload views, traces, and
+// done channels do not stay pinned until the scratch is overwritten.
+func clearItems(items *[]outItem) {
+	s := *items
+	for i := range s {
+		s[i] = outItem{}
+	}
+	*items = s[:0]
+}
+
+// service runs one connection's receive side: flush stalled
+// deliveries, then drain control and data arrivals up to the budget.
+func (sh *shard) service(c *Connection) {
+	sc := c.sh
+	if len(sc.stalled) > 0 && !sc.flushStalled(c) {
+		// Delivery is still blocked: keep control flowing (the ack
+		// clock must not stop) but leave data parked until the
+		// consumer's Recv rings us back.
+		sh.pumpCtrl(c)
+		return
+	}
+	sh.pumpCtrl(c)
+	sh.pumpData(c)
+}
+
+// pumpCtrl drains the control path through the connection's
+// demultiplexer (credits and rate updates to flow control, acks to the
+// waiting sender).
+func (sh *shard) pumpCtrl(c *Connection) {
+	sc := c.sh
+	if sc.ctrlPoll == nil && sc.ctrlIn == nil {
+		return // in-band mode: control arrives on the data path
+	}
+	for i := 0; i < shardRecvBudget; i++ {
+		var b *buf.Buffer
+		if sc.ctrlPoll != nil {
+			var err error
+			b, err = sc.ctrlPoll.TryRecvBuf()
+			if err != nil {
+				go c.Close()
+				return
+			}
+		} else {
+			select {
+			case b = <-sc.ctrlIn:
+			default:
+			}
+		}
+		if b == nil {
+			return
+		}
+		c.demuxControl(b)
+		b.Release()
+	}
+	sh.requeue(c) // budget exhausted: likely backlog
+}
+
+// pumpData drains the data path through dispatchData — the same flow
+// control, error control, and reassembly the Receive Thread drives.
+func (sh *shard) pumpData(c *Connection) {
+	sc := c.sh
+	for i := 0; i < shardRecvBudget; i++ {
+		var b *buf.Buffer
+		if sc.dataPoll != nil {
+			var err error
+			b, err = sc.dataPoll.TryRecvBuf()
+			if err != nil {
+				go c.Close()
+				return
+			}
+		} else {
+			select {
+			case b = <-sc.dataIn:
+			default:
+			}
+		}
+		if b == nil {
+			return
+		}
+		c.lastHeard.Store(time.Now().UnixNano())
+		h, payload, perr := packet.SplitData(b.B)
+		if perr != nil {
+			if c.opts.InbandControl {
+				c.demuxControl(b)
+			}
+			b.Release()
+			continue
+		}
+		m, ok := c.dispatchData(h, payload, b, c.enqueueCtrl)
+		b.Release()
+		if ok && !sc.deliverOrStall(c, m) {
+			return // delivery blocked: pause the data path
+		}
+	}
+	sh.requeue(c)
+}
+
+// deliverOrStall hands a completed message to the consumer. On a full
+// delivery queue the message parks on the stall list and the
+// connection's data path pauses; hasStalled is raised BEFORE the final
+// delivery attempt so a concurrently draining consumer cannot miss it
+// (Recv checks the flag after every take).
+func (sc *shardConn) deliverOrStall(c *Connection, m Message) bool {
+	if len(sc.stalled) == 0 && sc.deliver(c, m) {
+		return true
+	}
+	sc.stalled = append(sc.stalled, m)
+	sc.hasStalled.Store(true)
+	return sc.flushStalled(c)
+}
+
+// flushStalled retries parked deliveries in order; it reports whether
+// the stall list fully drained.
+func (sc *shardConn) flushStalled(c *Connection) bool {
+	for len(sc.stalled) > 0 {
+		if !sc.deliver(c, sc.stalled[0]) {
+			return false
+		}
+		sc.stalled[0] = Message{}
+		sc.stalled = sc.stalled[1:]
+	}
+	sc.stalled = nil
+	sc.hasStalled.Store(false)
+	return true
+}
+
+// deliver attempts a non-blocking delivery to the bound Inbox or the
+// connection's own queue. An inbox closed under a live connection is
+// unbound, falling back to the connection's own queue.
+func (sc *shardConn) deliver(c *Connection, m Message) bool {
+	if ib := c.inbox.Load(); ib != nil {
+		select {
+		case <-ib.done:
+			c.inbox.CompareAndSwap(ib, nil)
+		default:
+			return ib.offer(c, m)
+		}
+	}
+	select {
+	case c.delivered <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainInbound releases pooled buffers the pumps parked after the
+// connection closed. Called from Close after unregister's barrier: the
+// pumps are dead and the loop no longer services this connection, so
+// nothing else touches the channels.
+func (sc *shardConn) drainInbound() {
+	drainBufChan(sc.dataIn)
+	drainBufChan(sc.ctrlIn)
+	sc.stalled = nil
+}
+
+func drainBufChan(ch chan *buf.Buffer) {
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case b := <-ch:
+			b.Release()
+		default:
+			return
+		}
+	}
+}
+
+// heartbeatSweep is the sharded counterpart of heartbeatThread: one
+// shard-wide tick checks every registered connection's silence window
+// and emits pings, instead of one timer goroutine per connection.
+func (sh *shard) heartbeatSweep() {
+	now := time.Now()
+	sh.mu.Lock()
+	conns := make([]*Connection, 0, len(sh.conns))
+	for c := range sh.conns {
+		if c.opts.Heartbeat > 0 {
+			conns = append(conns, c)
+		}
+	}
+	sh.mu.Unlock()
+	for _, c := range conns {
+		hb := c.opts.Heartbeat
+		sc := c.sh
+		if now.Sub(sc.lastPing) < hb {
+			continue
+		}
+		sc.lastPing = now
+		if silent := time.Duration(now.UnixNano() - c.lastHeard.Load()); silent > 3*hb {
+			c.failed.Store(true)
+			go c.Close()
+			continue
+		}
+		c.enqueueCtrl(packet.Control{Type: packet.CtrlPing, ConnID: c.id})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// System-side pool management.
+
+// SetShards configures the size of this System's shard pool. It must
+// be called before the first sharded connection is established; the
+// default is GOMAXPROCS.
+func (s *System) SetShards(n int) error {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if s.shards != nil {
+		return errShardsStarted
+	}
+	s.shardN = n
+	return nil
+}
+
+// shardFor returns the shard owning connID, starting the pool on first
+// use.
+func (s *System) shardFor(connID uint32) *shard {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if s.shards == nil {
+		n := s.shardN
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.shards = make([]*shard, n)
+		for i := range s.shards {
+			sh := newShard(s, i)
+			s.shards[i] = sh
+			// A Connect that raced System.Close gets inert shards:
+			// registration works, nothing runs, nothing leaks.
+			if !s.shardStopped {
+				s.shardWG.Add(1)
+				go sh.loop()
+			}
+		}
+	}
+	return s.shards[int(connID)%len(s.shards)]
+}
+
+// stopShards terminates the pool after every connection has closed.
+func (s *System) stopShards() {
+	s.shardMu.Lock()
+	shards := s.shards
+	s.shards = nil
+	s.shardStopped = true
+	s.shardMu.Unlock()
+	for _, sh := range shards {
+		close(sh.quit)
+	}
+	s.shardWG.Wait()
+}

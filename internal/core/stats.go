@@ -55,3 +55,46 @@ func (s *statCounters) snapshot() Stats {
 
 // Stats returns a snapshot of the connection's counters.
 func (c *Connection) Stats() Stats { return c.stats.snapshot() }
+
+// ShardStats is a snapshot of a System's sharded-runtime pool: how
+// many event loops it runs, how many connections they carry, and how
+// well the cross-connection send coalescing is working (PacketsPerBatch
+// above 1 means queued SDUs from one or more connections shared
+// vectored writes).
+type ShardStats struct {
+	// Shards is the pool size; zero until the first sharded connection.
+	Shards int
+	// Conns is the number of currently registered sharded connections.
+	Conns int
+	// Wakeups counts event-loop cycles across all shards.
+	Wakeups uint64
+	// Batches counts vectored transport writes issued by the shards.
+	Batches uint64
+	// BatchedPackets counts packets written through those batches.
+	BatchedPackets uint64
+}
+
+// PacketsPerBatch reports the mean batch occupancy.
+func (s ShardStats) PacketsPerBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.BatchedPackets) / float64(s.Batches)
+}
+
+// ShardStats snapshots the System's shard pool counters.
+func (s *System) ShardStats() ShardStats {
+	s.shardMu.Lock()
+	shards := s.shards
+	s.shardMu.Unlock()
+	st := ShardStats{Shards: len(shards)}
+	for _, sh := range shards {
+		sh.mu.Lock()
+		st.Conns += len(sh.conns)
+		sh.mu.Unlock()
+		st.Wakeups += sh.wakeups.Load()
+		st.Batches += sh.batches.Load()
+		st.BatchedPackets += sh.batchedPackets.Load()
+	}
+	return st
+}

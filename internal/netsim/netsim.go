@@ -149,6 +149,20 @@ func (e *Endpoint) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	return e.recv.dequeueTimeout(d)
 }
 
+// TryRecvBuf is the non-blocking RecvBuf: it returns (nil, nil) when no
+// packet has arrived yet and ErrClosed once the link is closed and
+// drained. Together with SetRecvNotify it is the readiness interface a
+// reactor-style poller drives many endpoints from.
+func (e *Endpoint) TryRecvBuf() (*buf.Buffer, error) { return e.recv.tryDequeue() }
+
+// SetRecvNotify registers fn to be invoked whenever a packet becomes
+// available to TryRecvBuf and whenever the link transitions toward
+// closed. The hook runs outside the endpoint's locks and must not
+// block; a doorbell write (non-blocking channel send) is the intended
+// body. It fires once immediately on registration so packets that
+// arrived earlier are never missed. One hook per endpoint; nil clears.
+func (e *Endpoint) SetRecvNotify(fn func()) { e.recv.setNotify(fn) }
+
 // TrySend is a non-blocking Send: it returns (false, nil) when the send
 // buffer has no room, which lets user-level thread schedulers avoid
 // blocking the whole process (§4.1). The packet is copied only once
@@ -195,6 +209,18 @@ func (e *Endpoint) Close() error {
 }
 
 // direction is a unidirectional simulated wire.
+//
+// A direction runs in one of two modes. A link whose parameters involve
+// time or failure — bandwidth, delay, bounded buffer, loss, corruption,
+// impairments, a schedule — is ASYNC: a wire goroutine paces
+// transmission and a delivery goroutine realises arrival deadlines
+// (reordering included). A link with none of those (LoopbackParams: the
+// HPI default and every control channel) is INLINE: enqueue pushes the
+// packet straight onto the arrived queue under the lock, with no
+// goroutines at all. Inline mode is what lets an endpoint hold
+// thousands of idle HPI connections without thousands of simulator
+// goroutines; a later SetImpairments/Partition call upgrades the
+// direction to async on the spot.
 type direction struct {
 	p Params
 
@@ -208,13 +234,26 @@ type direction struct {
 	recvClosed bool // the receiving endpoint closed locally
 	rng        *rand.Rand
 	ip         *impairer
+	notify     func() // receive-readiness hook (see setNotify)
+	async      bool   // wire/delivery goroutines are running
 
-	wireWake chan struct{} // signals the wire goroutine
-	done     chan struct{} // wire goroutine exited
+	wireWake chan struct{} // signals the wire goroutine (async mode)
+	done     chan struct{} // wire goroutine exited (async mode)
 
-	deliveries   chan timedPacket // wire → delivery goroutine
+	deliveries   chan timedPacket // wire → delivery goroutine (async mode)
 	deliveryDone chan struct{}
 	deliverySeq  uint64 // FIFO tiebreak for equal arrival deadlines
+}
+
+// needsAsync reports whether the parameters require the wire/delivery
+// goroutines: anything that spends time (bandwidth, delay, a bounded
+// buffer that drains over time) or decides fates (loss, corruption,
+// impairments, schedules). A direction with none of these is a pure
+// FIFO handoff and runs inline.
+func needsAsync(p Params) bool {
+	return p.Bandwidth > 0 || p.Delay > 0 || p.BufferBytes > 0 ||
+		p.LossRate > 0 || p.CorruptRate > 0 ||
+		len(p.Schedule) > 0 || p.Impair != (Impairments{})
 }
 
 // timedPacket is a packet with its computed arrival deadline. seq
@@ -323,19 +362,32 @@ func newDirection(p Params) *direction {
 		seed = 42
 	}
 	d := &direction{
-		p:            p,
-		rng:          rand.New(rand.NewSource(seed)),
-		ip:           newImpairer(p.Impair, p.Schedule),
-		wireWake:     make(chan struct{}, 1),
-		done:         make(chan struct{}),
-		deliveries:   make(chan timedPacket, 64),
-		deliveryDone: make(chan struct{}),
+		p:   p,
+		rng: rand.New(rand.NewSource(seed)),
+		ip:  newImpairer(p.Impair, p.Schedule),
 	}
 	d.sendCond = sync.NewCond(&d.mu)
 	d.recvCond = sync.NewCond(&d.mu)
+	if needsAsync(p) {
+		d.startAsyncLocked()
+	}
+	return d
+}
+
+// startAsyncLocked switches the direction to async mode, spawning the
+// wire and delivery goroutines. Safe on a fresh direction (newDirection)
+// or under mu when upgrading an inline direction mid-run.
+func (d *direction) startAsyncLocked() {
+	if d.async {
+		return
+	}
+	d.async = true
+	d.wireWake = make(chan struct{}, 1)
+	d.done = make(chan struct{})
+	d.deliveries = make(chan timedPacket, 64)
+	d.deliveryDone = make(chan struct{})
 	go d.wire()
 	go d.deliveryLoop()
-	return d
 }
 
 // enqueue takes ownership of p's reference; the caller handles release
@@ -343,6 +395,21 @@ func newDirection(p Params) *direction {
 // semantics without a double release here).
 func (d *direction) enqueue(p *buf.Buffer) error {
 	d.mu.Lock()
+	if !d.async {
+		// Inline mode: the wire is instantaneous and faultless, so the
+		// packet arrives right here — no goroutine hops on the hot path.
+		if d.closed {
+			d.mu.Unlock()
+			return ErrClosed
+		}
+		d.deliverLocked(p)
+		notify := d.notify
+		d.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		return nil
+	}
 	for !d.closed && d.p.BufferBytes > 0 && d.inflight > 0 &&
 		d.inflight+p.Len() > d.p.BufferBytes {
 		d.sendCond.Wait()
@@ -358,6 +425,16 @@ func (d *direction) enqueue(p *buf.Buffer) error {
 	return nil
 }
 
+// deliverLocked lands a packet on the receiver. Caller holds mu.
+func (d *direction) deliverLocked(pkt *buf.Buffer) {
+	if d.recvClosed {
+		pkt.Release()
+		return
+	}
+	d.arrived.push(pkt)
+	d.recvCond.Signal()
+}
+
 // tryEnqueueCopy admits p non-blockingly, copying it into a pooled
 // buffer only after the room check succeeds.
 func (d *direction) tryEnqueueCopy(p []byte) (bool, error) {
@@ -365,6 +442,17 @@ func (d *direction) tryEnqueueCopy(p []byte) (bool, error) {
 	if d.closed {
 		d.mu.Unlock()
 		return false, ErrClosed
+	}
+	if !d.async {
+		cp := buf.Get(len(p))
+		copy(cp.B, p)
+		d.deliverLocked(cp)
+		notify := d.notify
+		d.mu.Unlock()
+		if notify != nil {
+			notify()
+		}
+		return true, nil
 	}
 	if d.p.BufferBytes > 0 && d.inflight > 0 && d.inflight+len(p) > d.p.BufferBytes {
 		d.mu.Unlock()
@@ -540,13 +628,53 @@ func (d *direction) deliver(pkt *buf.Buffer) {
 	}
 	d.arrived.push(pkt)
 	d.recvCond.Signal()
+	notify := d.notify
 	d.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+}
+
+// setNotify registers fn as the receive-readiness hook: it is invoked
+// (outside the direction lock) whenever a packet lands on the arrived
+// queue and whenever the link transitions toward closed, so a poller
+// that owns many endpoints can sleep on one doorbell instead of
+// blocking a goroutine per endpoint. One hook per direction; nil
+// clears it. The hook fires once immediately so a registration cannot
+// miss packets that arrived before it.
+func (d *direction) setNotify(fn func()) {
+	d.mu.Lock()
+	d.notify = fn
+	d.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// tryDequeue returns the next arrived packet without blocking:
+// (nil, nil) when nothing has arrived yet, ErrClosed once the link is
+// closed and drained.
+func (d *direction) tryDequeue() (*buf.Buffer, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.recvClosed {
+		return nil, ErrClosed
+	}
+	if !d.arrived.empty() {
+		return d.arrived.pop(), nil
+	}
+	if d.closed && d.drainedLocked() {
+		return nil, ErrClosed
+	}
+	return nil, nil
 }
 
 // setImpairments replaces the active impairments (see
-// Endpoint.SetImpairments).
+// Endpoint.SetImpairments). An inline direction upgrades to async
+// first: impairment decisions belong to the wire goroutine.
 func (d *direction) setImpairments(imp Impairments) {
 	d.mu.Lock()
+	d.startAsyncLocked()
 	d.ip.set(imp)
 	d.mu.Unlock()
 }
@@ -556,6 +684,7 @@ func (d *direction) setImpairments(imp Impairments) {
 // has taken manual control).
 func (d *direction) setPartitioned(on bool) {
 	d.mu.Lock()
+	d.startAsyncLocked()
 	imp := d.ip.imp
 	imp.Partitioned = on
 	d.ip.set(imp)
@@ -590,7 +719,11 @@ func (d *direction) closeRecv() {
 		d.arrived.pop().Release()
 	}
 	d.recvCond.Broadcast()
+	notify := d.notify
 	d.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }
 
 func (d *direction) dequeueTimeout(timeout time.Duration) (*buf.Buffer, error) {
@@ -618,6 +751,10 @@ func (d *direction) dequeueTimeout(timeout time.Duration) (*buf.Buffer, error) {
 
 // drainedLocked reports whether no packets remain in flight. Caller holds mu.
 func (d *direction) drainedLocked() bool {
+	if !d.async {
+		// Inline delivery: nothing is ever in flight beyond arrived.
+		return true
+	}
 	select {
 	case <-d.deliveryDone:
 		return d.arrived.empty()
@@ -631,12 +768,24 @@ func (d *direction) close() {
 	d.closed = true
 	d.sendCond.Broadcast()
 	d.recvCond.Broadcast()
+	async := d.async
+	notify := d.notify
 	d.mu.Unlock()
+	if !async {
+		if notify != nil {
+			notify()
+		}
+		return
+	}
 	d.kick()
 	<-d.done
 	<-d.deliveryDone
 	// Wake any receiver that raced with the delivery goroutine's exit.
 	d.mu.Lock()
 	d.recvCond.Broadcast()
+	notify = d.notify
 	d.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
 }

@@ -66,8 +66,89 @@ var interfaceMatrix = []struct {
 }{
 	{"HPI", core.Options{Interface: transport.HPI}},
 	{"HPI-fastpath", core.Options{Interface: transport.HPI, FastPath: true}},
+	{"HPI-sharded", core.Options{Interface: transport.HPI, Runtime: core.RuntimeSharded}},
 	{"SCI", core.Options{Interface: transport.SCI}},
+	{"SCI-sharded", core.Options{Interface: transport.SCI, Runtime: core.RuntimeSharded}},
 	{"ACI", core.Options{Interface: transport.ACI}},
+}
+
+// TestServeInboxShardedFanIn serves many sharded connections through
+// ONE inbox demux loop: every client's calls must complete even though
+// the server parks no goroutine per connection.
+func TestServeInboxShardedFanIn(t *testing.T) {
+	const conns = 8
+	nw := core.NewNetwork()
+	t.Cleanup(nw.Close)
+	sa, err := nw.NewSystem("rpc-fan-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := nw.NewSystem("rpc-fan-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := NewServer(ServerOptions{Workers: 4})
+	srv.Handle("echo", func(_ context.Context, req []byte) ([]byte, error) {
+		return req, nil
+	})
+	ib := core.NewInbox(0)
+	srv.ServeInbox(ib)
+	t.Cleanup(srv.Shutdown)
+
+	opts := core.Options{Interface: transport.HPI, Runtime: core.RuntimeSharded}
+	ready := make(chan error, 1)
+	go func() {
+		for i := 0; i < conns; i++ {
+			peer, err := sb.Accept()
+			if err != nil {
+				ready <- err
+				return
+			}
+			if err := peer.BindInbox(ib); err != nil {
+				ready <- err
+				return
+			}
+		}
+		ready <- nil
+	}()
+	clients := make([]*Client, conns)
+	for i := range clients {
+		conn, err := sa.Connect("rpc-fan-b", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = NewClient(conn)
+		t.Cleanup(func() { clients[i].Close() })
+	}
+	if err := <-ready; err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, conns*4)
+	for i, cli := range clients {
+		for j := 0; j < 4; j++ {
+			wg.Add(1)
+			go func(i, j int, cli *Client) {
+				defer wg.Done()
+				req := []byte(fmt.Sprintf("fan %d/%d", i, j))
+				resp, err := cli.Call(context.Background(), "echo", req)
+				if err != nil {
+					errCh <- fmt.Errorf("conn %d call %d: %w", i, j, err)
+					return
+				}
+				if !bytes.Equal(resp, req) {
+					errCh <- fmt.Errorf("conn %d call %d: got %q", i, j, resp)
+				}
+			}(i, j, cli)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
 }
 
 func TestCallRoundTrip(t *testing.T) {

@@ -66,6 +66,7 @@ type Server struct {
 
 	cmu      sync.Mutex
 	conns    map[*core.Connection]struct{}
+	inboxes  []*core.Inbox
 	stopping bool // Shutdown began; refuse new connections
 	recvWG   sync.WaitGroup
 
@@ -141,39 +142,78 @@ func (s *Server) recvLoop(conn *core.Connection) {
 		if err != nil {
 			return
 		}
-		// Loss-damaged or undecodable frames are dropped, never
-		// dispatched: the caller's deadline is the recovery path.
-		if m.Lost > 0 {
-			continue
-		}
-		d := xdr.NewDecoder(m.Data)
-		k, kerr := parseKind(d)
-		if kerr != nil || k != kindCall {
-			continue
-		}
-		cf, cerr := parseCall(d)
-		if cerr != nil {
-			continue
-		}
-		s.hmu.RLock()
-		h := s.handlers[string(cf.method)]
-		s.hmu.RUnlock()
-		req := request{conn: conn, id: cf.id, h: h, payload: cf.payload}
-		if cf.deadline > 0 {
-			req.deadline = time.Now().Add(cf.deadline)
-		}
-		// Admission happens under qmu so Shutdown's draining flag and
-		// inflight.Wait cannot race a late arrival.
-		s.qmu.Lock()
-		if s.draining {
-			s.qmu.Unlock()
-			s.reply(conn, cf.id, statusShuttingDown, "", nil)
-			continue
-		}
-		s.inflight.Add(1)
-		s.queue = append(s.queue, req)
+		s.admit(conn, m)
+	}
+}
+
+// admit parses one received message and, when it is a well-formed
+// call, admits it to the worker queue — the shared back half of
+// recvLoop and inboxLoop. Loss-damaged or undecodable frames are
+// dropped, never dispatched: the caller's deadline is the recovery
+// path.
+func (s *Server) admit(conn *core.Connection, m core.Message) {
+	if m.Lost > 0 {
+		return
+	}
+	d := xdr.NewDecoder(m.Data)
+	k, kerr := parseKind(d)
+	if kerr != nil || k != kindCall {
+		return
+	}
+	cf, cerr := parseCall(d)
+	if cerr != nil {
+		return
+	}
+	s.hmu.RLock()
+	h := s.handlers[string(cf.method)]
+	s.hmu.RUnlock()
+	req := request{conn: conn, id: cf.id, h: h, payload: cf.payload}
+	if cf.deadline > 0 {
+		req.deadline = time.Now().Add(cf.deadline)
+	}
+	// Admission happens under qmu so Shutdown's draining flag and
+	// inflight.Wait cannot race a late arrival.
+	s.qmu.Lock()
+	if s.draining {
 		s.qmu.Unlock()
-		s.sem.Release()
+		s.reply(conn, cf.id, statusShuttingDown, "", nil)
+		return
+	}
+	s.inflight.Add(1)
+	s.queue = append(s.queue, req)
+	s.qmu.Unlock()
+	s.sem.Release()
+}
+
+// ServeInbox serves every connection bound to ib with ONE
+// demultiplexing goroutine, however many connections feed it — the
+// RPC-layer counterpart of the core's sharded runtime. The caller
+// binds accepted connections (Connection.BindInbox) and owns their
+// lifecycle; the loop runs until the inbox closes or the server shuts
+// down. Compare ServeConn, which parks a goroutine per connection.
+func (s *Server) ServeInbox(ib *core.Inbox) {
+	s.cmu.Lock()
+	if s.stopping {
+		s.cmu.Unlock()
+		ib.Close()
+		return
+	}
+	s.inboxes = append(s.inboxes, ib)
+	s.recvWG.Add(1)
+	s.cmu.Unlock()
+	go s.inboxLoop(ib)
+}
+
+// inboxLoop is recvLoop over a shared inbox: the same admission, with
+// the source connection taken per-message from the delivery.
+func (s *Server) inboxLoop(ib *core.Inbox) {
+	defer s.recvWG.Done()
+	for {
+		im, err := ib.Recv()
+		if err != nil {
+			return
+		}
+		s.admit(im.Conn, im.Msg)
 	}
 }
 
@@ -291,9 +331,14 @@ func (s *Server) Shutdown() {
 		for conn := range s.conns {
 			conns = append(conns, conn)
 		}
+		inboxes := s.inboxes
+		s.inboxes = nil
 		s.cmu.Unlock()
 		for _, conn := range conns {
 			conn.Close()
+		}
+		for _, ib := range inboxes {
+			ib.Close()
 		}
 	})
 	s.recvWG.Wait()

@@ -122,6 +122,32 @@ type Conn interface {
 	Kind() Kind
 }
 
+// Poller is the optional readiness interface a Conn may implement for
+// reactor-style runtimes: a non-blocking receive plus a doorbell hook,
+// so one event loop can demultiplex arrivals across many connections
+// without parking a goroutine in RecvBuf per connection. HPI implements
+// it natively (the in-process link exposes its arrival queue); SCI
+// rides a kernel socket and ACI a cell-level reassembler, so neither
+// does — runtimes fall back to a pump goroutine there.
+type Poller interface {
+	// TryRecvBuf returns the next packet without blocking: (nil, nil)
+	// when none is available yet, ErrConnClosed once the connection is
+	// closed and drained. The returned buffer follows RecvBuf's
+	// ownership rule (caller owns, must Release).
+	TryRecvBuf() (*buf.Buffer, error)
+	// SetRecvNotify registers fn to run whenever a packet may have
+	// become available and when the connection dies. fn must not block
+	// (a non-blocking doorbell send is the intended body); it fires
+	// once immediately on registration. nil clears the hook.
+	SetRecvNotify(fn func())
+}
+
+// AsPoller reports the Poller behind c, if it has one.
+func AsPoller(c Conn) (Poller, bool) {
+	p, ok := c.(Poller)
+	return p, ok
+}
+
 // releaseAll drops one reference from every buffer of a batch; send
 // paths use it to uphold SendBatch's consume-even-on-error contract.
 func releaseAll(bs []*buf.Buffer) {
@@ -540,6 +566,20 @@ func (h *hpiConn) RecvBufTimeout(d time.Duration) (*buf.Buffer, error) {
 	}
 	return b, nil
 }
+
+// TryRecvBuf implements Poller over the in-process link's arrival queue.
+func (h *hpiConn) TryRecvBuf() (*buf.Buffer, error) {
+	b, err := h.ep.TryRecvBuf()
+	if err != nil {
+		return nil, ErrConnClosed
+	}
+	return b, nil
+}
+
+// SetRecvNotify implements Poller; see netsim.Endpoint.SetRecvNotify.
+func (h *hpiConn) SetRecvNotify(fn func()) { h.ep.SetRecvNotify(fn) }
+
+var _ Poller = (*hpiConn)(nil)
 
 func (h *hpiConn) Close() error   { return h.ep.Close() }
 func (h *hpiConn) MaxPacket() int { return 0 }

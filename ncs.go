@@ -90,6 +90,21 @@ type (
 	// Message is a received payload plus loss metadata (unreliable
 	// connections report how many SDUs never arrived).
 	Message = core.Message
+	// Runtime selects a connection's runtime architecture: the paper's
+	// thread-per-connection model (RuntimeThreaded) or the System's
+	// shard pool (RuntimeSharded), which scales to thousands of
+	// concurrent connections at O(shards) goroutines.
+	Runtime = core.Runtime
+	// Inbox is a shared delivery queue: connections bound to one
+	// (Connection.BindInbox) merge their deliveries into a single
+	// stream, so a fixed worker pool can serve thousands of
+	// connections without a receive goroutine per connection.
+	Inbox = core.Inbox
+	// InboxMessage is one Inbox delivery: the message and the
+	// connection it arrived on.
+	InboxMessage = core.InboxMessage
+	// ShardStats snapshots a System's shard pool (System.ShardStats).
+	ShardStats = core.ShardStats
 	// SendTrace is the Table I per-stage send-cost breakdown captured
 	// by Connection.SendInstrumented.
 	SendTrace = core.SendTrace
@@ -169,12 +184,30 @@ const (
 	MulticastSpanningTree = mcast.SpanningTree
 )
 
+// Runtime architectures (Options.Runtime).
+const (
+	// RuntimeThreaded is the paper's architecture: dedicated Send,
+	// Receive, and Control Send/Receive threads per connection. The
+	// default; lowest latency at modest connection counts.
+	RuntimeThreaded = core.RuntimeThreaded
+	// RuntimeSharded drives connections from a fixed pool of I/O
+	// shards (default GOMAXPROCS, see System.SetShards) that
+	// demultiplex receives and coalesce sends across all sharded
+	// connections — the many-connection scale-out.
+	RuntimeSharded = core.RuntimeSharded
+)
+
+// NewInbox creates a shared delivery queue holding up to depth
+// undelivered messages (default 1024 when depth <= 0); see Inbox.
+func NewInbox(depth int) *Inbox { return core.NewInbox(depth) }
+
 // Errors re-exported for matching with errors.Is.
 var (
 	ErrSystemClosed    = core.ErrSystemClosed
 	ErrConnClosed      = core.ErrConnClosed
 	ErrRecvTimeout     = core.ErrRecvTimeout
 	ErrPeerUnreachable = core.ErrPeerUnreachable
+	ErrInboxClosed     = core.ErrInboxClosed
 )
 
 // RPC layer (internal/rpc): multiplexed request/response calls over any
