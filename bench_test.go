@@ -541,6 +541,79 @@ func BenchmarkAllocSCISend4KB(b *testing.B) {
 	<-done
 }
 
+// runCollectiveBench drives one collective op across every member of a
+// prebuilt group and waits for the stragglers, reporting errors.
+func runCollectiveBench(b *testing.B, groups []*ncs.Group, op func(*ncs.Group) error) {
+	b.Helper()
+	errCh := make(chan error, len(groups))
+	for _, g := range groups {
+		go func(g *ncs.Group) { errCh <- op(g) }(g)
+	}
+	for range groups {
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// allocGroup builds the 4-member HPI spanning-tree group the collective
+// alloc gates run on.
+func allocGroup(b *testing.B, tag string) []*ncs.Group {
+	b.Helper()
+	nw := ncs.NewNetwork()
+	b.Cleanup(nw.Close)
+	names := make([]string, 4)
+	for i := range names {
+		names[i] = fmt.Sprintf("alloc-coll-%s-%d", tag, i)
+	}
+	groups, err := ncs.BuildGroup(nw, names, ncs.Options{Interface: ncs.HPI},
+		ncs.MulticastSpanningTree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return groups
+}
+
+// BenchmarkAllocCollectiveBroadcast gates the collective engine's
+// allocation behaviour: one 4 KB broadcast across a 4-member group —
+// frame staging through the pooled pipeline, inbox demultiplexing, and
+// payload views instead of copies. The count covers the whole group
+// (all four members' work), not one endpoint.
+func BenchmarkAllocCollectiveBroadcast(b *testing.B) {
+	groups := allocGroup(b, "bcast")
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCollectiveBench(b, groups, func(g *ncs.Group) error {
+			var msg []byte
+			if g.Rank() == 0 {
+				msg = payload
+			}
+			_, err := g.Broadcast(0, msg)
+			return err
+		})
+	}
+}
+
+// BenchmarkAllocCollectiveAllReduce gates the combining-tree path: a
+// 512-byte allreduce (reduce up the rank-ordered tree, broadcast down).
+func BenchmarkAllocCollectiveAllReduce(b *testing.B) {
+	groups := allocGroup(b, "allred")
+	value := make([]byte, 512)
+	keep := func(a, _ []byte) []byte { return a }
+	b.SetBytes(int64(len(value)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCollectiveBench(b, groups, func(g *ncs.Group) error {
+			_, err := g.AllReduce(value, keep)
+			return err
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // RPC layer benchmarks. BenchmarkAllocRPCEchoHPIFastpath is the alloc
 // acceptance gate for the RPC subsystem: one full call round trip

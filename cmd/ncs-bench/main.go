@@ -14,6 +14,7 @@
 //	ncs-bench -exp rpc
 //	ncs-bench -exp loss
 //	ncs-bench -exp scale -scale-max 4096 -scale-dur 400ms -scale-out BENCH_scale.json
+//	ncs-bench -exp collective -collective-members 8 -collective-out BENCH_collective.json
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
@@ -26,7 +27,12 @@
 // workload from 16 to thousands of concurrent connections comparing
 // the threaded and sharded runtimes on throughput, tail latency,
 // goroutine count and allocations, with machine-readable results
-// written as JSON for CI archival.
+// written as JSON for CI archival. The collective experiment sweeps the
+// group layer's collectives — broadcast, allreduce, all-to-all — across
+// both multicast algorithms (§2's repetitive vs. spanning tree),
+// payload sizes, and both runtimes; its headline row shows the
+// chunk-pipelined spanning-tree broadcast beating repetitive at large
+// payloads.
 package main
 
 import (
@@ -48,27 +54,36 @@ type scaleOpts struct {
 	out string
 }
 
+// collectiveOpts carries the collective experiment's knobs.
+type collectiveOpts struct {
+	members int
+	iters   int
+	maxSize int
+	out     string
+}
+
 // experiments maps each -exp value to its runner; "all" runs the
 // paper's set in order. Kept as a table so the usage string and the
 // unknown-experiment error can never drift from what actually runs.
-func experiments(plat string, iters int, sc scaleOpts) map[string]func() error {
+func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts) map[string]func() error {
 	return map[string]func() error{
-		"table1": runTable1,
-		"fig10":  runFig10,
-		"fig11":  runFig11,
-		"fig12":  func() error { return runFig12(plat, iters) },
-		"fig13":  func() error { return runFig13(iters) },
-		"rpc":    func() error { return runRPC(iters) },
-		"loss":   func() error { return runLoss(iters) },
-		"scale":  func() error { return runScale(sc) },
+		"table1":     runTable1,
+		"fig10":      runFig10,
+		"fig11":      runFig11,
+		"fig12":      func() error { return runFig12(plat, iters) },
+		"fig13":      func() error { return runFig13(iters) },
+		"rpc":        func() error { return runRPC(iters) },
+		"loss":       func() error { return runLoss(iters) },
+		"scale":      func() error { return runScale(sc) },
+		"collective": func() error { return runCollective(cc) },
 	}
 }
 
 // experimentList returns the valid -exp values, sorted, for usage and
 // error messages.
-func experimentList(plat string, iters int, sc scaleOpts) []string {
-	names := make([]string, 0, 9)
-	for name := range experiments(plat, iters, sc) {
+func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts) []string {
+	names := make([]string, 0, 10)
+	for name := range experiments(plat, iters, sc, cc) {
 		names = append(names, name)
 	}
 	names = append(names, "all")
@@ -78,30 +93,36 @@ func experimentList(plat string, iters int, sc scaleOpts) []string {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, all")
 		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
 		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep")
 		scaleDur = flag.Duration("scale-dur", 400*time.Millisecond, "scale: measured interval per point")
 		scaleOut = flag.String("scale-out", "BENCH_scale.json", "scale: JSON results path (empty: skip)")
+
+		collMembers = flag.Int("collective-members", 8, "collective: group size")
+		collIters   = flag.Int("collective-iters", 30, "collective: measured collectives per point")
+		collMaxSize = flag.Int("collective-max-size", 256*1024, "collective: largest payload in the sweep")
+		collOut     = flag.String("collective-out", "BENCH_collective.json", "collective: JSON results path (empty: skip)")
 	)
 	flag.Parse()
 	sc := scaleOpts{max: *scaleMax, dur: *scaleDur, out: *scaleOut}
+	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
 		// default experiment set and exit 0.
 		fmt.Fprintf(os.Stderr, "ncs-bench: unexpected argument %q (experiments are selected with -exp <name>)\n", flag.Arg(0))
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc), ", "))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc), ", "))
 		os.Exit(2)
 	}
-	if err := run(*exp, *plat, *iters, sc); err != nil {
+	if err := run(*exp, *plat, *iters, sc, cc); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, plat string, iters int, sc scaleOpts) error {
-	exps := experiments(plat, iters, sc)
+func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts) error {
+	exps := experiments(plat, iters, sc, cc)
 	if e, ok := exps[exp]; ok {
 		return e()
 	}
@@ -130,7 +151,43 @@ func run(exp, plat string, iters int, sc scaleOpts) error {
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (experiments: %s)",
-		exp, strings.Join(experimentList(plat, iters, sc), ", "))
+		exp, strings.Join(experimentList(plat, iters, sc, cc), ", "))
+}
+
+// runCollective executes the collective sweep and writes the JSON
+// artifact.
+func runCollective(cc collectiveOpts) error {
+	if cc.members < 2 {
+		return fmt.Errorf("collective: -collective-members must be at least 2 (got %d)", cc.members)
+	}
+	sizes := []int{}
+	for _, s := range []int{4 * 1024, 64 * 1024, 256 * 1024} {
+		if s <= cc.maxSize {
+			sizes = append(sizes, s)
+		}
+	}
+	if len(sizes) == 0 {
+		sizes = []int{cc.maxSize}
+	}
+	res, err := bench.CollectiveSweep(bench.CollectiveConfig{
+		Members: cc.members,
+		Iters:   cc.iters,
+		Sizes:   sizes,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if cc.out != "" {
+		if err := res.WriteJSON(cc.out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cc.out)
+	}
+	if res.Regressed() {
+		return fmt.Errorf("collective verdict: pipelined spanning-tree broadcast lost to repetitive at a ≥64KB payload — pipelining regression (see verdict lines above)")
+	}
+	return nil
 }
 
 // runScale executes the many-connection sweep and writes the JSON

@@ -11,11 +11,15 @@ import (
 	"ncs/internal/bench"
 )
 
-// quickScale keeps test runs of the scale experiment small.
-var quickScale = scaleOpts{max: 16, dur: 50 * time.Millisecond, out: ""}
+// quickScale and quickCollective keep test runs of the sweep
+// experiments small.
+var (
+	quickScale      = scaleOpts{max: 16, dur: 50 * time.Millisecond, out: ""}
+	quickCollective = collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: ""}
+)
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "sun4", 2, quickScale); err != nil {
+	if err := run("table1", "sun4", 2, quickScale, quickCollective); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -24,19 +28,19 @@ func TestRunFig12SmallIters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("echo sweep")
 	}
-	if err := run("fig12", "rs6000", 2, quickScale); err != nil {
+	if err := run("fig12", "rs6000", 2, quickScale, quickCollective); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRPC(t *testing.T) {
-	if err := run("rpc", "sun4", 1, quickScale); err != nil {
+	if err := run("rpc", "sun4", 1, quickScale, quickCollective); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLoss(t *testing.T) {
-	if err := run("loss", "sun4", 1, quickScale); err != nil {
+	if err := run("loss", "sun4", 1, quickScale, quickCollective); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,7 +50,7 @@ func TestRunLoss(t *testing.T) {
 func TestRunScale(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 32, dur: 50 * time.Millisecond, out: out}
-	if err := run("scale", "sun4", 1, sc); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -68,26 +72,53 @@ func TestRunScale(t *testing.T) {
 	}
 }
 
+// TestRunCollective runs a miniature collective sweep and checks the
+// JSON artifact is written and well-formed.
+func TestRunCollective(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_collective.json")
+	cc := collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: out}
+	if err := run("collective", "sun4", 1, quickScale, cc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.CollectiveResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_collective.json does not parse: %v", err)
+	}
+	// 2 runtimes × 2 algorithms × 3 ops × 1 size under the cap.
+	if len(res.Points) != 12 {
+		t.Fatalf("got %d points, want 12", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.MicrosPer <= 0 || p.OpsPerSec <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+	}
+}
+
 // TestRunRejectsUnknown pins the failure mode: an unknown -exp value
 // must return an error (main exits nonzero on it) that lists the valid
 // experiments, so a typo cannot silently succeed.
 func TestRunRejectsUnknown(t *testing.T) {
-	err := run("fig99", "sun4", 1, quickScale)
+	err := run("fig99", "sun4", 1, quickScale, quickCollective)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	for _, want := range []string{"table1", "fig12", "rpc", "loss", "scale", "all"} {
+	for _, want := range []string{"table1", "fig12", "rpc", "loss", "scale", "collective", "all"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("unknown-experiment error does not list %q: %v", want, err)
 		}
 	}
-	if err := run("fig12", "cray", 1, quickScale); err == nil {
+	if err := run("fig12", "cray", 1, quickScale, quickCollective); err == nil {
 		t.Error("unknown platform accepted")
 	}
 	for _, max := range []int{0, -1} {
 		sc := quickScale
 		sc.max = max
-		if err := run("scale", "sun4", 1, sc); err == nil {
+		if err := run("scale", "sun4", 1, sc, quickCollective); err == nil {
 			t.Errorf("scale accepted -scale-max %d", max)
 		}
 	}
@@ -96,8 +127,8 @@ func TestRunRejectsUnknown(t *testing.T) {
 // TestExperimentListComplete keeps the usage/error roster in sync with
 // the runnable experiments.
 func TestExperimentListComplete(t *testing.T) {
-	exps := experiments("sun4", 1, quickScale)
-	list := experimentList("sun4", 1, quickScale)
+	exps := experiments("sun4", 1, quickScale, quickCollective)
+	list := experimentList("sun4", 1, quickScale, quickCollective)
 	if len(list) != len(exps)+1 { // +1 for "all"
 		t.Fatalf("experiment list %v out of sync with table (%d entries)", list, len(exps))
 	}

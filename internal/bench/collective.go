@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/group"
+	"ncs/internal/mcast"
+	"ncs/internal/netsim"
+	"ncs/internal/transport"
+)
+
+// The collective experiment sweeps the group layer's headline
+// operations — broadcast, allreduce, all-to-all — across both multicast
+// algorithms (§2's repetitive vs. spanning tree), payload sizes from
+// single-SDU to deep into the chunk pipeline, and both runtime
+// architectures. The number the paper's §2 promises is visible in the
+// broadcast rows: at large payloads the pipelined spanning tree beats
+// repetitive send/receive, because the root pushes ⌈log₂ n⌉ copies
+// instead of n-1 while interior ranks forward chunk k as the wire
+// delivers chunk k+1.
+//
+// Results render as a table and serialise to machine-readable JSON
+// (BENCH_collective.json by default) so CI can archive them per run.
+
+// CollectiveConfig parameterises the sweep.
+type CollectiveConfig struct {
+	// Members is the group size; default 8.
+	Members int
+	// Ops is the operation axis; default broadcast, allreduce,
+	// alltoall.
+	Ops []string
+	// Algorithms compared; default repetitive and spanning-tree.
+	Algorithms []mcast.Algorithm
+	// Sizes is the payload axis; default 4KB, 64KB, 256KB. For
+	// alltoall the size is the whole per-member send volume (each of
+	// the n-1 parts is Size/Members bytes).
+	Sizes []int
+	// Runtimes compared; default threaded and sharded.
+	Runtimes []core.Runtime
+	// Iters is the measured collective count per point; default 30.
+	Iters int
+	// ChunkSize overrides the broadcast pipelining unit (0: the group
+	// default).
+	ChunkSize int
+	// LinkBandwidth paces every mesh link (bytes/second; default
+	// 64 MB/s) and LinkBuffer bounds its send buffer (default 16 KB),
+	// via the simulated link under the HPI data path. An unpaced
+	// in-process link would hide the thing the experiment measures —
+	// on a real network the root's interface serialises its fan-out,
+	// which is exactly why the spanning tree wins at scale.
+	LinkBandwidth int64
+	LinkBuffer    int
+}
+
+func (c CollectiveConfig) withDefaults() CollectiveConfig {
+	if c.Members < 2 {
+		c.Members = 8
+	}
+	if len(c.Ops) == 0 {
+		c.Ops = []string{"broadcast", "allreduce", "alltoall"}
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree}
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{4 * 1024, 64 * 1024, 256 * 1024}
+	}
+	if len(c.Runtimes) == 0 {
+		c.Runtimes = []core.Runtime{core.RuntimeThreaded, core.RuntimeSharded}
+	}
+	if c.Iters <= 0 {
+		c.Iters = 30
+	}
+	if c.LinkBandwidth <= 0 {
+		c.LinkBandwidth = 64 << 20 // 64 MB/s — an OC-12-class link, in the
+		// spirit of the paper's NYNET ATM testbed
+	}
+	if c.LinkBuffer <= 0 {
+		c.LinkBuffer = 16 * 1024
+	}
+	if c.ChunkSize <= 0 {
+		// A chunk's transmission time (≈500µs at the default bandwidth)
+		// stays comfortably above the wire's pacing quantum, so
+		// per-chunk serialisation is modelled faithfully.
+		c.ChunkSize = 32 * 1024
+	}
+	return c
+}
+
+// CollectivePoint is one measured cell of the sweep.
+type CollectivePoint struct {
+	Op         string  `json:"op"`
+	Alg        string  `json:"alg"`
+	Runtime    string  `json:"runtime"`
+	Size       int     `json:"size"`
+	MicrosPer  float64 `json:"us_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	MBPerSec   float64 `json:"mb_per_sec"`
+	AllocsPer  float64 `json:"allocs_per_op"`
+	Goroutines int     `json:"goroutines"`
+}
+
+// CollectiveResult is the full sweep.
+type CollectiveResult struct {
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Members    int               `json:"members"`
+	Iters      int               `json:"iters_per_point"`
+	Points     []CollectivePoint `json:"points"`
+}
+
+// CollectiveSweep runs the experiment.
+func CollectiveSweep(cfg CollectiveConfig) (*CollectiveResult, error) {
+	cfg = cfg.withDefaults()
+	res := &CollectiveResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Members:    cfg.Members,
+		Iters:      cfg.Iters,
+	}
+	base := runtime.NumGoroutine()
+	for _, rt := range cfg.Runtimes {
+		for _, alg := range cfg.Algorithms {
+			for _, op := range cfg.Ops {
+				for _, size := range cfg.Sizes {
+					pt, err := runCollectivePoint(cfg, rt, alg, op, size)
+					if err != nil {
+						return nil, fmt.Errorf("collective %v/%v/%s/%d: %w", rt, alg, op, size, err)
+					}
+					res.Points = append(res.Points, pt)
+					awaitGoroutines(base+8, 10*time.Second)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// runCollectivePoint measures one (runtime, algorithm, op, size) cell.
+func runCollectivePoint(cfg CollectiveConfig, rt core.Runtime, alg mcast.Algorithm, op string, size int) (CollectivePoint, error) {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	names := make([]string, cfg.Members)
+	for i := range names {
+		names[i] = fmt.Sprintf("coll-%d", i)
+	}
+	groups, err := group.BuildConfig(nw, names,
+		core.Options{
+			Interface: transport.HPI,
+			Runtime:   rt,
+			HPILink: &netsim.Params{
+				Bandwidth:   cfg.LinkBandwidth,
+				BufferBytes: cfg.LinkBuffer,
+				Seed:        1,
+			},
+		},
+		group.Config{Algorithm: alg, ChunkSize: cfg.ChunkSize})
+	if err != nil {
+		return CollectivePoint{}, err
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+
+	iter, err := collectiveIter(op, cfg.Members, size)
+	if err != nil {
+		return CollectivePoint{}, err
+	}
+	runOnce := func() error {
+		var wg sync.WaitGroup
+		errs := make([]error, len(groups))
+		for i, g := range groups {
+			wg.Add(1)
+			go func(i int, g *group.Group) {
+				defer wg.Done()
+				errs[i] = iter(g)
+			}(i, g)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Warm the connection pools and pipelines outside the window.
+	for i := 0; i < 2; i++ {
+		if err := runOnce(); err != nil {
+			return CollectivePoint{}, err
+		}
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < cfg.Iters; i++ {
+		if err := runOnce(); err != nil {
+			return CollectivePoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	goroutines := runtime.NumGoroutine()
+	runtime.ReadMemStats(&m1)
+
+	perOp := elapsed / time.Duration(cfg.Iters)
+	return CollectivePoint{
+		Op:         op,
+		Alg:        alg.String(),
+		Runtime:    rt.String(),
+		Size:       size,
+		MicrosPer:  float64(perOp.Nanoseconds()) / 1e3,
+		OpsPerSec:  float64(cfg.Iters) / elapsed.Seconds(),
+		MBPerSec:   float64(size) * float64(cfg.Iters) / elapsed.Seconds() / (1 << 20),
+		AllocsPer:  float64(m1.Mallocs-m0.Mallocs) / float64(cfg.Iters),
+		Goroutines: goroutines,
+	}, nil
+}
+
+// collectiveIter builds one member's per-iteration body for the op.
+func collectiveIter(op string, members, size int) (func(*group.Group) error, error) {
+	keepA := func(a, b []byte) []byte { return a }
+	switch op {
+	case "broadcast":
+		payload := make([]byte, size)
+		return func(g *group.Group) error {
+			var msg []byte
+			if g.Rank() == 0 {
+				msg = payload
+			}
+			_, err := g.Broadcast(0, msg)
+			return err
+		}, nil
+	case "allreduce":
+		return func(g *group.Group) error {
+			_, err := g.AllReduce(make([]byte, size), keepA)
+			return err
+		}, nil
+	case "alltoall":
+		part := size / members
+		if part < 1 {
+			part = 1
+		}
+		return func(g *group.Group) error {
+			parts := make([][]byte, g.Size())
+			for i := range parts {
+				parts[i] = make([]byte, part)
+			}
+			_, err := g.AllToAll(parts)
+			return err
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown collective op %q", op)
+	}
+}
+
+// Render lays the sweep out as a comparison table.
+func (r *CollectiveResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Collectives: %d members, %d iters per point, GOMAXPROCS=%d\n",
+		r.Members, r.Iters, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-9s %-10s %-13s %8s %12s %10s %11s\n",
+		"runtime", "op", "algorithm", "size", "µs/op", "MB/s", "allocs/op")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-9s %-10s %-13s %8s %12.1f %10.1f %11.1f\n",
+			p.Runtime, p.Op, p.Alg, sizeLabel(p.Size), p.MicrosPer, p.MBPerSec, p.AllocsPer)
+	}
+	v, _ := r.verdict()
+	b.WriteString(v)
+	return b.String()
+}
+
+// verdict summarises the headline comparison — pipelined spanning-tree
+// broadcast against repetitive at the large (≥64KB) payload sizes — in
+// deterministic (runtime, size) order, and reports whether the tree
+// lost anywhere: the regression signal Regressed exposes.
+func (r *CollectiveResult) verdict() (string, bool) {
+	type key struct {
+		rt   string
+		size int
+	}
+	rep := make(map[key]float64)
+	tree := make(map[key]float64)
+	for _, p := range r.Points {
+		if p.Op != "broadcast" || p.Size < 64*1024 {
+			continue
+		}
+		k := key{p.Runtime, p.Size}
+		switch p.Alg {
+		case mcast.Repetitive.String():
+			rep[k] = p.MicrosPer
+		case mcast.SpanningTree.String():
+			tree[k] = p.MicrosPer
+		}
+	}
+	keys := make([]key, 0, len(rep))
+	for k := range rep {
+		if _, ok := tree[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rt != keys[j].rt {
+			return keys[i].rt < keys[j].rt
+		}
+		return keys[i].size < keys[j].size
+	})
+	var b strings.Builder
+	lost := false
+	for _, k := range keys {
+		rv, tv := rep[k], tree[k]
+		rel := "beats"
+		if tv >= rv {
+			rel = "LOSES TO"
+			lost = true
+		}
+		fmt.Fprintf(&b, "broadcast %s @%s: pipelined spanning-tree %s repetitive (%.0f µs vs %.0f µs, %.2fx)\n",
+			k.rt, sizeLabel(k.size), rel, tv, rv, rv/tv)
+	}
+	return b.String(), lost
+}
+
+// Regressed reports whether the sweep's headline acceptance failed:
+// the pipelined spanning-tree broadcast lost to repetitive at any
+// measured ≥64KB payload. False when the sweep had no such comparison
+// (small-size or single-algorithm runs).
+func (r *CollectiveResult) Regressed() bool {
+	_, lost := r.verdict()
+	return lost
+}
+
+// WriteJSON writes the machine-readable result for CI archival.
+func (r *CollectiveResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -11,6 +11,7 @@ import (
 	"ncs/internal/buf"
 	"ncs/internal/errctl"
 	"ncs/internal/flowctl"
+	"ncs/internal/mcast"
 	"ncs/internal/transport"
 )
 
@@ -161,6 +162,52 @@ func TestRPCContract(t *testing.T) {
 						t.Fatal(err)
 					}
 				})
+			}
+		}
+	}
+}
+
+// matrixCollectiveSchedules trims the schedule axis in -short mode
+// (the CI smoke run); the full roster runs in the regular -race matrix.
+func matrixCollectiveSchedules() []Schedule {
+	if testing.Short() {
+		out := make([]Schedule, 0, 3)
+		for _, name := range []string{"clean", "loss", "partition"} {
+			s, ok := ScheduleByName(name)
+			if !ok {
+				panic("chaos: short collective schedule " + name + " missing from roster")
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	return Schedules
+}
+
+// TestCollectiveContract is the collective workload axis: the full
+// group repertoire — broadcast, reduce, barrier, scatter, gather,
+// allgather, reduce-scatter, all-to-all, allreduce — over impaired
+// mesh links, for both multicast algorithms, both reliable
+// error-control modes, and both runtimes. Every operation must
+// complete with exact results or fail by its deadline; nothing may
+// hang. Subtest names are replay coordinates.
+func TestCollectiveContract(t *testing.T) {
+	seed := baseSeed(t)
+	for _, ec := range []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN} {
+		for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+			for _, sharded := range []bool{false, true} {
+				for _, sched := range matrixCollectiveSchedules() {
+					cfg := CollectiveConfig{
+						ErrCtl: ec, FlowCtl: flowctl.Credit, Alg: alg,
+						Sharded: sharded, Schedule: sched, Seed: seed,
+					}
+					t.Run("collective/"+cfg.Name(), func(t *testing.T) {
+						t.Parallel()
+						if err := RunCollective(cfg); err != nil {
+							t.Fatal(err)
+						}
+					})
+				}
 			}
 		}
 	}

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/group"
+	"ncs/internal/mcast"
+	"ncs/internal/netsim"
+	"ncs/internal/transport"
+)
+
+// CollectiveConfig selects one cell of the collective workload axis: a
+// group of members over impaired HPI links, running the full collective
+// repertoire under one named schedule.
+type CollectiveConfig struct {
+	// ErrCtl is the per-connection error control; reliable modes must
+	// push every collective through the schedule.
+	ErrCtl errctl.Algorithm
+	// FlowCtl is the per-connection flow control.
+	FlowCtl flowctl.Algorithm
+	// Alg selects the multicast algorithm for the group's collectives.
+	Alg mcast.Algorithm
+	// Sharded drives the mesh connections from the member systems'
+	// shard pools instead of per-connection threads.
+	Sharded bool
+	// Members is the group size; default 4.
+	Members int
+	// Schedule is applied to every mesh link's data path (control
+	// stays clean, per the paper's separated control plane).
+	Schedule Schedule
+	// Seed drives the payload generator and every link RNG; zero means
+	// seed 1.
+	Seed int64
+	// Deadline bounds each collective operation; default 20s (it must
+	// ride out a partition that heals only under retransmission
+	// pressure).
+	Deadline time.Duration
+	// ChunkSize is the broadcast pipelining unit; default 700 bytes so
+	// ordinary payloads exercise the chunk pipeline.
+	ChunkSize int
+}
+
+func (c CollectiveConfig) withDefaults() CollectiveConfig {
+	if c.Members <= 0 {
+		c.Members = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = recvDeadline
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 700
+	}
+	return c
+}
+
+// Name is the subtest-style replay coordinate of the combination.
+func (c CollectiveConfig) Name() string {
+	model := "threaded"
+	if c.Sharded {
+		model = "sharded"
+	}
+	return fmt.Sprintf("%v/%v/%v/%s/%s/seed%d",
+		c.Alg, c.ErrCtl, c.FlowCtl, model, c.Schedule.Name, c.Seed)
+}
+
+func (c CollectiveConfig) violation(format string, args ...any) error {
+	return fmt.Errorf("chaos collective %s: %s", c.Name(), fmt.Sprintf(format, args...))
+}
+
+// scriptDeadlineWindows is how many per-operation deadline windows the
+// script can legitimately consume back to back: its 9 collective calls
+// expand to 13 deadline-bounded operations (Barrier, AllGather,
+// ReduceScatter, and AllReduce are each two engine operations). The
+// watchdog allows all of them to run to their deadline before calling
+// the run hung.
+const scriptDeadlineWindows = 13
+
+// collectiveWatchdogGrace pads the watchdog beyond the deadline
+// windows: a run that outlives every per-operation deadline by this
+// much has broken the completes-or-deadlines contract somewhere the
+// deadline plumbing does not reach.
+const collectiveWatchdogGrace = 40 * time.Second
+
+// RunCollective builds the group over impaired links and runs the full
+// collective repertoire — Broadcast, Reduce, Barrier, Scatter, Gather,
+// AllGather, ReduceScatter, AllToAll, AllReduce — asserting that every
+// operation completes with exact results (reliable error control
+// recovering underneath) or fails by its deadline; nothing may hang.
+// It returns nil on conformance.
+func RunCollective(cfg CollectiveConfig) error {
+	cfg = cfg.withDefaults()
+	n := cfg.Members
+	nw := core.NewNetwork()
+	defer nw.Close()
+
+	opts := core.Options{
+		Interface:    transport.HPI,
+		ErrorControl: cfg.ErrCtl,
+		FlowControl:  cfg.FlowCtl,
+		SDUSize:      harnessSDU,
+		AckTimeout:   harnessAckTimeout,
+		HPILink: &netsim.Params{
+			Delay:    100 * time.Microsecond,
+			Seed:     cfg.Seed,
+			Schedule: cfg.Schedule.Phases,
+		},
+	}
+	if cfg.Sharded {
+		opts.Runtime = core.RuntimeSharded
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("chaos-coll-%d", i)
+	}
+	groups, err := group.BuildConfig(nw, names, opts, group.Config{
+		Algorithm: cfg.Alg,
+		Deadline:  cfg.Deadline,
+		ChunkSize: cfg.ChunkSize,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos collective %s: build: %w", cfg.Name(), err)
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+
+	errs := make([]error, n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i, g := range groups {
+			wg.Add(1)
+			go func(i int, g *group.Group) {
+				defer wg.Done()
+				errs[i] = cfg.script(g)
+			}(i, g)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(scriptDeadlineWindows*cfg.Deadline + collectiveWatchdogGrace):
+		return cfg.violation("run hung past every operation deadline")
+	}
+	for i, err := range errs {
+		if err != nil {
+			return cfg.violation("rank %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// script runs one member's side of the scripted collective sequence,
+// verifying every result byte for byte. Payload sizes straddle the
+// chunk pipeline and the multi-SDU reassembly paths.
+func (c CollectiveConfig) script(g *group.Group) error {
+	n := g.Size()
+	r := g.Rank()
+	rng := rand.New(rand.NewSource(c.Seed))
+	bcast := make([]byte, 1+rng.Intn(2500))
+	rng.Read(bcast)
+	concat := func(a, b []byte) []byte {
+		out := make([]byte, 0, len(a)+len(b))
+		out = append(out, a...)
+		return append(out, b...)
+	}
+
+	// Broadcast from a non-zero root: exact bytes everywhere.
+	var msg []byte
+	if r == 1%n {
+		msg = bcast
+	}
+	got, err := g.Broadcast(1%n, msg)
+	if err != nil {
+		return fmt.Errorf("broadcast: %w", err)
+	}
+	if !bytes.Equal(got, bcast) {
+		return fmt.Errorf("broadcast: corrupted payload (%d bytes, want %d)", len(got), len(bcast))
+	}
+
+	// Reduce: strict rank order under reordering links.
+	want := ""
+	for i := 0; i < n; i++ {
+		want += fmt.Sprintf("<%d>", i)
+	}
+	res, err := g.Reduce(2%n, []byte(fmt.Sprintf("<%d>", r)), concat)
+	if err != nil {
+		return fmt.Errorf("reduce: %w", err)
+	}
+	if r == 2%n && string(res) != want {
+		return fmt.Errorf("reduce: %q, want %q", res, want)
+	}
+
+	if err := g.Barrier(); err != nil {
+		return fmt.Errorf("barrier: %w", err)
+	}
+
+	// Scatter + Gather round trip through the bundle forwarding.
+	var parts [][]byte
+	if r == 0 {
+		parts = make([][]byte, n)
+		for i := range parts {
+			parts[i] = bytes.Repeat([]byte{byte(i + 1)}, 64*(i+1))
+		}
+	}
+	part, err := g.Scatter(0, parts)
+	if err != nil {
+		return fmt.Errorf("scatter: %w", err)
+	}
+	if wantPart := bytes.Repeat([]byte{byte(r + 1)}, 64*(r+1)); !bytes.Equal(part, wantPart) {
+		return fmt.Errorf("scatter: rank %d part mismatch", r)
+	}
+	gathered, err := g.Gather(n-1, part)
+	if err != nil {
+		return fmt.Errorf("gather: %w", err)
+	}
+	if r == n-1 {
+		for i, p := range gathered {
+			if !bytes.Equal(p, bytes.Repeat([]byte{byte(i + 1)}, 64*(i+1))) {
+				return fmt.Errorf("gather: part %d mismatch", i)
+			}
+		}
+	}
+
+	// AllGather: every contribution lands everywhere.
+	all, err := g.AllGather([]byte(fmt.Sprintf("ag%d", r)))
+	if err != nil {
+		return fmt.Errorf("allgather: %w", err)
+	}
+	for src, p := range all {
+		if want := fmt.Sprintf("ag%d", src); string(p) != want {
+			return fmt.Errorf("allgather: slot %d = %q, want %q", src, p, want)
+		}
+	}
+
+	// ReduceScatter: rank-ordered per-slot combine.
+	vec := make([][]byte, n)
+	for i := range vec {
+		vec[i] = []byte(fmt.Sprintf("(%d:%d)", r, i))
+	}
+	slot, err := g.ReduceScatter(vec, concat)
+	if err != nil {
+		return fmt.Errorf("reducescatter: %w", err)
+	}
+	wantSlot := ""
+	for i := 0; i < n; i++ {
+		wantSlot += fmt.Sprintf("(%d:%d)", i, r)
+	}
+	if string(slot) != wantSlot {
+		return fmt.Errorf("reducescatter: %q, want %q", slot, wantSlot)
+	}
+
+	// AllToAll: personalised total exchange.
+	a2a := make([][]byte, n)
+	for i := range a2a {
+		a2a[i] = []byte(fmt.Sprintf("%d>%d", r, i))
+	}
+	exch, err := g.AllToAll(a2a)
+	if err != nil {
+		return fmt.Errorf("alltoall: %w", err)
+	}
+	for src, p := range exch {
+		if want := fmt.Sprintf("%d>%d", src, r); string(p) != want {
+			return fmt.Errorf("alltoall: slot %d = %q, want %q", src, p, want)
+		}
+	}
+
+	// AllReduce closes the script: result identical on every member.
+	fin, err := g.AllReduce([]byte(fmt.Sprintf("<%d>", r)), concat)
+	if err != nil {
+		return fmt.Errorf("allreduce: %w", err)
+	}
+	if string(fin) != want {
+		return fmt.Errorf("allreduce: %q, want %q", fin, want)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package group
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ncs/internal/buf"
+	"ncs/internal/core"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/mcast"
+	"ncs/internal/netsim"
+	"ncs/internal/transport"
+)
+
+// TestMain joins the group layer to the leak-audit regime every other
+// subsystem already runs: after the tests the process must quiesce
+// back to the pre-test goroutine count with zero pooled buffers
+// outstanding — a leftover goroutine is a mesh connection that
+// survived Close, a leftover buffer a frame staging reference nothing
+// released.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			goroutines := runtime.NumGoroutine()
+			bufs := buf.Outstanding()
+			if goroutines <= baseline && bufs == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				stack := make([]byte, 1<<20)
+				stack = stack[:runtime.Stack(stack, true)]
+				fmt.Fprintf(os.Stderr,
+					"group leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
+					goroutines, baseline, bufs, stack)
+				code = 1
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}
+
+// chaosImpairments are the seeded failure families the property test
+// sweeps; reliable error control must push every collective through
+// all of them.
+var chaosImpairments = []struct {
+	name string
+	imp  netsim.Impairments
+}{
+	{"loss", netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.12}}},
+	{"duplicate", netsim.Impairments{DupRate: 0.25}},
+	{"reorder", netsim.Impairments{ReorderRate: 0.3, ReorderJitter: 2 * time.Millisecond}},
+	{"mixed", netsim.Impairments{
+		Burst:         netsim.GilbertElliott{LossGood: 0.08},
+		DupRate:       0.1,
+		ReorderRate:   0.15,
+		ReorderJitter: time.Millisecond,
+	}},
+}
+
+// TestCollectiveChaosProperty is the seeded property test: for both
+// multicast algorithms and a sweep of seeds, the full collective
+// repertoire must produce exact results over links that lose,
+// duplicate, and reorder the data path, with selective-repeat error
+// control recovering underneath. Subtest names are replay coordinates.
+func TestCollectiveChaosProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, fam := range chaosImpairments {
+			for _, seed := range seeds {
+				alg, fam, seed := alg, fam, seed
+				t.Run(fmt.Sprintf("%v/%s/seed%d", alg, fam.name, seed), func(t *testing.T) {
+					t.Parallel()
+					runChaosScript(t, alg, fam.imp, seed)
+				})
+			}
+		}
+	}
+}
+
+func runChaosScript(t *testing.T, alg mcast.Algorithm, imp netsim.Impairments, seed int64) {
+	t.Helper()
+	const n = 4
+	nw := core.NewNetwork()
+	defer nw.Close()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("chaos-%v-%d-%d", alg, seed, i)
+	}
+	opts := core.Options{
+		Interface:    transport.HPI,
+		ErrorControl: errctl.SelectiveRepeat,
+		FlowControl:  flowctl.Credit,
+		SDUSize:      512,
+		AckTimeout:   25 * time.Millisecond,
+		HPILink: &netsim.Params{
+			Delay: 100 * time.Microsecond,
+			Seed:  seed,
+			Impair: netsim.Impairments{
+				DupRate:       imp.DupRate,
+				ReorderRate:   imp.ReorderRate,
+				ReorderJitter: imp.ReorderJitter,
+				Burst:         imp.Burst,
+			},
+		},
+	}
+	groups, err := BuildConfig(nw, names, opts, Config{
+		Algorithm: alg,
+		Deadline:  20 * time.Second,
+		ChunkSize: 700, // force the chunk pipeline under impairment
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, g := range groups {
+			g.Close()
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, 1+rng.Intn(2500))
+	rng.Read(payload)
+
+	wantReduce := ""
+	for r := 0; r < n; r++ {
+		wantReduce += fmt.Sprintf("<%d>", r)
+	}
+
+	runAll(t, groups, func(g *Group) error {
+		r := g.Rank()
+		// Broadcast: multi-chunk, exact bytes everywhere.
+		var msg []byte
+		if r == 1 {
+			msg = payload
+		}
+		got, err := g.Broadcast(1, msg)
+		if err != nil {
+			return fmt.Errorf("broadcast: %w", err)
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("broadcast: rank %d corrupted payload", r)
+		}
+		// Reduce: strict rank order even under reordering links.
+		res, err := g.Reduce(2, []byte(fmt.Sprintf("<%d>", r)), concatOp)
+		if err != nil {
+			return fmt.Errorf("reduce: %w", err)
+		}
+		if r == 2 && string(res) != wantReduce {
+			return fmt.Errorf("reduce: %q, want %q", res, wantReduce)
+		}
+		if err := g.Barrier(); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+		// AllToAll: personalised exchange, every part verified.
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = []byte(fmt.Sprintf("%d>%d", r, i))
+		}
+		exch, err := g.AllToAll(parts)
+		if err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		for src, p := range exch {
+			if want := fmt.Sprintf("%d>%d", src, r); string(p) != want {
+				return fmt.Errorf("alltoall: rank %d slot %d = %q, want %q", r, src, p, want)
+			}
+		}
+		// AllGather: every contribution lands everywhere.
+		all, err := g.AllGather([]byte(fmt.Sprintf("g%d", r)))
+		if err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		for src, p := range all {
+			if want := fmt.Sprintf("g%d", src); string(p) != want {
+				return fmt.Errorf("allgather: rank %d slot %d = %q, want %q", r, src, p, want)
+			}
+		}
+		return nil
+	})
+}

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"testing"
 
+	"ncs/internal/core"
 	"ncs/internal/mcast"
+	"ncs/internal/transport"
 )
 
 func TestScatterGatherRoundTrip(t *testing.T) {
@@ -131,7 +133,9 @@ func TestScatterValidation(t *testing.T) {
 
 func TestBundleCodec(t *testing.T) {
 	in := map[int][]byte{0: []byte("a"), 3: {}, 7: bytes.Repeat([]byte{9}, 1000)}
-	out, err := decodeBundle(encodeBundle(in))
+	ranks := []int{0, 3, 7}
+	raw := appendBundle(make([]byte, 0, bundleLen(ranks, in)), ranks, in)
+	out, err := decodeBundle(raw, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,24 +147,199 @@ func TestBundleCodec(t *testing.T) {
 			t.Fatalf("key %d mismatch", k)
 		}
 	}
-	if _, err := decodeBundle([]byte{0, 0}); err == nil {
+	if _, err := decodeBundle([]byte{0, 0}, 8); err == nil {
 		t.Fatal("truncated bundle accepted")
+	}
+	if _, err := decodeBundle(raw, 4); err == nil {
+		t.Fatal("out-of-range rank accepted")
 	}
 }
 
-func TestSubtreeCoversAllRanks(t *testing.T) {
-	for _, n := range []int{1, 2, 5, 8, 13} {
-		for root := 0; root < n; root++ {
-			seen := make(map[int]bool)
-			for _, r := range subtree(mcast.SpanningTree, n, root, root) {
-				if seen[r] {
-					t.Fatalf("n=%d root=%d: rank %d twice", n, root, r)
-				}
-				seen[r] = true
-			}
-			if len(seen) != n {
-				t.Fatalf("n=%d root=%d: subtree covers %d ranks", n, root, len(seen))
-			}
+func TestVectorCodec(t *testing.T) {
+	in := [][]byte{[]byte("abc"), {}, bytes.Repeat([]byte{7}, 300)}
+	size := 4
+	for _, p := range in {
+		size += 4 + len(p)
+	}
+	raw := make([]byte, 0, size)
+	raw = append(raw, 0, 0, 0, 3)
+	for _, p := range in {
+		raw = append(raw, byte(len(p)>>24), byte(len(p)>>16), byte(len(p)>>8), byte(len(p)))
+		raw = append(raw, p...)
+	}
+	out, err := decodeVector(raw, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !bytes.Equal(out[i], in[i]) {
+			t.Fatalf("slot %d mismatch", i)
 		}
 	}
+	if _, err := decodeVector(raw, 4); err == nil {
+		t.Fatal("wrong slot count accepted")
+	}
+	if _, err := decodeVector(raw[:7], 3); err == nil {
+		t.Fatal("truncated vector accepted")
+	}
+}
+
+func TestReduceScatter(t *testing.T) {
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, n := range []int{1, 2, 4, 7} {
+			t.Run(fmt.Sprintf("%v_n%d", alg, n), func(t *testing.T) {
+				groups, cleanup := buildGroup(t, n, alg)
+				defer cleanup()
+
+				// Member r contributes "<r:slot>" for every slot; slot i,
+				// reduced in rank order, must read "<0:i><1:i>…<n-1:i>".
+				runAll(t, groups, func(g *Group) error {
+					parts := make([][]byte, n)
+					for i := range parts {
+						parts[i] = []byte(fmt.Sprintf("<%d:%d>", g.Rank(), i))
+					}
+					got, err := g.ReduceScatter(parts, concatOp)
+					if err != nil {
+						return err
+					}
+					want := ""
+					for r := 0; r < n; r++ {
+						want += fmt.Sprintf("<%d:%d>", r, g.Rank())
+					}
+					if string(got) != want {
+						return fmt.Errorf("rank %d: %q, want %q", g.Rank(), got, want)
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestReduceScatterValidatesPartCount(t *testing.T) {
+	groups, cleanup := buildGroup(t, 3, mcast.SpanningTree)
+	defer cleanup()
+	if _, err := groups[0].ReduceScatter([][]byte{{1}}, concatOp); err == nil {
+		t.Fatal("wrong part count accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, n := range []int{1, 2, 3, 5, 8} {
+			t.Run(fmt.Sprintf("%v_n%d", alg, n), func(t *testing.T) {
+				groups, cleanup := buildGroup(t, n, alg)
+				defer cleanup()
+
+				runAll(t, groups, func(g *Group) error {
+					parts := make([][]byte, n)
+					for i := range parts {
+						parts[i] = []byte(fmt.Sprintf("from-%d-to-%d", g.Rank(), i))
+					}
+					got, err := g.AllToAll(parts)
+					if err != nil {
+						return err
+					}
+					if len(got) != n {
+						return fmt.Errorf("rank %d: %d parts", g.Rank(), len(got))
+					}
+					for src, p := range got {
+						want := fmt.Sprintf("from-%d-to-%d", src, g.Rank())
+						if string(p) != want {
+							return fmt.Errorf("rank %d from %d: %q, want %q", g.Rank(), src, p, want)
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+func TestAllToAllValidatesPartCount(t *testing.T) {
+	groups, cleanup := buildGroup(t, 3, mcast.SpanningTree)
+	defer cleanup()
+	if _, err := groups[0].AllToAll(nil); err == nil {
+		t.Fatal("wrong part count accepted")
+	}
+}
+
+// TestChunkedBroadcastPipelining drives the pipelined path explicitly:
+// a payload many times the chunk size, over both algorithms, with a
+// chunk small enough that every interior rank forwards dozens of
+// chunks.
+func TestChunkedBroadcastPipelining(t *testing.T) {
+	payload := make([]byte, 100_000)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, root := range []int{0, 2} {
+			t.Run(fmt.Sprintf("%v_root%d", alg, root), func(t *testing.T) {
+				nw := core.NewNetwork()
+				defer nw.Close()
+				names := make([]string, 5)
+				for i := range names {
+					names[i] = fmt.Sprintf("chunk-%v-%d-%d", alg, root, i)
+				}
+				groups, err := BuildConfig(nw, names, core.Options{Interface: transport.HPI},
+					Config{Algorithm: alg, ChunkSize: 1024})
+				if err != nil {
+					t.Fatal(err)
+				}
+				runAll(t, groups, func(g *Group) error {
+					var msg []byte
+					if g.Rank() == root {
+						msg = payload
+					}
+					got, err := g.Broadcast(root, msg)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, payload) {
+						return fmt.Errorf("rank %d payload mismatch", g.Rank())
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestCollectiveScript runs every collective back to back on one group
+// — the tag sequence must stay in lockstep across heterogeneous ops.
+func TestCollectiveScript(t *testing.T) {
+	const n = 5
+	groups, cleanup := buildGroup(t, n, mcast.SpanningTree)
+	defer cleanup()
+
+	runAll(t, groups, func(g *Group) error {
+		r := g.Rank()
+		if _, err := g.Broadcast(1, []byte("hello")); err != nil {
+			return fmt.Errorf("broadcast: %w", err)
+		}
+		if _, err := g.Reduce(2, []byte{byte(r)}, concatOp); err != nil {
+			return fmt.Errorf("reduce: %w", err)
+		}
+		if err := g.Barrier(); err != nil {
+			return fmt.Errorf("barrier: %w", err)
+		}
+		parts := make([][]byte, n)
+		for i := range parts {
+			parts[i] = []byte(fmt.Sprintf("%d.%d", r, i))
+		}
+		if _, err := g.AllToAll(parts); err != nil {
+			return fmt.Errorf("alltoall: %w", err)
+		}
+		if _, err := g.AllGather([]byte{byte(r)}); err != nil {
+			return fmt.Errorf("allgather: %w", err)
+		}
+		if _, err := g.ReduceScatter(parts, concatOp); err != nil {
+			return fmt.Errorf("reducescatter: %w", err)
+		}
+		if _, err := g.AllReduce([]byte{byte(r)}, concatOp); err != nil {
+			return fmt.Errorf("allreduce: %w", err)
+		}
+		return nil
+	})
 }

@@ -1,0 +1,377 @@
+package group
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/mcast"
+	"ncs/internal/netsim"
+	"ncs/internal/transport"
+)
+
+// concatOp is the canonical non-commutative (but associative) reduce:
+// any deviation from strict rank order changes the answer.
+func concatOp(a, b []byte) []byte {
+	out := make([]byte, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// TestConnectRejectsDuplicateNames: two systems sharing a name used to
+// collide in the accept-side rank map and silently mis-rank members;
+// now it is a construction error.
+func TestConnectRejectsDuplicateNames(t *testing.T) {
+	nwA := core.NewNetwork()
+	defer nwA.Close()
+	nwB := core.NewNetwork()
+	defer nwB.Close()
+
+	// Same name on two fabrics, so registration succeeds but the group
+	// would be ambiguous.
+	a1, err := nwA.NewSystem("twin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := nwB.NewSystem("twin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := nwA.NewSystem("other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Connect([]*core.System{a1, other, b1}, core.Options{Interface: transport.HPI}, mcast.SpanningTree)
+	if !errors.Is(err, ErrDuplicateName) {
+		t.Fatalf("err = %v, want ErrDuplicateName", err)
+	}
+}
+
+// TestConnectClosesConnsOnFailure: a failed mesh build used to leak
+// every connection already established (4 goroutines each on the
+// threaded runtime). Build a mesh where one target system is already
+// closed, let Connect fail, and assert the process quiesces back to
+// its pre-call goroutine count without closing the network.
+func TestConnectClosesConnsOnFailure(t *testing.T) {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	const n = 5
+	systems := make([]*core.System, n)
+	for i := range systems {
+		s, err := nw.NewSystem(fmt.Sprintf("leak-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = s
+	}
+	// The last member is dead before the mesh is built: every dial to
+	// it fails fast, while the other 6 edges establish successfully
+	// and used to be abandoned.
+	systems[n-1].Close()
+
+	baseline := runtime.NumGoroutine()
+	if _, err := Connect(systems, core.Options{Interface: transport.HPI}, mcast.SpanningTree); err == nil {
+		t.Fatal("Connect succeeded over a closed system")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<20)
+			stack = stack[:runtime.Stack(stack, true)]
+			t.Fatalf("connections leaked: %d goroutines, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, stack)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReduceRankOrder: partials must combine in strict ascending rank
+// order (MPI semantics) under BOTH multicast algorithms and for any
+// root — the old tree fold was children-order and nondeterministic for
+// non-commutative operations.
+func TestReduceRankOrder(t *testing.T) {
+	const n = 6
+	want := []byte("<r0><r1><r2><r3><r4><r5>")
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		for _, root := range []int{0, 3, n - 1} {
+			t.Run(fmt.Sprintf("%v_root%d", alg, root), func(t *testing.T) {
+				groups, cleanup := buildGroup(t, n, alg)
+				defer cleanup()
+				var got []byte
+				runAll(t, groups, func(g *Group) error {
+					val := []byte(fmt.Sprintf("<r%d>", g.Rank()))
+					res, err := g.Reduce(root, val, concatOp)
+					if err != nil {
+						return err
+					}
+					if g.Rank() == root {
+						got = res
+					} else if res != nil {
+						return fmt.Errorf("non-root rank %d got non-nil reduce result", g.Rank())
+					}
+					return nil
+				})
+				if !bytes.Equal(got, want) {
+					t.Fatalf("reduce = %q, want %q (rank order violated)", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestAllReduceRankOrder pins the same ordering guarantee end to end.
+func TestAllReduceRankOrder(t *testing.T) {
+	const n = 5
+	want := []byte("01234")
+	for _, alg := range []mcast.Algorithm{mcast.Repetitive, mcast.SpanningTree} {
+		groups, cleanup := buildGroup(t, n, alg)
+		runAll(t, groups, func(g *Group) error {
+			res, err := g.AllReduce([]byte(fmt.Sprintf("%d", g.Rank())), concatOp)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(res, want) {
+				return fmt.Errorf("rank %d allreduce = %q, want %q", g.Rank(), res, want)
+			}
+			return nil
+		})
+		cleanup()
+	}
+}
+
+// TestBarrierDeadlineOnMemberDeath: collectives used to block forever
+// when a member died mid-operation. Kill one rank while the others sit
+// in a barrier; every survivor must return an error within the group
+// deadline (plus scheduling grace).
+func TestBarrierDeadlineOnMemberDeath(t *testing.T) {
+	const n = 4
+	const deadline = 1 * time.Second
+	nw := core.NewNetwork()
+	defer nw.Close()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("mortal-%d", i)
+	}
+	groups, err := BuildConfig(nw, names, core.Options{Interface: transport.HPI},
+		Config{Deadline: deadline})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 2
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	took := make([]time.Duration, n)
+	start := time.Now()
+	for i, g := range groups {
+		if i == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g *Group) {
+			defer wg.Done()
+			errs[i] = g.Barrier()
+			took[i] = time.Since(start)
+		}(i, g)
+	}
+	time.Sleep(100 * time.Millisecond)
+	groups[victim].Close()
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if i == victim {
+			continue
+		}
+		if errs[i] == nil {
+			t.Errorf("rank %d: barrier returned nil with a dead member", i)
+			continue
+		}
+		if limit := deadline + 3*time.Second; took[i] > limit {
+			t.Errorf("rank %d: barrier error took %v, past the %v budget (err: %v)",
+				i, took[i], limit, errs[i])
+		}
+	}
+	for _, g := range groups {
+		g.Close()
+	}
+}
+
+// TestDeadlineExpiresWithoutTraffic: a lone waiter (peer never enters
+// the collective) must get ErrDeadline, not a hang.
+func TestDeadlineExpiresWithoutTraffic(t *testing.T) {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	groups, err := BuildConfig(nw, []string{"dl-0", "dl-1"},
+		core.Options{Interface: transport.HPI}, Config{Deadline: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer groups[0].Close()
+	defer groups[1].Close()
+	start := time.Now()
+	_, err = groups[1].Broadcast(0, nil) // rank 0 never broadcasts
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", took)
+	}
+}
+
+// TestCollectiveMismatchDetected: a member calling a different
+// collective than its peers is a detected error, not silent corruption.
+func TestCollectiveMismatchDetected(t *testing.T) {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	groups, err := BuildConfig(nw, []string{"mm-0", "mm-1"},
+		core.Options{Interface: transport.HPI}, Config{Deadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer groups[0].Close()
+	defer groups[1].Close()
+
+	// Member 0 broadcasts (tag 1, op broadcast); member 1 runs a
+	// barrier, whose down-phase receive expects op broadcast tag 2 —
+	// the tag skew is the detection.
+	var wg sync.WaitGroup
+	var barrierErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		barrierErr = groups[1].Barrier()
+	}()
+	if _, err := groups[0].Broadcast(0, []byte("out of step")); err != nil {
+		t.Fatalf("broadcast: %v", err)
+	}
+	wg.Wait()
+	if !errors.Is(barrierErr, ErrMismatch) {
+		t.Fatalf("barrier err = %v, want ErrMismatch", barrierErr)
+	}
+}
+
+// TestShardedGroupGoroutineScaling: a group over the sharded runtime
+// must cost O(members × shards) goroutines, not O(members²) — the mesh
+// has n(n-1)/2 connections, each of which would pin 8 goroutines
+// (4 per endpoint) on the threaded runtime.
+func TestShardedGroupGoroutineScaling(t *testing.T) {
+	const n = 24 // 276 mesh connections
+	nw := core.NewNetwork()
+	defer nw.Close()
+	systems := make([]*core.System, n)
+	for i := range systems {
+		s, err := nw.NewSystem(fmt.Sprintf("shardg-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.SetShards(1); err != nil {
+			t.Fatal(err)
+		}
+		systems[i] = s
+	}
+	baseline := runtime.NumGoroutine()
+	groups, err := Connect(systems, core.Options{
+		Interface: transport.HPI,
+		Runtime:   core.RuntimeSharded,
+	}, mcast.SpanningTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := runtime.NumGoroutine() - baseline
+	// One shard per member plus slack; the threaded equivalent would
+	// be ~8 × 276 = 2208.
+	if limit := 3*n + 16; delta > limit {
+		t.Fatalf("sharded %d-member mesh costs %d goroutines (limit %d)", n, delta, limit)
+	}
+
+	// The mesh must actually work at this scale.
+	payload := bytes.Repeat([]byte{0xAB}, 20_000)
+	runAll(t, groups, func(g *Group) error {
+		var msg []byte
+		if g.Rank() == 0 {
+			msg = payload
+		}
+		got, err := g.Broadcast(0, msg)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("rank %d payload mismatch", g.Rank())
+		}
+		return g.Barrier()
+	})
+	for _, g := range groups {
+		g.Close()
+	}
+}
+
+// TestUnreliableLossRejectedNotCombined: over ErrorControl None a
+// loss-damaged frame is delivered with Message.Lost > 0. The engine
+// must reject it (or time out waiting for a lost end segment) — never
+// hand corrupted bytes to the collective as a nil-error result.
+func TestUnreliableLossRejectedNotCombined(t *testing.T) {
+	payload := make([]byte, 6000) // multi-SDU at the 512-byte harness SDU
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	sawError := false
+	for seed := int64(1); seed <= 6; seed++ {
+		nw := core.NewNetwork()
+		names := []string{
+			fmt.Sprintf("lossy-%d-0", seed),
+			fmt.Sprintf("lossy-%d-1", seed),
+			fmt.Sprintf("lossy-%d-2", seed),
+		}
+		groups, err := BuildConfig(nw, names, core.Options{
+			Interface:    transport.HPI,
+			ErrorControl: errctl.None,
+			FlowControl:  flowctl.None,
+			SDUSize:      512,
+			HPILink: &netsim.Params{
+				Seed:   seed,
+				Impair: netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.25}},
+			},
+		}, Config{Deadline: 2 * time.Second, ChunkSize: 2048})
+		if err != nil {
+			nw.Close()
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, len(groups))
+		results := make([][]byte, len(groups))
+		for i, g := range groups {
+			wg.Add(1)
+			go func(i int, g *Group) {
+				defer wg.Done()
+				var msg []byte
+				if g.Rank() == 0 {
+					msg = payload
+				}
+				results[i], errs[i] = g.Broadcast(0, msg)
+			}(i, g)
+		}
+		wg.Wait()
+		for i := range groups {
+			if errs[i] != nil {
+				sawError = true
+				continue
+			}
+			if !bytes.Equal(results[i], payload) {
+				t.Fatalf("seed %d rank %d: corrupted payload returned with nil error", seed, i)
+			}
+		}
+		for _, g := range groups {
+			g.Close()
+		}
+		nw.Close()
+	}
+	if !sawError {
+		t.Fatal("no seed produced loss — the rejection path was never exercised; raise the loss rate")
+	}
+}

@@ -140,8 +140,90 @@ func Children(alg Algorithm, n, root, self int) []int {
 	return out
 }
 
+// Subtree lists the ranks in the dissemination subtree rooted at node
+// (inclusive), in the depth-first order a bundle-forwarding collective
+// (scatter, gather) visits them. For the repetitive algorithm every
+// non-root subtree is the node itself; the root's subtree is the whole
+// group.
+func Subtree(alg Algorithm, n, root, node int) []int {
+	out := []int{node}
+	for _, c := range Children(alg, n, root, node) {
+		out = append(out, Subtree(alg, n, root, c)...)
+	}
+	return out
+}
+
+// CombineChildren returns the ranks whose partials self combines, in
+// ascending order, in the rank-ordered combining tree rooted at rank 0
+// — the reduction dual of the dissemination tree. Unlike the broadcast
+// tree's subtrees, every combining subtree covers a contiguous rank
+// interval: child self+2ʲ covers [self+2ʲ, self+2ʲ⁺¹)∩[0,n). A node
+// that folds its own value first and then its children's partials in
+// this order therefore combines the strict rank order
+// self, self+1, …, which is what MPI requires of non-commutative
+// reductions. Depth is ⌈log₂ n⌉, as for the dissemination tree.
+func CombineChildren(alg Algorithm, n, self int) []int {
+	if n <= 1 {
+		return nil
+	}
+	if alg == Repetitive {
+		if self != 0 {
+			return nil
+		}
+		out := make([]int, 0, n-1)
+		for i := 1; i < n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	var out []int
+	for span := 1; self+span < n; span <<= 1 {
+		if self != 0 && span >= lowestBit(self) {
+			break
+		}
+		out = append(out, self+span)
+	}
+	return out
+}
+
+// CombineParent returns the rank self forwards its combined partial to
+// in the combining tree, or -1 for rank 0 (the tree root).
+func CombineParent(alg Algorithm, n, self int) int {
+	if self == 0 || n <= 1 {
+		return -1
+	}
+	if alg == Repetitive {
+		return 0
+	}
+	return self &^ lowestBit(self)
+}
+
+// Exchange is one round of a pairwise all-to-all schedule: self sends
+// its part to To while receiving From's part.
+type Exchange struct {
+	To   int
+	From int
+}
+
+// Exchanges returns self's n-1 pairwise rounds of the classic linear
+// all-to-all exchange: in round r every rank sends to (self+r) mod n
+// and receives from (self-r) mod n, so each round forms a perfect
+// permutation and no two ranks ever contend for the same link.
+func Exchanges(n, self int) []Exchange {
+	if n <= 1 {
+		return nil
+	}
+	out := make([]Exchange, 0, n-1)
+	for r := 1; r < n; r++ {
+		out = append(out, Exchange{To: (self + r) % n, From: (self - r + n) % n})
+	}
+	return out
+}
+
 func toVirtual(rank, root, n int) int { return (rank - root + n) % n }
 func fromVirtual(v, root, n int) int  { return (v + root) % n }
+
+func lowestBit(v int) int { return v & -v }
 
 func highestBit(v int) int {
 	h := 1

@@ -202,3 +202,148 @@ func TestQuickTreeForwardingDelivers(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSubtreeCoversAllRanksOnce(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{1, 2, 5, 8, 13} {
+			for root := 0; root < n; root++ {
+				seen := make(map[int]bool)
+				for _, r := range Subtree(alg, n, root, root) {
+					if seen[r] {
+						t.Fatalf("%v n=%d root=%d: rank %d twice", alg, n, root, r)
+					}
+					seen[r] = true
+				}
+				if len(seen) != n {
+					t.Fatalf("%v n=%d root=%d: subtree covers %d ranks", alg, n, root, len(seen))
+				}
+			}
+		}
+	}
+}
+
+func TestSubtreeDisjointUnionOfChildren(t *testing.T) {
+	// A node's subtree must be the node plus the disjoint union of its
+	// children's subtrees — the invariant bundle-forwarding relies on.
+	for _, n := range []int{2, 7, 16} {
+		for root := 0; root < n; root++ {
+			for node := 0; node < n; node++ {
+				count := 1
+				for _, c := range Children(SpanningTree, n, root, node) {
+					count += len(Subtree(SpanningTree, n, root, c))
+				}
+				if got := len(Subtree(SpanningTree, n, root, node)); got != count {
+					t.Fatalf("n=%d root=%d node=%d: subtree %d ranks, children sum %d",
+						n, root, node, got, count)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangesPermutation(t *testing.T) {
+	// In every round the send targets across all ranks form a
+	// permutation, and To/From agree pairwise: if A sends to B in round
+	// r, then B receives from A in round r.
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		all := make([][]Exchange, n)
+		for self := 0; self < n; self++ {
+			all[self] = Exchanges(n, self)
+			if n > 1 && len(all[self]) != n-1 {
+				t.Fatalf("n=%d self=%d: %d rounds, want %d", n, self, len(all[self]), n-1)
+			}
+		}
+		for r := 0; r < n-1; r++ {
+			seenTo := make(map[int]bool)
+			for self := 0; self < n; self++ {
+				ex := all[self][r]
+				if seenTo[ex.To] {
+					t.Fatalf("n=%d round %d: two ranks send to %d", n, r, ex.To)
+				}
+				seenTo[ex.To] = true
+				if ex.To == self || ex.From == self {
+					t.Fatalf("n=%d round %d self=%d: self-exchange %+v", n, r, self, ex)
+				}
+				if all[ex.To][r].From != self {
+					t.Fatalf("n=%d round %d: %d sends to %d but %d receives from %d",
+						n, r, self, ex.To, ex.To, all[ex.To][r].From)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineTreeConsistency(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{1, 2, 3, 5, 8, 13, 16, 33} {
+			// Every non-zero rank has a parent, and appears among its
+			// parent's children exactly once.
+			for self := 1; self < n; self++ {
+				p := CombineParent(alg, n, self)
+				if p < 0 || p >= self {
+					t.Fatalf("%v n=%d self=%d: combine parent %d (want 0 ≤ parent < self)",
+						alg, n, self, p)
+				}
+				found := 0
+				for _, c := range CombineChildren(alg, n, p) {
+					if c == self {
+						found++
+					}
+				}
+				if found != 1 {
+					t.Fatalf("%v n=%d: %d appears %d times in parent %d's children",
+						alg, n, self, found, p)
+				}
+			}
+			if p := CombineParent(alg, n, 0); p != -1 {
+				t.Fatalf("%v n=%d: rank 0 has combine parent %d", alg, n, p)
+			}
+		}
+	}
+}
+
+// TestCombineTreeRankOrder simulates a concatenation reduce over the
+// combining tree and asserts the strict rank order MPI requires of
+// non-commutative operations.
+func TestCombineTreeRankOrder(t *testing.T) {
+	for _, alg := range []Algorithm{Repetitive, SpanningTree} {
+		for _, n := range []int{1, 2, 3, 5, 6, 8, 13, 16, 33} {
+			var combine func(self int) []int
+			combine = func(self int) []int {
+				acc := []int{self}
+				for _, c := range CombineChildren(alg, n, self) {
+					acc = append(acc, combine(c)...)
+				}
+				return acc
+			}
+			got := combine(0)
+			if len(got) != n {
+				t.Fatalf("%v n=%d: combined %d ranks", alg, n, len(got))
+			}
+			for i, r := range got {
+				if r != i {
+					t.Fatalf("%v n=%d: combine order %v violates rank order at %d", alg, n, got, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCombineTreeDepthLogarithmic(t *testing.T) {
+	depth := func(n, self int) int {
+		d := 0
+		for self != 0 {
+			self = CombineParent(SpanningTree, n, self)
+			d++
+		}
+		return d
+	}
+	for _, n := range []int{2, 8, 9, 16, 100, 1000} {
+		want := Rounds(SpanningTree, n)
+		for self := 0; self < n; self++ {
+			if d := depth(n, self); d > want {
+				t.Fatalf("n=%d self=%d: combine depth %d > ⌈log₂n⌉ = %d", n, self, d, want)
+			}
+		}
+	}
+}

@@ -493,9 +493,14 @@ func (d *direction) wire() {
 	// accepted so far. Pacing sleeps only when the accumulated deficit
 	// exceeds a scheduling quantum, so small packets (ATM cells) are
 	// paced accurately on average instead of per-packet, where sleep
-	// granularity would inflate them ~20×.
+	// granularity would inflate them ~20×. The quantum also bounds how
+	// far a sender can overrun the line before the send buffer pushes
+	// back: a whole quantum's worth of bytes drains without blocking,
+	// so it is kept well under typical message transmission times or a
+	// fan-out sender (a multicast root) would never feel its links
+	// serialise.
 	var lineFree time.Time
-	const pacingQuantum = time.Millisecond
+	const pacingQuantum = 250 * time.Microsecond
 	for {
 		d.mu.Lock()
 		for d.queue.empty() && !d.closed {

@@ -18,7 +18,11 @@
 //   - error control algorithms: selective repeat (default), go-back-N,
 //     or none;
 //   - multicast algorithms for group communication: repetitive
-//     send/receive or a binomial spanning tree;
+//     send/receive or a binomial spanning tree, under a full collective
+//     repertoire (Broadcast, Reduce, Barrier, Scatter, Gather,
+//     AllGather, ReduceScatter, AllToAll) with per-operation deadlines,
+//     tagged frames that detect members falling out of step, and
+//     chunk-pipelined large broadcasts;
 //   - separated control and data connections: acknowledgments and
 //     credits never compete with payload for data-path bandwidth;
 //   - a thread-per-function runtime (Master, Flow Control, Error
@@ -46,7 +50,9 @@
 //
 // Connections are full duplex; Send blocks until the transfer completes
 // under the connection's error control scheme. Group communication
-// (broadcast, reduce, barrier) is built with BuildGroup.
+// (broadcast, reduce, scatter/gather, all-to-all, barrier) is built
+// with BuildGroup; BuildGroupConfig additionally tunes the collective
+// engine's deadline and broadcast chunk size.
 //
 // For request/response workloads, attach the RPC layer to both ends of
 // a connection instead of hand-rolling matching over Send/Recv:
@@ -119,10 +125,18 @@ type (
 	Topology = atm.Topology
 	// LinkSpec describes one physical link of a Topology.
 	LinkSpec = atm.LinkSpec
-	// Group is a process group supporting broadcast, reduce, allreduce
-	// and barrier over a selectable multicast algorithm.
+	// Group is a process group supporting the collective repertoire —
+	// Broadcast, Reduce, AllReduce, Barrier, Scatter, Gather,
+	// AllGather, ReduceScatter, AllToAll — over a selectable multicast
+	// algorithm, with per-operation deadlines and tagged frames that
+	// detect members falling out of step.
 	Group = group.Group
-	// ReduceOp combines two partial reduction values.
+	// GroupConfig tunes a group's collective engine: multicast
+	// algorithm, per-operation deadline, broadcast pipelining chunk.
+	GroupConfig = group.Config
+	// ReduceOp combines two partial reduction values. It must be
+	// associative; partials always combine in ascending rank order, so
+	// non-commutative operations are deterministic.
 	ReduceOp = group.ReduceOp
 	// FlowConfig tunes the selected flow control algorithm.
 	FlowConfig = flowctl.Config
@@ -208,6 +222,12 @@ var (
 	ErrRecvTimeout     = core.ErrRecvTimeout
 	ErrPeerUnreachable = core.ErrPeerUnreachable
 	ErrInboxClosed     = core.ErrInboxClosed
+	// ErrGroupDeadline reports a collective that did not complete
+	// within the group's per-operation deadline.
+	ErrGroupDeadline = group.ErrDeadline
+	// ErrGroupMismatch reports group members whose collective calls
+	// fell out of step.
+	ErrGroupMismatch = group.ErrMismatch
 )
 
 // RPC layer (internal/rpc): multiplexed request/response calls over any
@@ -305,6 +325,19 @@ func BuildGroup(nw *Network, names []string, opts Options, alg mcast.Algorithm) 
 // ConnectGroup builds a group over already-registered systems.
 func ConnectGroup(systems []*System, opts Options, alg mcast.Algorithm) ([]*Group, error) {
 	return group.Connect(systems, opts, alg)
+}
+
+// BuildGroupConfig is BuildGroup with full collective-engine
+// configuration: multicast algorithm, per-operation deadline, and the
+// broadcast pipelining chunk size.
+func BuildGroupConfig(nw *Network, names []string, opts Options, cfg GroupConfig) ([]*Group, error) {
+	return group.BuildConfig(nw, names, opts, cfg)
+}
+
+// ConnectGroupConfig is ConnectGroup with full collective-engine
+// configuration.
+func ConnectGroupConfig(systems []*System, opts Options, cfg GroupConfig) ([]*Group, error) {
+	return group.ConnectConfig(systems, opts, cfg)
 }
 
 // Pair is a convenience for examples, tests and benchmarks: it creates

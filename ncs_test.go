@@ -3,6 +3,7 @@ package ncs_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -96,6 +97,52 @@ func TestPublicGroupAPI(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestPublicGroupConfigAPI(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+
+	groups, err := ncs.BuildGroupConfig(nw, []string{"gc0", "gc1", "gc2"},
+		ncs.Options{Interface: ncs.HPI}, ncs.GroupConfig{
+			Algorithm: ncs.MulticastSpanningTree,
+			Deadline:  2 * time.Second,
+			ChunkSize: 1024,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *ncs.Group) {
+			defer wg.Done()
+			parts := make([][]byte, g.Size())
+			for i := range parts {
+				parts[i] = []byte{byte(g.Rank()), byte(i)}
+			}
+			out, err := g.AllToAll(parts)
+			if err != nil {
+				t.Errorf("rank %d alltoall: %v", g.Rank(), err)
+				return
+			}
+			for src, p := range out {
+				if len(p) != 2 || p[0] != byte(src) || p[1] != byte(g.Rank()) {
+					t.Errorf("rank %d: bad part from %d: %v", g.Rank(), src, p)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The deadline surfaces through the public error export.
+	start := time.Now()
+	if _, err := groups[1].Broadcast(0, nil); !errors.Is(err, ncs.ErrGroupDeadline) {
+		t.Fatalf("err = %v, want ErrGroupDeadline", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("deadline failed to bound the wait")
+	}
 }
 
 func TestPublicErrors(t *testing.T) {
