@@ -12,6 +12,7 @@ package ncs_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -612,6 +613,48 @@ func BenchmarkAllocCollectiveAllReduce(b *testing.B) {
 			return err
 		})
 	}
+}
+
+// BenchmarkAllocIdleConnBytes measures the heap cost of one
+// established-but-quiet sharded connection: the number the
+// per-connection memory diet (lazy sessions, shared timer wheel)
+// drives down, and the one benchgate's bytes/idleconn gate protects.
+// The measurement is a single GC-fenced HeapAlloc delta across
+// building idleConnSample connection pairs — not a timed loop — so
+// the benchmark reports ns/op as 0 and the time gate skips it, while
+// the custom metric gates across machines.
+func BenchmarkAllocIdleConnBytes(b *testing.B) {
+	const idleConnSample = 256
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	opts := ncs.Options{Interface: ncs.HPI, Runtime: ncs.RuntimeSharded}
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	conns := make([]*ncs.Connection, 0, 2*idleConnSample)
+	for i := 0; i < idleConnSample; i++ {
+		c, p, err := ncs.Pair(nw, fmt.Sprintf("idle-a-%d", i), fmt.Sprintf("idle-b-%d", i), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns = append(conns, c, p)
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	per := 0.0
+	if after.HeapAlloc > before.HeapAlloc {
+		per = float64(after.HeapAlloc-before.HeapAlloc) / float64(len(conns))
+	}
+
+	for i := 0; i < b.N; i++ {
+		// The measurement above is one-shot; nothing meaningful to time.
+	}
+	runtime.KeepAlive(conns)
+	b.ReportMetric(per, "bytes/idleconn")
+	b.ReportMetric(0, "ns/op")
 }
 
 // ---------------------------------------------------------------------------

@@ -11,15 +11,18 @@ import (
 
 // sample is one benchmark line's gated metrics.
 type sample struct {
-	nsPerOp     float64
-	allocsPerOp float64
-	hasAllocs   bool
+	nsPerOp      float64
+	allocsPerOp  float64
+	hasAllocs    bool
+	bytesPerConn float64 // custom "bytes/idleconn" metric (ReportMetric)
+	hasBytes     bool
 }
 
 // bench aggregates repeated runs (-count=N) of one benchmark.
 type bench struct {
 	times  []float64
 	allocs []float64
+	bytes  []float64 // bytes/idleconn samples
 }
 
 // parseFile reads Go benchmark output: lines of the form
@@ -60,6 +63,9 @@ func parseFile(path string) (map[string]*bench, string, error) {
 		if s.hasAllocs {
 			b.allocs = append(b.allocs, s.allocsPerOp)
 		}
+		if s.hasBytes {
+			b.bytes = append(b.bytes, s.bytesPerConn)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, "", fmt.Errorf("%s: %w", path, err)
@@ -90,6 +96,12 @@ func parseLine(line string) (name string, s sample, ok bool) {
 		case "allocs/op":
 			s.allocsPerOp = v
 			s.hasAllocs = true
+		case "bytes/idleconn":
+			// The idle-memory benchmark's custom metric (ReportMetric):
+			// estimated heap bytes per established-but-quiet connection.
+			s.bytesPerConn = v
+			s.hasBytes = true
+			ok = true
 		}
 	}
 	return name, s, ok
@@ -126,8 +138,11 @@ func median(xs []float64) float64 {
 // comparable across machines (a runner-generation change would flake
 // every PR red), so on a CPU mismatch time regressions downgrade to
 // warnings while the allocs/op gate — deterministic everywhere —
-// stays hard.
-func compare(base, cur map[string]*bench, timeThreshold float64, sameCPU bool) (string, bool) {
+// stays hard. The bytes/idleconn gate is likewise CPU-independent
+// (heap layout does not depend on clock speed) and fails on a median
+// regression beyond memThreshold: it is how the per-connection memory
+// diet stays dieted.
+func compare(base, cur map[string]*bench, timeThreshold, memThreshold float64, sameCPU bool) (string, bool) {
 	names := make([]string, 0, len(cur))
 	for name := range cur {
 		names = append(names, name)
@@ -163,6 +178,14 @@ func compare(base, cur map[string]*bench, timeThreshold float64, sameCPU bool) (
 			if ca > ba {
 				fmt.Fprintf(&b, "FAIL   %s: allocs/op %.0f vs baseline %.0f — the pooled pipeline lost an optimisation\n",
 					name, ca, ba)
+				failed = true
+			}
+		}
+		if len(c.bytes) > 0 && len(bl.bytes) > 0 {
+			cm, bm := median(c.bytes), median(bl.bytes)
+			if bm > 0 && cm > bm*(1+memThreshold) {
+				fmt.Fprintf(&b, "FAIL   %s: bytes/idleconn %.0f vs baseline %.0f (+%.1f%%, threshold %.0f%%) — idle connections got fatter\n",
+					name, cm, bm, 100*(cm/bm-1), 100*memThreshold)
 				failed = true
 			}
 		}

@@ -55,7 +55,7 @@ func TestStripProcsCrossMachine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, failed := compare(base, c, 0.10, true)
+	report, failed := compare(base, c, 0.10, 0.10, true)
 	if failed {
 		t.Fatalf("2.5%% time delta failed the 10%% gate:\n%s", report)
 	}
@@ -65,7 +65,7 @@ func TestAllocRegressionFails(t *testing.T) {
 	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
 	cur := `BenchmarkAllocSCISend4KB-8  50000  20000 ns/op  180 B/op  3 allocs/op` + "\n"
 	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
-	report, failed := compare(base, c, 0.10, true)
+	report, failed := compare(base, c, 0.10, 0.10, true)
 	if !failed {
 		t.Fatalf("+1 alloc/op passed the gate:\n%s", report)
 	}
@@ -78,7 +78,7 @@ func TestTimeRegressionFails(t *testing.T) {
 	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
 	cur := `BenchmarkAllocSCISend4KB-8  50000  25000 ns/op  120 B/op  2 allocs/op` + "\n"
 	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
-	report, failed := compare(base, c, 0.10, true)
+	report, failed := compare(base, c, 0.10, 0.10, true)
 	if !failed {
 		t.Fatalf("+25%% time/op passed the 10%% gate:\n%s", report)
 	}
@@ -93,7 +93,7 @@ func TestTimeImprovementAndSlackPass(t *testing.T) {
 BenchmarkAllocHPIFastpathEcho-8  123456  5000 ns/op  67 B/op  1 allocs/op
 ` // -9.5% is inside the 10% band; faster + fewer allocs always passes
 	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
-	report, failed := compare(base, c, 0.10, true)
+	report, failed := compare(base, c, 0.10, 0.10, true)
 	if failed {
 		t.Fatalf("improvement or in-band noise failed the gate:\n%s", report)
 	}
@@ -118,7 +118,7 @@ func TestCrossCPUTimeNotGated(t *testing.T) {
 	if baseCPU == curCPU || baseCPU == "" || curCPU == "" {
 		t.Fatalf("cpu lines not parsed: %q vs %q", baseCPU, curCPU)
 	}
-	report, failed := compare(base, c, 0.10, baseCPU == curCPU)
+	report, failed := compare(base, c, 0.10, 0.10, baseCPU == curCPU)
 	if failed {
 		t.Fatalf("cross-CPU time delta failed the gate:\n%s", report)
 	}
@@ -129,8 +129,43 @@ func TestCrossCPUTimeNotGated(t *testing.T) {
 	// Same machines, same numbers: the alloc gate still bites.
 	curSrc = "cpu: AMD EPYC 7763\nBenchmarkAllocSCISend4KB-8  50000  90000 ns/op  120 B/op  5 allocs/op\n"
 	c, _, _ = parseFile(writeTemp(t, "c2.txt", curSrc))
-	if _, failed := compare(base, c, 0.10, false); !failed {
+	if _, failed := compare(base, c, 0.10, 0.10, false); !failed {
 		t.Fatal("allocs/op regression passed on cross-CPU comparison")
+	}
+}
+
+// TestIdleConnBytesGate pins the memory gate: the bytes/idleconn
+// custom metric (ReportMetric from the idle-memory benchmark) fails
+// on a median regression beyond the mem threshold, passes inside it,
+// and — unlike ns/op — gates even across CPU models, because heap
+// layout does not depend on clock speed.
+func TestIdleConnBytesGate(t *testing.T) {
+	baseSrc := `BenchmarkAllocIdleConnBytes-8  1  0 ns/op  800.0 bytes/idleconn
+BenchmarkAllocIdleConnBytes-8  1  0 ns/op  820.0 bytes/idleconn
+BenchmarkAllocIdleConnBytes-8  1  0 ns/op  810.0 bytes/idleconn
+`
+	base, _, err := parseFile(writeTemp(t, "b.txt", baseSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// +5% median: inside the 10% band.
+	okSrc := `BenchmarkAllocIdleConnBytes-8  1  0 ns/op  850.0 bytes/idleconn` + "\n"
+	c, _, _ := parseFile(writeTemp(t, "ok.txt", okSrc))
+	report, failed := compare(base, c, 0.10, 0.10, false)
+	if failed {
+		t.Fatalf("+5%% bytes/idleconn failed the 10%% gate:\n%s", report)
+	}
+
+	// +50% median: fat connections fail, even cross-CPU.
+	fatSrc := `BenchmarkAllocIdleConnBytes-8  1  0 ns/op  1215.0 bytes/idleconn` + "\n"
+	c, _, _ = parseFile(writeTemp(t, "fat.txt", fatSrc))
+	report, failed = compare(base, c, 0.10, 0.10, false)
+	if !failed {
+		t.Fatalf("+50%% bytes/idleconn passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "bytes/idleconn 1215 vs baseline 810") {
+		t.Fatalf("report does not explain the memory regression:\n%s", report)
 	}
 }
 
@@ -138,7 +173,7 @@ func TestNewBenchmarkDoesNotFail(t *testing.T) {
 	base, _, _ := parseFile(writeTemp(t, "b.txt", baselineSample))
 	cur := baselineSample + "BenchmarkBrandNew-8  1000  99999 ns/op  5000 B/op  99 allocs/op\n"
 	c, _, _ := parseFile(writeTemp(t, "c.txt", cur))
-	report, failed := compare(base, c, 0.10, true)
+	report, failed := compare(base, c, 0.10, 0.10, true)
 	if failed {
 		t.Fatalf("unbaselined benchmark failed the gate:\n%s", report)
 	}

@@ -15,6 +15,12 @@
 //     across machines, so a cross-CPU comparison downgrades time
 //     regressions to warnings instead of flaking PRs red whenever the
 //     CI runner generation differs from the baseline machine.
+//   - bytes/idleconn: a median regression beyond -mem-threshold
+//     (default 10%) fails. This custom metric (ReportMetric from the
+//     idle-memory benchmark) is the heap cost of one established,
+//     quiet connection — the number the 100k-connection scale work
+//     drove down — and, like allocs/op, it is CPU-independent, so it
+//     gates across machines.
 //
 // Benchmarks present in only one file are reported but do not fail
 // the gate: a brand-new benchmark has no baseline yet (refresh the
@@ -23,7 +29,7 @@
 //
 // Usage:
 //
-//	benchgate [-time-threshold 0.10] baseline.txt current.txt
+//	benchgate [-time-threshold 0.10] [-mem-threshold 0.10] baseline.txt current.txt
 //
 // benchstat (golang.org/x/perf) renders a nicer statistical comparison
 // of the same two files; benchgate exists to turn the comparison into
@@ -38,9 +44,10 @@ import (
 
 func main() {
 	threshold := flag.Float64("time-threshold", 0.10, "fail when median ns/op regresses more than this fraction")
+	memThreshold := flag.Float64("mem-threshold", 0.10, "fail when median bytes/idleconn regresses more than this fraction")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-time-threshold 0.10] baseline.txt current.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-time-threshold 0.10] [-mem-threshold 0.10] baseline.txt current.txt")
 		os.Exit(2)
 	}
 	base, baseCPU, err := parseFile(flag.Arg(0))
@@ -53,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	report, failed := compare(base, cur, *threshold, baseCPU == curCPU)
+	report, failed := compare(base, cur, *threshold, *memThreshold, baseCPU == curCPU)
 	fmt.Print(report)
 	if failed {
 		os.Exit(1)

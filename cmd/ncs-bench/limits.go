@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The scale sweep's guard rail: a 100k-connection point is only
+// meaningful on a host with the memory to hold 200k endpoints, and the
+// failure mode of overshooting is an OOM kill or a swap-storm hang —
+// neither of which tells the user what to do. The sweep therefore
+// refuses up front, with arithmetic, when the requested point exceeds
+// what the host can plausibly hold.
+
+// perConnBudgetBytes is the deliberately conservative planning budget
+// for one connection of the sweep: two endpoints' idle heap plus their
+// share of queues, inbox slots, and latency samples once traffic
+// starts. Idle endpoints measure far below this (see BENCH_scale.json
+// idle_bytes_per_conn); the margin is what keeps the guard from
+// passing a host straight into the OOM killer.
+const perConnBudgetBytes = 64 * 1024
+
+// fallbackConnLimit applies when the host's available memory cannot be
+// read (non-Linux, restricted /proc): permissive enough for any sweep
+// point on development hardware.
+const fallbackConnLimit = 1 << 17
+
+// hostConnLimit derives the largest connection count the sweep should
+// attempt from the host's available memory, budgeting half of it at
+// perConnBudgetBytes per connection.
+func hostConnLimit() int {
+	data, err := os.ReadFile("/proc/meminfo")
+	if err != nil {
+		return fallbackConnLimit
+	}
+	avail := parseMemAvailable(data)
+	if avail <= 0 {
+		return fallbackConnLimit
+	}
+	limit := int(avail / 2 / perConnBudgetBytes)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// parseMemAvailable extracts MemAvailable from /proc/meminfo content,
+// in bytes; 0 when absent or malformed.
+func parseMemAvailable(meminfo []byte) int64 {
+	sc := bufio.NewScanner(bytes.NewReader(meminfo))
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, "MemAvailable:")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || kb < 0 {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// checkScaleConns validates the sweep's largest requested point
+// against the effective connection limit, returning a self-explanatory
+// error instead of letting the sweep hang or OOM.
+func checkScaleConns(requested, limit int) error {
+	if requested <= limit {
+		return nil
+	}
+	return fmt.Errorf(
+		"scale: %d connections exceeds the limit of %d (budgeting %d KB per connection, 2 endpoints each, against half of available memory); "+
+			"run a smaller -scale-max, or raise -max-conns if the host really has the headroom",
+		requested, limit, perConnBudgetBytes/1024)
+}

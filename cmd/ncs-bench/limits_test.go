@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMemAvailable(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want int64
+	}{
+		{"typical", "MemTotal:       131072000 kB\nMemFree:        1000 kB\nMemAvailable:   2048 kB\n", 2048 * 1024},
+		{"first line", "MemAvailable: 16 kB\n", 16 * 1024},
+		{"absent", "MemTotal: 1000 kB\nMemFree: 100 kB\n", 0},
+		{"malformed value", "MemAvailable: lots kB\n", 0},
+		{"empty", "", 0},
+	}
+	for _, tc := range cases {
+		if got := parseMemAvailable([]byte(tc.in)); got != tc.want {
+			t.Errorf("%s: parseMemAvailable = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCheckScaleConnsClamp pins the guard-rail behaviour: a sweep
+// that would blow past the host's memory must refuse with a message
+// naming the request, the limit, and the -max-conns override — not
+// hang or OOM partway through establishment.
+func TestCheckScaleConnsClamp(t *testing.T) {
+	if err := checkScaleConns(4096, 4096); err != nil {
+		t.Fatalf("at-limit request refused: %v", err)
+	}
+	if err := checkScaleConns(100, 100000); err != nil {
+		t.Fatalf("small request refused: %v", err)
+	}
+	err := checkScaleConns(100000, 8192)
+	if err == nil {
+		t.Fatal("over-limit request accepted")
+	}
+	for _, want := range []string{"100000", "8192", "-max-conns"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRunScaleRefusesOverLimit drives the clamp through runScale: an
+// explicit -max-conns below the requested sweep must turn into the
+// clear refusal, before any connection is built.
+func TestRunScaleRefusesOverLimit(t *testing.T) {
+	sc := scaleOpts{max: 100000, maxConns: 1024, dur: 0, out: ""}
+	err := runScale(sc)
+	if err == nil {
+		t.Fatal("over-limit sweep accepted")
+	}
+	if !strings.Contains(err.Error(), "100000") || !strings.Contains(err.Error(), "1024") {
+		t.Fatalf("refusal does not explain itself: %v", err)
+	}
+}
+
+func TestHostConnLimitPositive(t *testing.T) {
+	if limit := hostConnLimit(); limit < 1 {
+		t.Fatalf("hostConnLimit = %d, want >= 1", limit)
+	}
+}

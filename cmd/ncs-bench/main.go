@@ -49,9 +49,10 @@ import (
 
 // scaleOpts carries the scale experiment's knobs from flags to run.
 type scaleOpts struct {
-	max int
-	dur time.Duration
-	out string
+	max      int
+	maxConns int // hard clamp; 0 derives it from host memory
+	dur      time.Duration
+	out      string
 }
 
 // collectiveOpts carries the collective experiment's knobs.
@@ -96,7 +97,8 @@ func main() {
 		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, all")
 		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
-		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep")
+		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep (sweep points: 16…100000; threaded points cap at 4096)")
+		maxConns = flag.Int("max-conns", 0, "scale: refuse connection counts above this (0: derive from host memory)")
 		scaleDur = flag.Duration("scale-dur", 400*time.Millisecond, "scale: measured interval per point")
 		scaleOut = flag.String("scale-out", "BENCH_scale.json", "scale: JSON results path (empty: skip)")
 
@@ -106,7 +108,7 @@ func main() {
 		collOut     = flag.String("collective-out", "BENCH_collective.json", "collective: JSON results path (empty: skip)")
 	)
 	flag.Parse()
-	sc := scaleOpts{max: *scaleMax, dur: *scaleDur, out: *scaleOut}
+	sc := scaleOpts{max: *scaleMax, maxConns: *maxConns, dur: *scaleDur, out: *scaleOut}
 	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
@@ -196,8 +198,15 @@ func runScale(sc scaleOpts) error {
 	if sc.max < 1 {
 		return fmt.Errorf("scale: -scale-max must be at least 1 (got %d)", sc.max)
 	}
+	limit := sc.maxConns
+	if limit <= 0 {
+		limit = hostConnLimit()
+	}
+	if err := checkScaleConns(sc.max, limit); err != nil {
+		return err
+	}
 	conns := []int{}
-	for _, n := range []int{16, 64, 256, 1024, 2048, 4096} {
+	for _, n := range []int{16, 64, 256, 1024, 2048, 4096, 16384, 32768, 65536, 100000} {
 		if n <= sc.max {
 			conns = append(conns, n)
 		}

@@ -31,6 +31,13 @@ import (
 // Results render as a table and serialise to machine-readable JSON
 // (BENCH_scale.json by default) so CI can archive them per run.
 
+// ThreadedConnCap is the largest connection count a threaded point
+// runs at: beyond it the paper's thread-per-connection architecture is
+// ~8 goroutines per connection and exists only to be compared against,
+// so the 16k–100k points run sharded only. The sweep logs every
+// skipped threaded point rather than capping silently.
+const ThreadedConnCap = 4096
+
 // ScaleConfig parameterises the sweep.
 type ScaleConfig struct {
 	// Conns is the connection-count axis.
@@ -76,6 +83,25 @@ type ScalePoint struct {
 	P99Micros  float64 `json:"p99_us"`
 	Goroutines int     `json:"goroutines"`
 	AllocsPer  float64 `json:"allocs_per_op"`
+	// IdleBytesPerConn is the measured heap cost of one idle
+	// connection endpoint: the GC-settled HeapAlloc growth of
+	// establishing the full mesh, divided by the 2×conns endpoints the
+	// process hosts, sampled before any traffic. This is the number
+	// the per-connection memory diet moves and the one benchgate
+	// guards (BenchmarkAllocIdleConnBytes).
+	IdleBytesPerConn float64 `json:"idle_bytes_per_conn"`
+	// IdleGoroutines is the process goroutine count at the same idle
+	// sample: threaded points grow ~8×conns, sharded points must not
+	// grow with conns at all.
+	IdleGoroutines int `json:"idle_goroutines"`
+	// PendingTimers counts armed timer-wheel timers at idle across
+	// both systems. Idle connections must contribute zero — heartbeats
+	// and retransmissions only arm wheel slots while they are live.
+	PendingTimers int `json:"pending_timers"`
+	// EstBytesPerConn is System.MemStats' structural estimate for the
+	// same endpoints — a cross-check that the estimator tracks the
+	// measured heap cost.
+	EstBytesPerConn float64 `json:"est_bytes_per_conn"`
 	// Shards and PacketsPerBatch describe the sharded runtime's pool
 	// (zero on threaded points).
 	Shards          int     `json:"shards,omitempty"`
@@ -101,6 +127,14 @@ func ScaleSweep(cfg ScaleConfig) (*ScaleResult, error) {
 	base := runtime.NumGoroutine()
 	for _, rt := range cfg.Runtimes {
 		for _, n := range cfg.Conns {
+			if rt == core.RuntimeThreaded && n > ThreadedConnCap {
+				// Never a silent cap: a threaded point costs ~8
+				// goroutines per connection, so the big points are
+				// sharded-only by design, and the skip is announced.
+				fmt.Fprintf(os.Stderr, "scale: skipping threaded %d conns (threaded cap %d; larger points run sharded only)\n",
+					n, ThreadedConnCap)
+				continue
+			}
 			pt, err := runScalePoint(rt, n, cfg)
 			if err != nil {
 				return nil, fmt.Errorf("scale %v/%d conns: %w", rt, n, err)
@@ -138,6 +172,12 @@ func runScalePoint(rt core.Runtime, conns int, cfg ScaleConfig) (ScalePoint, err
 	if err != nil {
 		return ScalePoint{}, err
 	}
+
+	// Heap floor before any connection exists: the idle-bytes sample
+	// below charges establishment (and nothing else) to the endpoints.
+	runtime.GC()
+	var h0 runtime.MemStats
+	runtime.ReadMemStats(&h0)
 
 	// Server side: every accepted connection feeds one Inbox; a fixed
 	// pool echoes. No per-connection goroutines on either runtime —
@@ -177,6 +217,21 @@ func runScalePoint(rt core.Runtime, conns int, cfg ScaleConfig) (ScalePoint, err
 	if err := <-acceptErr; err != nil {
 		return ScalePoint{}, err
 	}
+
+	// Idle sample: the whole mesh is up, nothing has sent. This is the
+	// 100k-idle-connections number — bytes, goroutines, and armed
+	// timers per established-but-quiet endpoint.
+	runtime.GC()
+	var h1 runtime.MemStats
+	runtime.ReadMemStats(&h1)
+	idleBytesPerConn := 0.0
+	if h1.HeapAlloc > h0.HeapAlloc {
+		idleBytesPerConn = float64(h1.HeapAlloc-h0.HeapAlloc) / float64(2*conns)
+	}
+	idleGoroutines := runtime.NumGoroutine()
+	cms, sms := client.MemStats(), server.MemStats()
+	pendingTimers := cms.PendingTimers + sms.PendingTimers
+	estBytesPerConn := float64(cms.EstimatedBytes+sms.EstimatedBytes) / float64(2*conns)
 
 	var serverWG sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
@@ -291,15 +346,19 @@ func runScalePoint(rt core.Runtime, conns int, cfg ScaleConfig) (ScalePoint, err
 		return float64(all[i].Nanoseconds()) / 1e3
 	}
 	pt := ScalePoint{
-		Runtime:    rt.String(),
-		Conns:      conns,
-		Messages:   msgs,
-		Throughput: float64(measured) / elapsed.Seconds(),
-		P50Micros:  pct(0.50),
-		P99Micros:  pct(0.99),
-		Goroutines: goroutines,
-		AllocsPer:  float64(m1.Mallocs-m0.Mallocs) / float64(msgs),
-		Shards:     st.Shards + sst.Shards,
+		Runtime:          rt.String(),
+		Conns:            conns,
+		Messages:         msgs,
+		Throughput:       float64(measured) / elapsed.Seconds(),
+		P50Micros:        pct(0.50),
+		P99Micros:        pct(0.99),
+		Goroutines:       goroutines,
+		AllocsPer:        float64(m1.Mallocs-m0.Mallocs) / float64(msgs),
+		IdleBytesPerConn: idleBytesPerConn,
+		IdleGoroutines:   idleGoroutines,
+		PendingTimers:    pendingTimers,
+		EstBytesPerConn:  estBytesPerConn,
+		Shards:           st.Shards + sst.Shards,
 	}
 	if b := st.Batches + sst.Batches; b > 0 {
 		pt.PacketsPerBatch = float64(st.BatchedPackets+sst.BatchedPackets) / float64(b)
@@ -312,18 +371,20 @@ func (r *ScaleResult) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scale: fan-in/fan-out echo, %d-byte payload, %d ms per point, GOMAXPROCS=%d\n",
 		r.MsgSize, r.DurationMS, r.GOMAXPROCS)
-	fmt.Fprintf(&b, "%-9s %7s %12s %10s %10s %11s %10s %8s\n",
-		"runtime", "conns", "msgs/sec", "p50 µs", "p99 µs", "goroutines", "allocs/op", "pkts/wr")
+	fmt.Fprintf(&b, "%-9s %7s %12s %10s %10s %11s %10s %10s %9s %7s %8s\n",
+		"runtime", "conns", "msgs/sec", "p50 µs", "p99 µs", "goroutines", "allocs/op", "idle B/cn", "idle gor", "timers", "pkts/wr")
 	for _, p := range r.Points {
 		ppb := "-"
 		if p.PacketsPerBatch > 0 {
 			ppb = fmt.Sprintf("%.1f", p.PacketsPerBatch)
 		}
-		fmt.Fprintf(&b, "%-9s %7d %12.0f %10.1f %10.1f %11d %10.1f %8s\n",
+		fmt.Fprintf(&b, "%-9s %7d %12.0f %10.1f %10.1f %11d %10.1f %10.0f %9d %7d %8s\n",
 			p.Runtime, p.Conns, p.Throughput, p.P50Micros, p.P99Micros,
-			p.Goroutines, p.AllocsPer, ppb)
+			p.Goroutines, p.AllocsPer, p.IdleBytesPerConn, p.IdleGoroutines,
+			p.PendingTimers, ppb)
 	}
-	b.WriteString("(goroutines: whole process at steady state — threaded grows ~8×conns, sharded stays near 2×GOMAXPROCS+workers)\n")
+	b.WriteString("(goroutines: whole process at steady state — threaded grows ~8×conns, sharded stays near 2×GOMAXPROCS+workers;\n" +
+		" idle B/cn, idle gor, timers: heap bytes, goroutines, and armed wheel timers per idle endpoint after establishment, before traffic)\n")
 	return b.String()
 }
 

@@ -94,14 +94,27 @@ type Connection struct {
 	data transport.Conn
 	ctrl transport.Conn
 
-	fcSend flowctl.Sender
-	fcRecv flowctl.Receiver
+	// Flow control state is created on first use (flowSend/flowRecv):
+	// an idle connection that never sends or receives a data packet
+	// carries none. The pointers publish lazily-built interface values;
+	// c.mu serialises construction.
+	fcSend atomic.Pointer[flowctl.Sender]
+	fcRecv atomic.Pointer[flowctl.Receiver]
 
+	// sendQ and ctrlQ exist only on threaded runtimes — the sharded
+	// runtime deposits on its shard's outbound queue and the fast path
+	// writes inline, so neither pays for queues it never uses.
 	sendQ chan sendItem
 	ctrlQ chan packet.Control
 
-	delivered chan Message
+	// delivered is the connection's completed-message queue, created on
+	// first delivery or first Recv (deliveredQ) — both producer and
+	// consumer go through the accessor, so neither can miss the other.
+	delivered atomic.Pointer[chan Message]
 
+	// mu guards the lazy session and waiter tables below, both nil
+	// until the first inbound reliable session (sessions) or the first
+	// outbound reliable send (waiters).
 	mu       sync.Mutex
 	sessions map[uint32]*recvSession
 	sessAge  []uint32
@@ -142,20 +155,13 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		ctrl = platform.Tax(ctrl, *opts.Platform)
 	}
 	c := &Connection{
-		sys:       sys,
-		peer:      peer,
-		id:        id,
-		opts:      opts,
-		data:      data,
-		ctrl:      ctrl,
-		fcSend:    flowctl.NewSender(opts.FlowControl, opts.FlowConfig),
-		fcRecv:    flowctl.NewReceiver(opts.FlowControl, opts.FlowConfig),
-		sendQ:     make(chan sendItem, sendQueueDepth),
-		ctrlQ:     make(chan packet.Control, 16),
-		delivered: make(chan Message, deliveredQueueDepth),
-		sessions:  make(map[uint32]*recvSession),
-		waiters:   make(map[uint32]chan ctrlEvent),
-		closedCh:  make(chan struct{}),
+		sys:      sys,
+		peer:     peer,
+		id:       id,
+		opts:     opts,
+		data:     data,
+		ctrl:     ctrl,
+		closedCh: make(chan struct{}),
 	}
 	c.lastHeard.Store(time.Now().UnixNano())
 	switch {
@@ -171,12 +177,15 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		// Ablation mode: control shares the data connection, so the
 		// Send Thread carries both and the Receive Thread demultiplexes
 		// — exactly the per-packet demux cost the split planes avoid.
+		c.sendQ = make(chan sendItem, sendQueueDepth)
 		c.wg.Add(2)
 		go c.sendThread()
 		go c.recvThread()
 	default:
 		// Data plane: per-connection Send and Receive Threads; control
 		// plane: per-connection Control Send/Receive Threads.
+		c.sendQ = make(chan sendItem, sendQueueDepth)
+		c.ctrlQ = make(chan packet.Control, 16)
 		c.wg.Add(4)
 		go c.sendThread()
 		go c.recvThread()
@@ -188,6 +197,66 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		go c.heartbeatThread()
 	}
 	return c
+}
+
+// flowSend returns the connection's flow-control sender, creating it
+// on first use. The fast path is one atomic load.
+func (c *Connection) flowSend() flowctl.Sender {
+	if p := c.fcSend.Load(); p != nil {
+		return *p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.fcSend.Load(); p != nil {
+		return *p
+	}
+	fs := flowctl.NewSender(c.opts.FlowControl, c.opts.FlowConfig)
+	select {
+	case <-c.closedCh:
+		// Construction raced Close (which tears flow control down under
+		// this same mutex): close the newcomer so no admission waiter
+		// can block on a sender teardown never saw.
+		fs.Close()
+	default:
+	}
+	c.fcSend.Store(&fs)
+	return fs
+}
+
+// flowRecv returns the connection's flow-control receiver, creating it
+// on first use.
+func (c *Connection) flowRecv() flowctl.Receiver {
+	if p := c.fcRecv.Load(); p != nil {
+		return *p
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.fcRecv.Load(); p != nil {
+		return *p
+	}
+	fr := flowctl.NewReceiver(c.opts.FlowControl, c.opts.FlowConfig)
+	select {
+	case <-c.closedCh:
+		fr.Close()
+	default:
+	}
+	c.fcRecv.Store(&fr)
+	return fr
+}
+
+// deliveredQ returns the completed-message queue, creating it on first
+// use. Producers (recvThread, the shard's deliver) and consumers
+// (RecvMessage) share this accessor, so a consumer always selects on
+// the same channel a producer delivers into.
+func (c *Connection) deliveredQ() chan Message {
+	if p := c.delivered.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan Message, deliveredQueueDepth)
+	if c.delivered.CompareAndSwap(nil, &ch) {
+		return ch
+	}
+	return *c.delivered.Load()
 }
 
 // attachShard registers the connection with its System's shard pool:
@@ -399,6 +468,9 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 
 	ackCh := make(chan ctrlEvent, 4)
 	c.mu.Lock()
+	if c.waiters == nil {
+		c.waiters = make(map[uint32]chan ctrlEvent)
+	}
 	c.waiters[sess] = ackCh
 	c.mu.Unlock()
 	defer func() {
@@ -430,8 +502,57 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 	}
 	lastSend := time.Now()
 	retransmitted := false // Karn's rule: skip samples after a retransmit
-	timer := time.NewTimer(rto())
-	defer timer.Stop()
+
+	// Retransmission timing: a sharded connection parks its timer on
+	// the System's hashed wheel — thousands of in-flight reliable sends
+	// then share one timer goroutine — while the threaded runtime keeps
+	// its dedicated runtime timer, today's behaviour.
+	var (
+		timer  *time.Timer
+		timerC <-chan time.Time
+		wfire  chan struct{}
+		wt     *wheelTimer
+	)
+	if c.sh != nil {
+		wfire = make(chan struct{}, 1)
+		wt = c.sys.timerWheel().newTimer(func() {
+			select {
+			case wfire <- struct{}{}:
+			default:
+			}
+		})
+		wt.reset(rto())
+		defer wt.stop()
+	} else {
+		timer = time.NewTimer(rto())
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	rearm := func() {
+		if wt != nil {
+			wt.reset(rto())
+		} else {
+			resetTimer(timer, rto())
+		}
+	}
+	// Retransmissions transmit synchronously (the trailing true): their
+	// payloads alias msg, which the caller may recycle the moment Send
+	// returns, and the final ack can land while an async duplicate still
+	// sits in the send queue. Waiting for the Send Thread's confirmation
+	// — it copies the payload into its own staging buffer before
+	// batching — keeps every queued alias inside Send's lifetime. The
+	// original window needs no such barrier: an ack proves its SDUs were
+	// already staged and written. Retransmission is the slow path; the
+	// extra round trip to the Send Thread does not touch healthy sends.
+	onTimeout := func() error {
+		if err := c.transmit(snd.OnTimeout(), nil, true); err != nil {
+			return err
+		}
+		lastSend = time.Now()
+		retransmitted = true
+		rearm()
+		return nil
+	}
 	for {
 		select {
 		case ev := <-ackCh:
@@ -450,20 +571,21 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 				return nil
 			}
 			if len(rt) > 0 {
-				if err := c.transmit(rt, nil, false); err != nil {
+				if err := c.transmit(rt, nil, true); err != nil {
 					return err
 				}
 				lastSend = time.Now()
 				retransmitted = true
 			}
-			resetTimer(timer, rto())
-		case <-timer.C:
-			if err := c.transmit(snd.OnTimeout(), nil, false); err != nil {
+			rearm()
+		case <-timerC:
+			if err := onTimeout(); err != nil {
 				return err
 			}
-			lastSend = time.Now()
-			retransmitted = true
-			resetTimer(timer, rto())
+		case <-wfire:
+			if err := onTimeout(); err != nil {
+				return err
+			}
 		case <-c.closedCh:
 			return ErrConnClosed
 		}
@@ -491,17 +613,18 @@ var doneChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 // hand-off for a batch of SDUs. When sync is true it waits for the Send
 // Thread to confirm the final SDU left the interface.
 func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error {
+	fc := c.flowSend()
 	for i, sdu := range sdus {
 		idx := c.txCounter.Add(1) - 1
 		for {
-			err := c.fcSend.AcquireTimeout(idx, c.opts.AckTimeout)
+			err := fc.AcquireTimeout(idx, c.opts.AckTimeout)
 			if err == nil {
 				break
 			}
 			if errors.Is(err, flowctl.ErrAcquireTimeout) {
 				// On lossy links, dropped data packets consume credits
 				// whose grants never return; resynchronise and retry.
-				c.fcSend.Resync()
+				fc.Resync()
 				continue
 			}
 			return ErrConnClosed
@@ -660,14 +783,15 @@ func (c *Connection) RecvMessage() (Message, error) {
 	if c.opts.FastPath {
 		return c.recvFast(0)
 	}
+	delivered := c.deliveredQ()
 	select {
-	case m := <-c.delivered:
+	case m := <-delivered:
 		c.afterRecv()
 		return m, nil
 	case <-c.closedCh:
 		// Drain anything completed before close.
 		select {
-		case m := <-c.delivered:
+		case m := <-delivered:
 			return m, nil
 		default:
 			return Message{}, c.closeErr()
@@ -698,7 +822,7 @@ func (c *Connection) RecvMessageTimeout(d time.Duration) (Message, error) {
 		return c.recvFast(d)
 	}
 	select {
-	case m := <-c.delivered:
+	case m := <-c.deliveredQ():
 		c.afterRecv()
 		return m, nil
 	case <-c.closedCh:
@@ -771,7 +895,7 @@ func (c *Connection) recvThread() {
 				c.inbox.CompareAndSwap(ib, nil)
 			}
 			select {
-			case c.delivered <- m:
+			case c.deliveredQ() <- m:
 			case <-c.closedCh:
 				return
 			}
@@ -791,7 +915,7 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 	// sees the connection-lifetime arrival index, not the per-session
 	// SDU sequence number.
 	rxIdx := c.rxCounter.Add(1) - 1
-	for _, ctl := range c.fcRecv.OnData(rxIdx) {
+	for _, ctl := range c.flowRecv().OnData(rxIdx) {
 		ctl.ConnID = c.id
 		ctl.SessionID = h.SessionID
 		if !emit(ctl) {
@@ -818,6 +942,9 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 	c.mu.Lock()
 	rs, ok := c.sessions[h.SessionID]
 	if !ok {
+		if c.sessions == nil {
+			c.sessions = make(map[uint32]*recvSession)
+		}
 		rs = recvSessionPool.Get().(*recvSession)
 		rs.rcv = errctl.NewReceiver(c.opts.ErrorControl)
 		c.sessions[h.SessionID] = rs
@@ -969,7 +1096,7 @@ func (c *Connection) routeControl(ctl packet.Control, ref *buf.Buffer) {
 	case packet.CtrlPong:
 		// lastHeard already refreshed; nothing else to do.
 	case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
-		c.fcSend.OnControl(ctl)
+		c.flowSend().OnControl(ctl)
 	case packet.CtrlAck, packet.CtrlNack:
 		// The deposit stays under c.mu so a completing sender can
 		// delete its waiter and then drain the channel without racing a
@@ -1029,8 +1156,20 @@ func (c *Connection) ImpairData(imp netsim.Impairments) bool {
 func (c *Connection) Close() error {
 	c.closeOnce.Do(func() {
 		close(c.closedCh)
-		c.fcSend.Close()
-		c.fcRecv.Close()
+		// Serialise against the lazy flow-control constructors: after
+		// closedCh is closed and this section ran, any sender/receiver
+		// that exists — or is built later — has been Closed (the
+		// constructors self-close when they observe closedCh).
+		c.mu.Lock()
+		fcs := c.fcSend.Load()
+		fcr := c.fcRecv.Load()
+		c.mu.Unlock()
+		if fcs != nil {
+			(*fcs).Close()
+		}
+		if fcr != nil {
+			(*fcr).Close()
+		}
 		c.data.Close()
 		c.ctrl.Close()
 		c.wg.Wait()

@@ -392,12 +392,15 @@ type System struct {
 	closed bool
 
 	// The sharded runtime's I/O pool, built lazily on the first
-	// RuntimeSharded connection (see shard.go).
+	// RuntimeSharded connection (see shard.go), and the pool's hashed
+	// timer wheel (timerwheel.go), built lazily on the first armed
+	// timer. Both share shardMu and stop together in stopShards.
 	shardMu      sync.Mutex
 	shards       []*shard
 	shardN       int
 	shardStopped bool
 	shardWG      sync.WaitGroup
+	wheel        *timerWheel
 }
 
 // Name returns the system's registered name.

@@ -129,7 +129,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 		)
 		switch pkt.Type {
 		case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
-			c.fcSend.OnControl(pkt)
+			c.flowSend().OnControl(pkt)
 		case packet.CtrlAck, packet.CtrlNack:
 			if pkt.SessionID == sess {
 				matched = true
@@ -157,16 +157,17 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 // fastAdmit blocks until flow control admits the next transmission,
 // pumping the control connection for credits while it waits.
 func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
+	fc := c.flowSend()
 	idx := c.txCounter.Add(1) - 1
-	if c.fcSend.TryAcquire(idx) {
+	if fc.TryAcquire(idx) {
 		return nil
 	}
 	for attempt := 0; attempt < maxCreditWait; attempt++ {
 		cb, err := c.ctrl.RecvBufTimeout(c.opts.AckTimeout)
 		if errors.Is(err, transport.ErrRecvTimeout) {
 			// No control traffic at all: assume credit loss and resync.
-			c.fcSend.Resync()
-			if c.fcSend.TryAcquire(idx) {
+			fc.Resync()
+			if fc.TryAcquire(idx) {
 				return nil
 			}
 			continue
@@ -177,7 +178,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 		}
 		pkt, perr := packet.UnmarshalControl(cb.B)
 		if perr == nil {
-			c.fcSend.OnControl(pkt)
+			fc.OnControl(pkt)
 			// Acks that arrive while we wait for credits still belong to
 			// the active session's error control.
 			if (pkt.Type == packet.CtrlAck || pkt.Type == packet.CtrlNack) && pkt.SessionID == sess {
@@ -188,7 +189,7 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 			}
 		}
 		cb.Release()
-		if c.fcSend.TryAcquire(idx) {
+		if fc.TryAcquire(idx) {
 			return nil
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ncs/internal/buf"
+	"ncs/internal/flowctl"
 )
 
 // TestMain is the package's goleak-style audit: after every test has
@@ -29,21 +30,26 @@ func TestMain(m *testing.M) {
 }
 
 // awaitQuiescence polls until the goroutine count returns to the
-// baseline and no pooled buffers remain outstanding, tolerating the
-// short tail of exiting threads after the final Close.
+// baseline, no pooled buffers remain outstanding, and no flow-control
+// deadline timers are still armed, tolerating the short tail of
+// exiting threads after the final Close. The timer check catches acked
+// sends that abandon their AcquireTimeout timers: each would pin its
+// sender (and its connection) on the runtime timer heap until the full
+// ack deadline elapsed.
 func awaitQuiescence(baseline int, patience time.Duration) error {
 	deadline := time.Now().Add(patience)
 	for {
 		goroutines := runtime.NumGoroutine()
 		bufs := buf.Outstanding()
-		if goroutines <= baseline && bufs == 0 {
+		timers := flowctl.PendingTimers()
+		if goroutines <= baseline && bufs == 0 && timers == 0 {
 			return nil
 		}
 		if time.Now().After(deadline) {
 			stack := make([]byte, 1<<20)
 			stack = stack[:runtime.Stack(stack, true)]
-			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
-				goroutines, baseline, bufs, stack)
+			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding, %d flowctl timers armed\n%s",
+				goroutines, baseline, bufs, timers, stack)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}

@@ -160,11 +160,16 @@ type shard struct {
 	ready   []*Connection
 	outQ    []outItem
 	hbEvery time.Duration // min heartbeat interval among registered conns
+	hbTimer *wheelTimer   // periodic sweep on the System's timer wheel
 
 	// Loop-owned scratch, ping-ponged with the locked slices.
 	readyScratch []*Connection
 	outScratch   []outItem
 	active       []*Connection
+
+	// hbScratch is heartbeatSweep's connection snapshot, reused across
+	// sweeps; the wheel goroutine is its sole user.
+	hbScratch []*Connection
 
 	wakeups        atomic.Uint64
 	batches        atomic.Uint64
@@ -233,10 +238,15 @@ func (sh *shard) register(c *Connection) {
 	sc := c.sh
 	sh.mu.Lock()
 	sh.conns[c] = struct{}{}
+	var arm time.Duration
 	if hb := c.opts.Heartbeat; hb > 0 && (sh.hbEvery == 0 || hb < sh.hbEvery) {
 		sh.hbEvery = hb
+		arm = hb
 	}
 	sh.mu.Unlock()
+	if arm > 0 {
+		sh.armHeartbeat(arm)
+	}
 	if sc.dataPoll != nil {
 		sc.dataPoll.SetRecvNotify(func() { sh.requeue(c) })
 	}
@@ -267,10 +277,11 @@ func (sh *shard) unregister(c *Connection) {
 			break
 		}
 	}
-	// Recompute the heartbeat minimum so the ticker stops once the
-	// last heartbeat-enabled connection is gone (register only
+	// Recompute the heartbeat minimum so the sweep timer disarms once
+	// the last heartbeat-enabled connection is gone (register only
 	// ratchets it down). Connections without heartbeat cannot have
 	// set it, so the scan is skipped on their (common) close.
+	var disarm *wheelTimer
 	if c.opts.Heartbeat > 0 {
 		sh.hbEvery = 0
 		for rc := range sh.conns {
@@ -278,54 +289,72 @@ func (sh *shard) unregister(c *Connection) {
 				sh.hbEvery = hb
 			}
 		}
+		if sh.hbEvery == 0 {
+			disarm = sh.hbTimer
+		}
 	}
 	sh.mu.Unlock()
+	if disarm != nil {
+		disarm.stop()
+	}
 	sh.serviceMu.Lock()
 	//lint:ignore SA2001 empty critical section: the acquire itself is the barrier.
 	sh.serviceMu.Unlock()
 }
 
-// loop is the shard's event loop.
+// loop is the shard's event loop. Heartbeats do not wake it: the
+// System's timer wheel sweeps registered connections directly
+// (armHeartbeat), so an all-idle shard sleeps in this select with no
+// ticker armed.
 func (sh *shard) loop() {
 	defer sh.sys.shardWG.Done()
-	var (
-		ticker    *time.Ticker
-		tickC     <-chan time.Time
-		tickEvery time.Duration
-	)
-	defer func() {
-		if ticker != nil {
-			ticker.Stop()
-		}
-	}()
 	for {
 		select {
 		case <-sh.doorbell:
-		case <-tickC:
-			sh.heartbeatSweep()
 		case <-sh.quit:
 			return
 		}
 		sh.wakeups.Add(1)
 		sh.cycle()
+	}
+}
 
-		// Heartbeat ticker maintenance: track the minimum interval
-		// registration has seen so far.
+// armHeartbeat (re)schedules the shard's heartbeat sweep on the
+// System's timer wheel, creating the timer on first use. The timer is
+// built outside sh.mu: System.timerWheel takes shardMu, which orders
+// before sh.mu elsewhere (ShardStats).
+func (sh *shard) armHeartbeat(hb time.Duration) {
+	sh.mu.Lock()
+	t := sh.hbTimer
+	sh.mu.Unlock()
+	if t == nil {
+		nt := sh.sys.timerWheel().newTimer(sh.heartbeatTick)
 		sh.mu.Lock()
-		hb := sh.hbEvery
-		sh.mu.Unlock()
-		if hb != tickEvery {
-			if ticker != nil {
-				ticker.Stop()
-			}
-			tickEvery = hb
-			if hb > 0 {
-				ticker = time.NewTicker(hb)
-				tickC = ticker.C
-			} else {
-				ticker, tickC = nil, nil
-			}
+		if sh.hbTimer == nil {
+			sh.hbTimer = nt
 		}
+		t = sh.hbTimer
+		sh.mu.Unlock()
+	}
+	t.reset(hb)
+}
+
+// heartbeatTick is the wheel callback: one sweep, then re-arm at the
+// current minimum interval. A shard whose last heartbeat connection
+// left (hbEvery == 0) simply does not re-arm.
+func (sh *shard) heartbeatTick() {
+	select {
+	case <-sh.quit:
+		return
+	default:
+	}
+	sh.heartbeatSweep()
+	sh.mu.Lock()
+	hb := sh.hbEvery
+	t := sh.hbTimer
+	sh.mu.Unlock()
+	if hb > 0 && t != nil {
+		t.reset(hb)
 	}
 }
 
@@ -590,7 +619,7 @@ func (sc *shardConn) deliver(c *Connection, m Message) bool {
 		}
 	}
 	select {
-	case c.delivered <- m:
+	case c.deliveredQ() <- m:
 		return true
 	default:
 		return false
@@ -622,12 +651,14 @@ func drainBufChan(ch chan *buf.Buffer) {
 }
 
 // heartbeatSweep is the sharded counterpart of heartbeatThread: one
-// shard-wide tick checks every registered connection's silence window
-// and emits pings, instead of one timer goroutine per connection.
+// wheel-driven sweep checks every registered connection's silence
+// window and emits pings, instead of one timer goroutine per
+// connection. It runs on the wheel goroutine, which is the sole
+// writer of every sharded connection's lastPing.
 func (sh *shard) heartbeatSweep() {
 	now := time.Now()
 	sh.mu.Lock()
-	conns := make([]*Connection, 0, len(sh.conns))
+	conns := sh.hbScratch[:0]
 	for c := range sh.conns {
 		if c.opts.Heartbeat > 0 {
 			conns = append(conns, c)
@@ -648,6 +679,10 @@ func (sh *shard) heartbeatSweep() {
 		}
 		c.enqueueCtrl(packet.Control{Type: packet.CtrlPing, ConnID: c.id})
 	}
+	for i := range conns {
+		conns[i] = nil
+	}
+	sh.hbScratch = conns[:0]
 }
 
 // ---------------------------------------------------------------------------
@@ -691,15 +726,35 @@ func (s *System) shardFor(connID uint32) *shard {
 	return s.shards[int(connID)%len(s.shards)]
 }
 
-// stopShards terminates the pool after every connection has closed.
+// timerWheel returns the System's shared hashed timer wheel, creating
+// it on first use. A System already shut down gets an inert wheel
+// (timers arm but never fire), mirroring shardFor's inert shards.
+func (s *System) timerWheel() *timerWheel {
+	s.shardMu.Lock()
+	defer s.shardMu.Unlock()
+	if s.wheel == nil {
+		s.wheel = newTimerWheel()
+		if s.shardStopped {
+			s.wheel.stop()
+		}
+	}
+	return s.wheel
+}
+
+// stopShards terminates the pool (and its timer wheel) after every
+// connection has closed.
 func (s *System) stopShards() {
 	s.shardMu.Lock()
 	shards := s.shards
 	s.shards = nil
 	s.shardStopped = true
+	wheel := s.wheel
 	s.shardMu.Unlock()
 	for _, sh := range shards {
 		close(sh.quit)
 	}
 	s.shardWG.Wait()
+	if wheel != nil {
+		wheel.stop()
+	}
 }

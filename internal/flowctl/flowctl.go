@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ncs/internal/packet"
@@ -150,20 +151,59 @@ type Receiver interface {
 	Close()
 }
 
+// pendingTimers counts armed AcquireTimeout deadline timers across the
+// package. The steady state is zero: admissions that succeed on the
+// first try never arm a timer, and callers that are woken by an ack
+// stop theirs on the way out. Leak audits (the TestMain in this package
+// and in internal/core) assert it drains between tests.
+var pendingTimers atomic.Int64
+
+// PendingTimers reports the number of deadline timers currently armed
+// by AcquireTimeout waiters. Exposed for leak audits and stats.
+func PendingTimers() int64 { return pendingTimers.Load() }
+
 // acquireTimeout runs a cond-wait loop with a deadline; try must be
 // called with mu held and reports (admitted, closed).
+//
+// The deadline timer is created lazily, only once the first try fails:
+// the overwhelming majority of acquisitions are admitted immediately
+// (credits are in hand), and at 100k connections a per-send
+// time.AfterFunc is pure churn on the runtime timer heap. A single
+// timer serves the whole wait, and it is stopped — not abandoned — when
+// an ack admits the waiter before the deadline.
 func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, try func() (ok, closed bool)) error {
-	deadline := time.Now().Add(d)
-	timer := time.AfterFunc(d, func() {
-		mu.Lock()
-		cond.Broadcast()
-		mu.Unlock()
-	})
-	defer timer.Stop()
-
 	mu.Lock()
 	defer mu.Unlock()
+
+	ok, closed := try()
+	if closed {
+		return ErrClosed
+	}
+	if ok {
+		return nil
+	}
+
+	deadline := time.Now().Add(d)
+	var timer *time.Timer
+	defer func() {
+		if timer != nil && timer.Stop() {
+			pendingTimers.Add(-1)
+		}
+	}()
 	for {
+		if !time.Now().Before(deadline) {
+			return ErrAcquireTimeout
+		}
+		if timer == nil {
+			pendingTimers.Add(1)
+			timer = time.AfterFunc(time.Until(deadline), func() {
+				pendingTimers.Add(-1)
+				mu.Lock()
+				cond.Broadcast()
+				mu.Unlock()
+			})
+		}
+		cond.Wait()
 		ok, closed := try()
 		if closed {
 			return ErrClosed
@@ -171,10 +211,6 @@ func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, try func()
 		if ok {
 			return nil
 		}
-		if !time.Now().Before(deadline) {
-			return ErrAcquireTimeout
-		}
-		cond.Wait()
 	}
 }
 

@@ -1,0 +1,122 @@
+package flowctl
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"ncs/internal/packet"
+)
+
+// creditGrant builds a CtrlCredit packet granting n credits.
+func creditGrant(n uint32) packet.Control {
+	return packet.Control{Type: packet.CtrlCredit, Body: packet.CreditBody(n)}
+}
+
+// TestMain audits the package's only hidden resource: the deadline
+// timers AcquireTimeout arms while a sender waits for admission. Every
+// waiter must stop its timer on the way out — whether it was admitted,
+// timed out, or closed — so after the full test run the armed count
+// must be back to zero. A nonzero count means acked windows are leaving
+// pending timers behind, which at scale is a slow leak on the runtime
+// timer heap.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := awaitTimersDrained(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// awaitTimersDrained polls until no AcquireTimeout deadline timers
+// remain armed, tolerating the brief tail of a timer whose callback is
+// still running as its waiter returns.
+func awaitTimersDrained(patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		n := PendingTimers()
+		if n == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("leak audit: %d AcquireTimeout deadline timers still armed", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestAcquireTimeoutFastPathArmsNoTimer checks the common case: when
+// credits are in hand, AcquireTimeout admits immediately and never
+// touches the timer heap.
+func TestAcquireTimeoutFastPathArmsNoTimer(t *testing.T) {
+	s := NewSender(Credit, Config{InitialCredits: 4})
+	defer s.Close()
+	before := PendingTimers()
+	for seq := uint32(0); seq < 4; seq++ {
+		if err := s.AcquireTimeout(seq, time.Second); err != nil {
+			t.Fatalf("AcquireTimeout(%d): %v", seq, err)
+		}
+	}
+	if after := PendingTimers(); after != before {
+		t.Fatalf("fast-path admission armed timers: %d -> %d", before, after)
+	}
+}
+
+// TestAcquireTimeoutStopsTimerOnAck verifies the ack path: a waiter
+// blocked on an exhausted window arms exactly one deadline timer, and
+// when a credit grant admits it before the deadline the timer is
+// stopped rather than left to fire.
+func TestAcquireTimeoutStopsTimerOnAck(t *testing.T) {
+	s := NewSender(Credit, Config{InitialCredits: 1})
+	defer s.Close()
+	if err := s.AcquireTimeout(0, time.Second); err != nil {
+		t.Fatalf("seed acquire: %v", err)
+	}
+
+	armed := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(armed)
+		done <- s.AcquireTimeout(1, 10*time.Second)
+	}()
+	<-armed
+	// Wait for the blocked sender to arm its deadline timer.
+	deadline := time.Now().Add(2 * time.Second)
+	for PendingTimers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never armed a deadline timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	s.OnControl(creditGrant(1))
+	if err := <-done; err != nil {
+		t.Fatalf("acked AcquireTimeout: %v", err)
+	}
+	// The long deadline timer must be gone the moment the waiter
+	// returns, not 10 seconds from now.
+	if n := PendingTimers(); n != 0 {
+		t.Fatalf("ack left %d deadline timers armed", n)
+	}
+}
+
+// TestAcquireTimeoutExpiredDeadline verifies the timeout path also
+// drains its timer (AfterFunc fires, so Stop alone must not
+// double-count).
+func TestAcquireTimeoutExpiredDeadline(t *testing.T) {
+	s := NewSender(Credit, Config{InitialCredits: 0, MaxCredits: 1})
+	defer s.Close()
+	// InitialCredits falls back to the default when <= 0, so drain it.
+	for s.TryAcquire(0) {
+	}
+	if err := s.AcquireTimeout(1, 5*time.Millisecond); err != ErrAcquireTimeout {
+		t.Fatalf("want ErrAcquireTimeout, got %v", err)
+	}
+	if err := awaitTimersDrained(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

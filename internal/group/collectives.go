@@ -16,6 +16,12 @@ import (
 // subtree and forwards the relevant sub-bundles, so the root does not
 // serialise n transfers under the spanning-tree algorithm.
 func (g *Group) Scatter(root int, parts [][]byte) ([]byte, error) {
+	g.quiesce()
+	return g.scatter(root, parts)
+}
+
+// scatter is the engine-callable implementation (see broadcast).
+func (g *Group) scatter(root int, parts [][]byte) ([]byte, error) {
 	if root < 0 || root >= g.size {
 		return nil, ErrBadRank
 	}
@@ -64,6 +70,12 @@ func (g *Group) Scatter(root int, parts [][]byte) ([]byte, error) {
 // Scatter). The root receives a slice indexed by rank; other ranks
 // receive nil.
 func (g *Group) Gather(root int, value []byte) ([][]byte, error) {
+	g.quiesce()
+	return g.gather(root, value)
+}
+
+// gather is the engine-callable implementation (see broadcast).
+func (g *Group) gather(root int, value []byte) ([][]byte, error) {
 	if root < 0 || root >= g.size {
 		return nil, ErrBadRank
 	}
@@ -110,7 +122,13 @@ func (g *Group) Gather(root int, value []byte) ([][]byte, error) {
 // every member ends with every rank's payload, indexed by rank. Large
 // bundles ride the Broadcast chunk pipeline.
 func (g *Group) AllGather(value []byte) ([][]byte, error) {
-	parts, err := g.Gather(0, value)
+	g.quiesce()
+	return g.allGather(value)
+}
+
+// allGather is the engine-callable implementation (see broadcast).
+func (g *Group) allGather(value []byte) ([][]byte, error) {
+	parts, err := g.gather(0, value)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +142,7 @@ func (g *Group) AllGather(value []byte) ([][]byte, error) {
 		}
 		raw = appendBundle(make([]byte, 0, bundleLen(ranks, bundle)), ranks, bundle)
 	}
-	raw, err = g.Broadcast(0, raw)
+	raw, err = g.broadcast(0, raw)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +167,12 @@ func (g *Group) AllGather(value []byte) ([][]byte, error) {
 // vector is Scattered from rank 0 — the dual of AllGather's
 // gather-then-broadcast.
 func (g *Group) ReduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
+	g.quiesce()
+	return g.reduceScatter(parts, op)
+}
+
+// reduceScatter is the engine-callable implementation (see broadcast).
+func (g *Group) reduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
 	if len(parts) != g.size {
 		return nil, fmt.Errorf("group reduce-scatter: %d parts for %d members", len(parts), g.size)
 	}
@@ -178,9 +202,9 @@ func (g *Group) ReduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
 		if err := g.sendVector(parent, opReduceScatter, tag, acc); err != nil {
 			return nil, err
 		}
-		return g.Scatter(0, nil)
+		return g.scatter(0, nil)
 	}
-	return g.Scatter(0, acc)
+	return g.scatter(0, acc)
 }
 
 // AllToAll performs a personalised total exchange: member r receives
@@ -189,6 +213,12 @@ func (g *Group) ReduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
 // parts, indexed by source rank. The exchange follows mcast.Exchanges'
 // linear pairwise schedule: n-1 contention-free rounds.
 func (g *Group) AllToAll(parts [][]byte) ([][]byte, error) {
+	g.quiesce()
+	return g.allToAll(parts)
+}
+
+// allToAll is the engine-callable implementation (see broadcast).
+func (g *Group) allToAll(parts [][]byte) ([][]byte, error) {
 	if len(parts) != g.size {
 		return nil, fmt.Errorf("group all-to-all: %d parts for %d members", len(parts), g.size)
 	}

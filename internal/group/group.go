@@ -11,6 +11,13 @@
 // in MPI. The group owns its mesh of NCS connections; do not reuse them
 // for point-to-point traffic.
 //
+// Nonblocking variants (IBroadcast, IAllReduce, IAllGather) enqueue
+// the operation on the member's collective engine and return an
+// awaitable Handle immediately; see nonblocking.go. Submission order
+// is execution order, so mixing blocking and nonblocking calls keeps
+// the communicator contract: blocking collectives drain the pending
+// queue before they run.
+//
 // # The collective engine
 //
 // Every transfer is a tagged frame: a 17-byte header carrying the
@@ -204,8 +211,15 @@ type Group struct {
 	// tag is the member's collective sequence number. Collectives are
 	// called in the same order on every member (the communicator
 	// contract), one at a time per member, so plain arithmetic under
-	// the caller's own ordering suffices.
+	// the caller's own ordering suffices. Nonblocking collectives keep
+	// the contract by executing on the member's single engine
+	// goroutine in submission order, and blocking collectives quiesce
+	// that engine before taking their tag.
 	tag uint32
+
+	// eng executes nonblocking collectives (nonblocking.go). Zero
+	// value ready; costs nothing until the first IBroadcast/IAllReduce.
+	eng engine
 }
 
 // Rank returns this member's rank in 0..Size()-1.
@@ -506,6 +520,14 @@ func (g *Group) recvFrame(src int, op byte, tag, chunk uint32, dl time.Time) (fr
 // interior rank forwards chunk k while the wire delivers chunk k+1.
 // All members must call Broadcast collectively.
 func (g *Group) Broadcast(root int, msg []byte) ([]byte, error) {
+	g.quiesce()
+	return g.broadcast(root, msg)
+}
+
+// broadcast is the engine-callable implementation: it assumes any
+// pending nonblocking operations have already drained (quiesce) or
+// that it is itself running on the engine goroutine.
+func (g *Group) broadcast(root int, msg []byte) ([]byte, error) {
 	if root < 0 || root >= g.size {
 		return nil, ErrBadRank
 	}
@@ -622,6 +644,12 @@ type ReduceOp func(a, b []byte) []byte
 // When root ≠ 0, rank 0 relays the final value to root — one extra
 // hop, in exchange for determinism under non-commutative operations.
 func (g *Group) Reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
+	g.quiesce()
+	return g.reduce(root, value, op)
+}
+
+// reduce is the engine-callable implementation (see broadcast).
+func (g *Group) reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
 	if root < 0 || root >= g.size {
 		return nil, ErrBadRank
 	}
@@ -665,11 +693,17 @@ func (g *Group) Reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
 
 // AllReduce is Reduce to rank 0 followed by Broadcast of the result.
 func (g *Group) AllReduce(value []byte, op ReduceOp) ([]byte, error) {
-	acc, err := g.Reduce(0, value, op)
+	g.quiesce()
+	return g.allReduce(value, op)
+}
+
+// allReduce is the engine-callable implementation (see broadcast).
+func (g *Group) allReduce(value []byte, op ReduceOp) ([]byte, error) {
+	acc, err := g.reduce(0, value, op)
 	if err != nil {
 		return nil, err
 	}
-	return g.Broadcast(0, acc)
+	return g.broadcast(0, acc)
 }
 
 // Barrier blocks until every member has entered it (or the group
@@ -677,7 +711,8 @@ func (g *Group) AllReduce(value []byte, op ReduceOp) ([]byte, error) {
 // multicast tree: ⌈log₂ n⌉ up plus ⌈log₂ n⌉ down rounds under the
 // spanning tree.
 func (g *Group) Barrier() error {
-	_, err := g.AllReduce([]byte{}, func(a, b []byte) []byte { return a })
+	g.quiesce()
+	_, err := g.allReduce([]byte{}, func(a, b []byte) []byte { return a })
 	return err
 }
 
@@ -693,7 +728,9 @@ func (g *Group) Ranks() []int {
 
 // Close tears down this member's connections and its delivery inbox.
 // Each connection is shared between two members; closing from either
-// side suffices, and closing both is safe.
+// side suffices, and closing both is safe. Nonblocking operations
+// still in flight fail promptly (closed connections) and their
+// Handles complete with errors.
 func (g *Group) Close() {
 	for _, c := range g.conns {
 		if c != nil {

@@ -1,0 +1,198 @@
+package group
+
+import "sync"
+
+// Nonblocking collectives: IBroadcast, IAllReduce, and IAllGather
+// return immediately with a Handle the caller awaits later, so a
+// member can keep thousands of collective operations in flight without
+// a goroutine per operation.
+//
+// Each member owns one collective engine: a FIFO of submitted
+// operations drained by a single goroutine that is spawned on first
+// submission and exits the moment the queue runs dry — an idle group
+// costs nothing. Operations execute strictly in submission order, and
+// the tag advances at execution time exactly as it does for blocking
+// calls, so the communicator contract is unchanged: every member
+// submits the same collectives in the same order, whether blocking,
+// nonblocking, or a mixture. Blocking collectives quiesce the engine
+// (drain every pending Handle) before they run, which is what makes
+// the mixture safe.
+//
+// Receive waits inside the engine flow through the member's shared
+// core.Inbox like every other collective, so on the sharded runtime a
+// whole group progressing thousands of concurrent operations still
+// costs O(shards) runtime goroutines plus at most one engine goroutine
+// per member.
+
+// Handle is one in-flight nonblocking collective. It completes exactly
+// once; after Wait returns (or Done reports true) the result accessors
+// and Err are stable.
+type Handle struct {
+	run   func() error
+	done  chan struct{}
+	data  []byte
+	parts [][]byte
+	err   error
+}
+
+func newHandle(run func() error) *Handle {
+	return &Handle{run: run, done: make(chan struct{})}
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (h *Handle) Wait() error {
+	<-h.done
+	return h.err
+}
+
+// Done reports whether the operation has completed, without blocking.
+func (h *Handle) Done() bool {
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Err returns the operation's error. It is nil until Done reports
+// true: poll Done (or call Wait) to distinguish "still running" from
+// "succeeded".
+func (h *Handle) Err() error {
+	select {
+	case <-h.done:
+		return h.err
+	default:
+		return nil
+	}
+}
+
+// Data returns the operation's payload result (the broadcast message,
+// the reduced value). Valid once the operation is done.
+func (h *Handle) Data() []byte {
+	<-h.done
+	return h.data
+}
+
+// Parts returns the operation's per-rank results (IAllGather). Valid
+// once the operation is done.
+func (h *Handle) Parts() [][]byte {
+	<-h.done
+	return h.parts
+}
+
+// engine is a member's nonblocking-collective executor. The zero value
+// is ready: the queue allocates on first submission and the drain
+// goroutine lives only while operations are pending.
+type engine struct {
+	mu      sync.Mutex
+	queue   []*Handle
+	current *Handle // the operation the drain goroutine is executing
+	running bool
+}
+
+// submit enqueues h and ensures the drain goroutine is running.
+func (e *engine) submit(h *Handle) {
+	e.mu.Lock()
+	e.queue = append(e.queue, h)
+	if !e.running {
+		e.running = true
+		go e.drain()
+	}
+	e.mu.Unlock()
+}
+
+// drain executes queued operations in FIFO order and exits when none
+// remain. Under e.mu, running implies a queued or current operation,
+// which is what lets quiesce wait on a Handle instead of spinning.
+func (e *engine) drain() {
+	e.mu.Lock()
+	for {
+		if len(e.queue) == 0 {
+			e.running = false
+			e.mu.Unlock()
+			return
+		}
+		h := e.queue[0]
+		e.queue[0] = nil
+		e.queue = e.queue[1:]
+		e.current = h
+		e.mu.Unlock()
+
+		h.err = h.run()
+		close(h.done)
+
+		e.mu.Lock()
+		e.current = nil
+	}
+}
+
+// quiesce blocks until every previously submitted nonblocking
+// operation has completed. Blocking collectives call it on entry so
+// they take their tag only after the in-flight queue drains — the
+// ordering every other member observes.
+func (g *Group) quiesce() {
+	e := &g.eng
+	for {
+		e.mu.Lock()
+		var wait *Handle
+		if n := len(e.queue); n > 0 {
+			wait = e.queue[n-1]
+		} else {
+			wait = e.current
+		}
+		e.mu.Unlock()
+		if wait == nil {
+			return
+		}
+		<-wait.done
+	}
+}
+
+// IBroadcast is the nonblocking Broadcast: it enqueues the operation
+// and returns a Handle immediately. The broadcast payload is available
+// from Handle.Data once the operation completes. msg must not be
+// mutated until then.
+func (g *Group) IBroadcast(root int, msg []byte) (*Handle, error) {
+	if root < 0 || root >= g.size {
+		return nil, ErrBadRank
+	}
+	h := newHandle(nil)
+	h.run = func() error {
+		data, err := g.broadcast(root, msg)
+		h.data = data
+		return err
+	}
+	g.eng.submit(h)
+	return h, nil
+}
+
+// IAllReduce is the nonblocking AllReduce; the combined value is
+// available from Handle.Data once the operation completes. value must
+// not be mutated until then. Like AllReduce, it advances the tag twice
+// (reduce, then broadcast) on every member.
+func (g *Group) IAllReduce(value []byte, op ReduceOp) (*Handle, error) {
+	h := newHandle(nil)
+	h.run = func() error {
+		data, err := g.allReduce(value, op)
+		h.data = data
+		return err
+	}
+	g.eng.submit(h)
+	return h, nil
+}
+
+// IAllGather is the nonblocking AllGather; the rank-indexed payloads
+// are available from Handle.Parts once the operation completes. value
+// must not be mutated until then. Like AllGather, it advances the tag
+// twice (gather, then broadcast) on every member.
+func (g *Group) IAllGather(value []byte) (*Handle, error) {
+	h := newHandle(nil)
+	h.run = func() error {
+		parts, err := g.allGather(value)
+		h.parts = parts
+		return err
+	}
+	g.eng.submit(h)
+	return h, nil
+}

@@ -1,0 +1,228 @@
+package group
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/mcast"
+	"ncs/internal/transport"
+)
+
+// buildShardedGroup builds a group whose mesh runs on the sharded
+// runtime — the configuration the nonblocking engine is built for.
+func buildShardedGroup(t *testing.T, n int) ([]*Group, func()) {
+	t.Helper()
+	nw := core.NewNetwork()
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("imember-%d", i)
+	}
+	opts := core.Options{Interface: transport.HPI, Runtime: core.RuntimeSharded}
+	groups, err := Build(nw, names, opts, mcast.SpanningTree)
+	if err != nil {
+		nw.Close()
+		t.Fatal(err)
+	}
+	return groups, nw.Close
+}
+
+func TestIBroadcastDeliversToAll(t *testing.T) {
+	groups, cleanup := buildShardedGroup(t, 4)
+	defer cleanup()
+
+	payload := []byte("ibroadcast payload")
+	runAll(t, groups, func(g *Group) error {
+		var msg []byte
+		if g.Rank() == 0 {
+			msg = payload
+		}
+		h, err := g.IBroadcast(0, msg)
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		if !h.Done() {
+			return fmt.Errorf("rank %d: Done false after Wait", g.Rank())
+		}
+		if got := h.Data(); !bytes.Equal(got, payload) {
+			return fmt.Errorf("rank %d got %q", g.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestIAllGatherDeliversAllParts(t *testing.T) {
+	groups, cleanup := buildShardedGroup(t, 3)
+	defer cleanup()
+
+	runAll(t, groups, func(g *Group) error {
+		h, err := g.IAllGather([]byte{byte('a' + g.Rank())})
+		if err != nil {
+			return err
+		}
+		if err := h.Wait(); err != nil {
+			return err
+		}
+		parts := h.Parts()
+		if len(parts) != g.Size() {
+			return fmt.Errorf("rank %d: %d parts", g.Rank(), len(parts))
+		}
+		for r, p := range parts {
+			if want := []byte{byte('a' + r)}; !bytes.Equal(p, want) {
+				return fmt.Errorf("rank %d part %d = %q, want %q", g.Rank(), r, p, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestBlockingQuiescesPendingOps submits nonblocking broadcasts and
+// immediately calls a blocking Barrier: the barrier must drain the
+// queue first (submission order is execution order), so its own frames
+// carry later tags than every queued operation on every member.
+func TestBlockingQuiescesPendingOps(t *testing.T) {
+	groups, cleanup := buildShardedGroup(t, 3)
+	defer cleanup()
+
+	const inflight = 16
+	runAll(t, groups, func(g *Group) error {
+		handles := make([]*Handle, 0, inflight)
+		for i := 0; i < inflight; i++ {
+			var msg []byte
+			if g.Rank() == 0 {
+				msg = []byte{byte(i)}
+			}
+			h, err := g.IBroadcast(0, msg)
+			if err != nil {
+				return err
+			}
+			handles = append(handles, h)
+		}
+		if err := g.Barrier(); err != nil {
+			return err
+		}
+		// After the barrier every queued operation must already be done.
+		for i, h := range handles {
+			if !h.Done() {
+				return fmt.Errorf("rank %d: op %d not drained by Barrier", g.Rank(), i)
+			}
+			if err := h.Err(); err != nil {
+				return err
+			}
+			if got := h.Data(); len(got) != 1 || got[0] != byte(i) {
+				return fmt.Errorf("rank %d op %d got %v", g.Rank(), i, got)
+			}
+		}
+		return nil
+	})
+}
+
+// TestThousandConcurrentOpsNoGoroutinePerOp is the scale acceptance
+// test: 1024 nonblocking collectives in flight per member on a default
+// shard pool, audited to run without a goroutine per operation — the
+// whole group adds at most one engine goroutine per member while the
+// queue drains, and zero once idle.
+func TestThousandConcurrentOpsNoGoroutinePerOp(t *testing.T) {
+	const members = 4
+	const ops = 1024
+
+	groups, cleanup := buildShardedGroup(t, members)
+	defer cleanup()
+
+	baseline := runtime.NumGoroutine()
+
+	var peak int
+	var peakMu sync.Mutex
+	stop := make(chan struct{})
+	var auditWG sync.WaitGroup
+	auditWG.Add(1)
+	go func() {
+		defer auditWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := runtime.NumGoroutine()
+			peakMu.Lock()
+			if n > peak {
+				peak = n
+			}
+			peakMu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	seed := make([]byte, 8)
+	binary.BigEndian.PutUint64(seed, 1)
+	runAll(t, groups, func(g *Group) error {
+		handles := make([]*Handle, 0, ops)
+		// Alternate IBroadcast and IAllReduce, identically on every
+		// member (the communicator contract).
+		for i := 0; i < ops; i++ {
+			var h *Handle
+			var err error
+			if i%2 == 0 {
+				var msg []byte
+				if g.Rank() == 0 {
+					msg = []byte{byte(i), byte(i >> 8)}
+				}
+				h, err = g.IBroadcast(0, msg)
+			} else {
+				h, err = g.IAllReduce(seed, sumOp)
+			}
+			if err != nil {
+				return err
+			}
+			handles = append(handles, h)
+		}
+		for i, h := range handles {
+			if err := h.Wait(); err != nil {
+				return fmt.Errorf("rank %d op %d: %w", g.Rank(), i, err)
+			}
+			if i%2 == 0 {
+				want := []byte{byte(i), byte(i >> 8)}
+				if !bytes.Equal(h.Data(), want) {
+					return fmt.Errorf("rank %d op %d got %v, want %v", g.Rank(), i, h.Data(), want)
+				}
+			} else if got := binary.BigEndian.Uint64(h.Data()); got != members {
+				return fmt.Errorf("rank %d op %d sum = %d, want %d", g.Rank(), i, got, members)
+			}
+		}
+		return nil
+	})
+	close(stop)
+	auditWG.Wait()
+
+	// The audit: with members×ops operations in flight, the goroutine
+	// peak must be bounded by the members (one engine goroutine each)
+	// plus the submitters and the auditor — nowhere near one per op.
+	budget := baseline + 3*members
+	peakMu.Lock()
+	observed := peak
+	peakMu.Unlock()
+	if observed > budget {
+		t.Fatalf("goroutine peak %d exceeds budget %d (baseline %d) with %d ops in flight",
+			observed, budget, baseline, members*ops)
+	}
+
+	// Idle again: every engine goroutine must have exited with its
+	// drained queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline %d: %d still running",
+				baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -222,20 +222,28 @@ func (e *Endpoint) Close() error {
 // goroutines; a later SetImpairments/Partition call upgrades the
 // direction to async on the spot.
 type direction struct {
-	p Params
+	p    Params
+	seed int64 // resolved RNG seed; the RNG itself is async-only
 
 	mu         sync.Mutex
-	sendCond   *sync.Cond // waits for buffer space
-	recvCond   *sync.Cond // waits for arrivals
+	sendCond   *sync.Cond // waits for buffer space; created on first wait
+	recvCond   *sync.Cond // waits for arrivals; created on first wait
 	inflight   int        // bytes occupying the send buffer
 	queue      bufDeque   // packets accepted but not yet on the wire
 	arrived    bufDeque   // packets delivered to the receiver
 	closed     bool
 	recvClosed bool // the receiving endpoint closed locally
-	rng        *rand.Rand
-	ip         *impairer
-	notify     func() // receive-readiness hook (see setNotify)
-	async      bool   // wire/delivery goroutines are running
+
+	// rng and ip exist only in async mode: an inline direction makes no
+	// stochastic decisions, and the RNG's internal state (~5KB) is the
+	// single largest piece of an idle simulated link. Four directions
+	// back every NCS connection, so creating them with the wire
+	// goroutine instead of at Pipe time is most of the cheap-idle-link
+	// budget.
+	rng    *rand.Rand
+	ip     *impairer
+	notify func() // receive-readiness hook (see setNotify)
+	async  bool   // wire/delivery goroutines are running
 
 	wireWake chan struct{} // signals the wire goroutine (async mode)
 	done     chan struct{} // wire goroutine exited (async mode)
@@ -361,33 +369,67 @@ func newDirection(p Params) *direction {
 	if seed == 0 {
 		seed = 42
 	}
-	d := &direction{
-		p:   p,
-		rng: rand.New(rand.NewSource(seed)),
-		ip:  newImpairer(p.Impair, p.Schedule),
-	}
-	d.sendCond = sync.NewCond(&d.mu)
-	d.recvCond = sync.NewCond(&d.mu)
+	d := &direction{p: p, seed: seed}
 	if needsAsync(p) {
 		d.startAsyncLocked()
 	}
 	return d
 }
 
-// startAsyncLocked switches the direction to async mode, spawning the
-// wire and delivery goroutines. Safe on a fresh direction (newDirection)
-// or under mu when upgrading an inline direction mid-run.
+// startAsyncLocked switches the direction to async mode, building the
+// stochastic machinery (RNG, impairer) and spawning the wire and
+// delivery goroutines. Safe on a fresh direction (newDirection) or
+// under mu when upgrading an inline direction mid-run.
 func (d *direction) startAsyncLocked() {
 	if d.async {
 		return
 	}
 	d.async = true
+	d.rng = rand.New(rand.NewSource(d.seed))
+	d.ip = newImpairer(d.p.Impair, d.p.Schedule)
 	d.wireWake = make(chan struct{}, 1)
 	d.done = make(chan struct{})
 	d.deliveries = make(chan timedPacket, 64)
 	d.deliveryDone = make(chan struct{})
 	go d.wire()
 	go d.deliveryLoop()
+}
+
+// sendCondLocked and recvCondLocked return the direction's condition
+// variables, created on first wait. Signal/broadcast sites skip a nil
+// cond: no waiter can exist before the first Wait created it, and
+// every cond access happens under mu, so the check is race-free.
+func (d *direction) sendCondLocked() *sync.Cond {
+	if d.sendCond == nil {
+		d.sendCond = sync.NewCond(&d.mu)
+	}
+	return d.sendCond
+}
+
+func (d *direction) recvCondLocked() *sync.Cond {
+	if d.recvCond == nil {
+		d.recvCond = sync.NewCond(&d.mu)
+	}
+	return d.recvCond
+}
+
+// wakeSendLocked and wakeRecvLocked broadcast/signal if a waiter has
+// ever existed. Caller holds mu.
+func (d *direction) wakeSendLocked() {
+	if d.sendCond != nil {
+		d.sendCond.Broadcast()
+	}
+}
+
+func (d *direction) wakeRecvLocked(all bool) {
+	if d.recvCond == nil {
+		return
+	}
+	if all {
+		d.recvCond.Broadcast()
+	} else {
+		d.recvCond.Signal()
+	}
 }
 
 // enqueue takes ownership of p's reference; the caller handles release
@@ -412,7 +454,7 @@ func (d *direction) enqueue(p *buf.Buffer) error {
 	}
 	for !d.closed && d.p.BufferBytes > 0 && d.inflight > 0 &&
 		d.inflight+p.Len() > d.p.BufferBytes {
-		d.sendCond.Wait()
+		d.sendCondLocked().Wait()
 	}
 	if d.closed {
 		d.mu.Unlock()
@@ -432,7 +474,7 @@ func (d *direction) deliverLocked(pkt *buf.Buffer) {
 		return
 	}
 	d.arrived.push(pkt)
-	d.recvCond.Signal()
+	d.wakeRecvLocked(false)
 }
 
 // tryEnqueueCopy admits p non-blockingly, copying it into a pooled
@@ -537,7 +579,7 @@ func (d *direction) wire() {
 			// the wire is the sole owner here.
 			pkt.B[d.rng.Intn(pkt.Len())] ^= 0xff
 		}
-		d.sendCond.Broadcast()
+		d.wakeSendLocked()
 		d.mu.Unlock()
 
 		if dec.drop {
@@ -616,8 +658,8 @@ func (d *direction) deliveryLoop() {
 		}
 	}
 	d.mu.Lock()
-	d.recvCond.Broadcast()
-	d.sendCond.Broadcast()
+	d.wakeRecvLocked(true)
+	d.wakeSendLocked()
 	d.mu.Unlock()
 }
 
@@ -632,7 +674,7 @@ func (d *direction) deliver(pkt *buf.Buffer) {
 		return
 	}
 	d.arrived.push(pkt)
-	d.recvCond.Signal()
+	d.wakeRecvLocked(false)
 	notify := d.notify
 	d.mu.Unlock()
 	if notify != nil {
@@ -699,6 +741,11 @@ func (d *direction) setPartitioned(on bool) {
 func (d *direction) impairStats() ImpairStats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.ip == nil {
+		// Inline direction: the wire never ran, so no decisions were
+		// ever made (inline delivery has always bypassed the counters).
+		return ImpairStats{}
+	}
 	return d.ip.stats
 }
 
@@ -709,7 +756,7 @@ func (d *direction) dequeue() (*buf.Buffer, error) {
 		if d.recvClosed || (d.closed && d.drainedLocked()) {
 			return nil, ErrClosed
 		}
-		d.recvCond.Wait()
+		d.recvCondLocked().Wait()
 	}
 	return d.arrived.pop(), nil
 }
@@ -723,7 +770,7 @@ func (d *direction) closeRecv() {
 	for !d.arrived.empty() {
 		d.arrived.pop().Release()
 	}
-	d.recvCond.Broadcast()
+	d.wakeRecvLocked(true)
 	notify := d.notify
 	d.mu.Unlock()
 	if notify != nil {
@@ -735,7 +782,7 @@ func (d *direction) dequeueTimeout(timeout time.Duration) (*buf.Buffer, error) {
 	deadline := time.Now().Add(timeout)
 	timer := time.AfterFunc(timeout, func() {
 		d.mu.Lock()
-		d.recvCond.Broadcast()
+		d.wakeRecvLocked(true)
 		d.mu.Unlock()
 	})
 	defer timer.Stop()
@@ -749,7 +796,7 @@ func (d *direction) dequeueTimeout(timeout time.Duration) (*buf.Buffer, error) {
 		if !time.Now().Before(deadline) {
 			return nil, ErrTimeout
 		}
-		d.recvCond.Wait()
+		d.recvCondLocked().Wait()
 	}
 	return d.arrived.pop(), nil
 }
@@ -771,8 +818,8 @@ func (d *direction) drainedLocked() bool {
 func (d *direction) close() {
 	d.mu.Lock()
 	d.closed = true
-	d.sendCond.Broadcast()
-	d.recvCond.Broadcast()
+	d.wakeSendLocked()
+	d.wakeRecvLocked(true)
 	async := d.async
 	notify := d.notify
 	d.mu.Unlock()
@@ -787,7 +834,7 @@ func (d *direction) close() {
 	<-d.deliveryDone
 	// Wake any receiver that raced with the delivery goroutine's exit.
 	d.mu.Lock()
-	d.recvCond.Broadcast()
+	d.wakeRecvLocked(true)
 	notify = d.notify
 	d.mu.Unlock()
 	if notify != nil {

@@ -21,8 +21,10 @@
 //     send/receive or a binomial spanning tree, under a full collective
 //     repertoire (Broadcast, Reduce, Barrier, Scatter, Gather,
 //     AllGather, ReduceScatter, AllToAll) with per-operation deadlines,
-//     tagged frames that detect members falling out of step, and
-//     chunk-pipelined large broadcasts;
+//     tagged frames that detect members falling out of step,
+//     chunk-pipelined large broadcasts, and nonblocking variants
+//     (IBroadcast, IAllReduce, IAllGather) returning awaitable handles
+//     so one member keeps thousands of collectives in flight;
 //   - separated control and data connections: acknowledgments and
 //     credits never compete with payload for data-path bandwidth;
 //   - a thread-per-function runtime (Master, Flow Control, Error
@@ -111,6 +113,13 @@ type (
 	InboxMessage = core.InboxMessage
 	// ShardStats snapshots a System's shard pool (System.ShardStats).
 	ShardStats = core.ShardStats
+	// MemStats estimates a System's per-connection memory footprint —
+	// retained heap per connection, live reassembly sessions, and armed
+	// timer-wheel timers (System.MemStats). The capacity-planning
+	// companion to ShardStats: idle connections on the sharded runtime
+	// should hold their estimated bytes near the bare-struct floor and
+	// contribute zero pending timers.
+	MemStats = core.MemStats
 	// SendTrace is the Table I per-stage send-cost breakdown captured
 	// by Connection.SendInstrumented.
 	SendTrace = core.SendTrace
@@ -134,6 +143,13 @@ type (
 	// GroupConfig tunes a group's collective engine: multicast
 	// algorithm, per-operation deadline, broadcast pipelining chunk.
 	GroupConfig = group.Config
+	// GroupHandle is one in-flight nonblocking collective, returned by
+	// Group.IBroadcast, Group.IAllReduce, and Group.IAllGather. Await
+	// it with Wait, poll with Done/Err, and read results with
+	// Data/Parts once complete. A member may keep thousands of
+	// operations in flight; they execute in submission order on one
+	// engine goroutine per member, not one per operation.
+	GroupHandle = group.Handle
 	// ReduceOp combines two partial reduction values. It must be
 	// associative; partials always combine in ascending rank order, so
 	// non-commutative operations are deterministic.
