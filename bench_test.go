@@ -421,9 +421,26 @@ func BenchmarkGroupCollectives(b *testing.B) {
 // (Send + Recv on both sides) over the in-process HPI with the fast
 // path enabled on both endpoints.
 func BenchmarkAllocHPIFastpathEcho(b *testing.B) {
+	runAllocFastpathEcho(b, "fp")
+}
+
+// BenchmarkAllocTelemetryHotPath is the telemetry layer's acceptance
+// gate: the identical fast-path 4KB echo, but with lifecycle tracing
+// sampling every message on top of the always-on metrics counters. The
+// baseline holds it to the same allocs/op as the plain echo — the
+// unified telemetry layer must add zero allocations to the hot path.
+func BenchmarkAllocTelemetryHotPath(b *testing.B) {
+	ncs.EnableTracing(1, 256)
+	defer ncs.DisableTracing()
+	runAllocFastpathEcho(b, "tel")
+}
+
+// runAllocFastpathEcho is the shared body of the fast-path alloc
+// gates: one 4KB echo round trip per iteration.
+func runAllocFastpathEcho(b *testing.B, tag string) {
 	nw := ncs.NewNetwork()
 	defer nw.Close()
-	conn, peer, err := ncs.Pair(nw, "alloc-fp-a", "alloc-fp-b", ncs.Options{
+	conn, peer, err := ncs.Pair(nw, "alloc-"+tag+"-a", "alloc-"+tag+"-b", ncs.Options{
 		Interface: ncs.HPI,
 		FastPath:  true,
 	})

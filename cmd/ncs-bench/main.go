@@ -14,6 +14,7 @@
 //	ncs-bench -exp rpc
 //	ncs-bench -exp loss
 //	ncs-bench -exp scale -scale-max 4096 -scale-dur 400ms -scale-out BENCH_scale.json
+//	ncs-bench -exp scale -telemetry
 //	ncs-bench -exp collective -collective-members 8 -collective-out BENCH_collective.json
 //	ncs-bench -exp all
 //
@@ -33,6 +34,13 @@
 // payload sizes, and both runtimes; its headline row shows the
 // chunk-pipelined spanning-tree broadcast beating repetitive at large
 // payloads.
+//
+// -telemetry embeds a metrics snapshot — the delta of every registered
+// instrument across the experiment — in the scale and collective JSON
+// artifacts, so archived runs carry the stack's own counters next to
+// the measured series. Results tables print to stdout; diagnostics
+// (like the "wrote <path>" confirmation) go to stderr, so redirecting
+// stdout captures a clean table.
 package main
 
 import (
@@ -45,22 +53,25 @@ import (
 
 	"ncs/internal/bench"
 	"ncs/internal/platform"
+	"ncs/internal/telemetry"
 )
 
 // scaleOpts carries the scale experiment's knobs from flags to run.
 type scaleOpts struct {
-	max      int
-	maxConns int // hard clamp; 0 derives it from host memory
-	dur      time.Duration
-	out      string
+	max       int
+	maxConns  int // hard clamp; 0 derives it from host memory
+	dur       time.Duration
+	out       string
+	telemetry bool
 }
 
 // collectiveOpts carries the collective experiment's knobs.
 type collectiveOpts struct {
-	members int
-	iters   int
-	maxSize int
-	out     string
+	members   int
+	iters     int
+	maxSize   int
+	out       string
+	telemetry bool
 }
 
 // experiments maps each -exp value to its runner; "all" runs the
@@ -106,10 +117,12 @@ func main() {
 		collIters   = flag.Int("collective-iters", 30, "collective: measured collectives per point")
 		collMaxSize = flag.Int("collective-max-size", 256*1024, "collective: largest payload in the sweep")
 		collOut     = flag.String("collective-out", "BENCH_collective.json", "collective: JSON results path (empty: skip)")
+
+		withTelemetry = flag.Bool("telemetry", false, "embed a metrics snapshot (the instrument delta across the experiment) in the scale/collective JSON artifacts")
 	)
 	flag.Parse()
-	sc := scaleOpts{max: *scaleMax, maxConns: *maxConns, dur: *scaleDur, out: *scaleOut}
-	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut}
+	sc := scaleOpts{max: *scaleMax, maxConns: *maxConns, dur: *scaleDur, out: *scaleOut, telemetry: *withTelemetry}
+	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut, telemetry: *withTelemetry}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
 		// default experiment set and exit 0.
@@ -171,6 +184,7 @@ func runCollective(cc collectiveOpts) error {
 	if len(sizes) == 0 {
 		sizes = []int{cc.maxSize}
 	}
+	before := telemetry.Capture()
 	res, err := bench.CollectiveSweep(bench.CollectiveConfig{
 		Members: cc.members,
 		Iters:   cc.iters,
@@ -179,12 +193,18 @@ func runCollective(cc collectiveOpts) error {
 	if err != nil {
 		return err
 	}
+	if cc.telemetry {
+		delta := telemetry.Capture().Delta(before)
+		res.Telemetry = &delta
+	}
 	fmt.Print(res.Render())
 	if cc.out != "" {
 		if err := res.WriteJSON(cc.out); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", cc.out)
+		// Diagnostics go to stderr so redirected stdout stays a clean
+		// results table.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", cc.out)
 	}
 	if res.Regressed() {
 		return fmt.Errorf("collective verdict: pipelined spanning-tree broadcast lost to repetitive at a ≥64KB payload — pipelining regression (see verdict lines above)")
@@ -214,6 +234,7 @@ func runScale(sc scaleOpts) error {
 	if len(conns) == 0 {
 		conns = []int{sc.max}
 	}
+	before := telemetry.Capture()
 	res, err := bench.ScaleSweep(bench.ScaleConfig{
 		Conns:    conns,
 		Duration: sc.dur,
@@ -221,12 +242,18 @@ func runScale(sc scaleOpts) error {
 	if err != nil {
 		return err
 	}
+	if sc.telemetry {
+		delta := telemetry.Capture().Delta(before)
+		res.Telemetry = &delta
+	}
 	fmt.Print(res.Render())
 	if sc.out != "" {
 		if err := res.WriteJSON(sc.out); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", sc.out)
+		// Diagnostics go to stderr so redirected stdout stays a clean
+		// results table.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", sc.out)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -69,6 +70,80 @@ func TestRunScale(t *testing.T) {
 		if p.Messages == 0 || p.Throughput <= 0 {
 			t.Fatalf("empty point: %+v", p)
 		}
+	}
+}
+
+// TestRunScaleTelemetry checks that -telemetry embeds a non-empty
+// instrument snapshot in the JSON artifact: the sweep's own echo
+// traffic must have moved the core counters.
+func TestRunScaleTelemetry(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out, telemetry: true}
+	if err := run("scale", "sun4", 1, sc, quickCollective); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.ScaleResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_scale.json does not parse: %v", err)
+	}
+	if res.Telemetry == nil {
+		t.Fatal("-telemetry set but the artifact has no telemetry section")
+	}
+	if n := res.Telemetry.Counters["core.conn.send_msgs_total"]; n == 0 {
+		t.Fatalf("telemetry delta shows no sent messages across the sweep: %+v", res.Telemetry.Counters)
+	}
+}
+
+// captureStreams runs fn with stdout and stderr redirected to pipes
+// and returns what each stream received.
+func captureStreams(t *testing.T, fn func()) (stdout, stderr string) {
+	t.Helper()
+	or, ow, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, ew, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldOut, oldErr := os.Stdout, os.Stderr
+	os.Stdout, os.Stderr = ow, ew
+	defer func() { os.Stdout, os.Stderr = oldOut, oldErr }()
+	outc := make(chan string, 1)
+	errc := make(chan string, 1)
+	go func() { b, _ := io.ReadAll(or); outc <- string(b) }()
+	go func() { b, _ := io.ReadAll(er); errc <- string(b) }()
+	fn()
+	ow.Close()
+	ew.Close()
+	return <-outc, <-errc
+}
+
+// TestScaleDiagnosticsOnStderr pins the stream split: the results
+// table goes to stdout, the "wrote <path>" diagnostic to stderr, so a
+// redirected table is never interleaved with bookkeeping lines.
+func TestScaleDiagnosticsOnStderr(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
+	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out}
+	var runErr error
+	stdout, stderr := captureStreams(t, func() {
+		runErr = run("scale", "sun4", 1, sc, quickCollective)
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if strings.Contains(stdout, "wrote ") {
+		t.Errorf("\"wrote\" diagnostic interleaved with the stdout results table:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "wrote "+out) {
+		t.Errorf("stderr missing the \"wrote %s\" diagnostic: %q", out, stderr)
+	}
+	if !strings.Contains(stdout, "Scale experiment") && !strings.Contains(stdout, "runtime") {
+		t.Errorf("stdout does not look like the results table:\n%s", stdout)
 	}
 }
 

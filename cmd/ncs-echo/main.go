@@ -9,6 +9,7 @@
 //	ncs-echo -iface aci -fc credit -ec sr -loss 0.01
 //	ncs-echo -iface sci -sizes 1,1024,65536 -iters 50
 //	ncs-echo -fastpath
+//	ncs-echo -stats 1s                    # periodic telemetry line on stderr
 package main
 
 import (
@@ -32,15 +33,45 @@ func main() {
 		loss     = flag.Float64("loss", 0, "ACI cell loss rate [0,1]")
 		fastpath = flag.Bool("fastpath", false, "use the thread-bypassing fast path")
 		sdu      = flag.Int("sdu", 4096, "SDU size (segmentation unit)")
+		stats    = flag.Duration("stats", 0, "emit a telemetry stats line to stderr at this interval (0: off)")
 	)
 	flag.Parse()
-	if err := run(*iface, *fc, *ec, *sizesArg, *iters, *loss, *fastpath, *sdu); err != nil {
+	if err := run(*iface, *fc, *ec, *sizesArg, *iters, *loss, *fastpath, *sdu, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-echo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(iface, fc, ec, sizesArg string, iters int, loss float64, fastpath bool, sdu int) error {
+// statsLoop prints one telemetry line per interval until stop closes:
+// per-interval message and byte counts from the unified instrument
+// registry, plus the recovery counters that explain a slow interval.
+// It writes to stderr so the stdout results table stays clean.
+func statsLoop(every time.Duration, stop <-chan struct{}) {
+	prev := ncs.CaptureMetrics()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			cur := ncs.CaptureMetrics()
+			d := cur.Delta(prev)
+			prev = cur
+			fmt.Fprintf(os.Stderr,
+				"stats: sent %d msgs / %d B, recv %d msgs / %d B, retransmit %d SDUs, window stalls %d, credit waits %d\n",
+				d.Counters["core.conn.send_msgs_total"],
+				d.Counters["core.conn.send_bytes_total"],
+				d.Counters["core.conn.recv_msgs_total"],
+				d.Counters["core.conn.recv_bytes_total"],
+				d.Counters["errctl.send.retransmit_sdus_total"],
+				d.Counters["flowctl.window.stall_total"],
+				d.Counters["flowctl.credit.wait_total"])
+		}
+	}
+}
+
+func run(iface, fc, ec, sizesArg string, iters int, loss float64, fastpath bool, sdu int, stats time.Duration) error {
 	opts := ncs.Options{SDUSize: sdu, FastPath: fastpath}
 	switch iface {
 	case "sci":
@@ -105,6 +136,12 @@ func run(iface, fc, ec, sizesArg string, iters int, loss float64, fastpath bool,
 			}
 		}
 	}()
+
+	if stats > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go statsLoop(stats, stop)
+	}
 
 	fmt.Printf("NCS echo: iface=%s fc=%v ec=%v fastpath=%v sdu=%d iters=%d\n",
 		iface, opts.FlowControl, opts.ErrorControl, fastpath, sdu, iters)

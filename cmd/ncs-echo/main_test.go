@@ -20,7 +20,7 @@ func TestRunBasicConfigs(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := run(tc.iface, tc.fc, tc.ec, "1,1024", 3, tc.loss, tc.fastpath, 512)
+			err := run(tc.iface, tc.fc, tc.ec, "1,1024", 3, tc.loss, tc.fastpath, 512, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -28,17 +28,26 @@ func TestRunBasicConfigs(t *testing.T) {
 	}
 }
 
+// TestRunWithStats drives the sweep with the periodic stats line
+// enabled at a short interval: the run must complete and the ticker
+// goroutine must not outlive it (run closes its stop channel).
+func TestRunWithStats(t *testing.T) {
+	if err := run("hpi", "", "", "1,1024", 5, 0, false, 512, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
-	if err := run("carrier-pigeon", "", "", "1", 1, 0, false, 512); err == nil {
+	if err := run("carrier-pigeon", "", "", "1", 1, 0, false, 512, 0); err == nil {
 		t.Error("bad interface accepted")
 	}
-	if err := run("hpi", "psychic", "", "1", 1, 0, false, 512); err == nil {
+	if err := run("hpi", "psychic", "", "1", 1, 0, false, 512, 0); err == nil {
 		t.Error("bad flow control accepted")
 	}
-	if err := run("hpi", "", "hope", "1", 1, 0, false, 512); err == nil {
+	if err := run("hpi", "", "hope", "1", 1, 0, false, 512, 0); err == nil {
 		t.Error("bad error control accepted")
 	}
-	if err := run("hpi", "", "", "1,banana", 1, 0, false, 512); err == nil {
+	if err := run("hpi", "", "", "1,banana", 1, 0, false, 512, 0); err == nil {
 		t.Error("bad size list accepted")
 	}
 }

@@ -1,0 +1,58 @@
+package ncs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"ncs/internal/telemetry"
+)
+
+// expvarOnce guards the one-time expvar publication: expvar.Publish
+// panics on a duplicate name, and ServeDebug may be called per-mux.
+var expvarOnce sync.Once
+
+// ServeDebug mounts NCS's live-introspection endpoints on mux and
+// returns it; a nil mux allocates a fresh http.ServeMux. Nothing is
+// served until the caller passes the returned handler to an HTTP
+// server, so a process that never calls ServeDebug (or never serves
+// the mux) exposes nothing:
+//
+//	go http.ListenAndServe("localhost:6060", ncs.ServeDebug(nil))
+//
+// The endpoints:
+//
+//   - /metrics: Prometheus text exposition of every registered
+//     instrument (counters, gauges, histograms with cumulative
+//     buckets), named ncs_<layer>_<subsystem>_<metric>.
+//   - /debug/vars: expvar JSON; the full metrics snapshot is published
+//     under the "ncs" key, next to the runtime's memstats/cmdline.
+//   - /debug/pprof/...: the standard Go profiler endpoints (heap,
+//     goroutine, CPU profile, execution trace).
+//
+// The handlers read the process-global instrument registry, so one
+// endpoint observes every System in the process.
+func ServeDebug(mux *http.ServeMux) *http.ServeMux {
+	if mux == nil {
+		mux = http.NewServeMux()
+	}
+	expvarOnce.Do(func() {
+		expvar.Publish("ncs", expvar.Func(func() any {
+			return telemetry.Capture()
+		}))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The only write errors are the client hanging up mid-scrape;
+		// there is nobody left to report them to.
+		_ = telemetry.Capture().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,122 @@
+package ncs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ncs"
+)
+
+// TestServeDebug drives real traffic through a connection and then
+// scrapes the introspection endpoints: the Prometheus exposition must
+// carry the core counters that traffic moved, expvar must publish the
+// same snapshot under "ncs", and the pprof index must answer.
+func TestServeDebug(t *testing.T) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "dbg-a", "dbg-b", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer peer.Close()
+	for i := 0; i < 4; i++ {
+		if err := conn.Send([]byte("observe me")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := peer.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := httptest.NewServer(ncs.ServeDebug(nil))
+	defer srv.Close()
+
+	scrape := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := scrape("/metrics")
+	for _, want := range []string{
+		"# TYPE ncs_core_conn_send_msgs_total counter",
+		"ncs_core_conn_send_msgs_total",
+		"ncs_core_conn_recv_bytes_total",
+		"ncs_core_send_sendq_depth_bucket",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	vars := scrape("/debug/vars")
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := decoded["ncs"]; !ok {
+		t.Error("/debug/vars does not publish the \"ncs\" snapshot")
+	}
+
+	if idx := scrape("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index does not list profiles")
+	}
+}
+
+// TestLifecycleTracing exercises the public tracing surface: with
+// tracing on at sample rate 1, a round trip must yield traces whose
+// stamps appear in path order.
+func TestLifecycleTracing(t *testing.T) {
+	ncs.EnableTracing(1, 16)
+	defer ncs.DisableTracing()
+
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "trace-a", "trace-b", ncs.Options{Interface: ncs.HPI})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	defer peer.Close()
+	if err := conn.Send([]byte("stamp me")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Recv(); err != nil {
+		t.Fatal(err)
+	}
+
+	traces := ncs.TakeTraces()
+	if len(traces) == 0 {
+		t.Fatal("no traces collected at sample rate 1")
+	}
+	tr := traces[len(traces)-1]
+	stages := []ncs.TraceStage{
+		ncs.StageEnqueued, ncs.StageStaged, ncs.StageWireOut,
+		ncs.StageWireIn, ncs.StageReassembled, ncs.StageDelivered,
+	}
+	var prev int64
+	for _, st := range stages {
+		ns := tr.Stage(st)
+		if ns == 0 {
+			t.Fatalf("stage %v never stamped: %+v", st, tr)
+		}
+		if ns < prev {
+			t.Fatalf("stage %v stamped before its predecessor: %+v", st, tr)
+		}
+		prev = ns
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"ncs/internal/group"
 	"ncs/internal/mcast"
 	"ncs/internal/netsim"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -114,6 +115,9 @@ type CollectiveResult struct {
 	Members    int               `json:"members"`
 	Iters      int               `json:"iters_per_point"`
 	Points     []CollectivePoint `json:"points"`
+	// Telemetry, when the caller sets it (ncs-bench -telemetry), embeds
+	// the process-global instrument delta captured across the sweep.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // CollectiveSweep runs the experiment.

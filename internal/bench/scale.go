@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ncs/internal/core"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -114,6 +115,11 @@ type ScaleResult struct {
 	MsgSize    int          `json:"msg_size"`
 	DurationMS int64        `json:"duration_ms_per_point"`
 	Points     []ScalePoint `json:"points"`
+	// Telemetry, when the caller sets it (ncs-bench -telemetry), embeds
+	// the process-global instrument delta captured across the sweep, so
+	// the archived artifact carries the stack's own counters next to
+	// the measured series.
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // ScaleSweep runs the experiment.

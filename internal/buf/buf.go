@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"ncs/internal/telemetry"
 )
 
 // DefaultSDUStage is the capacity that comfortably stages a packet
@@ -94,6 +96,17 @@ var outstanding atomic.Int64
 // reference that will pin pooled storage forever.
 func Outstanding() int64 { return outstanding.Load() }
 
+// Pool telemetry (see internal/telemetry doc.go for the catalogue).
+// Hits and misses are counted at GetCap, the single choke point every
+// buffer passes through; outstanding is exported as a capture-time
+// gauge over the existing audit counter.
+var (
+	mPoolHit      = telemetry.NewCounter("buf.pool.hit_total")
+	mPoolMiss     = telemetry.NewCounter("buf.pool.miss_total")
+	mPoolOversize = telemetry.NewCounter("buf.pool.oversize_total")
+	_             = telemetry.NewFuncGauge("buf.pool.outstanding", Outstanding)
+)
+
 // Get returns a buffer with len(b.B) == n, zero-filled only as far as
 // pool reuse left it (callers overwrite, as with make without zeroing
 // guarantees — the transport read paths fill it entirely).
@@ -110,11 +123,13 @@ func GetCap(n int) *Buffer {
 	for t, size := range tierSizes {
 		if n <= size {
 			if v := pools[t].Get(); v != nil {
+				mPoolHit.IncAt(uint32(t))
 				b := v.(*Buffer)
 				b.B = b.store[:0]
 				b.refs.Store(1)
 				return b
 			}
+			mPoolMiss.IncAt(uint32(t))
 			store := make([]byte, tierSizes[t])
 			b := &Buffer{store: store, B: store[:0], tier: int8(t)}
 			b.refs.Store(1)
@@ -122,6 +137,7 @@ func GetCap(n int) *Buffer {
 		}
 	}
 	// Oversized: plain allocation, never pooled.
+	mPoolOversize.Inc()
 	store := make([]byte, n)
 	b := &Buffer{store: store, B: store[:0], tier: -1}
 	b.refs.Store(1)

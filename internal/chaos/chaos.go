@@ -43,6 +43,7 @@ import (
 	"ncs/internal/errctl"
 	"ncs/internal/flowctl"
 	"ncs/internal/netsim"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -304,17 +305,44 @@ func (c Config) connect(nw *core.Network) (conn, peer *core.Connection, err erro
 // enough for a test matrix.
 const recvDeadline = 20 * time.Second
 
+// Report is the observability record of one conformance run: what the
+// schedule actually did to the data path, next to what the stack's own
+// instruments recorded while it happened. The reconciliation tests
+// cross-check the two — injected faults must be visible in telemetry.
+type Report struct {
+	// DataPath holds the impairment decisions made on data packets the
+	// sending side transmitted (HPI counts SDU packets, ACI counts ATM
+	// cells). Valid only when DataPathKnown — SCI rides a real socket
+	// and reports nothing.
+	DataPath      netsim.ImpairStats
+	DataPathKnown bool
+	// Telemetry is the delta of the process-global instruments across
+	// the run. Concurrent activity elsewhere in the process also lands
+	// in the delta, so reconciliation assertions must be one-sided
+	// (counter delta ≥ injected events, never equality).
+	Telemetry telemetry.Snapshot
+}
+
 // Run pushes the configured message sequence through the combination
 // and checks the delivery contracts. It returns nil on conformance, a
 // *Violation when the stack broke a contract, or another error when
 // the harness itself could not run.
 func Run(cfg Config) error {
+	_, err := RunReport(cfg)
+	return err
+}
+
+// RunReport is Run returning the run's observability Report alongside
+// the conformance verdict. The Report is valid whenever the harness
+// itself ran (even when the verdict is a *Violation).
+func RunReport(cfg Config) (Report, error) {
 	cfg = cfg.withDefaults()
+	before := telemetry.Capture()
 	nw := core.NewNetwork()
 	defer nw.Close()
 	conn, peer, err := cfg.connect(nw)
 	if err != nil {
-		return err
+		return Report{}, err
 	}
 	defer conn.Close()
 	defer peer.Close()
@@ -351,7 +379,10 @@ func Run(cfg Config) error {
 			}
 		}
 	}
-	return recvErr
+	var rep Report
+	rep.DataPath, rep.DataPathKnown = conn.ImpairStats()
+	rep.Telemetry = telemetry.Capture().Delta(before)
+	return rep, recvErr
 }
 
 // recvReliable asserts exactly-once, in-order, byte-identical delivery.

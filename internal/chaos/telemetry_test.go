@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"testing"
+
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/transport"
+)
+
+// TestTelemetryReconciliation cross-checks the stack's own instruments
+// against the fault injector's ground truth: on a reliable connection,
+// every data packet the schedule dropped forces at least one
+// retransmission, so the errctl.send.retransmit_sdus_total delta over
+// the run must cover the link's Dropped count. The assertion is
+// one-sided — the counter is process-global and retransmissions can
+// also come from timeout false alarms — but a shortfall means the
+// error-control layer recovered packets telemetry never saw, which is
+// exactly the divergence the unified layer exists to rule out.
+//
+// HPI only: its injector drops whole SDU packets, so Dropped and the
+// SDU-denominated retransmission counter share a unit. (ACI counts
+// cells; several dropped cells collapse into one lost frame.)
+func TestTelemetryReconciliation(t *testing.T) {
+	seed := baseSeed(t)
+	lossy := []string{"loss", "burst", "partition", "mutate"}
+	if testing.Short() {
+		lossy = []string{"loss", "partition"}
+	}
+	for _, ec := range []errctl.Algorithm{errctl.SelectiveRepeat, errctl.GoBackN} {
+		for _, m := range models {
+			for _, name := range lossy {
+				sched, ok := ScheduleByName(name)
+				if !ok {
+					t.Fatalf("schedule %q missing from roster", name)
+				}
+				cfg := Config{
+					ErrCtl: ec, FlowCtl: flowctl.Credit, Transport: transport.HPI,
+					FastPath: m.fastPath, Sharded: m.sharded,
+					Schedule: sched, Seed: seed,
+				}
+				t.Run("reconcile/"+cfg.Name(), func(t *testing.T) {
+					t.Parallel()
+					rep, err := RunReport(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !rep.DataPathKnown {
+						t.Fatal("HPI run reported no data-path impairment stats")
+					}
+					retrans := rep.Telemetry.Counters["errctl.send.retransmit_sdus_total"]
+					if retrans < rep.DataPath.Dropped {
+						t.Fatalf("telemetry saw %d retransmitted SDUs but the link dropped %d data packets (injector stats: %+v)",
+							retrans, rep.DataPath.Dropped, rep.DataPath)
+					}
+				})
+			}
+		}
+	}
+}

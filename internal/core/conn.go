@@ -12,6 +12,7 @@ import (
 	"ncs/internal/netsim"
 	"ncs/internal/packet"
 	"ncs/internal/platform"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -447,6 +448,7 @@ func (c *Connection) sendUnreliable(msg []byte, sess uint32, tr *SendTrace) erro
 		}
 	}
 	c.stats.messagesSent.Add(1)
+	mSendMsgs.IncAt(c.id)
 	return nil
 }
 
@@ -455,6 +457,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		return err
 	}
 	sess := c.nextSession.Add(1)
+	telemetry.TraceStart(c.id, sess, len(msg))
 	if c.opts.ErrorControl == errctl.None {
 		if tr != nil {
 			tr.stamp(&tr.tHeader)
@@ -568,6 +571,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 			}
 			if done {
 				c.stats.messagesSent.Add(1)
+				mSendMsgs.IncAt(c.id)
 				return nil
 			}
 			if len(rt) > 0 {
@@ -631,9 +635,12 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		}
 		c.stats.sdusSent.Add(1)
 		c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
+		mSendSDUs.IncAt(c.id)
+		mSendBytes.AddAt(c.id, int64(len(sdu.Payload)))
 		if sdu.Header.Flags&packet.FlagRetransmit != 0 {
 			c.stats.retransmissions.Add(1)
 		}
+		telemetry.TraceStamp(c.id, sdu.Header.SessionID, telemetry.StageStaged)
 		item := sendItem{sdu: sdu}
 		if i == len(sdus)-1 {
 			item.trace = tr
@@ -675,6 +682,7 @@ func (c *Connection) enqueueData(item sendItem) bool {
 		case <-c.closedCh:
 			return false
 		}
+		mSendQDepth.Observe(int64(len(sc.sendSlots)))
 		return sc.shard.enqueueOut(outItem{
 			c:     c,
 			sdu:   item.sdu,
@@ -683,6 +691,7 @@ func (c *Connection) enqueueData(item sendItem) bool {
 			slot:  true,
 		})
 	}
+	mSendQDepth.Observe(int64(len(c.sendQ)))
 	select {
 	case c.sendQ <- item:
 		return true
@@ -746,11 +755,15 @@ func (c *Connection) sendThread() {
 				}
 				batch = append(batch, sb)
 			}
+			mCoalesceDepth.Observe(int64(len(batch)))
 			err := c.data.SendBatch(batch) // consumes the buffer refs
 			for i := range items {
 				it := &items[i]
 				if it.trace != nil {
 					it.trace.stamp(&it.trace.tTransmitted)
+				}
+				if it.ctrl == nil {
+					telemetry.TraceStamp(c.id, it.sdu.Header.SessionID, telemetry.StageWireOut)
 				}
 				if it.done != nil {
 					it.done <- struct{}{} // one-token confirmation (pooled chan)
@@ -881,6 +894,7 @@ func (c *Connection) recvThread() {
 		m, ok := c.dispatchData(h, payload, b, c.enqueueCtrl)
 		b.Release()
 		if ok {
+			telemetry.TraceFinish(c.id, h.SessionID)
 			if ib := c.inbox.Load(); ib != nil {
 				if ib.put(c, m) {
 					continue
@@ -910,6 +924,7 @@ func (c *Connection) recvThread() {
 // after dispatchData returns. It returns a completed message when the
 // SDU finishes a session.
 func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.Buffer, emit func(packet.Control) bool) (Message, bool) {
+	telemetry.TraceStamp(c.id, h.SessionID, telemetry.StageWireIn)
 	// Step 8–9: the Flow Control Thread updates its state and returns
 	// credit/ack information over the control connection. Flow control
 	// sees the connection-lifetime arrival index, not the per-session
@@ -925,6 +940,8 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 
 	c.stats.sdusReceived.Add(1)
 	c.stats.bytesReceived.Add(uint64(len(payload)))
+	mRecvSDUs.IncAt(c.id)
+	mRecvBytes.AddAt(c.id, int64(len(payload)))
 
 	// Fast path mirroring the send side's singleSDU: a one-SDU message
 	// on a connection without error control is complete on arrival — no
@@ -933,6 +950,9 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 	// skipped entirely. Only the user-facing copy is made.
 	if h.Seq == 0 && h.End() && c.opts.ErrorControl == errctl.None {
 		c.stats.messagesReceived.Add(1)
+		mRecvMsgs.IncAt(c.id)
+		mRecvFastpath.IncAt(c.id)
+		telemetry.TraceStamp(c.id, h.SessionID, telemetry.StageReassembled)
 		out := make([]byte, len(payload))
 		copy(out, payload)
 		return Message{Data: out}, true
@@ -964,6 +984,9 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 	if done && !rs.delivered {
 		rs.delivered = true
 		c.stats.messagesReceived.Add(1)
+		mRecvMsgs.IncAt(c.id)
+		mRecvSession.IncAt(c.id)
+		telemetry.TraceStamp(c.id, h.SessionID, telemetry.StageReassembled)
 		return Message{Data: rs.rcv.Message(), Lost: rs.rcv.LostSDUs()}, true
 	}
 	return Message{}, false

@@ -6,7 +6,9 @@ import (
 
 	"ncs/internal/buf"
 	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
 	"ncs/internal/packet"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -49,6 +51,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 	defer c.fastSendMu.Unlock()
 
 	sess := c.nextSession.Add(1)
+	telemetry.TraceStart(c.id, sess, len(msg))
 	if c.opts.ErrorControl == errctl.None {
 		// Unreliable transfer: flow-control admission, one pooled
 		// staging buffer, one transport write per SDU — the procedure
@@ -64,6 +67,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			if err := c.fastAdmit(sess, nil); err != nil {
 				return err
 			}
+			telemetry.TraceStamp(c.id, sess, telemetry.StageStaged)
 			sdu := c.unreliableSDU(msg[lo:hi], sess, i, n)
 			sb := buf.GetCap(packet.DataHeaderSize + len(sdu.Payload))
 			sb.B = packet.AppendSDU(sb.B, sdu.Header, sdu.Payload)
@@ -73,8 +77,12 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			}
 			c.stats.sdusSent.Add(1)
 			c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
+			mSendSDUs.IncAt(c.id)
+			mSendBytes.AddAt(c.id, int64(len(sdu.Payload)))
+			telemetry.TraceStamp(c.id, sess, telemetry.StageWireOut)
 		}
 		c.stats.messagesSent.Add(1)
+		mSendMsgs.IncAt(c.id)
 		return nil
 	}
 	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
@@ -87,6 +95,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			if err := c.fastAdmit(sess, snd); err != nil {
 				return err
 			}
+			telemetry.TraceStamp(c.id, sess, telemetry.StageStaged)
 			sb := buf.GetCap(packet.DataHeaderSize + len(sdu.Payload))
 			sb.B = packet.AppendSDU(sb.B, sdu.Header, sdu.Payload)
 			if err := c.data.SendBuf(sb); err != nil {
@@ -95,6 +104,9 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			}
 			c.stats.sdusSent.Add(1)
 			c.stats.bytesSent.Add(uint64(len(sdu.Payload)))
+			mSendSDUs.IncAt(c.id)
+			mSendBytes.AddAt(c.id, int64(len(sdu.Payload)))
+			telemetry.TraceStamp(c.id, sess, telemetry.StageWireOut)
 			if sdu.Header.Flags&packet.FlagRetransmit != 0 {
 				c.stats.retransmissions.Add(1)
 			}
@@ -102,6 +114,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 		queue = queue[:0]
 		if snd.Done() {
 			c.stats.messagesSent.Add(1)
+			mSendMsgs.IncAt(c.id)
 			return nil
 		}
 
@@ -148,6 +161,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 		}
 		if done {
 			c.stats.messagesSent.Add(1)
+			mSendMsgs.IncAt(c.id)
 			return nil
 		}
 		queue = rt
@@ -162,6 +176,10 @@ func (c *Connection) fastAdmit(sess uint32, snd errctl.Sender) error {
 	if fc.TryAcquire(idx) {
 		return nil
 	}
+	// The fast path bypasses the Sender's blocking entry points, so it
+	// reports its admission wait to flow control's instruments itself.
+	blockedAt := time.Now()
+	defer func() { flowctl.NoteFastPathWait(c.opts.FlowControl, time.Since(blockedAt)) }()
 	for attempt := 0; attempt < maxCreditWait; attempt++ {
 		cb, err := c.ctrl.RecvBufTimeout(c.opts.AckTimeout)
 		if errors.Is(err, transport.ErrRecvTimeout) {
@@ -237,6 +255,7 @@ func (c *Connection) recvFast(timeout time.Duration) (Message, error) {
 		m, ok := c.dispatchData(h, payload, b, emit)
 		b.Release()
 		if ok {
+			telemetry.TraceFinish(c.id, h.SessionID)
 			return m, nil
 		}
 	}

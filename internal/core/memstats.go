@@ -58,7 +58,13 @@ func (m MemStats) BytesPerConn() float64 {
 // MemStats estimates the System's per-connection memory footprint. It
 // walks every tracked connection, so it is a diagnostic to sample, not
 // a hot-path counter.
-func (s *System) MemStats() MemStats {
+//
+// Deprecated: the same snapshot is the Mem field of System.Telemetry,
+// alongside the shard summary and the instrument registry. This
+// wrapper remains for existing callers.
+func (s *System) MemStats() MemStats { return s.memStats() }
+
+func (s *System) memStats() MemStats {
 	s.mu.Lock()
 	conns := make([]*Connection, len(s.conns))
 	copy(conns, s.conns)

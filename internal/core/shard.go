@@ -9,6 +9,7 @@ import (
 	"ncs/internal/buf"
 	"ncs/internal/errctl"
 	"ncs/internal/packet"
+	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
 
@@ -315,6 +316,7 @@ func (sh *shard) loop() {
 			return
 		}
 		sh.wakeups.Add(1)
+		mShardWakeups.IncAt(uint32(sh.id))
 		sh.cycle()
 	}
 }
@@ -364,6 +366,7 @@ func (sh *shard) heartbeatTick() {
 func (sh *shard) cycle() {
 	sh.serviceMu.Lock()
 	defer sh.serviceMu.Unlock()
+	mShardCycles.IncAt(uint32(sh.id))
 
 	sh.flushOut()
 
@@ -432,6 +435,7 @@ func (sh *shard) flushOut() {
 		if len(sc.dataBatch) > 0 {
 			sh.batches.Add(1)
 			sh.batchedPackets.Add(uint64(len(sc.dataBatch)))
+			mCoalesceDepth.Observe(int64(len(sc.dataBatch)))
 			if err := c.data.SendBatch(sc.dataBatch); err != nil { // consumes the buffer refs
 				failed = true
 			}
@@ -470,6 +474,9 @@ func (sh *shard) finishItems(c *Connection, items []outItem) {
 		it := &items[i]
 		if it.trace != nil {
 			it.trace.stamp(&it.trace.tTransmitted)
+		}
+		if !it.isCtrl {
+			telemetry.TraceStamp(c.id, it.sdu.Header.SessionID, telemetry.StageWireOut)
 		}
 		if it.done != nil {
 			it.done <- struct{}{} // one-token confirmation (pooled chan)
@@ -570,8 +577,14 @@ func (sh *shard) pumpData(c *Connection) {
 		}
 		m, ok := c.dispatchData(h, payload, b, c.enqueueCtrl)
 		b.Release()
-		if ok && !sc.deliverOrStall(c, m) {
-			return // delivery blocked: pause the data path
+		if ok {
+			// The trace completes at the delivery hand-off; a parked
+			// message would otherwise pin its slot until the consumer
+			// drains, starving the sampler.
+			telemetry.TraceFinish(c.id, h.SessionID)
+			if !sc.deliverOrStall(c, m) {
+				return // delivery blocked: pause the data path
+			}
 		}
 	}
 	sh.requeue(c)
@@ -587,7 +600,9 @@ func (sc *shardConn) deliverOrStall(c *Connection, m Message) bool {
 		return true
 	}
 	sc.stalled = append(sc.stalled, m)
-	sc.hasStalled.Store(true)
+	if !sc.hasStalled.Swap(true) {
+		mParkedConns.Inc()
+	}
 	return sc.flushStalled(c)
 }
 
@@ -602,7 +617,9 @@ func (sc *shardConn) flushStalled(c *Connection) bool {
 		sc.stalled = sc.stalled[1:]
 	}
 	sc.stalled = nil
-	sc.hasStalled.Store(false)
+	if sc.hasStalled.Swap(false) {
+		mParkedConns.Dec()
+	}
 	return true
 }
 
@@ -634,6 +651,10 @@ func (sc *shardConn) drainInbound() {
 	drainBufChan(sc.dataIn)
 	drainBufChan(sc.ctrlIn)
 	sc.stalled = nil
+	if sc.hasStalled.Swap(false) {
+		// A connection closed while parked leaves the gauge otherwise.
+		mParkedConns.Dec()
+	}
 }
 
 func drainBufChan(ch chan *buf.Buffer) {

@@ -83,7 +83,13 @@ func (s ShardStats) PacketsPerBatch() float64 {
 }
 
 // ShardStats snapshots the System's shard pool counters.
-func (s *System) ShardStats() ShardStats {
+//
+// Deprecated: the same snapshot is the Shards field of
+// System.Telemetry, alongside the memory summary and the instrument
+// registry. This wrapper remains for existing callers.
+func (s *System) ShardStats() ShardStats { return s.shardStats() }
+
+func (s *System) shardStats() ShardStats {
 	s.shardMu.Lock()
 	shards := s.shards
 	s.shardMu.Unlock()

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"ncs/internal/netsim"
+	"ncs/internal/telemetry"
+	"ncs/internal/transport"
+)
+
+// Core-runtime telemetry (catalogue in internal/telemetry doc.go).
+// The counters sit next to the per-connection stats they mirror: the
+// stats stay per-connection diagnostics, the instruments aggregate the
+// same events system-wide for export. Hot-path sites pass the
+// connection or shard ID as the stripe hint so concurrent connections
+// do not false-share.
+var (
+	mSendMsgs  = telemetry.NewCounter("core.conn.send_msgs_total")
+	mSendSDUs  = telemetry.NewCounter("core.conn.send_sdus_total")
+	mSendBytes = telemetry.NewCounter("core.conn.send_bytes_total")
+	mRecvMsgs  = telemetry.NewCounter("core.conn.recv_msgs_total")
+	mRecvSDUs  = telemetry.NewCounter("core.conn.recv_sdus_total")
+	mRecvBytes = telemetry.NewCounter("core.conn.recv_bytes_total")
+
+	// mRecvFastpath counts messages completed by the single-SDU
+	// arrival shortcut (no session table, no reassembly);
+	// mRecvSession counts messages that went through a reassembly
+	// session. Their sum is core.conn.recv_msgs_total.
+	mRecvFastpath = telemetry.NewCounter("core.recv.fastpath_total")
+	mRecvSession  = telemetry.NewCounter("core.recv.session_total")
+
+	// mShardCycles counts event-loop turns; mShardWakeups counts
+	// doorbell-triggered loop wakeups (1:1 with cycles today, kept
+	// separate so batched-cycle variants stay observable).
+	mShardCycles  = telemetry.NewCounter("core.shard.cycles_total")
+	mShardWakeups = telemetry.NewCounter("core.shard.wakeups_total")
+	// mParkedConns is the number of sharded connections whose data path
+	// is paused on a full delivery queue (stalled messages parked).
+	mParkedConns = telemetry.NewGauge("core.shard.parked_conns")
+
+	// mWheelSweeps counts timer-wheel slot advances; mWheelArmed is the
+	// number of currently armed wheel timers.
+	mWheelSweeps = telemetry.NewCounter("core.wheel.sweeps_total")
+	mWheelArmed  = telemetry.NewGauge("core.wheel.armed")
+
+	// mCoalesceDepth observes how many SDUs each vectored transport
+	// write carried (threaded Send Thread batches and sharded per-cycle
+	// flushes alike); mSendQDepth observes send-queue occupancy at
+	// enqueue time.
+	mCoalesceDepth = telemetry.NewHistogram("core.send.coalesce_depth")
+	mSendQDepth    = telemetry.NewHistogram("core.send.sendq_depth")
+)
+
+// Telemetry is a System-wide observability snapshot: the memory and
+// shard-pool summaries that previously lived behind separate accessors,
+// plus a reading of every registered instrument across all layers
+// (buf, flowctl, errctl, core, rpc, group).
+type Telemetry struct {
+	Mem     MemStats           `json:"mem"`
+	Shards  ShardStats         `json:"shards"`
+	Metrics telemetry.Snapshot `json:"metrics"`
+}
+
+// Telemetry captures the System's unified observability snapshot. Note
+// that Metrics is process-global (instruments are package-level), so on
+// a process hosting several Systems the counter section spans all of
+// them, while Mem and Shards are this System's own.
+func (s *System) Telemetry() Telemetry {
+	return Telemetry{
+		Mem:     s.memStats(),
+		Shards:  s.shardStats(),
+		Metrics: telemetry.Capture(),
+	}
+}
+
+// ImpairStats reports the impairment decisions made on the data
+// packets this connection has transmitted, when its data path rides a
+// simulated link (HPI or ACI; false otherwise). The chaos harness
+// reconciles these against the error-control instruments: every
+// dropped data packet on a reliable connection must show up as at
+// least one retransmission.
+func (c *Connection) ImpairStats() (netsim.ImpairStats, bool) {
+	return transport.ImpairStats(c.data)
+}

@@ -105,6 +105,7 @@ func (t *wheelTimer) reset(d time.Duration) {
 	if !t.armed {
 		t.armed = true
 		w.live++
+		mWheelArmed.Inc()
 	}
 	slot := (w.pos + ticks) % wheelSlotCount
 	w.slots[slot] = append(w.slots[slot], wheelEntry{t: t, gen: t.gen, rounds: ticks / wheelSlotCount})
@@ -122,6 +123,7 @@ func (t *wheelTimer) stop() {
 	if t.armed {
 		t.armed = false
 		w.live--
+		mWheelArmed.Dec()
 	}
 	w.mu.Unlock()
 }
@@ -185,6 +187,7 @@ func (w *timerWheel) loop() {
 // advance moves the wheel one slot and fires the entries that came due.
 // Callbacks run outside the lock so they may arm timers freely.
 func (w *timerWheel) advance() {
+	mWheelSweeps.Inc()
 	w.mu.Lock()
 	w.pos = (w.pos + 1) % wheelSlotCount
 	slot := w.slots[w.pos]
@@ -200,6 +203,7 @@ func (w *timerWheel) advance() {
 		default:
 			e.t.armed = false
 			w.live--
+			mWheelArmed.Dec()
 			fired = append(fired, e)
 		}
 	}

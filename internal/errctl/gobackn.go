@@ -62,6 +62,7 @@ func (s *gbnSender) OnAck(c packet.Control) ([]SDU, bool, error) {
 			return nil, false, nil
 		}
 		s.nackedAt = s.base
+		mNackReplay.Inc()
 		return s.replay(), false, nil
 	default:
 		return nil, false, nil
@@ -85,6 +86,7 @@ func (s *gbnSender) replay() []SDU {
 		sdu.Header.Flags |= packet.FlagRetransmit
 		rt = append(rt, sdu)
 	}
+	mRetransmitSDUs.Add(int64(len(rt)))
 	return rt
 }
 
@@ -121,6 +123,7 @@ func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte, _ *buf.Buffer)
 	if r.done {
 		// A retransmission after completion means the final cumulative
 		// ACK was lost; repeat it so the sender can finish.
+		mRecvDup.Inc()
 		return r.stage(packet.Control{
 			Type:      packet.CtrlAck,
 			ConnID:    h.ConnID,
@@ -134,6 +137,7 @@ func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte, _ *buf.Buffer)
 		// gap needs the sender to go back. Both are answered with the
 		// current cumulative position.
 		if h.Seq > r.expected {
+			mRecvOOO.Inc()
 			return r.stage(packet.Control{
 				Type:      packet.CtrlNack,
 				ConnID:    h.ConnID,
@@ -141,6 +145,7 @@ func (r *gbnReceiver) OnData(h packet.DataHeader, payload []byte, _ *buf.Buffer)
 				Body:      packet.CreditBody(r.expected),
 			}), false
 		}
+		mRecvDup.Inc()
 		return r.stage(r.ackLocked(h)), false
 	}
 	r.buf = append(r.buf, payload...)

@@ -126,6 +126,7 @@ func (r *noneReceiver) OnData(h packet.DataHeader, payload []byte, ref *buf.Buff
 	}
 	if r.got[seq] {
 		r.segs[seq].release()
+		mRecvDup.Inc()
 	}
 	r.segs[seq] = holdSegment(payload, ref)
 	r.got[seq] = true

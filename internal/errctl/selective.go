@@ -54,6 +54,7 @@ func (s *srSender) OnAck(c packet.Control) ([]SDU, bool, error) {
 	}
 	if len(rt) > 0 {
 		rt[len(rt)-1].Header.Flags |= packet.FlagEnd
+		mRetransmitSDUs.Add(int64(len(rt)))
 	}
 	return rt, false, nil
 }
@@ -70,6 +71,7 @@ func (s *srSender) OnTimeout() []SDU {
 	for i := range rt {
 		rt[i].Header.Flags |= packet.FlagRetransmit
 	}
+	mRetransmitSDUs.Add(int64(len(rt)))
 	return rt
 }
 
@@ -113,6 +115,7 @@ func (r *srReceiver) OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer
 		// The sender retransmitting after completion means our final
 		// ACK was lost: answer end-flagged SDUs with the (empty) bitmap
 		// again so the sender can finish.
+		mRecvDup.Inc()
 		if h.End() {
 			return r.ack(h), true
 		}
@@ -120,6 +123,8 @@ func (r *srReceiver) OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer
 	}
 	if _, dup := r.segments[h.Seq]; !dup {
 		r.segments[h.Seq] = holdSegment(payload, ref)
+	} else {
+		mRecvDup.Inc()
 	}
 	// The first end-flagged SDU we see fixes the message length. Before
 	// the receiver has ever acknowledged, every end-flagged packet

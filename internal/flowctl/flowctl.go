@@ -30,7 +30,33 @@ import (
 	"time"
 
 	"ncs/internal/packet"
+	"ncs/internal/telemetry"
 )
+
+// Flow-control telemetry (catalogue in internal/telemetry doc.go).
+// Stall/wait counters tick once per admission that did not succeed on
+// the first try; blocked_ns_total accumulates the time senders spent
+// parked waiting for admission, whichever algorithm withheld it.
+var (
+	mWindowStall = telemetry.NewCounter("flowctl.window.stall_total")
+	mCreditWait  = telemetry.NewCounter("flowctl.credit.wait_total")
+	mBlockedNS   = telemetry.NewCounter("flowctl.send.blocked_ns_total")
+)
+
+// NoteFastPathWait records a §4.2 fast-path admission that had to pump
+// control traffic before flow control admitted it. The fast path
+// bypasses the Sender blocking entry points (it interleaves TryAcquire
+// with control processing on the caller), so core reports the wait
+// here to keep the instruments algorithm-owned.
+func NoteFastPathWait(alg Algorithm, blocked time.Duration) {
+	switch alg {
+	case Credit:
+		mCreditWait.Inc()
+	case Window:
+		mWindowStall.Inc()
+	}
+	mBlockedNS.Add(int64(blocked))
+}
 
 // Algorithm selects a flow control scheme.
 type Algorithm int
@@ -171,7 +197,7 @@ func PendingTimers() int64 { return pendingTimers.Load() }
 // time.AfterFunc is pure churn on the runtime timer heap. A single
 // timer serves the whole wait, and it is stopped — not abandoned — when
 // an ack admits the waiter before the deadline.
-func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, try func() (ok, closed bool)) error {
+func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, stalls *telemetry.Counter, try func() (ok, closed bool)) error {
 	mu.Lock()
 	defer mu.Unlock()
 
@@ -183,7 +209,11 @@ func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, try func()
 		return nil
 	}
 
-	deadline := time.Now().Add(d)
+	stalls.Inc()
+	start := time.Now()
+	defer func() { mBlockedNS.Add(int64(time.Since(start))) }()
+
+	deadline := start.Add(d)
 	var timer *time.Timer
 	defer func() {
 		if timer != nil && timer.Stop() {
@@ -281,8 +311,13 @@ func newCreditSender(cfg Config) *creditSender {
 func (s *creditSender) Acquire(uint32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for s.credits == 0 && !s.closed {
-		s.cond.Wait()
+	if s.credits == 0 && !s.closed {
+		mCreditWait.Inc()
+		start := time.Now()
+		for s.credits == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		mBlockedNS.Add(int64(time.Since(start)))
 	}
 	if s.closed {
 		return ErrClosed
@@ -292,7 +327,7 @@ func (s *creditSender) Acquire(uint32) error {
 }
 
 func (s *creditSender) AcquireTimeout(seq uint32, d time.Duration) error {
-	return acquireTimeout(&s.mu, s.cond, d, func() (ok, closed bool) {
+	return acquireTimeout(&s.mu, s.cond, d, mCreditWait, func() (ok, closed bool) {
 		if s.closed {
 			return false, true
 		}
@@ -431,8 +466,13 @@ func newWindowSender(cfg Config) *windowSender {
 func (s *windowSender) Acquire(seq uint32) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for seq >= s.base+uint32(s.window) && !s.closed {
-		s.cond.Wait()
+	if seq >= s.base+uint32(s.window) && !s.closed {
+		mWindowStall.Inc()
+		start := time.Now()
+		for seq >= s.base+uint32(s.window) && !s.closed {
+			s.cond.Wait()
+		}
+		mBlockedNS.Add(int64(time.Since(start)))
 	}
 	if s.closed {
 		return ErrClosed
@@ -444,7 +484,7 @@ func (s *windowSender) Acquire(seq uint32) error {
 }
 
 func (s *windowSender) AcquireTimeout(seq uint32, d time.Duration) error {
-	return acquireTimeout(&s.mu, s.cond, d, func() (ok, closed bool) {
+	return acquireTimeout(&s.mu, s.cond, d, mWindowStall, func() (ok, closed bool) {
 		if s.closed {
 			return false, true
 		}
@@ -579,9 +619,18 @@ func (s *rateSender) Acquire(uint32) error {
 // AcquireTimeout for the rate scheme simply bounds the pacing sleep.
 func (s *rateSender) AcquireTimeout(seq uint32, d time.Duration) error {
 	deadline := time.Now().Add(d)
+	var blockedAt time.Time
+	defer func() {
+		if !blockedAt.IsZero() {
+			mBlockedNS.Add(int64(time.Since(blockedAt)))
+		}
+	}()
 	for {
 		if s.TryAcquire(seq) {
 			return nil
+		}
+		if blockedAt.IsZero() {
+			blockedAt = time.Now()
 		}
 		s.mu.Lock()
 		closed := s.closed

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"ncs/internal/buf"
 	"ncs/internal/mcast"
@@ -17,6 +18,8 @@ import (
 // serialise n transfers under the spanning-tree algorithm.
 func (g *Group) Scatter(root int, parts [][]byte) ([]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.scatter(root, parts)
 }
 
@@ -71,6 +74,8 @@ func (g *Group) scatter(root int, parts [][]byte) ([]byte, error) {
 // receive nil.
 func (g *Group) Gather(root int, value []byte) ([][]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.gather(root, value)
 }
 
@@ -123,6 +128,8 @@ func (g *Group) gather(root int, value []byte) ([][]byte, error) {
 // bundles ride the Broadcast chunk pipeline.
 func (g *Group) AllGather(value []byte) ([][]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.allGather(value)
 }
 
@@ -168,6 +175,8 @@ func (g *Group) allGather(value []byte) ([][]byte, error) {
 // gather-then-broadcast.
 func (g *Group) ReduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.reduceScatter(parts, op)
 }
 
@@ -214,6 +223,8 @@ func (g *Group) reduceScatter(parts [][]byte, op ReduceOp) ([]byte, error) {
 // linear pairwise schedule: n-1 contention-free rounds.
 func (g *Group) AllToAll(parts [][]byte) ([][]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.allToAll(parts)
 }
 

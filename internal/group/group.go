@@ -414,6 +414,9 @@ func ConnectConfig(systems []*core.System, opts core.Options, cfg Config) ([]*Gr
 // sendFrame stages one tagged frame through a pooled buffer and
 // transmits it to dst.
 func (g *Group) sendFrame(dst int, op byte, tag, chunk, nchunks, total uint32, payload []byte) error {
+	if nchunks > 1 {
+		mChunks.IncAt(uint32(dst))
+	}
 	b := buf.GetCap(frameHeaderSize + len(payload))
 	b.B = appendFrameHeader(b.B, op, tag, chunk, nchunks, total)
 	b.B = append(b.B, payload...)
@@ -497,13 +500,18 @@ func (g *Group) recvRaw(src int, dl time.Time) ([]byte, error) {
 func (g *Group) recvFrame(src int, op byte, tag, chunk uint32, dl time.Time) (frame, error) {
 	raw, err := g.recvRaw(src, dl)
 	if err != nil {
+		if errors.Is(err, ErrDeadline) {
+			mDeadline.Inc()
+		}
 		return frame{}, fmt.Errorf("group %s: %w", opName(op), err)
 	}
 	f, err := parseFrame(raw)
 	if err != nil {
+		mMismatch.Inc()
 		return frame{}, fmt.Errorf("group %s from %d: %w", opName(op), src, err)
 	}
 	if f.op != op || f.tag != tag || f.chunk != chunk {
+		mMismatch.Inc()
 		return frame{}, fmt.Errorf("%w: rank %d expected %s tag %d chunk %d from %d, got %s tag %d chunk %d",
 			ErrMismatch, g.rank, opName(op), tag, chunk, src, opName(f.op), f.tag, f.chunk)
 	}
@@ -521,6 +529,8 @@ func (g *Group) recvFrame(src int, op byte, tag, chunk uint32, dl time.Time) (fr
 // All members must call Broadcast collectively.
 func (g *Group) Broadcast(root int, msg []byte) ([]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.broadcast(root, msg)
 }
 
@@ -645,6 +655,8 @@ type ReduceOp func(a, b []byte) []byte
 // hop, in exchange for determinism under non-commutative operations.
 func (g *Group) Reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.reduce(root, value, op)
 }
 
@@ -694,6 +706,8 @@ func (g *Group) reduce(root int, value []byte, op ReduceOp) ([]byte, error) {
 // AllReduce is Reduce to rank 0 followed by Broadcast of the result.
 func (g *Group) AllReduce(value []byte, op ReduceOp) ([]byte, error) {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	return g.allReduce(value, op)
 }
 
@@ -712,6 +726,8 @@ func (g *Group) allReduce(value []byte, op ReduceOp) ([]byte, error) {
 // spanning tree.
 func (g *Group) Barrier() error {
 	g.quiesce()
+	start := time.Now()
+	defer mOpNS.ObserveSince(start)
 	_, err := g.allReduce([]byte{}, func(a, b []byte) []byte { return a })
 	return err
 }

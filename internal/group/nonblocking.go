@@ -1,6 +1,9 @@
 package group
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Nonblocking collectives: IBroadcast, IAllReduce, and IAllGather
 // return immediately with a Handle the caller awaits later, so a
@@ -119,7 +122,9 @@ func (e *engine) drain() {
 		e.current = h
 		e.mu.Unlock()
 
+		start := time.Now()
 		h.err = h.run()
+		mOpNS.ObserveSince(start)
 		close(h.done)
 
 		e.mu.Lock()

@@ -1,0 +1,20 @@
+package group
+
+import "ncs/internal/telemetry"
+
+// Group-layer telemetry (catalogue in internal/telemetry doc.go).
+var (
+	// mOpNS observes wall-clock latency of one collective operation on
+	// one member, in nanoseconds — blocking calls and engine-executed
+	// nonblocking operations alike.
+	mOpNS = telemetry.NewHistogram("group.collective.op_ns")
+	// mChunks counts pipelined broadcast chunk frames transmitted
+	// (frames belonging to a multi-chunk transfer).
+	mChunks = telemetry.NewCounter("group.collective.chunks_total")
+	// mMismatch counts collective frames rejected because the members
+	// fell out of step (ErrMismatch).
+	mMismatch = telemetry.NewCounter("group.collective.mismatch_total")
+	// mDeadline counts collective receives that expired on the group
+	// deadline (ErrDeadline).
+	mDeadline = telemetry.NewCounter("group.collective.deadline_total")
+)

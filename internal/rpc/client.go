@@ -107,6 +107,8 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 	id := c.nextID.Add(1)
 	c.calls[id] = ca
 	c.mu.Unlock()
+	mClientInflight.Inc()
+	start := time.Now()
 
 	var budget time.Duration
 	if dl, ok := ctx.Deadline(); ok {
@@ -132,6 +134,8 @@ func (c *Client) Call(ctx context.Context, method string, req []byte) ([]byte, e
 	select {
 	case r := <-ca.ch:
 		callPool.Put(ca)
+		mClientInflight.Dec()
+		mCallNS.ObserveSince(start)
 		return r.result(method)
 	case <-ctx.Done():
 		c.abandon(id, ca)
@@ -147,6 +151,7 @@ func (c *Client) abandon(id uint64, ca *call) {
 	c.mu.Lock()
 	delete(c.calls, id)
 	c.mu.Unlock()
+	mClientInflight.Dec()
 	select {
 	case <-ca.ch:
 	default:

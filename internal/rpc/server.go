@@ -180,6 +180,7 @@ func (s *Server) admit(conn *core.Connection, m core.Message) {
 		return
 	}
 	s.inflight.Add(1)
+	mServerInflight.Inc()
 	s.queue = append(s.queue, req)
 	s.qmu.Unlock()
 	s.sem.Release()
@@ -248,6 +249,7 @@ func (s *Server) worker() {
 		s.qmu.Unlock()
 		s.dispatch(req)
 		s.inflight.Done()
+		mServerInflight.Dec()
 	}
 }
 
@@ -263,6 +265,7 @@ func (s *Server) dispatch(req request) {
 		// budget spent in transit): skip the work, it can no longer be
 		// consumed.
 		if !time.Now().Before(req.deadline) {
+			mDeadlineExpired.Inc()
 			s.reply(req.conn, req.id, statusDeadlineExceeded, "", nil)
 			return
 		}

@@ -1,0 +1,20 @@
+package rpc
+
+import "ncs/internal/telemetry"
+
+// RPC-layer telemetry (catalogue in internal/telemetry doc.go).
+var (
+	// mClientInflight is the number of calls issued and not yet
+	// resolved (replied, failed, or abandoned) across all Clients.
+	mClientInflight = telemetry.NewGauge("rpc.client.inflight")
+	// mCallNS observes end-to-end call latency in nanoseconds for
+	// calls that received a reply.
+	mCallNS = telemetry.NewHistogram("rpc.client.call_ns")
+	// mServerInflight is the number of admitted requests not yet
+	// replied to across all Servers.
+	mServerInflight = telemetry.NewGauge("rpc.server.inflight")
+	// mDeadlineExpired counts calls whose propagated deadline had
+	// already passed when a worker picked them up — work the server
+	// skipped because the caller gave up.
+	mDeadlineExpired = telemetry.NewCounter("rpc.server.deadline_expired_total")
+)

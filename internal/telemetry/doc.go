@@ -1,0 +1,90 @@
+// Package telemetry is the unified observability layer for NCS: a
+// zero-allocation metrics core (counters, gauges, latency histograms),
+// an optional sampled message-lifecycle tracer, and snapshot/export
+// plumbing that every subsystem reports through.
+//
+// The paper's evaluation hinges on knowing exactly where time goes
+// inside the multithreaded pipeline — send thread, error/flow control,
+// AAL5, wire (§4.3, Table I). This package is that visibility as a
+// production feature rather than ad-hoc one-offs: instruments are
+// registered once at package init, incremented with plain atomics on
+// the hot path (no maps, no interface boxing, no allocation), and read
+// by Capture, which walks the registry and materialises a Snapshot.
+//
+// # Instrument naming conventions
+//
+// Every instrument name has the form
+//
+//	layer.subsystem.metric
+//
+// where layer is the owning package (core, errctl, flowctl, buf, rpc,
+// group), subsystem narrows it to a component (conn, shard, wheel,
+// pool, recv, send, client, server, collective, window, credit), and
+// metric is the measured quantity. Names are lowercase; words within a
+// segment join with underscores. Conventions, following the Prometheus
+// style:
+//
+//   - Monotonic counters end in _total: core.conn.sends_total.
+//   - Quantities carry their unit as a suffix: _bytes, _ns.
+//   - Gauges are instantaneous levels and carry no _total suffix:
+//     buf.pool.outstanding, rpc.client.inflight.
+//   - Histograms name the recorded quantity, with its unit suffix:
+//     rpc.client.call_ns, core.send.coalesce_depth.
+//
+// Registration panics on a duplicate or ill-formed name, so a naming
+// collision is caught by the first test that imports both packages.
+//
+// # The instrument catalogue
+//
+// Counters:
+//
+//	buf.pool.hit_total                 pooled buffer reused
+//	buf.pool.miss_total                pool empty, buffer allocated
+//	buf.pool.oversize_total            request above the largest tier
+//	errctl.send.retransmit_sdus_total  SDUs retransmitted (SR + GBN)
+//	errctl.gbn.nack_replay_total       go-back-N window replays
+//	errctl.recv.dup_total              duplicate SDUs discarded
+//	errctl.recv.out_of_order_total     out-of-order arrivals (GBN NACK)
+//	flowctl.window.stall_total         window-sender admission stalls
+//	flowctl.credit.wait_total          credit-sender admission waits
+//	flowctl.send.blocked_ns_total      total ns senders spent blocked
+//	core.conn.send_msgs_total          messages sent
+//	core.conn.send_sdus_total          SDUs sent
+//	core.conn.send_bytes_total         payload bytes sent
+//	core.conn.recv_msgs_total          messages delivered
+//	core.conn.recv_sdus_total          SDUs received
+//	core.conn.recv_bytes_total         payload bytes received
+//	core.recv.fastpath_total           single-SDU fastpath deliveries
+//	core.recv.session_total            reassembly-session deliveries
+//	core.shard.cycles_total            shard service cycles
+//	core.shard.wakeups_total           shard doorbell wakeups
+//	core.wheel.sweeps_total            timer-wheel slot sweeps
+//	rpc.server.deadline_expired_total  calls expired before dispatch
+//	group.collective.chunks_total      pipelined broadcast chunks
+//	group.collective.mismatch_total    ErrMismatch frames observed
+//	group.collective.deadline_total    ErrDeadline collective failures
+//
+// Gauges:
+//
+//	buf.pool.outstanding               buffers checked out of the pools
+//	core.shard.parked_conns            sharded conns parked on stalls
+//	core.wheel.armed                   armed timer-wheel timers
+//	rpc.client.inflight                calls awaiting replies
+//	rpc.server.inflight                requests admitted, not replied
+//
+// Histograms (power-of-two buckets):
+//
+//	core.send.coalesce_depth           SDUs coalesced per shard batch
+//	core.send.sendq_depth              send-queue occupancy at enqueue
+//	rpc.client.call_ns                 request→reply latency
+//	group.collective.op_ns             collective operation latency
+//
+// # Lifecycle tracing
+//
+// EnableTracing arms a global sampled tracer; every Nth traced message
+// gets monotonic stamps at the Enqueued → Staged → WireOut → WireIn →
+// Reassembled → Delivered stages as it crosses the stack, and the
+// completed Trace lands in a fixed ring drained by TakeTraces. Tracing
+// is off by default and free when off: every stamp site is a single
+// atomic pointer load and nil check.
+package telemetry

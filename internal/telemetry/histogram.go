@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket
+// i holds observations whose bit length is i — bucket 0 is exactly 0,
+// bucket i (i ≥ 1) covers [2^(i-1), 2^i). 40 buckets span nanosecond
+// latencies past 9 minutes and depths past 500 billion; anything
+// larger lands in the final bucket.
+const histBuckets = 40
+
+// Histogram records a distribution in fixed power-of-two buckets.
+// Observe is three atomic adds: no locks, no allocation, no bucket
+// search — the bucket index is the bit length of the value.
+type Histogram struct {
+	name    string
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value. Negative values clamp to 0.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the nanoseconds elapsed since start — the
+// latency-instrument form.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(int64(time.Since(start)))
+}
+
+// Name returns the registered instrument name.
+func (h *Histogram) Name() string { return h.name }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running total of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is the plain-data reading of one histogram.
+type HistogramSnapshot struct {
+	Count   int64              `json:"count"`
+	Sum     int64              `json:"sum"`
+	Buckets [histBuckets]int64 `json:"buckets"`
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: 0 for
+// bucket 0, 2^i - 1 for the rest.
+func (HistogramSnapshot) BucketUpper(i int) int64 { return bucketUpper(i) }
+
+// Mean returns the average observation, or 0 with no observations.
+func (h HistogramSnapshot) Mean() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / h.Count
+}
+
+func bucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}

@@ -484,6 +484,24 @@ func Impair(c Conn, imp netsim.Impairments) bool {
 	return false
 }
 
+// ImpairStats reports the impairment decisions made on traffic the
+// connection's local endpoint has transmitted, when the connection
+// rides a simulated link: HPI counts SDU packets, ACI counts ATM
+// cells. The second result is false for transports with no simulated
+// link (SCI). Wrapped connections are unwrapped as in Impair.
+func ImpairStats(c Conn) (netsim.ImpairStats, bool) {
+	switch t := c.(type) {
+	case *hpiConn:
+		return t.ep.ImpairStats(), true
+	case *aciConn:
+		return t.vc.ImpairStats(), true
+	}
+	if u, ok := c.(interface{ Unwrap() Conn }); ok {
+		return ImpairStats(u.Unwrap())
+	}
+	return netsim.ImpairStats{}, false
+}
+
 // ---------------------------------------------------------------------------
 // HPI: in-process shared-memory style interface.
 

@@ -80,6 +80,7 @@ import (
 	"ncs/internal/mcast"
 	"ncs/internal/netsim"
 	"ncs/internal/rpc"
+	"ncs/internal/telemetry"
 	"ncs/internal/thread"
 	"ncs/internal/transport"
 )
@@ -355,6 +356,59 @@ func BuildGroupConfig(nw *Network, names []string, opts Options, cfg GroupConfig
 func ConnectGroupConfig(systems []*System, opts Options, cfg GroupConfig) ([]*Group, error) {
 	return group.ConnectConfig(systems, opts, cfg)
 }
+
+// Observability (internal/telemetry): the unified metrics, lifecycle
+// tracing, and snapshot layer. Instrument names and semantics are
+// catalogued in internal/telemetry's package documentation; serve them
+// live with ServeDebug or capture them programmatically here.
+type (
+	// Telemetry is a System-wide observability snapshot
+	// (System.Telemetry): per-System memory and shard summaries plus a
+	// reading of every registered instrument across all layers.
+	Telemetry = core.Telemetry
+	// MetricsSnapshot is a point-in-time reading of every registered
+	// instrument — counters, gauges, and latency histograms. Diff two
+	// with Delta, export one with WritePrometheus.
+	MetricsSnapshot = telemetry.Snapshot
+	// Trace is one sampled message's lifecycle record: monotonic
+	// nanosecond stamps at each TraceStage from send enqueue to
+	// application delivery. On an in-process (HPI) connection both
+	// sides stamp the same record, so one Trace spans the full path.
+	Trace = telemetry.Trace
+	// TraceStage is one point in a traced message's life.
+	TraceStage = telemetry.TraceStage
+)
+
+// Lifecycle trace stages, in path order.
+const (
+	StageEnqueued    = telemetry.StageEnqueued
+	StageStaged      = telemetry.StageStaged
+	StageWireOut     = telemetry.StageWireOut
+	StageWireIn      = telemetry.StageWireIn
+	StageReassembled = telemetry.StageReassembled
+	StageDelivered   = telemetry.StageDelivered
+)
+
+// CaptureMetrics reads every registered instrument. The snapshot is
+// process-global: one reading covers every System, connection, and
+// layer in the process.
+func CaptureMetrics() MetricsSnapshot { return telemetry.Capture() }
+
+// EnableTracing turns on sampled message-lifecycle tracing: every
+// every-th sent message (minimum 1: trace everything) is stamped
+// through the stack and its completed Trace is kept in a ring holding
+// the most recent capacity records (default 256). Tracing is
+// process-global and off by default; when off the per-message cost is
+// a single nil check.
+func EnableTracing(every, capacity int) { telemetry.EnableTracing(every, capacity) }
+
+// DisableTracing turns sampled tracing back off and discards the
+// collected traces.
+func DisableTracing() { telemetry.DisableTracing() }
+
+// TakeTraces drains and returns the completed traces collected since
+// the last call (newest last). It returns nil when tracing is off.
+func TakeTraces() []Trace { return telemetry.TakeTraces() }
 
 // Pair is a convenience for examples, tests and benchmarks: it creates
 // two systems on the network and returns both ends of a connection
