@@ -559,6 +559,48 @@ func BenchmarkAllocSCISend4KB(b *testing.B) {
 	<-done
 }
 
+// BenchmarkAllocCreditSend gates the credit flow-control path: a
+// threaded 4KB HPI send with receiver-advertised credits on, so every
+// iteration crosses admission (grant check + controller window),
+// arrival accounting, threshold refills, and piggybacked grants. The
+// baseline holds the whole credit machinery — including its telemetry
+// — to the same steady-state allocations as an ungated send: the
+// per-refill grant frame is the only permitted extra, amortised across
+// the refill interval.
+func BenchmarkAllocCreditSend(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-credit-a", "alloc-credit-b", ncs.Options{
+		Interface:   ncs.HPI,
+		FlowControl: ncs.FlowCredit,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := peer.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
 // runCollectiveBench drives one collective op across every member of a
 // prebuilt group and waits for the stragglers, reporting errors.
 func runCollectiveBench(b *testing.B, groups []*ncs.Group, op func(*ncs.Group) error) {

@@ -16,6 +16,7 @@
 //	ncs-bench -exp scale -scale-max 4096 -scale-dur 400ms -scale-out BENCH_scale.json
 //	ncs-bench -exp scale -telemetry
 //	ncs-bench -exp collective -collective-members 8 -collective-out BENCH_collective.json
+//	ncs-bench -exp pressure -pressure-conns 4096 -pressure-out BENCH_pressure.json
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
@@ -33,7 +34,12 @@
 // both multicast algorithms (§2's repetitive vs. spanning tree),
 // payload sizes, and both runtimes; its headline row shows the
 // chunk-pipelined spanning-tree broadcast beating repetitive at large
-// payloads.
+// payloads. The pressure experiment stresses the credit flow control:
+// a slow-consumer fan-in (default 4096 connections) that must hold the
+// pooled-buffer population under a fixed budget, then a congestion
+// controller sweep (static, AIMD, RTT-adaptive) over clean and
+// Gilbert–Elliott burst-loss links whose verdict is that adaptivity
+// does not collapse throughput.
 //
 // -telemetry embeds a metrics snapshot — the delta of every registered
 // instrument across the experiment — in the scale and collective JSON
@@ -74,10 +80,18 @@ type collectiveOpts struct {
 	telemetry bool
 }
 
+// pressureOpts carries the pressure experiment's knobs.
+type pressureOpts struct {
+	conns     int
+	dur       time.Duration
+	out       string
+	telemetry bool
+}
+
 // experiments maps each -exp value to its runner; "all" runs the
 // paper's set in order. Kept as a table so the usage string and the
 // unknown-experiment error can never drift from what actually runs.
-func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts) map[string]func() error {
+func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) map[string]func() error {
 	return map[string]func() error{
 		"table1":     runTable1,
 		"fig10":      runFig10,
@@ -88,14 +102,15 @@ func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts) map[st
 		"loss":       func() error { return runLoss(iters) },
 		"scale":      func() error { return runScale(sc) },
 		"collective": func() error { return runCollective(cc) },
+		"pressure":   func() error { return runPressure(pc) },
 	}
 }
 
 // experimentList returns the valid -exp values, sorted, for usage and
 // error messages.
-func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts) []string {
-	names := make([]string, 0, 10)
-	for name := range experiments(plat, iters, sc, cc) {
+func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) []string {
+	names := make([]string, 0, 11)
+	for name := range experiments(plat, iters, sc, cc, pc) {
 		names = append(names, name)
 	}
 	names = append(names, "all")
@@ -105,7 +120,7 @@ func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts) []s
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, pressure, all")
 		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
 		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep (sweep points: 16…100000; threaded points cap at 4096)")
@@ -118,26 +133,31 @@ func main() {
 		collMaxSize = flag.Int("collective-max-size", 256*1024, "collective: largest payload in the sweep")
 		collOut     = flag.String("collective-out", "BENCH_collective.json", "collective: JSON results path (empty: skip)")
 
-		withTelemetry = flag.Bool("telemetry", false, "embed a metrics snapshot (the instrument delta across the experiment) in the scale/collective JSON artifacts")
+		pressConns = flag.Int("pressure-conns", 4096, "pressure: slow-consumer fan-in width")
+		pressDur   = flag.Duration("pressure-dur", 400*time.Millisecond, "pressure: measured interval per phase/point")
+		pressOut   = flag.String("pressure-out", "BENCH_pressure.json", "pressure: JSON results path (empty: skip)")
+
+		withTelemetry = flag.Bool("telemetry", false, "embed a metrics snapshot (the instrument delta across the experiment) in the scale/collective/pressure JSON artifacts")
 	)
 	flag.Parse()
 	sc := scaleOpts{max: *scaleMax, maxConns: *maxConns, dur: *scaleDur, out: *scaleOut, telemetry: *withTelemetry}
 	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut, telemetry: *withTelemetry}
+	pc := pressureOpts{conns: *pressConns, dur: *pressDur, out: *pressOut, telemetry: *withTelemetry}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
 		// default experiment set and exit 0.
 		fmt.Fprintf(os.Stderr, "ncs-bench: unexpected argument %q (experiments are selected with -exp <name>)\n", flag.Arg(0))
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc), ", "))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc, pc), ", "))
 		os.Exit(2)
 	}
-	if err := run(*exp, *plat, *iters, sc, cc); err != nil {
+	if err := run(*exp, *plat, *iters, sc, cc, pc); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts) error {
-	exps := experiments(plat, iters, sc, cc)
+func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) error {
+	exps := experiments(plat, iters, sc, cc, pc)
 	if e, ok := exps[exp]; ok {
 		return e()
 	}
@@ -166,7 +186,42 @@ func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts) error {
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (experiments: %s)",
-		exp, strings.Join(experimentList(plat, iters, sc, cc), ", "))
+		exp, strings.Join(experimentList(plat, iters, sc, cc, pc), ", "))
+}
+
+// runPressure executes the flow-control pressure experiment and writes
+// the JSON artifact. The sweep carries its own acceptance (bounded
+// fan-in memory, no throughput collapse under burst loss), so a failed
+// verdict is an error — CI fails the step.
+func runPressure(pc pressureOpts) error {
+	if pc.conns < 1 {
+		return fmt.Errorf("pressure: -pressure-conns must be at least 1 (got %d)", pc.conns)
+	}
+	before := telemetry.Capture()
+	res, err := bench.PressureSweep(bench.PressureConfig{
+		Conns:    pc.conns,
+		Duration: pc.dur,
+	})
+	if err != nil {
+		return err
+	}
+	if pc.telemetry {
+		delta := telemetry.Capture().Delta(before)
+		res.Telemetry = &delta
+	}
+	fmt.Print(res.Render())
+	if pc.out != "" {
+		if err := res.WriteJSON(pc.out); err != nil {
+			return err
+		}
+		// Diagnostics go to stderr so redirected stdout stays a clean
+		// results table.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", pc.out)
+	}
+	if res.Regressed() {
+		return fmt.Errorf("pressure verdict: credit flow control failed its acceptance (see verdict lines above)")
+	}
+	return nil
 }
 
 // runCollective executes the collective sweep and writes the JSON

@@ -12,15 +12,16 @@ import (
 	"ncs/internal/bench"
 )
 
-// quickScale and quickCollective keep test runs of the sweep
-// experiments small.
+// quickScale, quickCollective and quickPressure keep test runs of the
+// sweep experiments small.
 var (
 	quickScale      = scaleOpts{max: 16, dur: 50 * time.Millisecond, out: ""}
 	quickCollective = collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: ""}
+	quickPressure   = pressureOpts{conns: 32, dur: 100 * time.Millisecond, out: ""}
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "sun4", 2, quickScale, quickCollective); err != nil {
+	if err := run("table1", "sun4", 2, quickScale, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,19 +30,19 @@ func TestRunFig12SmallIters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("echo sweep")
 	}
-	if err := run("fig12", "rs6000", 2, quickScale, quickCollective); err != nil {
+	if err := run("fig12", "rs6000", 2, quickScale, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRPC(t *testing.T) {
-	if err := run("rpc", "sun4", 1, quickScale, quickCollective); err != nil {
+	if err := run("rpc", "sun4", 1, quickScale, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLoss(t *testing.T) {
-	if err := run("loss", "sun4", 1, quickScale, quickCollective); err != nil {
+	if err := run("loss", "sun4", 1, quickScale, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -51,7 +52,7 @@ func TestRunLoss(t *testing.T) {
 func TestRunScale(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 32, dur: 50 * time.Millisecond, out: out}
-	if err := run("scale", "sun4", 1, sc, quickCollective); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -79,7 +80,7 @@ func TestRunScale(t *testing.T) {
 func TestRunScaleTelemetry(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out, telemetry: true}
-	if err := run("scale", "sun4", 1, sc, quickCollective); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -131,7 +132,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out}
 	var runErr error
 	stdout, stderr := captureStreams(t, func() {
-		runErr = run("scale", "sun4", 1, sc, quickCollective)
+		runErr = run("scale", "sun4", 1, sc, quickCollective, quickPressure)
 	})
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -152,7 +153,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 func TestRunCollective(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_collective.json")
 	cc := collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: out}
-	if err := run("collective", "sun4", 1, quickScale, cc); err != nil {
+	if err := run("collective", "sun4", 1, quickScale, cc, quickPressure); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -174,27 +175,67 @@ func TestRunCollective(t *testing.T) {
 	}
 }
 
+// TestRunPressure runs a miniature pressure sweep and checks the JSON
+// artifact is written and well-formed, with the verdict enforced (run
+// returns an error when the sweep regresses, so a failed acceptance
+// cannot write an artifact and still exit 0).
+func TestRunPressure(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_pressure.json")
+	pc := pressureOpts{conns: 32, dur: 100 * time.Millisecond, out: out}
+	if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.PressureResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_pressure.json does not parse: %v", err)
+	}
+	// The four sweep cells: static/clean, static/burst, aimd/burst,
+	// rtt/burst.
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Messages == 0 || p.Throughput <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+	}
+	if res.PeakOutstanding <= 0 || res.PeakOutstanding > res.BufferBudget {
+		t.Fatalf("fan-in peak %d outside (0, budget %d]", res.PeakOutstanding, res.BufferBudget)
+	}
+}
+
 // TestRunRejectsUnknown pins the failure mode: an unknown -exp value
 // must return an error (main exits nonzero on it) that lists the valid
 // experiments, so a typo cannot silently succeed.
 func TestRunRejectsUnknown(t *testing.T) {
-	err := run("fig99", "sun4", 1, quickScale, quickCollective)
+	err := run("fig99", "sun4", 1, quickScale, quickCollective, quickPressure)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	for _, want := range []string{"table1", "fig12", "rpc", "loss", "scale", "collective", "all"} {
+	for _, want := range []string{"table1", "fig12", "rpc", "loss", "scale", "collective", "pressure", "all"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("unknown-experiment error does not list %q: %v", want, err)
 		}
 	}
-	if err := run("fig12", "cray", 1, quickScale, quickCollective); err == nil {
+	if err := run("fig12", "cray", 1, quickScale, quickCollective, quickPressure); err == nil {
 		t.Error("unknown platform accepted")
 	}
 	for _, max := range []int{0, -1} {
 		sc := quickScale
 		sc.max = max
-		if err := run("scale", "sun4", 1, sc, quickCollective); err == nil {
+		if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err == nil {
 			t.Errorf("scale accepted -scale-max %d", max)
+		}
+	}
+	for _, conns := range []int{0, -1} {
+		pc := quickPressure
+		pc.conns = conns
+		if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc); err == nil {
+			t.Errorf("pressure accepted -pressure-conns %d", conns)
 		}
 	}
 }
@@ -202,8 +243,8 @@ func TestRunRejectsUnknown(t *testing.T) {
 // TestExperimentListComplete keeps the usage/error roster in sync with
 // the runnable experiments.
 func TestExperimentListComplete(t *testing.T) {
-	exps := experiments("sun4", 1, quickScale, quickCollective)
-	list := experimentList("sun4", 1, quickScale, quickCollective)
+	exps := experiments("sun4", 1, quickScale, quickCollective, quickPressure)
+	list := experimentList("sun4", 1, quickScale, quickCollective, quickPressure)
 	if len(list) != len(exps)+1 { // +1 for "all"
 		t.Fatalf("experiment list %v out of sync with table (%d entries)", list, len(exps))
 	}

@@ -1,0 +1,500 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ncs/internal/buf"
+	"ncs/internal/core"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/netsim"
+	"ncs/internal/telemetry"
+	"ncs/internal/transport"
+)
+
+// The pressure experiment stresses the credit flow control from both
+// ends.
+//
+// Phase A — bounded memory: a wide sharded fan-in (default 4096
+// connections) of fast producers against a deliberately slow consumer
+// pool, with error control off so the receiver-advertised credits are
+// the ONLY thing standing between the producers and unbounded
+// buffering — exactly the sender-OOM scenario credit flow control
+// exists to prevent. The phase samples the pooled-buffer population
+// (buf.Outstanding) throughout and fails if the peak ever exceeds a
+// fixed per-connection budget.
+//
+// Phase B — controller sweep: a reliable 64-connection workload of
+// multi-SDU messages, run clean and under Gilbert–Elliott burst loss,
+// across the congestion controllers. The acceptance is that the
+// adaptive AIMD controller under burst loss sustains at least
+// PressureThroughputFloor of the static controller's clean-link
+// throughput — adaptivity must not collapse the link it is protecting.
+
+// PressureBudgetPerConn is Phase A's pooled-buffer budget per
+// connection: the credit window (every admitted SDU stages one pooled
+// buffer end to end) plus the shard send-queue and transport-pipe
+// depths a connection can fill while parked. The phase fails when the
+// sampled peak exceeds conns × this + PressureBudgetSlack.
+const PressureBudgetPerConn = 192
+
+// PressureBudgetSlack absorbs the process-wide constant population:
+// control packets in flight, per-shard staging, and sampler skew.
+const PressureBudgetSlack = 4096
+
+// PressureThroughputFloor is Phase B's acceptance ratio: AIMD under
+// burst loss vs static on a clean link.
+const PressureThroughputFloor = 0.80
+
+// pressureBurst is Phase B's loss process: short, clustered bursts
+// (stationary loss ≈ 0.5% — a frame-level rate in the regime the
+// paper's ATM measurements assume) — enough that every connection
+// takes repeated grant and data losses over the measured interval, so
+// a credit leak or controller collapse craters the ratio, while a
+// healthy stack recovers at round-trip pace.
+var pressureBurst = netsim.GilbertElliott{PGoodBad: 0.005, PBadGood: 0.5, LossBad: 0.5}
+
+// PressureConfig parameterises the experiment.
+type PressureConfig struct {
+	// Conns is Phase A's fan-in width; default 4096.
+	Conns int
+	// Duration is the measured interval per phase/point; default 400ms.
+	Duration time.Duration
+	// Workers sizes the consumer pools; default GOMAXPROCS.
+	Workers int
+	// SweepConns is Phase B's connection count; default 64.
+	SweepConns int
+	// MsgSize is Phase B's message size; default 8192 (16 SDUs at the
+	// 512-byte SDU both phases use).
+	MsgSize int
+}
+
+func (c PressureConfig) withDefaults() PressureConfig {
+	if c.Conns <= 0 {
+		c.Conns = 4096
+	}
+	if c.Duration <= 0 {
+		c.Duration = 400 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.SweepConns <= 0 {
+		c.SweepConns = 64
+	}
+	if c.MsgSize < 16 {
+		c.MsgSize = 8192
+	}
+	return c
+}
+
+// PressurePoint is one Phase B cell.
+type PressurePoint struct {
+	Controller string  `json:"controller"`
+	Link       string  `json:"link"` // "clean" or "burst"
+	Messages   int64   `json:"messages"`
+	Throughput float64 `json:"throughput_msgs_per_sec"`
+}
+
+// PressureResult is the full experiment.
+type PressureResult struct {
+	GOMAXPROCS int   `json:"gomaxprocs"`
+	DurationMS int64 `json:"duration_ms_per_point"`
+
+	// Phase A.
+	Conns           int   `json:"conns"`
+	PeakOutstanding int64 `json:"peak_outstanding_bufs"`
+	BufferBudget    int64 `json:"buffer_budget"`
+	FanInMessages   int64 `json:"fan_in_messages"`
+
+	// Phase B.
+	SweepConns int             `json:"sweep_conns"`
+	MsgSize    int             `json:"msg_size"`
+	Points     []PressurePoint `json:"points"`
+
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// PressureSweep runs both phases.
+func PressureSweep(cfg PressureConfig) (*PressureResult, error) {
+	cfg = cfg.withDefaults()
+	res := &PressureResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationMS: cfg.Duration.Milliseconds(),
+		Conns:      cfg.Conns,
+		SweepConns: cfg.SweepConns,
+		MsgSize:    cfg.MsgSize,
+	}
+	base := runtime.NumGoroutine()
+	if err := runPressureFanIn(cfg, res); err != nil {
+		return nil, fmt.Errorf("pressure fan-in: %w", err)
+	}
+	settle := func() {
+		awaitGoroutines(base+8, 10*time.Second)
+		// Flush the previous phase's dead heap before measuring the next
+		// cell. The fan-in retires hundreds of MB, and the pooled-buffer
+		// sync.Pool victim caches keep much of it reachable for two more
+		// collections — on a small-GOMAXPROCS runner the inflated pacer
+		// goal then turns every background GC during the sweep into a
+		// 100ms+ stall, and the cells measure the collector instead of
+		// the controllers. Two forced collections drop the victim caches
+		// and reset the goal to the cell's real live set.
+		runtime.GC()
+		runtime.GC()
+	}
+	settle()
+	sweep := []struct {
+		ctrl  flowctl.ControllerKind
+		burst bool
+	}{
+		{flowctl.ControllerStatic, false},
+		{flowctl.ControllerStatic, true},
+		{flowctl.ControllerAIMD, true},
+		{flowctl.ControllerRTT, true},
+	}
+	for _, pt := range sweep {
+		p, err := runPressurePoint(cfg, pt.ctrl, pt.burst)
+		if err != nil {
+			return nil, fmt.Errorf("pressure sweep %v: %w", pt.ctrl, err)
+		}
+		res.Points = append(res.Points, p)
+		settle()
+	}
+	return res, nil
+}
+
+// runPressureFanIn is Phase A.
+func runPressureFanIn(cfg PressureConfig, res *PressureResult) error {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	client, err := nw.NewSystem("pressure-client")
+	if err != nil {
+		return err
+	}
+	server, err := nw.NewSystem("pressure-server")
+	if err != nil {
+		return err
+	}
+
+	serverIB := core.NewInbox(2 * cfg.Conns)
+	defer serverIB.Close()
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.Conns; i++ {
+			p, err := server.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			if err := p.BindInbox(serverIB); err != nil {
+				acceptErr <- err
+				return
+			}
+		}
+		acceptErr <- nil
+	}()
+
+	// Error control off, credit flow control on: admission credits are
+	// the only backpressure between producers and the slow consumers.
+	opts := core.Options{
+		Interface:   transport.HPI,
+		Runtime:     core.RuntimeSharded,
+		FlowControl: flowctl.Credit,
+		FlowConfig:  flowctl.Config{InitialCredits: 8, MaxCredits: 32},
+		SDUSize:     512,
+	}
+	cc := make([]*core.Connection, cfg.Conns)
+	for i := range cc {
+		c, err := client.Connect("pressure-server", opts)
+		if err != nil {
+			return fmt.Errorf("connect %d: %w", i, err)
+		}
+		cc[i] = c
+	}
+	if err := <-acceptErr; err != nil {
+		return err
+	}
+
+	// Slow consumers: the pool drains far below the producers' offered
+	// rate, so the credit receivers must throttle the grants.
+	var consumed atomic.Int64
+	var serverWG sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		serverWG.Add(1)
+		go func() {
+			defer serverWG.Done()
+			for {
+				if _, err := serverIB.Recv(); err != nil {
+					return
+				}
+				consumed.Add(1)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+
+	// Peak pooled-buffer sampler.
+	var (
+		peak        atomic.Int64
+		stopSampler = make(chan struct{})
+		samplerDone = make(chan struct{})
+	)
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if n := buf.Outstanding(); n > peak.Load() {
+					peak.Store(n)
+				}
+			case <-stopSampler:
+				return
+			}
+		}
+	}()
+
+	// Fast producers: one per connection, each offering single-SDU
+	// messages as fast as admission allows.
+	var (
+		stop     atomic.Bool
+		clientWG sync.WaitGroup
+	)
+	msg := make([]byte, 512)
+	for _, c := range cc {
+		clientWG.Add(1)
+		go func(c *core.Connection) {
+			defer clientWG.Done()
+			for !stop.Load() {
+				if err := c.Send(msg); err != nil {
+					return
+				}
+			}
+		}(c)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	clientWG.Wait()
+	close(stopSampler)
+	<-samplerDone
+	serverIB.Close()
+	serverWG.Wait()
+
+	res.PeakOutstanding = peak.Load()
+	res.BufferBudget = int64(cfg.Conns)*PressureBudgetPerConn + PressureBudgetSlack
+	res.FanInMessages = consumed.Load()
+	if res.FanInMessages == 0 {
+		return errors.New("no messages consumed")
+	}
+	return nil
+}
+
+// runPressurePoint is one Phase B cell: SweepConns reliable streams of
+// multi-SDU messages under the chosen controller and link condition.
+func runPressurePoint(cfg PressureConfig, kind flowctl.ControllerKind, burst bool) (PressurePoint, error) {
+	nw := core.NewNetwork()
+	defer nw.Close()
+	client, err := nw.NewSystem("sweep-client")
+	if err != nil {
+		return PressurePoint{}, err
+	}
+	server, err := nw.NewSystem("sweep-server")
+	if err != nil {
+		return PressurePoint{}, err
+	}
+
+	link := "clean"
+	opts := core.Options{
+		Interface:    transport.HPI,
+		Runtime:      core.RuntimeSharded,
+		ErrorControl: errctl.SelectiveRepeat,
+		FlowControl:  flowctl.Credit,
+		// InitialCredits covers one message's SDU burst (MsgSize/SDUSize):
+		// it is also the adaptive controllers' window floor, and a floor
+		// below the per-message burst would hand every message a built-in
+		// credit stall regardless of link condition — the cell would then
+		// measure the floor, not the controller.
+		FlowConfig: flowctl.Config{InitialCredits: 16, MaxCredits: 64, Controller: kind},
+		SDUSize:    512,
+		AckTimeout: 25 * time.Millisecond,
+		// Adaptive RTO: with a ~200µs grant round trip, recovery from a
+		// lost end-of-message SDU is RTT-paced rather than eating the
+		// full 25ms fallback — the difference between measuring the
+		// controllers and measuring the timeout constant.
+		AdaptiveTimeout: true,
+	}
+	// Every cell runs over the same 100µs link; burst cells add only the
+	// Gilbert–Elliott loss process, so the clean/burst ratio isolates
+	// loss handling rather than conflating it with propagation delay.
+	opts.HPILink = &netsim.Params{
+		Delay: 100 * time.Microsecond,
+		Seed:  int64(kind) + 42,
+	}
+	if burst {
+		link = "burst"
+		opts.HPILink.Impair = netsim.Impairments{Burst: pressureBurst}
+	}
+
+	serverIB := core.NewInbox(2 * cfg.SweepConns)
+	defer serverIB.Close()
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.SweepConns; i++ {
+			p, err := server.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			if err := p.BindInbox(serverIB); err != nil {
+				acceptErr <- err
+				return
+			}
+		}
+		acceptErr <- nil
+	}()
+	cc := make([]*core.Connection, cfg.SweepConns)
+	for i := range cc {
+		c, err := client.Connect("sweep-server", opts)
+		if err != nil {
+			return PressurePoint{}, fmt.Errorf("connect %d: %w", i, err)
+		}
+		cc[i] = c
+	}
+	if err := <-acceptErr; err != nil {
+		return PressurePoint{}, err
+	}
+
+	// Fast consumers: Phase B measures the send path's recovery, so the
+	// receive side must never be the bottleneck.
+	var serverWG sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		serverWG.Add(1)
+		go func() {
+			defer serverWG.Done()
+			for {
+				if _, err := serverIB.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		stop      atomic.Bool
+		completed atomic.Int64
+		clientWG  sync.WaitGroup
+	)
+	msg := make([]byte, cfg.MsgSize)
+	for _, c := range cc {
+		clientWG.Add(1)
+		go func(c *core.Connection) {
+			defer clientWG.Done()
+			for !stop.Load() {
+				if err := c.Send(msg); err != nil {
+					return
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	// Warm the windows, then measure a clean interval.
+	time.Sleep(cfg.Duration / 4)
+	startCount := completed.Load()
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	measured := completed.Load() - startCount
+	elapsed := time.Since(start)
+	stop.Store(true)
+	clientWG.Wait()
+	serverIB.Close()
+	serverWG.Wait()
+
+	if measured == 0 {
+		return PressurePoint{}, fmt.Errorf("%s/%s: no messages completed", kind, link)
+	}
+	return PressurePoint{
+		Controller: kind.String(),
+		Link:       link,
+		Messages:   measured,
+		Throughput: float64(measured) / elapsed.Seconds(),
+	}, nil
+}
+
+// point finds a Phase B cell by coordinates.
+func (r *PressureResult) point(controller, link string) (PressurePoint, bool) {
+	for _, p := range r.Points {
+		if p.Controller == controller && p.Link == link {
+			return p, true
+		}
+	}
+	return PressurePoint{}, false
+}
+
+// verdict renders the acceptance lines and reports failure.
+func (r *PressureResult) verdict() (string, bool) {
+	var b strings.Builder
+	failed := false
+	if r.PeakOutstanding > r.BufferBudget {
+		failed = true
+		fmt.Fprintf(&b, "FAIL memory: peak %d pooled refs exceeds budget %d (%d conns × %d + %d)\n",
+			r.PeakOutstanding, r.BufferBudget, r.Conns, PressureBudgetPerConn, PressureBudgetSlack)
+	} else {
+		fmt.Fprintf(&b, "memory: peak %d pooled refs within budget %d (%d conns × %d + %d)\n",
+			r.PeakOutstanding, r.BufferBudget, r.Conns, PressureBudgetPerConn, PressureBudgetSlack)
+	}
+	baseline, ok1 := r.point("static", "clean")
+	aimd, ok2 := r.point("aimd", "burst")
+	if ok1 && ok2 && baseline.Throughput > 0 {
+		ratio := aimd.Throughput / baseline.Throughput
+		tag := "throughput"
+		if ratio < PressureThroughputFloor {
+			failed = true
+			tag = "FAIL throughput"
+		}
+		fmt.Fprintf(&b, "%s: aimd under burst loss sustains %.0f%% of static clean (floor %.0f%%)\n",
+			tag, ratio*100, PressureThroughputFloor*100)
+	}
+	return b.String(), failed
+}
+
+// Regressed reports whether either acceptance failed: the fan-in peak
+// broke the buffer budget, or AIMD under burst loss fell below the
+// throughput floor.
+func (r *PressureResult) Regressed() bool {
+	_, failed := r.verdict()
+	return failed
+}
+
+// Render lays the experiment out for humans.
+func (r *PressureResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pressure: %d-conn slow-consumer fan-in + %d-conn controller sweep (%d-byte messages), %d ms per point, GOMAXPROCS=%d\n",
+		r.Conns, r.SweepConns, r.MsgSize, r.DurationMS, r.GOMAXPROCS)
+	fmt.Fprintf(&b, "fan-in: %d messages consumed, peak pooled refs %d (budget %d)\n",
+		r.FanInMessages, r.PeakOutstanding, r.BufferBudget)
+	fmt.Fprintf(&b, "%-12s %-7s %10s %14s\n", "controller", "link", "msgs", "msgs/sec")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-12s %-7s %10d %14.0f\n", p.Controller, p.Link, p.Messages, p.Throughput)
+	}
+	v, _ := r.verdict()
+	b.WriteString(v)
+	return b.String()
+}
+
+// WriteJSON writes the machine-readable result for CI archival.
+func (r *PressureResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

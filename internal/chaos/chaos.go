@@ -78,6 +78,10 @@ type Config struct {
 	// MaxMsg bounds the random message size; default 2800 bytes
 	// (multi-SDU at the harness's 512-byte SDU).
 	MaxMsg int
+	// ConsumerDelay makes the receiver a slow consumer: it sleeps this
+	// long before every receive, so the sender's flow control — not the
+	// harness — is what bounds buffering on the producing side.
+	ConsumerDelay time.Duration
 }
 
 // The harness's fixed protocol parameters: a small SDU so ordinary
@@ -155,6 +159,17 @@ var Schedules = []Schedule{
 		{Packets: 25, Imp: netsim.Impairments{}},
 		{Packets: 40, Imp: netsim.Impairments{Partitioned: true}},
 		{Imp: netsim.Impairments{}},
+	}},
+	{Name: "pressure", Phases: []netsim.Phase{
+		// The backpressure schedule: a clean ramp so the sender's credit
+		// window opens, then dense loss bursts while (in the dedicated
+		// pressure tests) the consumer drains slowly. The sender must
+		// park on withheld credits — bounded buffering — rather than
+		// ballooning its queues, and still finish when the bursts pass.
+		{Packets: 20, Imp: netsim.Impairments{}},
+		{Imp: netsim.Impairments{Burst: netsim.GilbertElliott{
+			PGoodBad: 0.03, PBadGood: 0.4, LossBad: 0.9,
+		}}},
 	}},
 	{Name: "mutate", Phases: []netsim.Phase{
 		{Packets: 30, Imp: netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.25}}},
@@ -388,6 +403,9 @@ func RunReport(cfg Config) (Report, error) {
 // recvReliable asserts exactly-once, in-order, byte-identical delivery.
 func (c Config) recvReliable(peer *core.Connection, expected [][]byte) error {
 	for i, want := range expected {
+		if c.ConsumerDelay > 0 {
+			time.Sleep(c.ConsumerDelay)
+		}
 		m, err := peer.RecvMessageTimeout(recvDeadline)
 		if err != nil {
 			return c.violation("message %d/%d never delivered: %v", i+1, len(expected), err)
@@ -421,6 +439,9 @@ func (c Config) recvUnreliable(peer *core.Connection, expected [][]byte, senderD
 	done := false
 	delivered := 0
 	for {
+		if c.ConsumerDelay > 0 {
+			time.Sleep(c.ConsumerDelay)
+		}
 		m, err := peer.RecvMessageTimeout(250 * time.Millisecond)
 		if errors.Is(err, core.ErrRecvTimeout) {
 			if done {

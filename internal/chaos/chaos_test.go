@@ -232,7 +232,7 @@ func TestSCIRejectsInjectedSchedule(t *testing.T) {
 
 // TestScheduleRoster pins the named schedules the matrix must cover.
 func TestScheduleRoster(t *testing.T) {
-	for _, name := range []string{"clean", "loss", "duplicate", "reorder", "burst", "partition", "mutate"} {
+	for _, name := range []string{"clean", "loss", "duplicate", "reorder", "burst", "pressure", "partition", "mutate"} {
 		if _, ok := ScheduleByName(name); !ok {
 			t.Errorf("schedule %q missing from roster", name)
 		}

@@ -236,6 +236,17 @@ func (c *Connection) flowRecv() flowctl.Receiver {
 		return *p
 	}
 	fr := flowctl.NewReceiver(c.opts.FlowControl, c.opts.FlowConfig)
+	if !c.opts.FastPath {
+		// Give a credit receiver an asynchronous emitter so its
+		// refill-retry timer can re-advertise a possibly-lost grant. The
+		// fast path gets none: it emits control inline on the receive
+		// procedure's goroutine, and an emitterless receiver arms no
+		// timers at all.
+		flowctl.SetEmitter(fr, func(ctl packet.Control) bool {
+			ctl.ConnID = c.id
+			return c.enqueueCtrl(ctl)
+		})
+	}
 	select {
 	case <-c.closedCh:
 		fr.Close()
@@ -243,6 +254,17 @@ func (c *Connection) flowRecv() flowctl.Receiver {
 	}
 	c.fcRecv.Store(&fr)
 	return fr
+}
+
+// FlowStats snapshots the connection's credit flow-control sender state
+// (grants, in-flight, congestion window). ok is false when the
+// connection does not use credit flow control or has not sent yet.
+func (c *Connection) FlowStats() (flowctl.SenderStats, bool) {
+	p := c.fcSend.Load()
+	if p == nil {
+		return flowctl.SenderStats{}, false
+	}
+	return flowctl.SenderStatsOf(*p)
 }
 
 // deliveredQ returns the completed-message queue, creating it on first
@@ -618,10 +640,32 @@ var doneChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 // Thread to confirm the final SDU left the interface.
 func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error {
 	fc := c.flowSend()
+	// Each retransmission is error control's verdict that one earlier
+	// transmission of that sequence was lost; hand the verdict to flow
+	// control first, so the credit the loss returns can fund the
+	// retransmission itself.
+	rtx := 0
+	for _, sdu := range sdus {
+		if sdu.Header.Flags&packet.FlagRetransmit != 0 {
+			rtx++
+		}
+	}
+	if rtx > 0 {
+		flowctl.NoteLoss(fc, rtx)
+	}
+	// The credit wait and the retransmission timer answer the same
+	// question — how long before presuming something was lost — so a
+	// connection with adaptive timeouts applies its RTT estimate here
+	// too: a wedged grant is then repaired at round-trip pace instead
+	// of the fixed fallback.
+	wait := c.opts.AckTimeout
+	if c.opts.AdaptiveTimeout {
+		wait = c.rtt.timeout(c.opts.AckTimeout, minAdaptiveTimeout)
+	}
 	for i, sdu := range sdus {
 		idx := c.txCounter.Add(1) - 1
 		for {
-			err := fc.AcquireTimeout(idx, c.opts.AckTimeout)
+			err := fc.AcquireTimeout(idx, wait)
 			if err == nil {
 				break
 			}
@@ -981,6 +1025,19 @@ func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.
 			return Message{}, false
 		}
 	}
+	if len(acks) > 0 {
+		// Piggyback the credit state on the ack burst: the consumed-count
+		// refresh retires the peer's in-flight and feeds its congestion
+		// controller without a dedicated control packet. Non-credit
+		// receivers decline and cost one predicted branch.
+		if g, ok := flowctl.Piggyback(c.flowRecv()); ok {
+			g.ConnID = c.id
+			g.SessionID = h.SessionID
+			if !emit(g) {
+				return Message{}, false
+			}
+		}
+	}
 	if done && !rs.delivered {
 		rs.delivered = true
 		c.stats.messagesReceived.Add(1)
@@ -1118,7 +1175,7 @@ func (c *Connection) routeControl(ctl packet.Control, ref *buf.Buffer) {
 		c.enqueueCtrl(packet.Control{Type: packet.CtrlPong, ConnID: c.id})
 	case packet.CtrlPong:
 		// lastHeard already refreshed; nothing else to do.
-	case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
+	case packet.CtrlCredit, packet.CtrlCreditGrant, packet.CtrlRate, packet.CtrlWinAck:
 		c.flowSend().OnControl(ctl)
 	case packet.CtrlAck, packet.CtrlNack:
 		// The deposit stays under c.mu so a completing sender can

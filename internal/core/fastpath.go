@@ -90,7 +90,18 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 	queue := snd.Initial()
 	for {
 		// Transmit the queued SDUs, processing control traffic inline
-		// whenever flow control withholds admission.
+		// whenever flow control withholds admission. Retransmissions in
+		// the queue are presumed losses: return their credits first so
+		// the write-off funds the resend (see Connection.transmit).
+		rtx := 0
+		for _, sdu := range queue {
+			if sdu.Header.Flags&packet.FlagRetransmit != 0 {
+				rtx++
+			}
+		}
+		if rtx > 0 {
+			flowctl.NoteLoss(c.flowSend(), rtx)
+		}
 		for _, sdu := range queue {
 			if err := c.fastAdmit(sess, snd); err != nil {
 				return err
@@ -141,7 +152,7 @@ func (c *Connection) sendFast(msg []byte, tr *SendTrace) error {
 			matched bool
 		)
 		switch pkt.Type {
-		case packet.CtrlCredit, packet.CtrlRate, packet.CtrlWinAck:
+		case packet.CtrlCredit, packet.CtrlCreditGrant, packet.CtrlRate, packet.CtrlWinAck:
 			c.flowSend().OnControl(pkt)
 		case packet.CtrlAck, packet.CtrlNack:
 			if pkt.SessionID == sess {

@@ -1,0 +1,173 @@
+package flowctl
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Controller is the pluggable congestion controller that sits between
+// the credits the receiver has granted and what the sender actually
+// puts on the wire: a grant is necessary but not sufficient for
+// admission — the sender also keeps its in-flight count under the
+// controller's window. Grants protect the receiver's buffers;
+// the controller protects the path.
+//
+// Implementations are NOT independently thread-safe: the credit sender
+// invokes them with its own mutex held, which is the only caller.
+type Controller interface {
+	// Window is the maximum number of granted-but-unconsumed packets the
+	// sender may keep in flight.
+	Window() int
+	// OnAck records evidence of delivery: the peer's cumulative consumed
+	// count advanced. rtt is the sampled grant round-trip time, or 0
+	// when no sample is available for this ack.
+	OnAck(rtt time.Duration)
+	// OnLoss records presumed loss (a credit resynchronisation fired).
+	OnLoss()
+	// Name identifies the controller in stats and reports.
+	Name() string
+}
+
+// ControllerKind selects a congestion controller implementation. The
+// zero value is ControllerStatic — grants alone gate transmission,
+// which preserves the pre-controller behaviour.
+type ControllerKind int
+
+const (
+	// ControllerStatic applies no congestion window: the receiver's
+	// grants are the only limit.
+	ControllerStatic ControllerKind = iota
+	// ControllerAIMD grows the window by one packet per window of acks
+	// and halves it on loss (TCP-Reno-style additive increase,
+	// multiplicative decrease).
+	ControllerAIMD
+	// ControllerRTT adapts the window to grant round-trip time samples
+	// (Vegas-style): grow while the path looks uncongested, back off
+	// multiplicatively when RTT inflates well past the observed minimum.
+	ControllerRTT
+)
+
+// String implements fmt.Stringer.
+func (k ControllerKind) String() string {
+	switch k {
+	case ControllerStatic:
+		return "static"
+	case ControllerAIMD:
+		return "aimd"
+	case ControllerRTT:
+		return "rtt"
+	default:
+		return fmt.Sprintf("ControllerKind(%d)", int(k))
+	}
+}
+
+// NewController builds the selected controller. cfg must already have
+// defaults applied.
+func NewController(k ControllerKind, cfg Config) Controller {
+	switch k {
+	case ControllerAIMD:
+		return &aimdController{cwnd: float64(cfg.InitialCredits), floor: cfg.InitialCredits, cap: cfg.MaxCredits}
+	case ControllerRTT:
+		return &rttController{cwnd: float64(cfg.InitialCredits), floor: cfg.InitialCredits, cap: cfg.MaxCredits}
+	default:
+		return staticController{}
+	}
+}
+
+// staticController admits everything the receiver granted.
+type staticController struct{}
+
+func (staticController) Window() int         { return math.MaxInt32 }
+func (staticController) OnAck(time.Duration) {}
+func (staticController) OnLoss()             {}
+func (staticController) Name() string        { return "static" }
+
+// aimdController: additive increase (one packet per cwnd of acks),
+// multiplicative decrease (halve on loss).
+//
+// The floor is InitialCredits, not one packet, and the reason is the
+// receiver's refill threshold: consumed-count feedback arrives on
+// refill grants, which the receiver issues only after ~75% of its
+// advertised window (never below InitialCredits) has arrived. A
+// congestion window smaller than that can starve the very feedback
+// that would let it grow again — the sender stalls mid-message, times
+// out, halves, and cwnd=1 becomes an absorbing state. Flooring at
+// InitialCredits keeps the control loop self-clocking under any loss.
+type aimdController struct {
+	cwnd  float64
+	floor int
+	cap   int
+}
+
+func (c *aimdController) Window() int {
+	return int(c.cwnd)
+}
+
+func (c *aimdController) OnAck(time.Duration) {
+	c.cwnd += 1 / c.cwnd
+	if c.cwnd > float64(c.cap) {
+		c.cwnd = float64(c.cap)
+	}
+}
+
+func (c *aimdController) OnLoss() {
+	c.cwnd /= 2
+	if c.cwnd < float64(c.floor) {
+		c.cwnd = float64(c.floor)
+	}
+}
+
+func (c *aimdController) Name() string { return "aimd" }
+
+// rttController: delay-based adaptation. It tracks the minimum grant
+// RTT ever observed as the uncongested baseline; samples near the
+// baseline permit growth, samples far above it shrink the window
+// before queues force actual loss. Loss still halves the window — a
+// delay-based controller must not ignore the strongest signal.
+// The window floor is InitialCredits for the same self-clocking reason
+// as aimdController's.
+type rttController struct {
+	cwnd   float64
+	floor  int
+	cap    int
+	minRTT time.Duration
+}
+
+func (c *rttController) Window() int {
+	return int(c.cwnd)
+}
+
+func (c *rttController) OnAck(rtt time.Duration) {
+	if rtt > 0 {
+		if c.minRTT == 0 || rtt < c.minRTT {
+			c.minRTT = rtt
+		}
+		if rtt > 2*c.minRTT {
+			// Queueing delay: back off before loss does it for us.
+			c.cwnd *= 0.8
+			if c.cwnd < float64(c.floor) {
+				c.cwnd = float64(c.floor)
+			}
+			return
+		}
+		if rtt >= c.minRTT+c.minRTT/4 {
+			// Between 1.25× and 2× baseline: hold.
+			return
+		}
+	}
+	// Near-baseline sample (or an unsampled ack): grow like AIMD.
+	c.cwnd += 1 / c.cwnd
+	if c.cwnd > float64(c.cap) {
+		c.cwnd = float64(c.cap)
+	}
+}
+
+func (c *rttController) OnLoss() {
+	c.cwnd /= 2
+	if c.cwnd < float64(c.floor) {
+		c.cwnd = float64(c.floor)
+	}
+}
+
+func (c *rttController) Name() string { return "rtt" }

@@ -1,12 +1,14 @@
 // Package flowctl implements the per-connection flow control algorithms
 // NCS lets programmers select at connection-establishment time (§3.3):
 //
-//   - Credit: the paper's default credit-based window scheme (Figures
-//     7–8). Credits correspond to free receive buffers; the sender may
-//     transmit one packet per credit, and the receiver returns credits
-//     on the control connection as packets arrive. Credits are assigned
-//     dynamically: active connections earn larger grants, idle
-//     connections decay back to a small floor.
+//   - Credit: the paper's default credit-based scheme (Figures 7–8),
+//     rebuilt around receiver-advertised cumulative grants (credit.go).
+//     The receiver sizes its advertised window from the observed
+//     consumption rate, refills when the sender has consumed ≥75% of
+//     the last grant, and piggybacks grants on error-control acks; an
+//     idle stream costs zero control traffic. A pluggable congestion
+//     Controller (controller.go: static, AIMD, RTT-adaptive) gates
+//     in-flight data under the granted credits.
 //   - Window: a classic sliding window with cumulative acknowledgments.
 //   - Rate: a token-bucket pacing scheme; the receiver can push rate
 //     adjustments over the control connection.
@@ -41,6 +43,22 @@ var (
 	mWindowStall = telemetry.NewCounter("flowctl.window.stall_total")
 	mCreditWait  = telemetry.NewCounter("flowctl.credit.wait_total")
 	mBlockedNS   = telemetry.NewCounter("flowctl.send.blocked_ns_total")
+
+	// Credit v2 instruments: cumulative credits granted by receivers,
+	// packets consumed (delivered) under credit flow control, refill
+	// grants issued (threshold crossings plus retry re-emissions),
+	// grants piggybacked on error-control acks, and emergency probes
+	// minted by credit resynchronisation.
+	mGranted   = telemetry.NewCounter("flowctl.credit.granted_total")
+	mConsumed  = telemetry.NewCounter("flowctl.credit.consumed_total")
+	mRefill    = telemetry.NewCounter("flowctl.credit.refill_total")
+	mPiggyback = telemetry.NewCounter("flowctl.credit.piggyback_total")
+	mResync    = telemetry.NewCounter("flowctl.credit.resync_total")
+
+	// hCreditWait distributes the time senders spent blocked waiting
+	// for credit admission (only waits that did not succeed on the
+	// first try are observed).
+	hCreditWait = telemetry.NewHistogram("flowctl.send.credit_wait_ns")
 )
 
 // NoteFastPathWait records a §4.2 fast-path admission that had to pump
@@ -52,6 +70,7 @@ func NoteFastPathWait(alg Algorithm, blocked time.Duration) {
 	switch alg {
 	case Credit:
 		mCreditWait.Inc()
+		hCreditWait.Observe(int64(blocked))
 	case Window:
 		mWindowStall.Inc()
 	}
@@ -111,6 +130,10 @@ type Config struct {
 	// ActiveWindow is the interval over which the credit scheme judges
 	// a connection active. Default 10 ms.
 	ActiveWindow time.Duration
+	// Controller selects the congestion controller the credit scheme
+	// runs under its grants. The zero value is ControllerStatic (grants
+	// alone gate transmission).
+	Controller ControllerKind
 	// Now injects a clock for tests; defaults to time.Now.
 	Now func() time.Time
 }
@@ -197,7 +220,7 @@ func PendingTimers() int64 { return pendingTimers.Load() }
 // time.AfterFunc is pure churn on the runtime timer heap. A single
 // timer serves the whole wait, and it is stopped — not abandoned — when
 // an ack admits the waiter before the deadline.
-func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, stalls *telemetry.Counter, try func() (ok, closed bool)) error {
+func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, stalls *telemetry.Counter, hist *telemetry.Histogram, try func() (ok, closed bool)) error {
 	mu.Lock()
 	defer mu.Unlock()
 
@@ -211,7 +234,13 @@ func acquireTimeout(mu *sync.Mutex, cond *sync.Cond, d time.Duration, stalls *te
 
 	stalls.Inc()
 	start := time.Now()
-	defer func() { mBlockedNS.Add(int64(time.Since(start))) }()
+	defer func() {
+		blocked := time.Since(start)
+		mBlockedNS.Add(int64(blocked))
+		if hist != nil {
+			hist.Observe(int64(blocked))
+		}
+	}()
 
 	deadline := start.Add(d)
 	var timer *time.Timer
@@ -292,160 +321,6 @@ func (noneReceiver) OnData(uint32) []packet.Control { return nil }
 func (noneReceiver) Close()                         {}
 
 // ---------------------------------------------------------------------------
-// Credit-based (default): Figures 7–8.
-
-type creditSender struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	credits int
-	initial int
-	closed  bool
-}
-
-func newCreditSender(cfg Config) *creditSender {
-	s := &creditSender{credits: cfg.InitialCredits, initial: cfg.InitialCredits}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
-
-func (s *creditSender) Acquire(uint32) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.credits == 0 && !s.closed {
-		mCreditWait.Inc()
-		start := time.Now()
-		for s.credits == 0 && !s.closed {
-			s.cond.Wait()
-		}
-		mBlockedNS.Add(int64(time.Since(start)))
-	}
-	if s.closed {
-		return ErrClosed
-	}
-	s.credits--
-	return nil
-}
-
-func (s *creditSender) AcquireTimeout(seq uint32, d time.Duration) error {
-	return acquireTimeout(&s.mu, s.cond, d, mCreditWait, func() (ok, closed bool) {
-		if s.closed {
-			return false, true
-		}
-		if s.credits > 0 {
-			s.credits--
-			return true, false
-		}
-		return false, false
-	})
-}
-
-// Resync restores the credit floor: data packets lost on the wire
-// consumed credits whose replenishment will never arrive, so after a
-// retransmission timeout the sender re-seeds its window (standard
-// credit-resynchronisation behaviour).
-func (s *creditSender) Resync() {
-	s.mu.Lock()
-	if s.credits < s.initial {
-		s.credits = s.initial
-		s.cond.Broadcast()
-	}
-	s.mu.Unlock()
-}
-
-func (s *creditSender) TryAcquire(uint32) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed || s.credits == 0 {
-		return false
-	}
-	s.credits--
-	return true
-}
-
-func (s *creditSender) OnControl(c packet.Control) {
-	if c.Type != packet.CtrlCredit {
-		return
-	}
-	n, err := packet.ParseCreditBody(c.Body)
-	if err != nil {
-		return
-	}
-	s.mu.Lock()
-	s.credits += int(n)
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-func (s *creditSender) Close() {
-	s.mu.Lock()
-	s.closed = true
-	s.cond.Broadcast()
-	s.mu.Unlock()
-}
-
-// Credits exposes the current credit balance for tests and stats.
-func (s *creditSender) Credits() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.credits
-}
-
-// creditReceiver grants one credit per arrival, plus a growing bonus for
-// connections that stay active — the paper's dynamic credit maintenance:
-// "active connections get more credits, while inactive connections get
-// only a fraction of the credits".
-type creditReceiver struct {
-	cfg Config
-
-	mu         sync.Mutex
-	lastSeen   time.Time
-	burstCount int // arrivals within the current activity window
-	grantSize  int // current per-arrival grant
-	out        [1]packet.Control
-}
-
-func newCreditReceiver(cfg Config) *creditReceiver {
-	return &creditReceiver{cfg: cfg, grantSize: 1}
-}
-
-func (r *creditReceiver) OnData(seq uint32) []packet.Control {
-	now := r.cfg.Now()
-	r.mu.Lock()
-	if now.Sub(r.lastSeen) <= r.cfg.ActiveWindow {
-		r.burstCount++
-		// Sustained activity: grow the grant geometrically up to the cap.
-		if r.burstCount%4 == 0 && r.grantSize < r.cfg.MaxCredits {
-			r.grantSize *= 2
-			if r.grantSize > r.cfg.MaxCredits {
-				r.grantSize = r.cfg.MaxCredits
-			}
-		}
-	} else {
-		// The connection went idle: decay to the floor.
-		r.burstCount = 0
-		r.grantSize = 1
-	}
-	r.lastSeen = now
-	grant := r.grantSize
-	r.out[0] = packet.Control{
-		Type: packet.CtrlCredit,
-		Body: packet.CreditBody(uint32(grant)),
-	}
-	r.mu.Unlock()
-
-	return r.out[:1]
-}
-
-func (r *creditReceiver) Close() {}
-
-// GrantSize exposes the current per-arrival grant for tests.
-func (r *creditReceiver) GrantSize() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.grantSize
-}
-
-// ---------------------------------------------------------------------------
 // Window-based: sliding window with cumulative acknowledgments.
 
 type windowSender struct {
@@ -484,7 +359,7 @@ func (s *windowSender) Acquire(seq uint32) error {
 }
 
 func (s *windowSender) AcquireTimeout(seq uint32, d time.Duration) error {
-	return acquireTimeout(&s.mu, s.cond, d, mWindowStall, func() (ok, closed bool) {
+	return acquireTimeout(&s.mu, s.cond, d, mWindowStall, nil, func() (ok, closed bool) {
 		if s.closed {
 			return false, true
 		}

@@ -55,8 +55,9 @@ func TestCreditSenderBlocksWithoutCredits(t *testing.T) {
 	case <-time.After(20 * time.Millisecond):
 	}
 
-	// Grant a credit; the blocked Acquire must complete.
-	s.OnControl(packet.Control{Type: packet.CtrlCredit, Body: packet.CreditBody(1)})
+	// A cumulative grant covering a third packet must complete the
+	// blocked Acquire.
+	s.OnControl(creditGrant(3))
 	select {
 	case err := <-acquired:
 		if err != nil {
@@ -64,6 +65,59 @@ func TestCreditSenderBlocksWithoutCredits(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Acquire still blocked after credit grant")
+	}
+}
+
+// TestCreditGrantIdempotent pins the cumulative-grant semantics that
+// make the scheme safe under control-plane loss, duplication and
+// reordering: re-delivered and stale grants change nothing.
+func TestCreditGrantIdempotent(t *testing.T) {
+	s := newCreditSender(Config{InitialCredits: 2}.withDefaults())
+	defer s.Close()
+
+	s.OnControl(creditGrant(10))
+	if st := s.Stats(); st.Granted != 10 {
+		t.Fatalf("granted = %d after grant of 10", st.Granted)
+	}
+	s.OnControl(creditGrant(10)) // duplicate
+	s.OnControl(creditGrant(6))  // stale, reordered
+	if st := s.Stats(); st.Granted != 10 {
+		t.Fatalf("granted = %d after dup+stale grants, want 10", st.Granted)
+	}
+}
+
+// TestCreditResyncMintsProbe checks credit resynchronisation: each
+// Resync frees exactly one admission for a wedged sender — by writing
+// off one presumed-lost in-flight packet when there is any, minting an
+// emergency probe otherwise — and does nothing while admission is
+// still available.
+func TestCreditResyncMintsProbe(t *testing.T) {
+	s := newCreditSender(Config{InitialCredits: 1}.withDefaults())
+	defer s.Close()
+
+	if !s.TryAcquire(0) {
+		t.Fatal("initial credit not admitted")
+	}
+	if s.TryAcquire(1) {
+		t.Fatal("admitted beyond the grant")
+	}
+	s.Resync()
+	if !s.TryAcquire(1) {
+		t.Fatal("probe minted by Resync did not admit")
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("one Resync admitted two packets")
+	}
+	st := s.Stats()
+	if st.Used != 2 || st.Used > st.Granted+st.Probes+st.Lost {
+		t.Fatalf("conservation violated after resync: %+v", st)
+	}
+	// A Resync with credit still available must not mint.
+	s.OnControl(creditGrant(10))
+	before := s.Stats().Probes
+	s.Resync()
+	if after := s.Stats().Probes; after != before {
+		t.Fatalf("Resync minted a probe with credit available: %d -> %d", before, after)
 	}
 }
 
@@ -85,50 +139,145 @@ func TestCreditSenderIgnoresForeignControl(t *testing.T) {
 	s := newCreditSender(Config{InitialCredits: 1}.withDefaults())
 	defer s.Close()
 	s.OnControl(packet.Control{Type: packet.CtrlAck, Body: packet.CreditBody(50)})
-	if s.Credits() != 1 {
-		t.Fatalf("credits = %d after foreign control, want 1", s.Credits())
+	if st := s.Stats(); st.Granted != 1 {
+		t.Fatalf("granted = %d after foreign control, want 1", st.Granted)
 	}
-	s.OnControl(packet.Control{Type: packet.CtrlCredit, Body: nil}) // malformed
-	if s.Credits() != 1 {
-		t.Fatalf("credits = %d after malformed credit, want 1", s.Credits())
+	s.OnControl(packet.Control{Type: packet.CtrlCreditGrant, Body: []byte{1, 2, 3}}) // malformed
+	if st := s.Stats(); st.Granted != 1 {
+		t.Fatalf("granted = %d after malformed grant, want 1", st.Granted)
+	}
+	// The legacy v1 per-arrival CtrlCredit delta is likewise not a
+	// cumulative grant and must not move the state.
+	s.OnControl(packet.Control{Type: packet.CtrlCredit, Body: packet.CreditBody(50)})
+	if st := s.Stats(); st.Granted != 1 {
+		t.Fatalf("granted = %d after v1 credit delta, want 1", st.Granted)
 	}
 }
 
+// TestCreditReceiverDynamicGrants drives the receiver with a steady
+// 1 kpkt/s arrival stream and checks the rate-sized advertisement: the
+// window grows toward (and is capped at) MaxCredits under sustained
+// activity, refills land at the 75% threshold rather than per arrival,
+// and an idle gap decays the advertisement back to the floor.
 func TestCreditReceiverDynamicGrants(t *testing.T) {
 	clock := time.Unix(0, 0)
 	now := func() time.Time { return clock }
-	r := newCreditReceiver(Config{MaxCredits: 16, ActiveWindow: 10 * time.Millisecond, Now: now}.withDefaults())
+	r := newCreditReceiver(Config{InitialCredits: 4, MaxCredits: 16, ActiveWindow: 10 * time.Millisecond, Now: now}.withDefaults())
 	defer r.Close()
 
-	// A rapid burst grows the grant.
-	total := 0
+	grants := 0
+	var last packet.CreditGrant
 	for i := 0; i < 40; i++ {
 		clock = clock.Add(time.Millisecond)
 		ctrl := r.OnData(uint32(i))
-		if len(ctrl) != 1 || ctrl[0].Type != packet.CtrlCredit {
-			t.Fatalf("OnData returned %v", ctrl)
+		if len(ctrl) == 0 {
+			continue
 		}
-		n, err := packet.ParseCreditBody(ctrl[0].Body)
+		if ctrl[0].Type != packet.CtrlCreditGrant {
+			t.Fatalf("OnData returned %v", ctrl[0].Type)
+		}
+		g, err := packet.ParseCreditGrant(ctrl[0].Body)
 		if err != nil {
 			t.Fatal(err)
 		}
-		total += int(n)
+		if g.Granted <= last.Granted {
+			t.Fatalf("grant not monotonic: %d after %d", g.Granted, last.Granted)
+		}
+		last = g
+		grants++
 	}
-	if r.GrantSize() <= 1 {
-		t.Fatalf("grant did not grow under sustained activity: %d", r.GrantSize())
+	if grants == 0 || grants >= 40 {
+		t.Fatalf("got %d grants for 40 arrivals; want threshold-based (0 < grants < 40)", grants)
 	}
-	if r.GrantSize() > 16 {
-		t.Fatalf("grant exceeded cap: %d", r.GrantSize())
-	}
-	if total <= 40 {
-		t.Fatalf("active connection earned %d credits for 40 packets; want > 40", total)
+	// 1000 pkts/s over two 10ms activity windows → target 20, capped.
+	if st := r.Stats(); st.Window != 16 {
+		t.Fatalf("window = %d under sustained 1kpkt/s, want cap 16", st.Window)
 	}
 
-	// Going idle decays the grant back to the floor.
+	// Going idle decays the advertisement back to the floor...
 	clock = clock.Add(time.Second)
 	r.OnData(99)
-	if r.GrantSize() != 1 {
-		t.Fatalf("grant after idle = %d, want 1", r.GrantSize())
+	if st := r.Stats(); st.Window != 4 {
+		t.Fatalf("window after idle = %d, want floor 4", st.Window)
+	}
+	// ...but never retracts authority already advertised.
+	if st := r.Stats(); st.Granted < last.Granted {
+		t.Fatalf("granted retracted on idle: %d < %d", st.Granted, last.Granted)
+	}
+}
+
+// TestCreditIdleCostsNoControlTraffic pins the idle-cost story: below
+// the refill threshold OnData emits nothing, so a quiet stream sends
+// no credit control packets at all.
+func TestCreditIdleCostsNoControlTraffic(t *testing.T) {
+	r := newCreditReceiver(Config{InitialCredits: 8}.withDefaults())
+	defer r.Close()
+	for i := 0; i < 5; i++ { // 5*4 < 8*3: below the 75% threshold
+		if ctrl := r.OnData(uint32(i)); len(ctrl) != 0 {
+			t.Fatalf("sub-threshold arrival %d emitted %v", i, ctrl)
+		}
+	}
+}
+
+// TestCreditPiggybackGrant checks the ack-piggyback path: the grant
+// refreshes the consumed count (retiring sender in-flight) without
+// raising new credit, and non-credit receivers decline.
+func TestCreditPiggybackGrant(t *testing.T) {
+	cfg := Config{InitialCredits: 4}.withDefaults()
+	s := newCreditSender(cfg)
+	r := newCreditReceiver(cfg)
+	defer s.Close()
+	defer r.Close()
+
+	for i := 0; i < 2; i++ {
+		if !s.TryAcquire(uint32(i)) {
+			t.Fatalf("admission %d refused", i)
+		}
+		r.OnData(uint32(i))
+	}
+	ctrl, ok := Piggyback(r)
+	if !ok {
+		t.Fatal("credit receiver declined to piggyback")
+	}
+	s.OnControl(ctrl)
+	st := s.Stats()
+	if st.PeerConsumed != 2 {
+		t.Fatalf("peer consumed = %d after piggyback, want 2", st.PeerConsumed)
+	}
+	if st.Inflight() != 0 {
+		t.Fatalf("inflight = %d after piggyback, want 0", st.Inflight())
+	}
+	if _, ok := Piggyback(NewReceiver(Window, Config{})); ok {
+		t.Fatal("window receiver offered a credit piggyback")
+	}
+}
+
+// TestCreditControllerGatesInflight checks the congestion layer: with
+// an AIMD controller, grants alone do not admit — in-flight must stay
+// under the controller window, and consumed-count progress reopens it.
+func TestCreditControllerGatesInflight(t *testing.T) {
+	s := newCreditSender(Config{InitialCredits: 4, MaxCredits: 64, Controller: ControllerAIMD}.withDefaults())
+	defer s.Close()
+	s.OnControl(creditGrant(100)) // ample credit; the controller is the limit
+
+	admitted := 0
+	for s.TryAcquire(uint32(admitted)) {
+		admitted++
+	}
+	if admitted != 4 { // cwnd starts at InitialCredits
+		t.Fatalf("admitted %d with cwnd 4, want 4", admitted)
+	}
+	// The peer consumes everything: in-flight drops to zero and the
+	// window grows, so admission resumes.
+	s.OnControl(packet.Control{
+		Type: packet.CtrlCreditGrant,
+		Body: packet.AppendCreditGrant(nil, packet.CreditGrant{Granted: 100, Consumed: 4, Window: 16}),
+	})
+	if !s.TryAcquire(uint32(admitted)) {
+		t.Fatal("no admission after the peer consumed the in-flight")
+	}
+	if st := s.Stats(); st.Controller != "aimd" {
+		t.Fatalf("controller = %q, want aimd", st.Controller)
 	}
 }
 
@@ -261,8 +410,9 @@ func TestRateReceiverObservesRate(t *testing.T) {
 	}
 }
 
-// End-to-end property: a credit sender/receiver pair in a loop never
-// exceeds outstanding = credits, and all packets eventually flow.
+// End-to-end property: a credit sender/receiver pair in a loop keeps
+// the conservation invariant (used ≤ granted+probes) at every step,
+// and all packets eventually flow through the threshold-based refills.
 func TestCreditEndToEndConservation(t *testing.T) {
 	cfg := Config{InitialCredits: 3, MaxCredits: 8}
 	s := newCreditSender(cfg.withDefaults())
@@ -303,10 +453,21 @@ func TestCreditEndToEndConservation(t *testing.T) {
 		// copy the packets out before shipping them across goroutines
 		// (the runtime's receive loops enqueue the values the same way).
 		acked <- append([]packet.Control(nil), r.OnData(uint32(i))...)
+		if st := s.Stats(); st.Used > st.Granted+st.Probes {
+			t.Fatalf("conservation violated at %d: %+v", i, st)
+		}
 	}
 	wg.Wait()
 
 	if maxOutstanding.Load() == 0 {
 		t.Fatal("no packets flowed")
+	}
+	st := s.Stats()
+	if st.Used != total {
+		t.Fatalf("used = %d, want %d", st.Used, total)
+	}
+	rst, ok := ReceiverStatsOf(r)
+	if !ok || rst.Arrived != total {
+		t.Fatalf("receiver arrived = %d (ok=%v), want %d", rst.Arrived, ok, total)
 	}
 }

@@ -3,24 +3,32 @@ package flowctl
 import (
 	"fmt"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"ncs/internal/packet"
 )
 
-// creditGrant builds a CtrlCredit packet granting n credits.
-func creditGrant(n uint32) packet.Control {
-	return packet.Control{Type: packet.CtrlCredit, Body: packet.CreditBody(n)}
+// creditGrant builds a CtrlCreditGrant packet carrying a cumulative
+// grant authorising `granted` total packets.
+func creditGrant(granted uint64) packet.Control {
+	return packet.Control{
+		Type: packet.CtrlCreditGrant,
+		Body: packet.AppendCreditGrant(nil, packet.CreditGrant{Granted: granted}),
+	}
 }
 
-// TestMain audits the package's only hidden resource: the deadline
-// timers AcquireTimeout arms while a sender waits for admission. Every
-// waiter must stop its timer on the way out — whether it was admitted,
-// timed out, or closed — so after the full test run the armed count
-// must be back to zero. A nonzero count means acked windows are leaving
-// pending timers behind, which at scale is a slow leak on the runtime
-// timer heap.
+// TestMain audits the package's hidden resources: the deadline timers
+// AcquireTimeout arms while a sender waits for admission, and the
+// refill-retry timers a credit receiver arms after issuing a grant
+// that might be lost. Every waiter must stop its timer on the way out
+// — whether it was admitted, timed out, or closed — and every retry
+// chain must end (progress proof, Close, or the bounded retry count),
+// so after the full test run the armed count must be back to zero. A
+// nonzero count means acked windows or refills are leaving pending
+// timers behind, which at scale is a slow leak on the runtime timer
+// heap.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if code == 0 {
@@ -93,7 +101,7 @@ func TestAcquireTimeoutStopsTimerOnAck(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	s.OnControl(creditGrant(1))
+	s.OnControl(creditGrant(2))
 	if err := <-done; err != nil {
 		t.Fatalf("acked AcquireTimeout: %v", err)
 	}
@@ -116,6 +124,104 @@ func TestAcquireTimeoutExpiredDeadline(t *testing.T) {
 	if err := s.AcquireTimeout(1, 5*time.Millisecond); err != ErrAcquireTimeout {
 		t.Fatalf("want ErrAcquireTimeout, got %v", err)
 	}
+	if err := awaitTimersDrained(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Refill-retry timer audit. The blocking-wait audit above covers
+// AcquireTimeout's deadline timers; these cover the other armed timer
+// in the package — the credit receiver's refill-retry — and assert it
+// drains on every exit path.
+
+// refillReceiver builds a credit receiver with an emitter installed
+// (the configuration that arms retry timers) and returns the emission
+// counter.
+func refillReceiver(cfg Config) (*creditReceiver, *int32) {
+	r := newCreditReceiver(cfg.withDefaults())
+	var emitted int32
+	SetEmitter(r, func(packet.Control) bool {
+		atomic.AddInt32(&emitted, 1)
+		return true
+	})
+	return r, &emitted
+}
+
+// TestRefillWithoutEmitterArmsNoTimer: a receiver with no emitter (the
+// fast path, and pure state-machine property tests) must never touch
+// the timer heap, however many refills it issues.
+func TestRefillWithoutEmitterArmsNoTimer(t *testing.T) {
+	r := newCreditReceiver(Config{InitialCredits: 4}.withDefaults())
+	defer r.Close()
+	before := PendingTimers()
+	for i := 0; i < 64; i++ {
+		r.OnData(uint32(i))
+	}
+	if after := PendingTimers(); after != before {
+		t.Fatalf("emitterless refills armed timers: %d -> %d", before, after)
+	}
+}
+
+// TestRefillRetryStoppedByProgress: once the sender transmits beyond
+// its pre-refill allowance the grant evidently arrived, and the retry
+// timer must be stopped — not left to fire into a healthy connection.
+func TestRefillRetryStoppedByProgress(t *testing.T) {
+	r, _ := refillReceiver(Config{InitialCredits: 4, ActiveWindow: time.Minute})
+	defer r.Close()
+
+	// Arrival 3 crosses the 75% threshold (3*4 ≥ 4*3): refill, retry armed.
+	for i := 0; i < 3; i++ {
+		r.OnData(uint32(i))
+	}
+	if n := PendingTimers(); n == 0 {
+		t.Fatal("refill did not arm a retry timer")
+	}
+	// grantProof is the pre-refill allowance (4); arrival #5 exceeds it.
+	r.OnData(3)
+	r.OnData(4)
+	if n := PendingTimers(); n != 0 {
+		t.Fatalf("sender progress left %d retry timers armed", n)
+	}
+}
+
+// TestRefillRetryBoundedAndDrains: with no sender progress at all, the
+// retry chain re-emits the grant exactly maxGrantRetries times with
+// doubling backoff, then goes quiet with zero armed timers.
+func TestRefillRetryBoundedAndDrains(t *testing.T) {
+	r, emitted := refillReceiver(Config{InitialCredits: 4, ActiveWindow: time.Millisecond})
+	defer r.Close()
+
+	for i := 0; i < 3; i++ {
+		r.OnData(uint32(i))
+	}
+	// Backoffs 4+8+16 ms; give the chain room on a loaded runner.
+	deadline := time.Now().Add(2 * time.Second)
+	for atomic.LoadInt32(emitted) < maxGrantRetries {
+		if time.Now().After(deadline) {
+			t.Fatalf("retry chain stalled: %d emissions, want %d", atomic.LoadInt32(emitted), maxGrantRetries)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := awaitTimersDrained(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(emitted); n != maxGrantRetries {
+		t.Fatalf("retry chain emitted %d grants, want exactly %d", n, maxGrantRetries)
+	}
+}
+
+// TestRefillRetryStoppedByClose: Close while a retry is armed must
+// drain it immediately.
+func TestRefillRetryStoppedByClose(t *testing.T) {
+	r, _ := refillReceiver(Config{InitialCredits: 4, ActiveWindow: time.Minute})
+	for i := 0; i < 3; i++ {
+		r.OnData(uint32(i))
+	}
+	if n := PendingTimers(); n == 0 {
+		t.Fatal("refill did not arm a retry timer")
+	}
+	r.Close()
 	if err := awaitTimersDrained(time.Second); err != nil {
 		t.Fatal(err)
 	}

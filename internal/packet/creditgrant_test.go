@@ -1,0 +1,84 @@
+package packet
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestCreditGrantRoundTrip pins the CtrlCreditGrant body layout: 20
+// bytes, big-endian, Granted then Consumed then Window.
+func TestCreditGrantRoundTrip(t *testing.T) {
+	grants := []CreditGrant{
+		{},
+		{Granted: 1, Consumed: 0, Window: 4},
+		{Granted: 64, Consumed: 48, Window: 16},
+		{Granted: 1 << 40, Consumed: 1<<40 - 3, Window: 1 << 20},
+		{Granted: ^uint64(0), Consumed: ^uint64(0), Window: ^uint32(0)},
+	}
+	for _, g := range grants {
+		enc := AppendCreditGrant(nil, g)
+		if len(enc) != CreditGrantSize {
+			t.Fatalf("encoded %+v to %d bytes, want %d", g, len(enc), CreditGrantSize)
+		}
+		dec, err := ParseCreditGrant(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", g, err)
+		}
+		if dec != g {
+			t.Fatalf("round trip diverged: %+v vs %+v", dec, g)
+		}
+	}
+}
+
+// TestCreditGrantShort pins the decoder's error on every truncation.
+func TestCreditGrantShort(t *testing.T) {
+	enc := AppendCreditGrant(nil, CreditGrant{Granted: 9, Consumed: 3, Window: 8})
+	for n := 0; n < CreditGrantSize; n++ {
+		if _, err := ParseCreditGrant(enc[:n]); !errors.Is(err, ErrShortPacket) {
+			t.Fatalf("%d-byte body: got %v, want ErrShortPacket", n, err)
+		}
+	}
+}
+
+// TestCreditGrantIgnoresTrailing checks that a longer body decodes
+// from its fixed-size prefix — forward compatibility for widened
+// grants.
+func TestCreditGrantIgnoresTrailing(t *testing.T) {
+	want := CreditGrant{Granted: 7, Consumed: 5, Window: 2}
+	enc := append(AppendCreditGrant(nil, want), 0xde, 0xad)
+	got, err := ParseCreditGrant(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+// TestCreditGrantControlType pins the wire value and diagnostic string
+// of the new control type so stored traces stay decodable.
+func TestCreditGrantControlType(t *testing.T) {
+	if got := uint16(CtrlCreditGrant); got != 12 {
+		t.Fatalf("CtrlCreditGrant wire value changed: %d, want 12", got)
+	}
+	if got := CtrlCreditGrant.String(); got != "CREDITGRANT" {
+		t.Fatalf("CtrlCreditGrant.String() = %q", got)
+	}
+	// And the full control packet carrying it round-trips.
+	c := Control{
+		Type:   CtrlCreditGrant,
+		ConnID: 3,
+		Body:   AppendCreditGrant(nil, CreditGrant{Granted: 12, Consumed: 4, Window: 8}),
+	}
+	dec, err := UnmarshalControl(c.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseCreditGrant(dec.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Granted != 12 || g.Consumed != 4 || g.Window != 8 {
+		t.Fatalf("grant diverged through Control: %+v", g)
+	}
+}

@@ -66,6 +66,39 @@ func FuzzUnmarshalControl(f *testing.F) {
 	})
 }
 
+func FuzzUnmarshalCredit(f *testing.F) {
+	f.Add(AppendCreditGrant(nil, CreditGrant{Granted: 64, Consumed: 48, Window: 16}))
+	f.Add(AppendCreditGrant(nil, CreditGrant{Granted: 1 << 40, Consumed: 1<<40 - 3, Window: 1 << 20}))
+	f.Add(AppendCreditGrant(nil, CreditGrant{}))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01})                      // truncated body
+	f.Add(AppendCreditGrant(nil, CreditGrant{Granted: 7})[:8]) // granted only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseCreditGrant(data)
+		if err != nil {
+			if len(data) >= CreditGrantSize {
+				t.Fatalf("%d-byte body rejected: %v", len(data), err)
+			}
+			return
+		}
+		re := AppendCreditGrant(nil, g)
+		if len(re) != CreditGrantSize {
+			t.Fatalf("encoded grant is %d bytes, want %d", len(re), CreditGrantSize)
+		}
+		g2, err := ParseCreditGrant(re)
+		if err != nil {
+			t.Fatalf("re-encoded grant failed to decode: %v", err)
+		}
+		if g2 != g {
+			t.Fatalf("round trip diverged: %+v vs %+v", g2, g)
+		}
+		// Trailing bytes beyond the fixed-size body must be ignored, not
+		// folded into the decode.
+		if !bytes.Equal(re, data[:CreditGrantSize]) {
+			t.Fatalf("decode did not reproduce the canonical prefix: %x vs %x", re, data[:CreditGrantSize])
+		}
+	})
+}
+
 func FuzzUnmarshalBitmap(f *testing.F) {
 	f.Add(NewBitmap(70).Marshal())
 	f.Add(NewBitmap(0).Marshal())

@@ -149,6 +149,14 @@ const (
 	CtrlPing
 	// CtrlPong answers a CtrlPing.
 	CtrlPong
+	// CtrlCreditGrant carries a cumulative credit grant from the
+	// receiver-advertised flow control scheme: the total number of SDUs
+	// the receiver has ever authorised, the total it has consumed, and
+	// the window it currently advertises. Cumulative absolute values
+	// make grants idempotent — a sender takes the max of what it holds
+	// and what arrives, so loss, duplication and reordering of grants
+	// never corrupt the credit state.
+	CtrlCreditGrant
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -176,6 +184,8 @@ func (t ControlType) String() string {
 		return "PING"
 	case CtrlPong:
 		return "PONG"
+	case CtrlCreditGrant:
+		return "CREDITGRANT"
 	default:
 		return fmt.Sprintf("ControlType(%d)", uint16(t))
 	}
@@ -234,4 +244,41 @@ func ParseCreditBody(p []byte) (uint32, error) {
 		return 0, ErrShortPacket
 	}
 	return binary.BigEndian.Uint32(p), nil
+}
+
+// CreditGrantSize is the byte length of an encoded CreditGrant body.
+const CreditGrantSize = 20
+
+// CreditGrant is the body of a CtrlCreditGrant packet. All fields are
+// cumulative over the connection lifetime, never deltas: Granted is the
+// total number of SDUs the receiver has authorised the sender to
+// transmit, Consumed the total it has delivered to the application, and
+// Window the advertisement the receiver currently sizes its grants
+// from. Because the values only grow, a stale or duplicated grant is
+// harmless — the sender keeps the maximum it has seen.
+type CreditGrant struct {
+	Granted  uint64
+	Consumed uint64
+	Window   uint32
+}
+
+// AppendCreditGrant appends the encoded grant body to dst and returns
+// the result.
+func AppendCreditGrant(dst []byte, g CreditGrant) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, g.Granted)
+	dst = binary.BigEndian.AppendUint64(dst, g.Consumed)
+	dst = binary.BigEndian.AppendUint32(dst, g.Window)
+	return dst
+}
+
+// ParseCreditGrant decodes a CtrlCreditGrant body.
+func ParseCreditGrant(p []byte) (CreditGrant, error) {
+	if len(p) < CreditGrantSize {
+		return CreditGrant{}, ErrShortPacket
+	}
+	return CreditGrant{
+		Granted:  binary.BigEndian.Uint64(p),
+		Consumed: binary.BigEndian.Uint64(p[8:]),
+		Window:   binary.BigEndian.Uint32(p[16:]),
+	}, nil
 }

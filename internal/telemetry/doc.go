@@ -47,6 +47,11 @@
 //	errctl.recv.out_of_order_total     out-of-order arrivals (GBN NACK)
 //	flowctl.window.stall_total         window-sender admission stalls
 //	flowctl.credit.wait_total          credit-sender admission waits
+//	flowctl.credit.granted_total       credits advertised by receivers
+//	flowctl.credit.consumed_total      credited arrivals at receivers
+//	flowctl.credit.refill_total        standalone refill grant frames
+//	flowctl.credit.piggyback_total     grants piggybacked on outgoing acks
+//	flowctl.credit.resync_total        sender resync probes (wedge escape)
 //	flowctl.send.blocked_ns_total      total ns senders spent blocked
 //	core.conn.send_msgs_total          messages sent
 //	core.conn.send_sdus_total          SDUs sent
@@ -76,6 +81,7 @@
 //
 //	core.send.coalesce_depth           SDUs coalesced per shard batch
 //	core.send.sendq_depth              send-queue occupancy at enqueue
+//	flowctl.send.credit_wait_ns        time blocked awaiting credits
 //	rpc.client.call_ns                 request→reply latency
 //	group.collective.op_ns             collective operation latency
 //

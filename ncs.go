@@ -202,6 +202,22 @@ const (
 	FlowRate   = flowctl.Rate
 )
 
+// Congestion controllers for credit flow control, selected via
+// Options.FlowConfig.Controller. The controller sits between the
+// receiver's credit grants and the wire: a grant is necessary but not
+// sufficient for admission — in-flight must also fit the controller's
+// window. Static admits everything granted (the receiver's buffer is
+// the only limit); AIMD probes additively and halves on loss; RTT
+// backs off when grant round trips inflate past the observed minimum.
+const (
+	FlowControllerStatic = flowctl.ControllerStatic
+	FlowControllerAIMD   = flowctl.ControllerAIMD
+	FlowControllerRTT    = flowctl.ControllerRTT
+)
+
+// FlowControllerKind selects a congestion controller in FlowConfig.
+type FlowControllerKind = flowctl.ControllerKind
+
 // Error control algorithms (§3.2).
 const (
 	ErrorNone            = errctl.None
