@@ -601,6 +601,89 @@ func BenchmarkAllocCreditSend(b *testing.B) {
 	<-done
 }
 
+// BenchmarkAllocUDPSend gates the real-wire send path: a 4KB send over
+// a UDP loopback connection under the interface's defaults (selective
+// repeat + credit flow control, since the wire itself is unreliable).
+// Every iteration crosses SDU staging, the frame header prepend (an
+// iovec, not a copy), the batched sendmmsg path, and the receive side's
+// pooled-slot refill — the steady state must stay at fixed allocations
+// per message.
+func BenchmarkAllocUDPSend(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-udp-a", "alloc-udp-b", ncs.Options{
+		Interface: ncs.UDP,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, err := peer.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
+// BenchmarkAllocUDPEcho measures the full wire round trip: 4KB out and
+// 4KB back through real loopback sockets, covering both directions of
+// the framing, demux, and pooled receive queue.
+func BenchmarkAllocUDPEcho(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-udpecho-a", "alloc-udpecho-b", ncs.Options{
+		Interface: ncs.UDP,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := peer.Recv()
+			if err != nil {
+				return
+			}
+			if err := peer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
 // runCollectiveBench drives one collective op across every member of a
 // prebuilt group and waits for the stragglers, reporting errors.
 func runCollectiveBench(b *testing.B, groups []*ncs.Group, op func(*ncs.Group) error) {

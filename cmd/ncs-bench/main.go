@@ -17,6 +17,7 @@
 //	ncs-bench -exp scale -telemetry
 //	ncs-bench -exp collective -collective-members 8 -collective-out BENCH_collective.json
 //	ncs-bench -exp pressure -pressure-conns 4096 -pressure-out BENCH_pressure.json
+//	ncs-bench -exp wire -wire-dur 200ms -wire-out BENCH_wire.json
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
@@ -39,7 +40,11 @@
 // pooled-buffer population under a fixed budget, then a congestion
 // controller sweep (static, AIMD, RTT-adaptive) over clean and
 // Gilbert–Elliott burst-loss links whose verdict is that adaptivity
-// does not collapse throughput.
+// does not collapse throughput. The wire experiment floods the real
+// UDP loopback transport next to the in-process simulator across
+// message sizes and syscall batch depths; on platforms with
+// sendmmsg/recvmmsg its verdict asserts that batching beats the
+// one-syscall-per-datagram wire at 4KB messages.
 //
 // -telemetry embeds a metrics snapshot — the delta of every registered
 // instrument across the experiment — in the scale and collective JSON
@@ -88,10 +93,18 @@ type pressureOpts struct {
 	telemetry bool
 }
 
+// wireOpts carries the wire experiment's knobs.
+type wireOpts struct {
+	dur        time.Duration
+	out        string
+	minRatio   float64
+	minSpeedup float64
+}
+
 // experiments maps each -exp value to its runner; "all" runs the
 // paper's set in order. Kept as a table so the usage string and the
 // unknown-experiment error can never drift from what actually runs.
-func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) map[string]func() error {
+func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) map[string]func() error {
 	return map[string]func() error{
 		"table1":     runTable1,
 		"fig10":      runFig10,
@@ -103,14 +116,15 @@ func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pre
 		"scale":      func() error { return runScale(sc) },
 		"collective": func() error { return runCollective(cc) },
 		"pressure":   func() error { return runPressure(pc) },
+		"wire":       func() error { return runWire(wc) },
 	}
 }
 
 // experimentList returns the valid -exp values, sorted, for usage and
 // error messages.
-func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) []string {
-	names := make([]string, 0, 11)
-	for name := range experiments(plat, iters, sc, cc, pc) {
+func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) []string {
+	names := make([]string, 0, 12)
+	for name := range experiments(plat, iters, sc, cc, pc, wc) {
 		names = append(names, name)
 	}
 	names = append(names, "all")
@@ -120,7 +134,7 @@ func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc 
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, pressure, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, pressure, wire, all")
 		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
 		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep (sweep points: 16…100000; threaded points cap at 4096)")
@@ -137,27 +151,33 @@ func main() {
 		pressDur   = flag.Duration("pressure-dur", 400*time.Millisecond, "pressure: measured interval per phase/point")
 		pressOut   = flag.String("pressure-out", "BENCH_pressure.json", "pressure: JSON results path (empty: skip)")
 
+		wireDur        = flag.Duration("wire-dur", 200*time.Millisecond, "wire: send window per sweep cell")
+		wireOut        = flag.String("wire-out", "BENCH_wire.json", "wire: JSON results path (empty: skip)")
+		wireMinRatio   = flag.Float64("wire-min-ratio", 2.0, "wire: verdict floor for the batched transport's syscall reduction per SDU at 4KB")
+		wireMinSpeedup = flag.Float64("wire-min-speedup", 1.0, "wire: verdict floor for batched-vs-unbatched UDP throughput at 4KB (CI smoke runs relax this for shared runners)")
+
 		withTelemetry = flag.Bool("telemetry", false, "embed a metrics snapshot (the instrument delta across the experiment) in the scale/collective/pressure JSON artifacts")
 	)
 	flag.Parse()
 	sc := scaleOpts{max: *scaleMax, maxConns: *maxConns, dur: *scaleDur, out: *scaleOut, telemetry: *withTelemetry}
 	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut, telemetry: *withTelemetry}
 	pc := pressureOpts{conns: *pressConns, dur: *pressDur, out: *pressOut, telemetry: *withTelemetry}
+	wc := wireOpts{dur: *wireDur, out: *wireOut, minRatio: *wireMinRatio, minSpeedup: *wireMinSpeedup}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
 		// default experiment set and exit 0.
 		fmt.Fprintf(os.Stderr, "ncs-bench: unexpected argument %q (experiments are selected with -exp <name>)\n", flag.Arg(0))
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc, pc), ", "))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc, pc, wc), ", "))
 		os.Exit(2)
 	}
-	if err := run(*exp, *plat, *iters, sc, cc, pc); err != nil {
+	if err := run(*exp, *plat, *iters, sc, cc, pc, wc); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts) error {
-	exps := experiments(plat, iters, sc, cc, pc)
+func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) error {
+	exps := experiments(plat, iters, sc, cc, pc, wc)
 	if e, ok := exps[exp]; ok {
 		return e()
 	}
@@ -186,7 +206,36 @@ func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressu
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (experiments: %s)",
-		exp, strings.Join(experimentList(plat, iters, sc, cc, pc), ", "))
+		exp, strings.Join(experimentList(plat, iters, sc, cc, pc, wc), ", "))
+}
+
+// runWire executes the wire transport sweep and writes the JSON
+// artifact. The verdict (batched UDP cutting kernel crossings per SDU
+// at 4KB without giving back throughput) only gates on platforms with
+// sendmmsg/recvmmsg support; elsewhere the table still prints for the
+// per-datagram fallback.
+func runWire(wc wireOpts) error {
+	res, err := bench.WireSweep(bench.WireConfig{
+		Duration:   wc.dur,
+		MinRatio:   wc.minRatio,
+		MinSpeedup: wc.minSpeedup,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if wc.out != "" {
+		if err := res.WriteJSON(wc.out); err != nil {
+			return err
+		}
+		// Diagnostics go to stderr so redirected stdout stays a clean
+		// results table.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", wc.out)
+	}
+	if res.Regressed() {
+		return fmt.Errorf("wire verdict: batched UDP failed its syscall-reduction/throughput floors at 4KB (see verdict line above)")
+	}
+	return nil
 }
 
 // runPressure executes the flow-control pressure experiment and writes

@@ -18,10 +18,14 @@ var (
 	quickScale      = scaleOpts{max: 16, dur: 50 * time.Millisecond, out: ""}
 	quickCollective = collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: ""}
 	quickPressure   = pressureOpts{conns: 32, dur: 100 * time.Millisecond, out: ""}
+	// quickWire's near-zero ratio floor keeps the functional test from
+	// asserting a performance property; the real floor is the wire CI
+	// gate's business.
+	quickWire = wireOpts{dur: 30 * time.Millisecond, out: "", minRatio: 0.01, minSpeedup: 0.01}
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "sun4", 2, quickScale, quickCollective, quickPressure); err != nil {
+	if err := run("table1", "sun4", 2, quickScale, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -30,19 +34,19 @@ func TestRunFig12SmallIters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("echo sweep")
 	}
-	if err := run("fig12", "rs6000", 2, quickScale, quickCollective, quickPressure); err != nil {
+	if err := run("fig12", "rs6000", 2, quickScale, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRPC(t *testing.T) {
-	if err := run("rpc", "sun4", 1, quickScale, quickCollective, quickPressure); err != nil {
+	if err := run("rpc", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLoss(t *testing.T) {
-	if err := run("loss", "sun4", 1, quickScale, quickCollective, quickPressure); err != nil {
+	if err := run("loss", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -52,7 +56,7 @@ func TestRunLoss(t *testing.T) {
 func TestRunScale(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 32, dur: 50 * time.Millisecond, out: out}
-	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -80,7 +84,7 @@ func TestRunScale(t *testing.T) {
 func TestRunScaleTelemetry(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out, telemetry: true}
-	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -132,7 +136,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out}
 	var runErr error
 	stdout, stderr := captureStreams(t, func() {
-		runErr = run("scale", "sun4", 1, sc, quickCollective, quickPressure)
+		runErr = run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire)
 	})
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -153,7 +157,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 func TestRunCollective(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_collective.json")
 	cc := collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: out}
-	if err := run("collective", "sun4", 1, quickScale, cc, quickPressure); err != nil {
+	if err := run("collective", "sun4", 1, quickScale, cc, quickPressure, quickWire); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -182,7 +186,7 @@ func TestRunCollective(t *testing.T) {
 func TestRunPressure(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_pressure.json")
 	pc := pressureOpts{conns: 32, dur: 100 * time.Millisecond, out: out}
-	if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc); err != nil {
+	if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -208,11 +212,42 @@ func TestRunPressure(t *testing.T) {
 	}
 }
 
+// TestRunWire runs a miniature wire sweep and checks the JSON artifact
+// is written and well-formed, with every cell populated for both
+// transports.
+func TestRunWire(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_wire.json")
+	wc := wireOpts{dur: 30 * time.Millisecond, out: out, minRatio: 0.01, minSpeedup: 0.01}
+	if err := run("wire", "sun4", 1, quickScale, quickCollective, quickPressure, wc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.WireResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_wire.json does not parse: %v", err)
+	}
+	// 2 transports × 3 sizes × 3 batch depths.
+	if len(res.Points) != 18 {
+		t.Fatalf("got %d points, want 18", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Sent == 0 || p.Delivered == 0 || p.Throughput <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		if p.Transport == "netsim" && p.SyscallsPerMsg != 0 {
+			t.Fatalf("netsim cell reports syscalls: %+v", p)
+		}
+	}
+}
+
 // TestRunRejectsUnknown pins the failure mode: an unknown -exp value
 // must return an error (main exits nonzero on it) that lists the valid
 // experiments, so a typo cannot silently succeed.
 func TestRunRejectsUnknown(t *testing.T) {
-	err := run("fig99", "sun4", 1, quickScale, quickCollective, quickPressure)
+	err := run("fig99", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -221,20 +256,20 @@ func TestRunRejectsUnknown(t *testing.T) {
 			t.Errorf("unknown-experiment error does not list %q: %v", want, err)
 		}
 	}
-	if err := run("fig12", "cray", 1, quickScale, quickCollective, quickPressure); err == nil {
+	if err := run("fig12", "cray", 1, quickScale, quickCollective, quickPressure, quickWire); err == nil {
 		t.Error("unknown platform accepted")
 	}
 	for _, max := range []int{0, -1} {
 		sc := quickScale
 		sc.max = max
-		if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure); err == nil {
+		if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err == nil {
 			t.Errorf("scale accepted -scale-max %d", max)
 		}
 	}
 	for _, conns := range []int{0, -1} {
 		pc := quickPressure
 		pc.conns = conns
-		if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc); err == nil {
+		if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire); err == nil {
 			t.Errorf("pressure accepted -pressure-conns %d", conns)
 		}
 	}
@@ -243,8 +278,8 @@ func TestRunRejectsUnknown(t *testing.T) {
 // TestExperimentListComplete keeps the usage/error roster in sync with
 // the runnable experiments.
 func TestExperimentListComplete(t *testing.T) {
-	exps := experiments("sun4", 1, quickScale, quickCollective, quickPressure)
-	list := experimentList("sun4", 1, quickScale, quickCollective, quickPressure)
+	exps := experiments("sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
+	list := experimentList("sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
 	if len(list) != len(exps)+1 { // +1 for "all"
 		t.Fatalf("experiment list %v out of sync with table (%d entries)", list, len(exps))
 	}

@@ -8,6 +8,7 @@
 //	ncs-echo                              # defaults: HPI, 100 iterations
 //	ncs-echo -iface aci -fc credit -ec sr -loss 0.01
 //	ncs-echo -iface sci -sizes 1,1024,65536 -iters 50
+//	ncs-echo -iface udp -loss 0.01            # real loopback sockets, impaired
 //	ncs-echo -fastpath
 //	ncs-echo -stats 1s                    # periodic telemetry line on stderr
 package main
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		iface    = flag.String("iface", "hpi", "interface: sci, aci, hpi")
+		iface    = flag.String("iface", "hpi", "interface: sci, aci, hpi, udp")
 		fc       = flag.String("fc", "", "flow control: none, credit, window, rate (default per interface)")
 		ec       = flag.String("ec", "", "error control: none, sr, gbn (default per interface)")
 		sizesArg = flag.String("sizes", "1,1024,4096,8192,16384,32768,65536", "comma-separated message sizes")
@@ -81,6 +82,16 @@ func run(iface, fc, ec, sizesArg string, iters int, loss float64, fastpath bool,
 		opts.QoS = ncs.QoS{CellLossRate: loss}
 	case "hpi":
 		opts.Interface = ncs.HPI
+	case "udp":
+		// Real loopback datagram sockets; -loss here is per datagram
+		// (one SDU packet each), applied by the seeded wire impairer
+		// as i.i.d. loss (a degenerate one-state Gilbert–Elliott).
+		opts.Interface = ncs.UDP
+		if loss > 0 {
+			opts.UDPLink = &ncs.UDPLink{Impair: ncs.Impairments{
+				Burst: ncs.GilbertElliott{LossGood: loss},
+			}}
+		}
 	default:
 		return fmt.Errorf("unknown interface %q", iface)
 	}

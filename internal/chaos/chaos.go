@@ -56,8 +56,10 @@ type Config struct {
 	FlowCtl flowctl.Algorithm
 	// Transport selects the interface. HPI impairs at SDU-packet
 	// granularity, ACI at ATM-cell granularity (where duplication and
-	// reordering inside a frame surface as AAL5 frame loss). SCI rides
-	// a real TCP socket and only accepts the clean schedule.
+	// reordering inside a frame surface as AAL5 frame loss). UDP runs
+	// over real loopback sockets with the seeded wire impairer at
+	// datagram (= SDU-packet) granularity. SCI rides a real TCP socket
+	// and only accepts the clean schedule.
 	Transport transport.Kind
 	// FastPath selects the §4.2 thread-bypassing procedures instead of
 	// the per-connection threads.
@@ -243,6 +245,12 @@ func (c Config) options() (core.Options, error) {
 			Delay:    100 * time.Microsecond,
 			Seed:     c.Seed,
 			Schedule: c.Schedule.scaled(),
+		}
+	case transport.UDP:
+		opts.UDPLink = &transport.UDPLink{
+			MaxPacket: harnessSDU + 128,
+			Seed:      c.Seed,
+			Schedule:  c.Schedule.Phases,
 		}
 	case transport.SCI:
 		if !c.Schedule.Clean() {

@@ -107,7 +107,7 @@ func TestChaosMatrix(t *testing.T) {
 		for _, fc := range matrixFlowctls() {
 			for _, m := range models {
 				for _, sched := range Schedules {
-					for _, tr := range []transport.Kind{transport.HPI, transport.ACI} {
+					for _, tr := range []transport.Kind{transport.HPI, transport.ACI, transport.UDP} {
 						cfg := Config{
 							ErrCtl: ec, FlowCtl: fc, Transport: tr,
 							FastPath: m.fastPath, Sharded: m.sharded,

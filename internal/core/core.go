@@ -58,7 +58,8 @@ var (
 // per-connection QoS selection that is the heart of the paper's
 // flexibility claims (§2, §3).
 type Options struct {
-	// Interface selects SCI, ACI, or HPI. Default SCI.
+	// Interface selects SCI, ACI, HPI, or the real-wire UDP interface.
+	// Default SCI.
 	Interface transport.Kind
 	// FlowControl selects the flow control algorithm. Default: Credit
 	// for unreliable interfaces, None for reliable ones (the §3.1
@@ -81,6 +82,13 @@ type Options struct {
 	// connection stays clean, mirroring the loss-free control circuit
 	// ACI connections get (the paper's separated control plane).
 	HPILink *netsim.Params
+	// UDPLink, when non-nil, configures the real-wire loopback sockets
+	// under a UDP connection's data path: syscall batching, packet
+	// budget, and the seeded netsim-style impairments applied to each
+	// direction's outbound datagrams. As with HPI and ACI, the control
+	// connection rides a clean, unimpaired UDP pair. nil gives clean
+	// defaults when Interface is transport.UDP.
+	UDPLink *transport.UDPLink
 	// FastPath selects the §4.2 procedure variant: no per-connection
 	// threads; Send/Recv run the protocol inline on the caller.
 	FastPath bool
@@ -289,6 +297,30 @@ func (n *Network) newConnPair(from, to *System, opts Options) (data, peerData, c
 		}
 		return transport.NewACI(dvc), transport.NewACI(dpeer),
 			transport.NewACI(cvc), transport.NewACI(cpeer), nil
+
+	case transport.UDP:
+		// Real loopback sockets. Impairments from UDPLink apply to the
+		// data pair only; control always gets a clean link, mirroring
+		// the separated loss-free control circuit of the other
+		// interfaces.
+		d1, d2, err := transport.UDPPair(opts.UDPLink)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		var ctrlLink *transport.UDPLink
+		if opts.UDPLink != nil {
+			clean := *opts.UDPLink
+			clean.Impair = netsim.Impairments{}
+			clean.Schedule = nil
+			ctrlLink = &clean
+		}
+		c1, c2, err := transport.UDPPair(ctrlLink)
+		if err != nil {
+			d1.Close()
+			d2.Close()
+			return nil, nil, nil, nil, err
+		}
+		return d1, d2, c1, c2, nil
 
 	case transport.SCI:
 		d1, d2, err := n.sciPair(to)

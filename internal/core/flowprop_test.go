@@ -76,6 +76,23 @@ func TestCreditConservationMatrix(t *testing.T) {
 		}}},
 	}
 
+	// The same invariants must hold when the datagrams cross real
+	// loopback sockets: the UDP cells put the seeded wire impairer
+	// under the identical credit/error-control stack. Impairment here
+	// is per datagram (= per SDU packet), so rates are set to land in
+	// the same 10–20% effective loss band as the cell-level ACI rates.
+	udpImpairments := []struct {
+		name string
+		imp  netsim.Impairments
+	}{
+		{"udp_loss", netsim.Impairments{Burst: netsim.GilbertElliott{LossGood: 0.1}}},
+		{"udp_dup", netsim.Impairments{DupRate: 0.1}},
+		{"udp_reorder", netsim.Impairments{
+			ReorderRate:   0.08,
+			ReorderJitter: 500 * time.Microsecond,
+		}},
+	}
+
 	seed := int64(0)
 	for _, rt := range runtimes {
 		for _, ec := range schemes {
@@ -85,25 +102,40 @@ func TestCreditConservationMatrix(t *testing.T) {
 				name := fmt.Sprintf("%s_%v_%s", rt.name, ec, imp.name)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
-					runCreditMatrixCell(t, rt.set, ec, imp.qos, seed)
+					runCreditMatrixCell(t, rt.set, ec, func(o *Options) {
+						q := imp.qos
+						q.Seed = seed
+						o.Interface = transport.ACI
+						o.QoS = q
+					}, seed)
+				})
+			}
+			for _, imp := range udpImpairments {
+				seed++
+				rt, ec, imp, seed := rt, ec, imp, seed
+				name := fmt.Sprintf("%s_%v_%s", rt.name, ec, imp.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					runCreditMatrixCell(t, rt.set, ec, func(o *Options) {
+						o.Interface = transport.UDP
+						o.UDPLink = &transport.UDPLink{Seed: seed, Impair: imp.imp}
+					}, seed)
 				})
 			}
 		}
 	}
 }
 
-func runCreditMatrixCell(t *testing.T, set func(*Options), ec errctl.Algorithm, qos atm.QoS, seed int64) {
+func runCreditMatrixCell(t *testing.T, set func(*Options), ec errctl.Algorithm, link func(*Options), seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	qos.Seed = seed
 	opts := Options{
-		Interface:    transport.ACI,
 		FlowControl:  flowctl.Credit,
 		ErrorControl: ec,
 		FlowConfig:   flowctl.Config{InitialCredits: 4, MaxCredits: 64},
 		SDUSize:      256,
 		AckTimeout:   40 * time.Millisecond,
-		QoS:          qos,
 	}
+	link(&opts)
 	set(&opts)
 	conn, peer, cleanup := newPairT(t, opts)
 	defer cleanup()

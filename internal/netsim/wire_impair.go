@@ -1,0 +1,82 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// WireImpairer exposes the simulator's per-direction impairment engine
+// to transports that move real datagrams — the UDP transport wraps one
+// around each socket so the chaos matrix and the flow/error-control
+// property tests run over genuine sockets with exactly the failure
+// process netsim applies to simulated links. It is the same seeded
+// machinery (Impairments, Phase schedules, Gilbert–Elliott burst
+// state) behind one lock: given the same seed, configuration, and
+// packet sequence, two WireImpairers replay identical decisions.
+//
+// The zero value is not usable; construct with NewWireImpairer. All
+// methods are safe for concurrent use, but determinism additionally
+// requires that the caller present packets in a deterministic order
+// (the UDP transport serialises Decide under its send lock).
+type WireImpairer struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	ip  *impairer
+}
+
+// WireDecision is the fate Decide assigned to one outbound datagram.
+type WireDecision struct {
+	// Drop discards the datagram (burst loss or partition).
+	Drop bool
+	// Dup sends the datagram twice back to back.
+	Dup bool
+	// Delay holds the datagram back before sending — non-zero only for
+	// reordered packets, letting later sends overtake it on the wire.
+	Delay time.Duration
+}
+
+// NewWireImpairer builds an impairer seeded like a netsim direction
+// (seed 0 means the default seed 42). imp is the initial impairment
+// set; schedule, if non-nil, switches impairments by packet count
+// exactly as netsim.Params.Schedule does — every Decide call advances
+// it, dropped and partitioned packets included.
+func NewWireImpairer(seed int64, imp Impairments, schedule []Phase) *WireImpairer {
+	if seed == 0 {
+		seed = 42
+	}
+	return &WireImpairer{
+		rng: rand.New(rand.NewSource(seed)),
+		ip:  newImpairer(imp, schedule),
+	}
+}
+
+// Decide draws the fate of the next outbound datagram. The RNG draw
+// order matches the simulator's wire exactly (burst transition, loss,
+// duplication, reorder jitter), so seeds are portable between netsim
+// links and real-wire links. Corruption is never drawn: a real socket
+// delivers what it delivers, and the loss/corrupt steady-state rates
+// belong to netsim.Params, which has no real-wire counterpart.
+func (w *WireImpairer) Decide() WireDecision {
+	w.mu.Lock()
+	d := w.ip.decide(w.rng, 0, 0)
+	w.mu.Unlock()
+	return WireDecision{Drop: d.drop, Dup: d.dup, Delay: d.jitter}
+}
+
+// Set replaces the active impairments mid-run, cancelling any
+// remaining schedule — the transport.Impair hook for UDP conns.
+func (w *WireImpairer) Set(imp Impairments) {
+	w.mu.Lock()
+	w.ip.set(imp)
+	w.mu.Unlock()
+}
+
+// Stats returns the decision counters so far. Corrupted is always 0
+// for a wire impairer.
+func (w *WireImpairer) Stats() ImpairStats {
+	w.mu.Lock()
+	s := w.ip.stats
+	w.mu.Unlock()
+	return s
+}

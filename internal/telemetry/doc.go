@@ -18,8 +18,9 @@
 //	layer.subsystem.metric
 //
 // where layer is the owning package (core, errctl, flowctl, buf, rpc,
-// group), subsystem narrows it to a component (conn, shard, wheel,
-// pool, recv, send, client, server, collective, window, credit), and
+// group, transport), subsystem narrows it to a component (conn, shard,
+// wheel, pool, recv, send, client, server, collective, window, credit,
+// udp), and
 // metric is the measured quantity. Names are lowercase; words within a
 // segment join with underscores. Conventions, following the Prometheus
 // style:
@@ -68,6 +69,14 @@
 //	group.collective.chunks_total      pipelined broadcast chunks
 //	group.collective.mismatch_total    ErrMismatch frames observed
 //	group.collective.deadline_total    ErrDeadline collective failures
+//	transport.udp.send_datagrams_total datagrams handed to the kernel
+//	transport.udp.recv_datagrams_total datagrams received off the wire
+//	transport.udp.send_syscalls_total  sendmmsg/sendto calls issued
+//	transport.udp.recv_syscalls_total  recvmmsg/recvfrom calls issued
+//	transport.udp.eagain_total         reader wakeups with empty socket
+//	transport.udp.trunc_total          oversize datagrams truncated+dropped
+//	transport.udp.demux_drop_total     datagrams for unknown channels
+//	transport.udp.queue_drop_total     datagrams dropped on full recv queue
 //
 // Gauges:
 //
@@ -81,6 +90,8 @@
 //
 //	core.send.coalesce_depth           SDUs coalesced per shard batch
 //	core.send.sendq_depth              send-queue occupancy at enqueue
+//	transport.udp.send_batch_depth     datagrams per send syscall
+//	transport.udp.recv_batch_depth     datagrams per receive syscall
 //	flowctl.send.credit_wait_ns        time blocked awaiting credits
 //	rpc.client.call_ns                 request→reply latency
 //	group.collective.op_ns             collective operation latency

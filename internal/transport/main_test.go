@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ncs/internal/buf"
+)
+
+// TestMain audits the package for leaks: the UDP transport adds real
+// goroutines (one socket reader per endpoint, a lazy delay sender) and
+// moves pooled buffers through kernel sockets, so after every test has
+// closed its conns the process must quiesce back to the pre-test
+// goroutine count with zero pooled buffer references outstanding.
+func TestMain(m *testing.M) {
+	baseline := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 && !fuzzing() {
+		if err := awaitQuiescence(baseline, 10*time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// fuzzing reports whether this process is a fuzz run: the fuzz engine
+// keeps an os/signal goroutine alive past m.Run, which the audit would
+// misread as a transport leak.
+func fuzzing() bool {
+	for _, arg := range os.Args {
+		if strings.HasPrefix(arg, "-test.fuzz=") || strings.HasPrefix(arg, "--test.fuzz=") {
+			return true
+		}
+	}
+	return false
+}
+
+func awaitQuiescence(baseline int, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		goroutines := runtime.NumGoroutine()
+		bufs := buf.Outstanding()
+		if goroutines <= baseline && bufs == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			stack := make([]byte, 1<<20)
+			stack = stack[:runtime.Stack(stack, true)]
+			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
+				goroutines, baseline, bufs, stack)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

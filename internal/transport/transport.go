@@ -53,11 +53,14 @@ import (
 // Kind identifies which communication interface a Conn uses.
 type Kind int
 
-// The three NCS application communication interfaces.
+// The three NCS application communication interfaces, plus the
+// real-wire UDP interface (udp.go), which moves the same packets over
+// kernel sockets instead of the in-process simulator.
 const (
 	SCI Kind = iota + 1
 	ACI
 	HPI
+	UDP
 )
 
 // String implements fmt.Stringer.
@@ -69,6 +72,8 @@ func (k Kind) String() string {
 		return "ACI"
 	case HPI:
 		return "HPI"
+	case UDP:
+		return "UDP"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -477,6 +482,9 @@ func Impair(c Conn, imp netsim.Impairments) bool {
 	case *aciConn:
 		t.vc.SetImpairments(imp)
 		return true
+	case *udpConn:
+		t.setImpairments(imp)
+		return true
 	}
 	if u, ok := c.(interface{ Unwrap() Conn }); ok {
 		return Impair(u.Unwrap(), imp)
@@ -495,6 +503,8 @@ func ImpairStats(c Conn) (netsim.ImpairStats, bool) {
 		return t.ep.ImpairStats(), true
 	case *aciConn:
 		return t.vc.ImpairStats(), true
+	case *udpConn:
+		return t.impairStats(), true
 	}
 	if u, ok := c.(interface{ Unwrap() Conn }); ok {
 		return ImpairStats(u.Unwrap())

@@ -1,0 +1,79 @@
+//go:build !(linux && (amd64 || arm64))
+
+// Portable batch I/O for the UDP transport: the graceful fallback for
+// platforms without raw sendmmsg/recvmmsg access (darwin, windows,
+// 32-bit linux). The interface is identical to the Linux file's, but
+// each datagram is one blocking net.UDPConn syscall — sends copy the
+// 8-byte header and payload into a reused scratch buffer, and receives
+// return one datagram per recvBatch call. Functionally equivalent,
+// just without the syscall amortisation; BatchSyscallsSupported()
+// reports false so benches and CI skip the batched-throughput gate.
+
+package transport
+
+import (
+	"net"
+
+	"ncs/internal/buf"
+)
+
+const batchSyscallsSupported = false
+
+// wireAddr is just the destination address on the portable path.
+type wireAddr struct {
+	addr *net.UDPAddr
+}
+
+func encodeWireAddr(a *net.UDPAddr) (wireAddr, error) {
+	return wireAddr{addr: a}, nil
+}
+
+type batchIO struct {
+	sock      *net.UDPConn
+	connected bool
+	scratch   []byte // header+payload staging, guarded by sendMu
+}
+
+func newBatchIO(sock *net.UDPConn, connected bool) (*batchIO, error) {
+	return &batchIO{sock: sock, connected: connected}, nil
+}
+
+// sendBatch writes one datagram per syscall. Caller holds sendMu and
+// releases the payloads.
+func (io *batchIO) sendBatch(msgs []outMsg) error {
+	for i := range msgs {
+		m := &msgs[i]
+		io.scratch = append(io.scratch[:0], m.hdr[:]...)
+		if m.b != nil {
+			io.scratch = append(io.scratch, m.b.B...)
+		}
+		var err error
+		if m.to != nil {
+			_, err = io.sock.WriteToUDP(io.scratch, m.to.addr)
+		} else {
+			_, err = io.sock.Write(io.scratch)
+		}
+		mUDPSendSyscalls.Inc()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvBatch blocks for one datagram and stores it in slots[0].
+func (io *batchIO) recvBatch(slots []*buf.Buffer, meta []recvMeta) (int, error) {
+	n, _, flags, from, err := io.sock.ReadMsgUDP(slots[0].B, nil)
+	mUDPRecvSyscalls.Inc()
+	if err != nil {
+		return 0, err
+	}
+	meta[0].n = n
+	meta[0].trunc = flags&msgTruncFlag != 0
+	if from != nil {
+		meta[0].from = addrKeyFromUDP(from)
+	} else {
+		meta[0].from = addrKey{}
+	}
+	return 1, nil
+}

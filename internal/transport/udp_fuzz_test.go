@@ -1,0 +1,63 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUDPFrame drives the wire-frame parser — the single entry point
+// every received datagram passes through before demux — with arbitrary
+// bytes. Properties: the parser never panics, never accepts a frame
+// whose header violates the format (bad magic, unknown type, nonzero
+// reserved bytes, short datagram), and every accepted frame survives a
+// re-marshal round trip: encoding the parsed header and appending the
+// payload view must reproduce the input datagram byte for byte.
+func FuzzUDPFrame(f *testing.F) {
+	// Seed with every valid frame type, boundary sizes, and near-miss
+	// corruptions of each header field.
+	var h [udpHeaderSize]byte
+	for _, ft := range []byte{frameData, frameOpen, frameOpenAck, frameClose} {
+		putUDPHeader(&h, ft, 7)
+		f.Add(append(h[:len(h):len(h)], []byte("payload")...))
+		f.Add(h[:len(h):len(h)])
+	}
+	putUDPHeader(&h, frameData, 0xFFFFFFFF)
+	f.Add(h[:len(h):len(h)])
+	f.Add([]byte{})
+	f.Add([]byte{udpMagic})
+	f.Add([]byte{udpMagic, frameData, 0, 0, 0, 0, 0}) // one byte short
+	f.Add([]byte{0x00, frameData, 0, 0, 0, 0, 0, 1})  // bad magic
+	f.Add([]byte{udpMagic, 0, 0, 0, 0, 0, 0, 1})      // type zero
+	f.Add([]byte{udpMagic, frameTypeMax + 1, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{udpMagic, frameData, 1, 0, 0, 0, 0, 1}) // reserved set
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ftype, chanID, payload, err := parseUDPFrame(data)
+		if err != nil {
+			// Rejected datagrams must actually be malformed: a valid
+			// header must never be turned away (that would be silent
+			// wire loss the impairment ledger can't account for).
+			if len(data) >= udpHeaderSize &&
+				data[0] == udpMagic &&
+				data[1] >= 1 && data[1] <= frameTypeMax &&
+				data[2] == 0 && data[3] == 0 {
+				t.Fatalf("well-formed frame rejected: %v (header %x)", err, data[:udpHeaderSize])
+			}
+			return
+		}
+		if ftype < 1 || ftype > frameTypeMax {
+			t.Fatalf("accepted frame type %d outside [1, %d]", ftype, frameTypeMax)
+		}
+		if len(payload) != len(data)-udpHeaderSize {
+			t.Fatalf("payload length %d, want %d", len(payload), len(data)-udpHeaderSize)
+		}
+		var rt [udpHeaderSize]byte
+		putUDPHeader(&rt, ftype, chanID)
+		if !bytes.Equal(rt[:], data[:udpHeaderSize]) {
+			t.Fatalf("header round trip: got %x, want %x", rt[:], data[:udpHeaderSize])
+		}
+		if !bytes.Equal(payload, data[udpHeaderSize:]) {
+			t.Fatal("payload view does not alias the datagram tail")
+		}
+	})
+}

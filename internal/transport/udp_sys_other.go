@@ -1,0 +1,13 @@
+//go:build !unix
+
+package transport
+
+import "errors"
+
+// Non-unix platforms report neither MSG_TRUNC nor ECONNREFUSED in a
+// form this package can match; truncation then goes undetected (size
+// both ends' MaxPacket consistently) and refused sends surface as
+// ordinary errors.
+const msgTruncFlag = 0
+
+var errConnRefused = errors.New("transport: connection refused")

@@ -1,0 +1,15 @@
+//go:build unix
+
+package transport
+
+import "syscall"
+
+// msgTruncFlag marks a datagram that overflowed its receive slot in
+// ReadMsgUDP's returned flags (unused on the Linux batch path, which
+// reads MSG_TRUNC from the per-message mmsghdr flags directly).
+const msgTruncFlag = syscall.MSG_TRUNC
+
+// errConnRefused is the ICMP port-unreachable errno a connected UDP
+// socket surfaces when its peer's socket has closed; the transport
+// treats it as teardown, not failure.
+var errConnRefused error = syscall.ECONNREFUSED

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package transport
+
+// The stdlib syscall number tables were frozen before sendmmsg(2)
+// landed (Linux 3.0), so the batch path carries its own numbers.
+const (
+	sysSENDMMSG = 269
+	sysRECVMMSG = 243
+)

@@ -9,10 +9,11 @@
 // NCS provides low-latency, high-throughput communication services whose
 // behaviour is selected per connection at runtime:
 //
-//   - three communication interfaces: SCI (sockets, portable), ACI
-//     (ATM virtual circuits with per-connection QoS, simulated), and
-//     HPI (a trap-style in-process interface for tightly coupled
-//     clusters);
+//   - four communication interfaces: SCI (sockets, portable), ACI
+//     (ATM virtual circuits with per-connection QoS, simulated), HPI
+//     (a trap-style in-process interface for tightly coupled
+//     clusters), and UDP (real datagram sockets with batched
+//     sendmmsg/recvmmsg syscalls and optional seeded wire impairment);
 //   - flow control algorithms: credit-based (default), window-based,
 //     rate-based, or none;
 //   - error control algorithms: selective repeat (default), go-back-N,
@@ -192,7 +193,51 @@ const (
 	// HPI is the High Performance Interface: an in-process, trap-style
 	// path with minimal per-message overhead.
 	HPI = transport.HPI
+	// UDP is the real-wire datagram interface: framed SDUs over UDP
+	// sockets with syscall batching (sendmmsg/recvmmsg on Linux) and
+	// optional seeded impairment at the socket boundary. Unreliable at
+	// the wire, so connections default to selective-repeat error
+	// control and credit flow control, like ACI.
+	UDP = transport.UDP
 )
+
+// Real-wire UDP transport (internal/transport): the same Conn contract
+// the in-process interfaces implement, carried over real sockets.
+// Options.Interface = UDP gives a core Connection a loopback UDP data
+// path (tuned via Options.UDPLink); DialUDP/ListenUDP expose the raw
+// transport directly for wire-level tools and tests.
+type (
+	// UDPLink tunes a UDP transport: syscall batch depth, datagram
+	// size cap, socket buffers, and the seeded wire impairment the
+	// chaos harness drives.
+	UDPLink = transport.UDPLink
+	// TransportConn is the transport-level connection contract
+	// (Send/Recv of whole datagrams with pooled-buffer variants) that
+	// DialUDP and TransportListener.Accept return.
+	TransportConn = transport.Conn
+	// TransportListener accepts transport-level connections
+	// (ListenUDP).
+	TransportListener = transport.Listener
+)
+
+// DialUDP connects to a UDP transport listener and completes the open
+// handshake, retrying against loss until the listener answers or the
+// retry budget is spent.
+func DialUDP(addr string, link *UDPLink) (TransportConn, error) {
+	return transport.DialUDP(addr, link)
+}
+
+// ListenUDP binds a UDP transport listener on addr (e.g.
+// "127.0.0.1:0"). Closing the listener tears down its accepted conns,
+// which share the listener's socket.
+func ListenUDP(addr string, link *UDPLink) (TransportListener, error) {
+	return transport.ListenUDP(addr, link)
+}
+
+// BatchSyscallsSupported reports whether this platform sends and
+// receives UDP datagrams in batched syscalls (sendmmsg/recvmmsg);
+// elsewhere the transport falls back to one syscall per datagram.
+func BatchSyscallsSupported() bool { return transport.BatchSyscallsSupported() }
 
 // Flow control algorithms (§3.3).
 const (
