@@ -601,6 +601,61 @@ func BenchmarkAllocCreditSend(b *testing.B) {
 	<-done
 }
 
+// BenchmarkAllocStreamSend gates the multiplexed-stream send path: the
+// same threaded 4KB HPI credit-controlled send as
+// BenchmarkAllocCreditSend, but on a stream opened with OpenStream —
+// per-stream admission (the stream's own credit engine), the stream ID
+// in the frame header, the queue-residency slot, and the receive-side
+// demux into the stream's parking queue. The baseline holds the
+// per-stream path within one allocation of the stream-0 path.
+func BenchmarkAllocStreamSend(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "alloc-stream-a", "alloc-stream-b", ncs.Options{
+		Interface:   ncs.HPI,
+		FlowControl: ncs.FlowCredit,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := conn.OpenStream()
+	if err != nil {
+		b.Fatal(err)
+	}
+	accepted := make(chan *ncs.Stream, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rst, err := peer.AcceptStream()
+		if err != nil {
+			return
+		}
+		accepted <- rst
+		for {
+			if _, err := rst.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	msg := make([]byte, 4096)
+	if err := st.Send(msg); err != nil { // open the stream on the peer
+		b.Fatal(err)
+	}
+	<-accepted
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Send(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	peer.Close()
+	<-done
+}
+
 // BenchmarkAllocUDPSend gates the real-wire send path: a 4KB send over
 // a UDP loopback connection under the interface's defaults (selective
 // repeat + credit flow control, since the wire itself is unreliable).
@@ -850,6 +905,66 @@ func BenchmarkAllocRPCEchoHPIFastpath(b *testing.B) {
 // BenchmarkAllocRPCEchoSCI tracks the threaded TCP-loopback variant.
 func BenchmarkAllocRPCEchoSCI(b *testing.B) {
 	benchmarkRPCEcho(b, ncs.Options{Interface: ncs.SCI}, 4096)
+}
+
+// BenchmarkAllocRPCStreamChunk gates the streaming-call chunk path: one
+// chunk round trip on an established bidirectional call (client Send,
+// handler echo, client Recv) over the threaded HPI runtime. Call setup
+// and teardown stay outside the timed region — the steady-state cost is
+// what a long-lived stream pays per chunk.
+func BenchmarkAllocRPCStreamChunk(b *testing.B) {
+	nw := ncs.NewNetwork()
+	defer nw.Close()
+	conn, peer, err := ncs.Pair(nw, "rpc-chunk-a", "rpc-chunk-b", ncs.Options{
+		Interface: ncs.HPI,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := ncs.NewServer(ncs.RPCServerOptions{Workers: 2})
+	srv.HandleStream("chunkecho", func(_ context.Context, _ []byte, sc *ncs.RPCServerCall) ([]byte, error) {
+		for {
+			chunk, err := sc.Recv()
+			if err != nil {
+				return nil, nil
+			}
+			if err := sc.Send(chunk); err != nil {
+				return nil, nil
+			}
+		}
+	})
+	srv.ServeConn(peer)
+	defer srv.Shutdown()
+	c := ncs.NewClient(conn)
+	defer c.Close()
+	ctx := context.Background()
+	cc, err := c.OpenBidiStream(ctx, "chunkecho", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunk := make([]byte, 4096)
+	if err := cc.Send(chunk); err != nil { // warm the chunk pipeline
+		b.Fatal(err)
+	}
+	if _, err := cc.Recv(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(chunk)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cc.Send(chunk); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cc.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cc.CloseSend()
+	if _, err := cc.Result(ctx); err != nil {
+		b.Fatal(err)
+	}
 }
 
 // BenchmarkRPCEchoSizes sweeps payload sizes over the fast path.

@@ -18,6 +18,7 @@
 //	ncs-bench -exp collective -collective-members 8 -collective-out BENCH_collective.json
 //	ncs-bench -exp pressure -pressure-conns 4096 -pressure-out BENCH_pressure.json
 //	ncs-bench -exp wire -wire-dur 200ms -wire-out BENCH_wire.json
+//	ncs-bench -exp streams -streams-calls 1000 -streams-out BENCH_streams.json
 //	ncs-bench -exp all
 //
 // The rpc experiment is not from the paper: it exercises the RPC layer
@@ -44,7 +45,13 @@
 // UDP loopback transport next to the in-process simulator across
 // message sizes and syscall batch depths; on platforms with
 // sendmmsg/recvmmsg its verdict asserts that batching beats the
-// one-syscall-per-datagram wire at 4KB messages.
+// one-syscall-per-datagram wire at 4KB messages. The streams
+// experiment demonstrates stream-level head-of-line isolation: RPC
+// echo latency is measured on an idle connection, then again while a
+// bulk transfer floods a sibling multiplexed stream on the SAME
+// connection; per-stream credit windows must keep the contended RPC
+// p99 within 2× of the baseline, over both the paced simulator and
+// real UDP loopback.
 //
 // -telemetry embeds a metrics snapshot — the delta of every registered
 // instrument across the experiment — in the scale and collective JSON
@@ -101,10 +108,17 @@ type wireOpts struct {
 	minSpeedup float64
 }
 
+// streamsOpts carries the streams experiment's knobs.
+type streamsOpts struct {
+	calls    int
+	maxRatio float64
+	out      string
+}
+
 // experiments maps each -exp value to its runner; "all" runs the
 // paper's set in order. Kept as a table so the usage string and the
 // unknown-experiment error can never drift from what actually runs.
-func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) map[string]func() error {
+func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts, so streamsOpts) map[string]func() error {
 	return map[string]func() error{
 		"table1":     runTable1,
 		"fig10":      runFig10,
@@ -117,14 +131,15 @@ func experiments(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pre
 		"collective": func() error { return runCollective(cc) },
 		"pressure":   func() error { return runPressure(pc) },
 		"wire":       func() error { return runWire(wc) },
+		"streams":    func() error { return runStreams(so) },
 	}
 }
 
 // experimentList returns the valid -exp values, sorted, for usage and
 // error messages.
-func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) []string {
-	names := make([]string, 0, 12)
-	for name := range experiments(plat, iters, sc, cc, pc, wc) {
+func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts, so streamsOpts) []string {
+	names := make([]string, 0, 13)
+	for name := range experiments(plat, iters, sc, cc, pc, wc, so) {
 		names = append(names, name)
 	}
 	names = append(names, "all")
@@ -134,7 +149,7 @@ func experimentList(plat string, iters int, sc scaleOpts, cc collectiveOpts, pc 
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, pressure, wire, all")
+		exp      = flag.String("exp", "all", "experiment: table1, fig10, fig11, fig12, fig13, rpc, loss, scale, collective, pressure, wire, streams, all")
 		plat     = flag.String("platform", "sun4", "fig12 platform: sun4 or rs6000")
 		iters    = flag.Int("iters", 10, "iterations per point for echo experiments")
 		scaleMax = flag.Int("scale-max", 4096, "scale: largest connection count in the sweep (sweep points: 16…100000; threaded points cap at 4096)")
@@ -156,6 +171,10 @@ func main() {
 		wireMinRatio   = flag.Float64("wire-min-ratio", 2.0, "wire: verdict floor for the batched transport's syscall reduction per SDU at 4KB")
 		wireMinSpeedup = flag.Float64("wire-min-speedup", 1.0, "wire: verdict floor for batched-vs-unbatched UDP throughput at 4KB (CI smoke runs relax this for shared runners)")
 
+		streamsCalls    = flag.Int("streams-calls", 1000, "streams: measured RPC round trips per phase")
+		streamsMaxRatio = flag.Float64("streams-max-ratio", 2.0, "streams: verdict ceiling on contended-vs-baseline RPC p99 (CI smoke runs relax this for shared runners)")
+		streamsOut      = flag.String("streams-out", "BENCH_streams.json", "streams: JSON results path (empty: skip)")
+
 		withTelemetry = flag.Bool("telemetry", false, "embed a metrics snapshot (the instrument delta across the experiment) in the scale/collective/pressure JSON artifacts")
 	)
 	flag.Parse()
@@ -163,21 +182,22 @@ func main() {
 	cc := collectiveOpts{members: *collMembers, iters: *collIters, maxSize: *collMaxSize, out: *collOut, telemetry: *withTelemetry}
 	pc := pressureOpts{conns: *pressConns, dur: *pressDur, out: *pressOut, telemetry: *withTelemetry}
 	wc := wireOpts{dur: *wireDur, out: *wireOut, minRatio: *wireMinRatio, minSpeedup: *wireMinSpeedup}
+	so := streamsOpts{calls: *streamsCalls, maxRatio: *streamsMaxRatio, out: *streamsOut}
 	if flag.NArg() > 0 {
 		// A bare "ncs-bench scale" would otherwise silently run the
 		// default experiment set and exit 0.
 		fmt.Fprintf(os.Stderr, "ncs-bench: unexpected argument %q (experiments are selected with -exp <name>)\n", flag.Arg(0))
-		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc, pc, wc), ", "))
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(experimentList(*plat, *iters, sc, cc, pc, wc, so), ", "))
 		os.Exit(2)
 	}
-	if err := run(*exp, *plat, *iters, sc, cc, pc, wc); err != nil {
+	if err := run(*exp, *plat, *iters, sc, cc, pc, wc, so); err != nil {
 		fmt.Fprintln(os.Stderr, "ncs-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts) error {
-	exps := experiments(plat, iters, sc, cc, pc, wc)
+func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressureOpts, wc wireOpts, so streamsOpts) error {
+	exps := experiments(plat, iters, sc, cc, pc, wc, so)
 	if e, ok := exps[exp]; ok {
 		return e()
 	}
@@ -206,7 +226,36 @@ func run(exp, plat string, iters int, sc scaleOpts, cc collectiveOpts, pc pressu
 		return nil
 	}
 	return fmt.Errorf("unknown experiment %q (experiments: %s)",
-		exp, strings.Join(experimentList(plat, iters, sc, cc, pc, wc), ", "))
+		exp, strings.Join(experimentList(plat, iters, sc, cc, pc, wc, so), ", "))
+}
+
+// runStreams executes the stream HOL-isolation experiment and writes
+// the JSON artifact. Its verdict — RPC p99 under bulk contention on a
+// sibling stream within the configured multiple of the uncontended
+// baseline, over both the paced simulator and real UDP loopback — is
+// the acceptance check for per-stream flow control, so a failure is an
+// error and CI fails the step.
+func runStreams(so streamsOpts) error {
+	res, err := bench.StreamsSweep(bench.StreamsConfig{
+		Calls:    so.calls,
+		MaxRatio: so.maxRatio,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if so.out != "" {
+		if err := res.WriteJSON(so.out); err != nil {
+			return err
+		}
+		// Diagnostics go to stderr so redirected stdout stays a clean
+		// results table.
+		fmt.Fprintf(os.Stderr, "wrote %s\n", so.out)
+	}
+	if res.Regressed() {
+		return fmt.Errorf("streams verdict: bulk on a sibling stream degraded RPC p99 beyond its ceiling (see verdict lines above)")
+	}
+	return nil
 }
 
 // runWire executes the wire transport sweep and writes the JSON

@@ -22,10 +22,13 @@ var (
 	// asserting a performance property; the real floor is the wire CI
 	// gate's business.
 	quickWire = wireOpts{dur: 30 * time.Millisecond, out: "", minRatio: 0.01, minSpeedup: 0.01}
+	// quickStreams likewise: a handful of calls and a ratio ceiling far
+	// above anything a functional run can hit.
+	quickStreams = streamsOpts{calls: 30, maxRatio: 1000, out: ""}
 )
 
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "sun4", 2, quickScale, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("table1", "sun4", 2, quickScale, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -34,19 +37,19 @@ func TestRunFig12SmallIters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("echo sweep")
 	}
-	if err := run("fig12", "rs6000", 2, quickScale, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("fig12", "rs6000", 2, quickScale, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRPC(t *testing.T) {
-	if err := run("rpc", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("rpc", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunLoss(t *testing.T) {
-	if err := run("loss", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("loss", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -56,7 +59,7 @@ func TestRunLoss(t *testing.T) {
 func TestRunScale(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 32, dur: 50 * time.Millisecond, out: out}
-	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -84,7 +87,7 @@ func TestRunScale(t *testing.T) {
 func TestRunScaleTelemetry(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_scale.json")
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out, telemetry: true}
-	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err != nil {
+	if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -136,7 +139,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 	sc := scaleOpts{max: 16, dur: 50 * time.Millisecond, out: out}
 	var runErr error
 	stdout, stderr := captureStreams(t, func() {
-		runErr = run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire)
+		runErr = run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire, quickStreams)
 	})
 	if runErr != nil {
 		t.Fatal(runErr)
@@ -157,7 +160,7 @@ func TestScaleDiagnosticsOnStderr(t *testing.T) {
 func TestRunCollective(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_collective.json")
 	cc := collectiveOpts{members: 3, iters: 2, maxSize: 4096, out: out}
-	if err := run("collective", "sun4", 1, quickScale, cc, quickPressure, quickWire); err != nil {
+	if err := run("collective", "sun4", 1, quickScale, cc, quickPressure, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -179,6 +182,41 @@ func TestRunCollective(t *testing.T) {
 	}
 }
 
+// TestRunStreams runs a miniature streams sweep and checks the JSON
+// artifact is written and well-formed. The generous ratio ceiling
+// keeps this a functional test; the perf assertion belongs to the
+// full-size acceptance run and the CI smoke.
+func TestRunStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paced bulk sweep")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_streams.json")
+	so := streamsOpts{calls: 50, maxRatio: 1000, out: out}
+	if err := run("streams", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire, so); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.StreamsResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_streams.json does not parse: %v", err)
+	}
+	// {netsim, udp} × {baseline, contended}.
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Calls == 0 || p.P99Micros <= 0 {
+			t.Fatalf("empty point: %+v", p)
+		}
+		if p.Phase == "contended" && p.BulkBytes == 0 {
+			t.Fatalf("contended point moved no bulk: %+v", p)
+		}
+	}
+}
+
 // TestRunPressure runs a miniature pressure sweep and checks the JSON
 // artifact is written and well-formed, with the verdict enforced (run
 // returns an error when the sweep regresses, so a failed acceptance
@@ -186,7 +224,7 @@ func TestRunCollective(t *testing.T) {
 func TestRunPressure(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_pressure.json")
 	pc := pressureOpts{conns: 32, dur: 100 * time.Millisecond, out: out}
-	if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire); err != nil {
+	if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -218,7 +256,7 @@ func TestRunPressure(t *testing.T) {
 func TestRunWire(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "BENCH_wire.json")
 	wc := wireOpts{dur: 30 * time.Millisecond, out: out, minRatio: 0.01, minSpeedup: 0.01}
-	if err := run("wire", "sun4", 1, quickScale, quickCollective, quickPressure, wc); err != nil {
+	if err := run("wire", "sun4", 1, quickScale, quickCollective, quickPressure, wc, quickStreams); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -247,7 +285,7 @@ func TestRunWire(t *testing.T) {
 // must return an error (main exits nonzero on it) that lists the valid
 // experiments, so a typo cannot silently succeed.
 func TestRunRejectsUnknown(t *testing.T) {
-	err := run("fig99", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
+	err := run("fig99", "sun4", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -256,20 +294,20 @@ func TestRunRejectsUnknown(t *testing.T) {
 			t.Errorf("unknown-experiment error does not list %q: %v", want, err)
 		}
 	}
-	if err := run("fig12", "cray", 1, quickScale, quickCollective, quickPressure, quickWire); err == nil {
+	if err := run("fig12", "cray", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams); err == nil {
 		t.Error("unknown platform accepted")
 	}
 	for _, max := range []int{0, -1} {
 		sc := quickScale
 		sc.max = max
-		if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire); err == nil {
+		if err := run("scale", "sun4", 1, sc, quickCollective, quickPressure, quickWire, quickStreams); err == nil {
 			t.Errorf("scale accepted -scale-max %d", max)
 		}
 	}
 	for _, conns := range []int{0, -1} {
 		pc := quickPressure
 		pc.conns = conns
-		if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire); err == nil {
+		if err := run("pressure", "sun4", 1, quickScale, quickCollective, pc, quickWire, quickStreams); err == nil {
 			t.Errorf("pressure accepted -pressure-conns %d", conns)
 		}
 	}
@@ -278,8 +316,8 @@ func TestRunRejectsUnknown(t *testing.T) {
 // TestExperimentListComplete keeps the usage/error roster in sync with
 // the runnable experiments.
 func TestExperimentListComplete(t *testing.T) {
-	exps := experiments("sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
-	list := experimentList("sun4", 1, quickScale, quickCollective, quickPressure, quickWire)
+	exps := experiments("sun4", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams)
+	list := experimentList("sun4", 1, quickScale, quickCollective, quickPressure, quickWire, quickStreams)
 	if len(list) != len(exps)+1 { // +1 for "all"
 		t.Fatalf("experiment list %v out of sync with table (%d entries)", list, len(exps))
 	}

@@ -17,10 +17,12 @@ import (
 
 // TestMain audits the whole matrix for leaks: every run closes its
 // network, so once the tests finish the process must quiesce back to
-// the pre-test goroutine count with zero pooled buffers outstanding.
-// A goroutine left behind is a connection thread that survived Close;
-// a buffer left behind is a retained receive reference nothing will
-// release.
+// the pre-test goroutine count with zero pooled buffers outstanding
+// and zero pending flow-control timers. A goroutine left behind is a
+// connection thread that survived Close; a buffer left behind is a
+// retained receive reference nothing will release — including one
+// parked on a stream nobody consumed; a pending timer is a credit
+// refresh (connection- or stream-level) that Close failed to drain.
 func TestMain(m *testing.M) {
 	baseline := runtime.NumGoroutine()
 	code := m.Run()
@@ -38,14 +40,15 @@ func awaitQuiescence(baseline int, patience time.Duration) error {
 	for {
 		goroutines := runtime.NumGoroutine()
 		bufs := buf.Outstanding()
-		if goroutines <= baseline && bufs == 0 {
+		timers := flowctl.PendingTimers()
+		if goroutines <= baseline && bufs == 0 && timers == 0 {
 			return nil
 		}
 		if time.Now().After(deadline) {
 			stack := make([]byte, 1<<20)
 			stack = stack[:runtime.Stack(stack, true)]
-			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding\n%s",
-				goroutines, baseline, bufs, stack)
+			return fmt.Errorf("leak audit: %d goroutines (baseline %d), %d pooled buffer refs outstanding, %d flow-control timers pending\n%s",
+				goroutines, baseline, bufs, timers, stack)
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -208,6 +211,55 @@ func TestCollectiveContract(t *testing.T) {
 						}
 					})
 				}
+			}
+		}
+	}
+}
+
+// matrixStreamSchedules trims the schedule axis in -short mode (the
+// CI smoke run); the full roster runs in the regular -race matrix.
+func matrixStreamSchedules() []Schedule {
+	if testing.Short() {
+		out := make([]Schedule, 0, 3)
+		for _, name := range []string{"clean", "loss", "reorder"} {
+			s, ok := ScheduleByName(name)
+			if !ok {
+				panic("chaos: short streams schedule " + name + " missing from roster")
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	return Schedules
+}
+
+// TestStreamsContract is the multi-stream delivery axis: stream 0 plus
+// sibling streams delivering concurrently — and one stream nobody
+// consumes — over every impairment schedule, both impairable SDU-level
+// transports, and all three thread models. Per-stream sequences must
+// arrive exactly once, in order, byte-identical, and the unconsumed
+// stream must stall neither its siblings nor teardown. Subtest names
+// are replay coordinates.
+func TestStreamsContract(t *testing.T) {
+	seed := baseSeed(t)
+	messages := 5
+	if testing.Short() {
+		messages = 3
+	}
+	for _, m := range models {
+		for _, sched := range matrixStreamSchedules() {
+			for _, tr := range []transport.Kind{transport.HPI, transport.UDP} {
+				cfg := Config{
+					ErrCtl: errctl.SelectiveRepeat, FlowCtl: flowctl.Credit, Transport: tr,
+					FastPath: m.fastPath, Sharded: m.sharded,
+					Schedule: sched, Seed: seed, Messages: messages,
+				}
+				t.Run("streams/"+cfg.Name(), func(t *testing.T) {
+					t.Parallel()
+					if err := RunStreams(cfg); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 		}
 	}

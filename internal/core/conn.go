@@ -12,6 +12,7 @@ import (
 	"ncs/internal/netsim"
 	"ncs/internal/packet"
 	"ncs/internal/platform"
+	"ncs/internal/stream"
 	"ncs/internal/telemetry"
 	"ncs/internal/transport"
 )
@@ -26,6 +27,18 @@ const maxTrackedSessions = 64
 // may wait for NCS_recv before the Receive Thread blocks (natural
 // backpressure toward the data connection).
 const deliveredQueueDepth = 128
+
+// streamSendSlots bounds how many data SDUs from non-zero streams may
+// sit in a connection's outbound queue at once. The shared queue is
+// FIFO: without the bound, a bulk stream keeps it full of its own SDUs
+// and every stream-0 frame (RPC calls, latency-sensitive sends) waits
+// behind a whole credit window of bulk before reaching the wire. With
+// it, a stream-0 SDU finds at most streamSendSlots stream SDUs ahead
+// of itself, while bulk still batches deep enough to keep the wire
+// busy. Slots are a single pool across all non-zero streams — they
+// bound total queue residency, and the channel semaphore's FIFO
+// hand-off keeps concurrent streams interleaving fairly.
+const streamSendSlots = 8
 
 // sendQueueDepth is the Send Thread's queue. Deep enough that a
 // multi-SDU transfer can pipeline SDUs behind flow-control admission,
@@ -49,10 +62,11 @@ type Message struct {
 // the item is an in-band control packet (InbandControl mode) instead of
 // an SDU.
 type sendItem struct {
-	sdu   errctl.SDU
-	ctrl  *packet.Control
-	trace *SendTrace
-	done  chan struct{} // non-nil: Send Thread closes after transmission
+	sdu        errctl.SDU
+	ctrl       *packet.Control
+	trace      *SendTrace
+	done       chan struct{} // non-nil: Send Thread closes after transmission
+	streamSlot bool          // release one of the connection's stream send slots after transmission
 }
 
 // ctrlEvent is a control packet leaving a receive loop for another
@@ -130,7 +144,31 @@ type Connection struct {
 	rxCounter atomic.Uint32
 
 	fastSendMu sync.Mutex // serialises fast-path senders
-	fastRecvMu sync.Mutex // serialises fast-path receivers
+	fastRecvMu sync.Mutex // serialises fast-path pump holders
+	fastCtrlMu sync.Mutex // serialises fast-path control writes
+
+	// Stream multiplexing state (see internal/stream). The mux is lazy:
+	// a connection that never opens a stream carries none, and stream 0
+	// — the default channel — never touches it. initiator fixes stream
+	// id parity (dialer odd, acceptor even).
+	initiator bool
+	muxp      atomic.Pointer[stream.Mux]
+
+	// streamSlots is the counting semaphore behind streamSendSlots,
+	// shared by every non-zero stream's queued data SDUs. Lazy: built
+	// by streamSlotCh on a connection's first stream send.
+	streamSlotsP atomic.Pointer[chan struct{}]
+
+	// Fast-path stream plumbing: with no receive threads, whichever
+	// goroutine holds fastRecvMu pumps the data transport for everyone,
+	// parking other channels' completions. pumpFree (cap 1) wakes one
+	// waiter when the pump is released; park0/bell0 hold stream-0
+	// messages a stream receiver pumped up. Built only for FastPath.
+	pumpFree chan struct{}
+	park0Mu  sync.Mutex
+	park0    []Message
+	nPark0   atomic.Int32
+	bell0    chan struct{}
 
 	// sh is the connection's shard attachment (RuntimeSharded only);
 	// inbox, when bound, merges this connection's deliveries into a
@@ -150,19 +188,20 @@ type Connection struct {
 	failed    atomic.Bool  // heartbeat declared the peer dead
 }
 
-func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl transport.Conn) *Connection {
+func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl transport.Conn, initiator bool) *Connection {
 	if opts.Platform != nil {
 		data = platform.Tax(data, *opts.Platform)
 		ctrl = platform.Tax(ctrl, *opts.Platform)
 	}
 	c := &Connection{
-		sys:      sys,
-		peer:     peer,
-		id:       id,
-		opts:     opts,
-		data:     data,
-		ctrl:     ctrl,
-		closedCh: make(chan struct{}),
+		sys:       sys,
+		peer:      peer,
+		id:        id,
+		opts:      opts,
+		data:      data,
+		ctrl:      ctrl,
+		initiator: initiator,
+		closedCh:  make(chan struct{}),
 	}
 	c.lastHeard.Store(time.Now().UnixNano())
 	switch {
@@ -170,6 +209,8 @@ func newConnection(sys *System, peer string, id uint32, opts Options, data, ctrl
 		// No threads: Send/Recv run the protocol inline (§4.2). The
 		// fast path bypasses the sharded runtime exactly as it
 		// bypasses the threads.
+		c.pumpFree = make(chan struct{}, 1)
+		c.bell0 = make(chan struct{}, 1)
 	case opts.Runtime == RuntimeSharded:
 		// No per-connection threads either: the System's shard pool
 		// drives the connection's protocol machinery (shard.go).
@@ -414,8 +455,8 @@ func (c *Connection) Send(msg []byte) error {
 }
 
 // unreliableSDU builds the header Segment would give SDU i of n of an
-// unreliable message carrying payload.
-func (c *Connection) unreliableSDU(payload []byte, sess uint32, i, n int) errctl.SDU {
+// unreliable message carrying payload, on the given stream.
+func (c *Connection) unreliableSDU(payload []byte, streamID, sess uint32, i, n int) errctl.SDU {
 	var flags uint16 = packet.FlagUnreliable
 	if i == n-1 {
 		flags |= packet.FlagEnd
@@ -427,6 +468,7 @@ func (c *Connection) unreliableSDU(payload []byte, sess uint32, i, n int) errctl
 			SessionID: sess,
 			Seq:       uint32(i),
 			Length:    uint32(len(payload)),
+			StreamID:  streamID,
 		},
 		Payload: payload,
 	}
@@ -450,7 +492,7 @@ func (c *Connection) unreliableSegments(msg []byte) (sduSize, n int) {
 // sender object (session state, segmentation slice) can be skipped.
 // Segmentation happens inline on the caller's stack; steady-state
 // unreliable sends allocate nothing.
-func (c *Connection) sendUnreliable(msg []byte, sess uint32, tr *SendTrace) error {
+func (c *Connection) sendUnreliable(lane sendLane, msg []byte, sess uint32, tr *SendTrace) error {
 	sduSize, n := c.unreliableSegments(msg)
 	var one [1]errctl.SDU
 	for i := 0; i < n; i++ {
@@ -459,13 +501,13 @@ func (c *Connection) sendUnreliable(msg []byte, sess uint32, tr *SendTrace) erro
 		if hi > len(msg) {
 			hi = len(msg)
 		}
-		one[0] = c.unreliableSDU(msg[lo:hi], sess, i, n)
+		one[0] = c.unreliableSDU(msg[lo:hi], lane.streamID, sess, i, n)
 		last := i == n-1
 		var ltr *SendTrace
 		if last {
 			ltr = tr
 		}
-		if err := c.transmit(one[:], ltr, last); err != nil {
+		if err := c.transmitOn(lane, one[:], ltr, last); err != nil {
 			return err
 		}
 	}
@@ -474,7 +516,27 @@ func (c *Connection) sendUnreliable(msg []byte, sess uint32, tr *SendTrace) erro
 	return nil
 }
 
+// sendLane bundles the per-channel transmit state a send drives: the
+// flow-control sender admitting each SDU and the lifetime transmit
+// index it is fed. Stream 0 uses the connection's own pair; every
+// other stream brings its own, which is what keeps an exhausted
+// stream's admission wait from touching its siblings.
+type sendLane struct {
+	streamID uint32
+	fc       flowctl.Sender
+	tx       *atomic.Uint32
+}
+
+// lane0 is the connection's default (stream 0) send lane.
+func (c *Connection) lane0() sendLane {
+	return sendLane{fc: c.flowSend(), tx: &c.txCounter}
+}
+
 func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
+	return c.sendThreadedOn(c.lane0(), msg, tr)
+}
+
+func (c *Connection) sendThreadedOn(lane sendLane, msg []byte, tr *SendTrace) error {
 	if err := c.checkSendSize(msg); err != nil {
 		return err
 	}
@@ -484,9 +546,9 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		if tr != nil {
 			tr.stamp(&tr.tHeader)
 		}
-		return c.sendUnreliable(msg, sess, tr)
+		return c.sendUnreliable(lane, msg, sess, tr)
 	}
-	snd := errctl.NewSender(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, sess)
+	snd := errctl.NewSenderStream(c.opts.ErrorControl, msg, c.opts.SDUSize, c.id, lane.streamID, sess)
 	if tr != nil {
 		tr.stamp(&tr.tHeader)
 	}
@@ -516,7 +578,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 		}
 	}()
 
-	if err := c.transmit(snd.Initial(), tr, false); err != nil {
+	if err := c.transmitOn(lane, snd.Initial(), tr, false); err != nil {
 		return err
 	}
 	rto := func() time.Duration {
@@ -570,7 +632,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 	// already staged and written. Retransmission is the slow path; the
 	// extra round trip to the Send Thread does not touch healthy sends.
 	onTimeout := func() error {
-		if err := c.transmit(snd.OnTimeout(), nil, true); err != nil {
+		if err := c.transmitOn(lane, snd.OnTimeout(), nil, true); err != nil {
 			return err
 		}
 		lastSend = time.Now()
@@ -597,7 +659,7 @@ func (c *Connection) sendThreaded(msg []byte, tr *SendTrace) error {
 				return nil
 			}
 			if len(rt) > 0 {
-				if err := c.transmit(rt, nil, true); err != nil {
+				if err := c.transmitOn(lane, rt, nil, true); err != nil {
 					return err
 				}
 				lastSend = time.Now()
@@ -636,10 +698,17 @@ func resetTimer(t *time.Timer, d time.Duration) {
 var doneChPool = sync.Pool{New: func() any { return make(chan struct{}, 1) }}
 
 // transmit performs the Error-Control → Flow-Control → Send-Thread
-// hand-off for a batch of SDUs. When sync is true it waits for the Send
-// Thread to confirm the final SDU left the interface.
+// hand-off for a batch of stream-0 SDUs. When sync is true it waits
+// for the Send Thread to confirm the final SDU left the interface.
 func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error {
-	fc := c.flowSend()
+	return c.transmitOn(c.lane0(), sdus, tr, sync)
+}
+
+// transmitOn is transmit against an arbitrary send lane: admission and
+// the transmit index come from the lane, so a stream whose credit
+// window is exhausted blocks only its own sender.
+func (c *Connection) transmitOn(lane sendLane, sdus []errctl.SDU, tr *SendTrace, sync bool) error {
+	fc := lane.fc
 	// Each retransmission is error control's verdict that one earlier
 	// transmission of that sequence was lost; hand the verdict to flow
 	// control first, so the credit the loss returns can fund the
@@ -663,7 +732,7 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		wait = c.rtt.timeout(c.opts.AckTimeout, minAdaptiveTimeout)
 	}
 	for i, sdu := range sdus {
-		idx := c.txCounter.Add(1) - 1
+		idx := lane.tx.Add(1) - 1
 		for {
 			err := fc.AcquireTimeout(idx, wait)
 			if err == nil {
@@ -672,8 +741,21 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 			if errors.Is(err, flowctl.ErrAcquireTimeout) {
 				// On lossy links, dropped data packets consume credits
 				// whose grants never return; resynchronise and retry.
+				// On a stream lane this is also the unconsumed-peer case
+				// — the wait burned a full interval without a grant.
+				if lane.streamID != 0 {
+					stream.NoteCreditWait()
+					if err := c.streamSendable(lane.streamID); err != nil {
+						return err
+					}
+				}
 				fc.Resync()
 				continue
+			}
+			if lane.streamID != 0 {
+				if serr := c.streamSendable(lane.streamID); serr != nil {
+					return serr
+				}
 			}
 			return ErrConnClosed
 		}
@@ -686,6 +768,17 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 		}
 		telemetry.TraceStamp(c.id, sdu.Header.SessionID, telemetry.StageStaged)
 		item := sendItem{sdu: sdu}
+		if lane.streamID != 0 {
+			// Stream SDUs take a queue-residency slot so they can never
+			// monopolise the outbound queue ahead of stream 0 (see
+			// streamSendSlots); released after transmission.
+			select {
+			case c.streamSlotCh() <- struct{}{}:
+				item.streamSlot = true
+			case <-c.closedCh:
+				return ErrConnClosed
+			}
+		}
 		if i == len(sdus)-1 {
 			item.trace = tr
 			if sync {
@@ -715,6 +808,20 @@ func (c *Connection) transmit(sdus []errctl.SDU, tr *SendTrace, sync bool) error
 	return nil
 }
 
+// streamSlotCh returns the connection's stream send-slot semaphore,
+// built on first use — a connection that never sends on a non-zero
+// stream carries none.
+func (c *Connection) streamSlotCh() chan struct{} {
+	if p := c.streamSlotsP.Load(); p != nil {
+		return *p
+	}
+	ch := make(chan struct{}, streamSendSlots)
+	if c.streamSlotsP.CompareAndSwap(nil, &ch) {
+		return ch
+	}
+	return *c.streamSlotsP.Load()
+}
+
 // enqueueData hands one data SDU to the connection's runtime: the Send
 // Thread's queue (threaded) or the shard's outbound queue (sharded,
 // after taking one of the connection's send slots — the same depth
@@ -724,15 +831,19 @@ func (c *Connection) enqueueData(item sendItem) bool {
 		select {
 		case sc.sendSlots <- struct{}{}:
 		case <-c.closedCh:
+			if item.streamSlot {
+				<-c.streamSlotCh()
+			}
 			return false
 		}
 		mSendQDepth.Observe(int64(len(sc.sendSlots)))
 		return sc.shard.enqueueOut(outItem{
-			c:     c,
-			sdu:   item.sdu,
-			trace: item.trace,
-			done:  item.done,
-			slot:  true,
+			c:          c,
+			sdu:        item.sdu,
+			trace:      item.trace,
+			done:       item.done,
+			slot:       true,
+			streamSlot: item.streamSlot,
 		})
 	}
 	mSendQDepth.Observe(int64(len(c.sendQ)))
@@ -740,6 +851,9 @@ func (c *Connection) enqueueData(item sendItem) bool {
 	case c.sendQ <- item:
 		return true
 	case <-c.closedCh:
+		if item.streamSlot {
+			<-c.streamSlotCh()
+		}
 		return false
 	}
 }
@@ -811,6 +925,9 @@ func (c *Connection) sendThread() {
 				}
 				if it.done != nil {
 					it.done <- struct{}{} // one-token confirmation (pooled chan)
+				}
+				if it.streamSlot {
+					<-c.streamSlotCh()
 				}
 			}
 			if err != nil {
@@ -969,6 +1086,16 @@ func (c *Connection) recvThread() {
 // SDU finishes a session.
 func (c *Connection) dispatchData(h packet.DataHeader, payload []byte, ref *buf.Buffer, emit func(packet.Control) bool) (Message, bool) {
 	telemetry.TraceStamp(c.id, h.SessionID, telemetry.StageWireIn)
+	// Stream frames route to their stream's own machinery before the
+	// connection-level flow control ever sees them: stream arrivals
+	// must not consume stream-0 credits (isolation), and completed
+	// stream messages park on the stream, never on the connection's
+	// delivery queue — so an unconsumed stream cannot stall the shard
+	// loop, the receive thread, or stream 0.
+	if h.StreamID != 0 {
+		c.dispatchStream(h, payload, ref, emit)
+		return Message{}, false
+	}
 	// Step 8–9: the Flow Control Thread updates its state and returns
 	// credit/ack information over the control connection. Flow control
 	// sees the connection-lifetime arrival index, not the per-session
@@ -1177,6 +1304,8 @@ func (c *Connection) routeControl(ctl packet.Control, ref *buf.Buffer) {
 		// lastHeard already refreshed; nothing else to do.
 	case packet.CtrlCredit, packet.CtrlCreditGrant, packet.CtrlRate, packet.CtrlWinAck:
 		c.flowSend().OnControl(ctl)
+	case packet.CtrlStreamGrant, packet.CtrlStreamOpen, packet.CtrlStreamClose:
+		c.routeStreamCtrl(ctl)
 	case packet.CtrlAck, packet.CtrlNack:
 		// The deposit stays under c.mu so a completing sender can
 		// delete its waiter and then drain the channel without racing a
@@ -1261,6 +1390,7 @@ func (c *Connection) Close() error {
 			sc.shard.unregister(c)
 			sc.drainInbound()
 			c.reapSessions()
+			c.reapStreams()
 			return
 		}
 		if c.opts.FastPath {
@@ -1273,11 +1403,13 @@ func (c *Connection) Close() error {
 				c.fastRecvMu.Lock()
 				defer c.fastRecvMu.Unlock()
 				c.reapSessions()
+				c.reapStreams()
 			}()
 		} else {
 			// The receive threads have exited; nothing touches the
 			// session table concurrently anymore.
 			c.reapSessions()
+			c.reapStreams()
 		}
 	})
 	return nil

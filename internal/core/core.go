@@ -50,6 +50,7 @@ var (
 	ErrNotFastPath     = errors.New("ncs: connection not configured for fast path")
 	ErrFastPathOnly    = errors.New("ncs: connection configured for fast path")
 	ErrPeerUnreachable = errors.New("ncs: peer unreachable (heartbeat timeout)")
+	ErrStreamClosed    = errors.New("ncs: stream closed")
 
 	errShardsStarted = errors.New("ncs: shard pool already started")
 )
@@ -445,7 +446,7 @@ func (s *System) master() {
 	for {
 		select {
 		case req := <-s.setups:
-			conn := newConnection(s, req.from, req.connID, req.opts, req.data, req.ctrl)
+			conn := newConnection(s, req.from, req.connID, req.opts, req.data, req.ctrl, false)
 			s.track(conn)
 			select {
 			case s.accepts <- conn:
@@ -506,7 +507,7 @@ func (s *System) Connect(peer string, opts Options) (*Connection, error) {
 		return nil, ErrSystemClosed
 	}
 
-	conn := newConnection(s, peer, connID, opts, data, ctrl)
+	conn := newConnection(s, peer, connID, opts, data, ctrl, true)
 	s.track(conn)
 	return conn, nil
 }

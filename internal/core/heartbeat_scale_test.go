@@ -66,10 +66,10 @@ func TestHeartbeatScaleSharedWheel(t *testing.T) {
 		data, pdata := transport.HPIPair()
 		ctrl, pctrl := transport.HPIPair()
 		id := uint32(i + 1)
-		c := newConnection(sysA, "hb-scale-b", id, massOpts, data, ctrl)
+		c := newConnection(sysA, "hb-scale-b", id, massOpts, data, ctrl, true)
 		sysA.track(c)
 		healthy = append(healthy, c)
-		p := newConnection(sysB, "hb-scale-a", id, peerOpts, pdata, pctrl)
+		p := newConnection(sysB, "hb-scale-a", id, peerOpts, pdata, pctrl, false)
 		sysB.track(p)
 	}
 	t.Logf("established %d heartbeat pairs in %v", conns, time.Since(start))
@@ -108,7 +108,7 @@ func TestHeartbeatScaleSharedWheel(t *testing.T) {
 		Runtime:   RuntimeSharded,
 		Heartbeat: silentHB,
 	}.withDefaults()
-	silent := newConnection(sysA, "silent-peer", uint32(conns+1), silentOpts, data, ctrl)
+	silent := newConnection(sysA, "silent-peer", uint32(conns+1), silentOpts, data, ctrl, true)
 	sysA.track(silent)
 
 	detect := time.Now()

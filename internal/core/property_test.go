@@ -234,7 +234,7 @@ func TestHeartbeatDetectsSilentPeer(t *testing.T) {
 		Interface: transport.HPI,
 		Heartbeat: 20 * time.Millisecond,
 	}.withDefaults()
-	conn := newConnection(nil, "silent-peer", 1, opts, data, ctrl)
+	conn := newConnection(nil, "silent-peer", 1, opts, data, ctrl, true)
 	defer conn.Close()
 
 	start := time.Now()

@@ -104,14 +104,15 @@ const pumpDepth = 64
 // SDU or a control packet, with the transmission bookkeeping the
 // threaded Send Thread would have carried.
 type outItem struct {
-	c        *Connection
-	sdu      errctl.SDU
-	ctrl     packet.Control
-	isCtrl   bool
-	ctrlPath bool          // write to the control connection (false: data)
-	trace    *SendTrace    // stamped as the threaded Send Thread would
-	done     chan struct{} // non-nil: deposit a token after transmission
-	slot     bool          // release one of the connection's send slots after transmission
+	c          *Connection
+	sdu        errctl.SDU
+	ctrl       packet.Control
+	isCtrl     bool
+	ctrlPath   bool          // write to the control connection (false: data)
+	trace      *SendTrace    // stamped as the threaded Send Thread would
+	done       chan struct{} // non-nil: deposit a token after transmission
+	slot       bool          // release one of the connection's send slots after transmission
+	streamSlot bool          // release one of the connection's stream send slots after transmission
 }
 
 // shardConn is a connection's attachment to its shard. Fields marked
@@ -483,6 +484,9 @@ func (sh *shard) finishItems(c *Connection, items []outItem) {
 		}
 		if it.slot {
 			<-c.sh.sendSlots
+		}
+		if it.streamSlot {
+			<-c.streamSlotCh()
 		}
 	}
 }

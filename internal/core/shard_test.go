@@ -330,7 +330,7 @@ func TestShardedHeartbeat(t *testing.T) {
 			Runtime:   RuntimeSharded,
 			Heartbeat: 20 * time.Millisecond,
 		}.withDefaults()
-		conn := newConnection(sys, "silent-peer", 1, opts, data, ctrl)
+		conn := newConnection(sys, "silent-peer", 1, opts, data, ctrl, true)
 		defer conn.Close()
 
 		_, err = conn.RecvTimeout(5 * time.Second)

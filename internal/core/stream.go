@@ -1,0 +1,358 @@
+package core
+
+import (
+	"time"
+
+	"ncs/internal/buf"
+	"ncs/internal/packet"
+	"ncs/internal/stream"
+)
+
+// This file is the core side of stream multiplexing: the lazy per-
+// connection mux, the demux hook dispatchData calls for frames whose
+// StreamID is non-zero, the control routing for the three stream
+// control types, and the application-facing Stream handle.
+//
+// The layering mirrors the rest of the core: internal/stream owns all
+// per-stream protocol state (credits, reassembly sessions, parking);
+// this file owns the wire — which thread a frame arrives on, which
+// queue a control packet leaves through, and how a blocked receiver
+// waits on each runtime. Stream 0 never touches any of it.
+
+// muxIfAny returns the connection's stream mux if one exists. Frame
+// and control routing use it where a missing mux means "no stream ever
+// existed here" and the event can be dropped or must create one.
+func (c *Connection) muxIfAny() *stream.Mux { return c.muxp.Load() }
+
+// mux returns the connection's stream mux, creating it on first use —
+// the first OpenStream, AcceptStream, or inbound stream frame. The
+// construction mirrors the lazy flow-control constructors: c.mu
+// serialises builders, and a mux built concurrently with Close is
+// reaped immediately so no stream can outlive its connection.
+func (c *Connection) mux() *stream.Mux {
+	if m := c.muxp.Load(); m != nil {
+		return m
+	}
+	c.mu.Lock()
+	if m := c.muxp.Load(); m != nil {
+		c.mu.Unlock()
+		return m
+	}
+	m := stream.NewMux(c.initiator, stream.Config{
+		Flow: c.opts.FlowConfig,
+		Err:  c.opts.ErrorControl,
+	})
+	m.SetEmitter(c.emitStreamCtrl)
+	c.muxp.Store(m)
+	var closed bool
+	select {
+	case <-c.closedCh:
+		closed = true
+	default:
+	}
+	c.mu.Unlock()
+	if closed {
+		m.ReapAll()
+	}
+	return m
+}
+
+// reapStreams tears down every stream at connection close, releasing
+// retained reassembly buffers and draining per-stream credit timers.
+// The load runs under c.mu so it serialises with a racing mux():
+// whichever side runs second observes the other's work.
+func (c *Connection) reapStreams() {
+	c.mu.Lock()
+	m := c.muxp.Load()
+	c.mu.Unlock()
+	if m != nil {
+		m.ReapAll()
+	}
+}
+
+// emitStreamCtrl sends one stream-scoped control packet (grants, open
+// and close announcements) over the connection's control path. It is
+// the mux's emitter, so it also runs on consumer goroutines — a
+// TryPop that refills the peer's credit window emits from whatever
+// goroutine popped. On the fast path that means an inline marshal and
+// write under fastCtrlMu (the pump's ack writes take the same lock);
+// the threaded and sharded runtimes enqueue as usual.
+func (c *Connection) emitStreamCtrl(ctl packet.Control) bool {
+	ctl.ConnID = c.id
+	if c.opts.FastPath {
+		sb := buf.GetCap(packet.ControlHeaderSize + len(ctl.Body))
+		sb.B = ctl.Marshal(sb.B)
+		c.stats.controlSent.Add(1)
+		c.fastCtrlMu.Lock()
+		err := c.ctrl.SendBuf(sb)
+		c.fastCtrlMu.Unlock()
+		return err == nil
+	}
+	return c.enqueueCtrl(ctl)
+}
+
+// dispatchStream routes one arriving stream frame (StreamID != 0) to
+// its stream's protocol state, creating the stream on first frame —
+// which is what makes CtrlStreamOpen advisory and lets the fast path
+// (whose control connection is only read by senders) accept streams
+// purely from data arrivals. Completed messages park on the stream,
+// never on the caller's delivery path, so the receive thread, shard
+// loop, or fast-path pump keeps draining the wire regardless of
+// whether anyone consumes this stream.
+func (c *Connection) dispatchStream(h packet.DataHeader, payload []byte, ref *buf.Buffer, emit func(packet.Control) bool) {
+	c.stats.sdusReceived.Add(1)
+	c.stats.bytesReceived.Add(uint64(len(payload)))
+	mRecvSDUs.IncAt(c.id)
+	mRecvBytes.AddAt(c.id, int64(len(payload)))
+	st := c.mux().Get(h.StreamID)
+	st.OnData(h, payload, ref, func(ctl packet.Control) bool {
+		ctl.ConnID = c.id
+		return emit(ctl)
+	})
+}
+
+// routeStreamCtrl dispatches one stream-scoped control packet. Bodies
+// alias the pooled receive buffer; every branch parses synchronously.
+func (c *Connection) routeStreamCtrl(ctl packet.Control) {
+	switch ctl.Type {
+	case packet.CtrlStreamGrant:
+		// A grant can only answer data we sent, so the mux must exist;
+		// if it does not (or the stream is unknown), the grant is a
+		// straggler for a torn-down stream.
+		m := c.muxIfAny()
+		if m == nil {
+			return
+		}
+		id, _, err := packet.ParseStreamGrant(ctl.Body)
+		if err != nil {
+			return
+		}
+		if st, ok := m.Lookup(id); ok {
+			st.OnGrant(ctl)
+		}
+	case packet.CtrlStreamOpen:
+		id, err := packet.ParseStreamID(ctl.Body)
+		if err != nil {
+			return
+		}
+		// Create-on-announce: the stream lands on the accept queue
+		// before its first data frame, so AcceptStream can return for
+		// streams the peer opened but has not written to yet.
+		c.mux().Get(id)
+	case packet.CtrlStreamClose:
+		m := c.muxIfAny()
+		if m == nil {
+			return
+		}
+		id, err := packet.ParseStreamID(ctl.Body)
+		if err != nil {
+			return
+		}
+		if st, ok := m.Lookup(id); ok {
+			st.RemoteClose()
+		}
+	}
+}
+
+// streamSendable reports why a stream send should stop retrying
+// admission: ErrStreamClosed once the stream was closed locally or by
+// the peer (whose grants will never come), nil while it is live.
+func (c *Connection) streamSendable(id uint32) error {
+	m := c.muxIfAny()
+	if m == nil {
+		return nil
+	}
+	st, ok := m.Lookup(id)
+	if !ok {
+		return nil
+	}
+	if st.Closed() || st.RemoteClosed() {
+		return ErrStreamClosed
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The application-facing stream handle.
+
+// Stream is one ordered message channel multiplexed over a Connection.
+// Each stream has its own receiver-advertised credit window and its
+// own reliability sessions, so a slow or unconsumed stream exhausts
+// only its own credits: siblings — and the connection's default
+// channel (stream 0, the plain Send/Recv API) — keep flowing.
+//
+// Send and Recv follow Connection semantics: Send blocks until the
+// transfer completes (reliable) or is handed to the interface
+// (unreliable); Recv blocks for the next fully received message.
+// Streams are created with OpenStream and surface to the peer via
+// AcceptStream.
+type Stream struct {
+	c  *Connection
+	st *stream.State
+}
+
+// ID returns the stream identifier carried in its data frames. The
+// connection's dialing side opens odd ids, the accepting side even.
+func (s *Stream) ID() uint32 { return s.st.ID() }
+
+// Conn returns the connection this stream is multiplexed over.
+func (s *Stream) Conn() *Connection { return s.c }
+
+// OpenStream opens a new ordered channel over the connection and
+// announces it to the peer, which collects it with AcceptStream.
+func (c *Connection) OpenStream() (*Stream, error) {
+	m := c.mux()
+	st, ok := m.Open()
+	if !ok {
+		return nil, c.closeErr()
+	}
+	// The announcement is advisory — the first data frame would create
+	// the peer state too — but it lets the peer accept before traffic.
+	c.emitStreamCtrl(packet.Control{
+		Type: packet.CtrlStreamOpen,
+		Body: packet.StreamIDBody(st.ID()),
+	})
+	return &Stream{c: c, st: st}, nil
+}
+
+// AcceptStream blocks for the next stream the peer opened.
+func (c *Connection) AcceptStream() (*Stream, error) {
+	return c.AcceptStreamTimeout(0)
+}
+
+// AcceptStreamTimeout is AcceptStream with a deadline (d > 0); it
+// returns ErrRecvTimeout when no stream arrives in time.
+func (c *Connection) AcceptStreamTimeout(d time.Duration) (*Stream, error) {
+	m := c.mux()
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	if c.opts.FastPath {
+		st, err := c.acceptFast(m, deadline)
+		if err != nil {
+			return nil, err
+		}
+		return &Stream{c: c, st: st}, nil
+	}
+	var timerC <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for {
+		if st, ok := m.PopAccept(); ok {
+			return &Stream{c: c, st: st}, nil
+		}
+		select {
+		case <-m.AcceptBell():
+		case <-c.closedCh:
+			return nil, c.closeErr()
+		case <-timerC:
+			return nil, ErrRecvTimeout
+		}
+	}
+}
+
+// StreamByID returns the stream with the given id, creating it if
+// needed and claiming it away from the accept queue. Layered
+// protocols that communicate stream ids out of band — the RPC layer's
+// streaming calls carry theirs in the call frame — use it to attach
+// to a peer-opened stream without racing AcceptStream.
+func (c *Connection) StreamByID(id uint32) *Stream {
+	return &Stream{c: c, st: c.mux().Take(id)}
+}
+
+// Send transmits msg on the stream, reliably or unreliably per the
+// connection's error-control configuration. Sends on one stream are
+// serialised (it is an ordered channel); sends on different streams
+// proceed independently, each against its own credit window.
+func (s *Stream) Send(msg []byte) error {
+	st := s.st
+	st.LockSend()
+	defer st.UnlockSend()
+	if st.Closed() || st.RemoteClosed() {
+		return ErrStreamClosed
+	}
+	lane := sendLane{streamID: st.ID(), fc: st.FlowSender(), tx: st.TxCounter()}
+	if s.c.opts.FastPath {
+		return s.c.sendFastOn(lane, msg, nil)
+	}
+	return s.c.sendThreadedOn(lane, msg, nil)
+}
+
+// Recv blocks for the next fully received message on the stream.
+func (s *Stream) Recv() ([]byte, error) {
+	m, err := s.RecvMessage()
+	return m.Data, err
+}
+
+// RecvMessage is Recv with loss metadata.
+func (s *Stream) RecvMessage() (Message, error) { return s.recvMessage(0) }
+
+// RecvTimeout is Recv with a deadline.
+func (s *Stream) RecvTimeout(d time.Duration) ([]byte, error) {
+	m, err := s.RecvMessageTimeout(d)
+	return m.Data, err
+}
+
+// RecvMessageTimeout is RecvMessage with a deadline.
+func (s *Stream) RecvMessageTimeout(d time.Duration) (Message, error) {
+	return s.recvMessage(d)
+}
+
+func (s *Stream) recvMessage(d time.Duration) (Message, error) {
+	if s.c.opts.FastPath {
+		return s.c.recvStreamFast(s.st, d)
+	}
+	var timerC <-chan time.Time
+	if d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timerC = t.C
+	}
+	for {
+		if m, ok := s.st.TryPop(); ok {
+			return Message{Data: m.Data, Lost: m.Lost}, nil
+		}
+		// Order matters: pop before the lifecycle check, so messages
+		// parked before a remote close drain to the application first.
+		if s.st.Closed() || s.st.RemoteClosed() {
+			return Message{}, ErrStreamClosed
+		}
+		select {
+		case <-s.st.Bell():
+		case <-s.c.closedCh:
+			if m, ok := s.st.TryPop(); ok {
+				return Message{Data: m.Data, Lost: m.Lost}, nil
+			}
+			return Message{}, s.c.closeErr()
+		case <-timerC:
+			return Message{}, ErrRecvTimeout
+		}
+	}
+}
+
+// Close tears the stream down on this side and announces the close to
+// the peer, whose receivers observe ErrStreamClosed once drained and
+// whose blocked senders stop retrying admission. Retained buffers —
+// parked messages, incomplete reassembly — release immediately. Close
+// a stream only after its senders have quiesced; frames still in
+// flight for a closed stream are dropped on arrival.
+func (s *Stream) Close() error {
+	if s.st.Closed() {
+		return nil
+	}
+	s.st.Reap()
+	s.c.emitStreamCtrl(packet.Control{
+		Type: packet.CtrlStreamClose,
+		Body: packet.StreamIDBody(s.st.ID()),
+	})
+	return nil
+}
+
+// Closed reports whether the stream was closed locally or by the peer.
+func (s *Stream) Closed() bool {
+	return s.st.Closed() || s.st.RemoteClosed()
+}

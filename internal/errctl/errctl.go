@@ -145,8 +145,16 @@ func EffectiveSDUSize(n int) int {
 
 // Segment splits msg into SDU payloads of at most sduSize bytes,
 // attaching sequence numbers and the end bit; it implements steps 1–2 of
-// Figure 5 and is shared by all sender implementations.
+// Figure 5 and is shared by all sender implementations. The SDUs are
+// stamped for the connection's default stream 0.
 func Segment(msg []byte, sduSize int, connID, sessionID uint32, extraFlags uint16) []SDU {
+	return SegmentStream(msg, sduSize, connID, 0, sessionID, extraFlags)
+}
+
+// SegmentStream is Segment for an arbitrary stream: every SDU header
+// carries streamID so the receive demux can route the session to the
+// right per-stream reliability state.
+func SegmentStream(msg []byte, sduSize int, connID, streamID, sessionID uint32, extraFlags uint16) []SDU {
 	sduSize = EffectiveSDUSize(sduSize)
 	n := (len(msg) + sduSize - 1) / sduSize
 	if n == 0 {
@@ -170,6 +178,7 @@ func Segment(msg []byte, sduSize int, connID, sessionID uint32, extraFlags uint1
 				SessionID: sessionID,
 				Seq:       uint32(i),
 				Length:    uint32(hi - lo),
+				StreamID:  streamID,
 			},
 			Payload: msg[lo:hi],
 		})
@@ -177,15 +186,21 @@ func Segment(msg []byte, sduSize int, connID, sessionID uint32, extraFlags uint1
 	return sdus
 }
 
-// NewSender builds the transmit side of a session.
+// NewSender builds the transmit side of a stream-0 session.
 func NewSender(alg Algorithm, msg []byte, sduSize int, connID, sessionID uint32) Sender {
+	return NewSenderStream(alg, msg, sduSize, connID, 0, sessionID)
+}
+
+// NewSenderStream builds the transmit side of a session on an
+// arbitrary stream.
+func NewSenderStream(alg Algorithm, msg []byte, sduSize int, connID, streamID, sessionID uint32) Sender {
 	switch alg {
 	case SelectiveRepeat:
-		return newSRSender(msg, sduSize, connID, sessionID)
+		return newSRSender(msg, sduSize, connID, streamID, sessionID)
 	case GoBackN:
-		return newGBNSender(msg, sduSize, connID, sessionID)
+		return newGBNSender(msg, sduSize, connID, streamID, sessionID)
 	default:
-		return newNoneSender(msg, sduSize, connID, sessionID)
+		return newNoneSender(msg, sduSize, connID, streamID, sessionID)
 	}
 }
 

@@ -450,3 +450,30 @@ func TestQuickReliableDelivery(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSegmentStreamStampsStreamID: every SDU of a stream session must
+// carry the stream id, and the stream-0 wrapper must stamp zero.
+func TestSegmentStreamStampsStreamID(t *testing.T) {
+	msg := bytes.Repeat([]byte("x"), 300)
+	for _, sdu := range SegmentStream(msg, 100, 7, 42, 9, 0) {
+		if sdu.Header.StreamID != 42 {
+			t.Fatalf("SDU %d stamped stream %d, want 42", sdu.Header.Seq, sdu.Header.StreamID)
+		}
+		if sdu.Header.ConnID != 7 || sdu.Header.SessionID != 9 {
+			t.Fatalf("routing fields diverged: %+v", sdu.Header)
+		}
+	}
+	for _, sdu := range Segment(msg, 100, 7, 9, 0) {
+		if sdu.Header.StreamID != 0 {
+			t.Fatalf("Segment stamped stream %d, want 0", sdu.Header.StreamID)
+		}
+	}
+	for _, alg := range []Algorithm{None, SelectiveRepeat, GoBackN} {
+		snd := NewSenderStream(alg, msg, 100, 7, 42, 9)
+		for _, sdu := range snd.Initial() {
+			if sdu.Header.StreamID != 42 {
+				t.Fatalf("%v sender stamped stream %d, want 42", alg, sdu.Header.StreamID)
+			}
+		}
+	}
+}

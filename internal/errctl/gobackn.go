@@ -25,8 +25,8 @@ type gbnSender struct {
 
 var _ Sender = (*gbnSender)(nil)
 
-func newGBNSender(msg []byte, sduSize int, connID, sessionID uint32) *gbnSender {
-	return &gbnSender{sdus: Segment(msg, sduSize, connID, sessionID, 0), nackedAt: -1}
+func newGBNSender(msg []byte, sduSize int, connID, streamID, sessionID uint32) *gbnSender {
+	return &gbnSender{sdus: SegmentStream(msg, sduSize, connID, streamID, sessionID, 0), nackedAt: -1}
 }
 
 func (s *gbnSender) Initial() []SDU { return s.sdus }

@@ -14,7 +14,7 @@ import (
 // another control packet faster than a fast-path sender consumes them.
 func TestGBNSenderSuppressesDuplicateNACKs(t *testing.T) {
 	msg := make([]byte, 10*64)
-	s := newGBNSender(msg, 64, 1, 1)
+	s := newGBNSender(msg, 64, 1, 0, 1)
 	if got := len(s.Initial()); got != 10 {
 		t.Fatalf("segmented into %d SDUs, want 10", got)
 	}

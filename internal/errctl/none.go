@@ -22,8 +22,8 @@ type noneSender struct {
 
 var _ Sender = (*noneSender)(nil)
 
-func newNoneSender(msg []byte, sduSize int, connID, sessionID uint32) *noneSender {
-	return &noneSender{sdus: Segment(msg, sduSize, connID, sessionID, packet.FlagUnreliable)}
+func newNoneSender(msg []byte, sduSize int, connID, streamID, sessionID uint32) *noneSender {
+	return &noneSender{sdus: SegmentStream(msg, sduSize, connID, streamID, sessionID, packet.FlagUnreliable)}
 }
 
 func (s *noneSender) Initial() []SDU { return s.sdus }

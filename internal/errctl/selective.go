@@ -18,8 +18,8 @@ type srSender struct {
 
 var _ Sender = (*srSender)(nil)
 
-func newSRSender(msg []byte, sduSize int, connID, sessionID uint32) *srSender {
-	return &srSender{sdus: Segment(msg, sduSize, connID, sessionID, 0)}
+func newSRSender(msg []byte, sduSize int, connID, streamID, sessionID uint32) *srSender {
+	return &srSender{sdus: SegmentStream(msg, sduSize, connID, streamID, sessionID, 0)}
 }
 
 func (s *srSender) Initial() []SDU { return s.sdus }

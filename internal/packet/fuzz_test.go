@@ -99,6 +99,49 @@ func FuzzUnmarshalCredit(f *testing.F) {
 	})
 }
 
+// FuzzStreamFrame covers the stream-aware framing: per-stream credit
+// grant bodies, stream open/close bodies, and the StreamID word of the
+// data header (which older peers encode as reserved zero).
+func FuzzStreamFrame(f *testing.F) {
+	f.Add(AppendStreamGrant(nil, 3, CreditGrant{Granted: 64, Consumed: 48, Window: 16}))
+	f.Add(AppendStreamGrant(nil, 0, CreditGrant{}))
+	f.Add(AppendStreamGrant(nil, 1<<31, CreditGrant{Granted: 1 << 40, Window: 1 << 20}))
+	f.Add(StreamIDBody(7))
+	f.Add([]byte{0x00, 0x00, 0x00})                                // truncated stream id
+	f.Add(AppendStreamGrant(nil, 5, CreditGrant{Granted: 9})[:12]) // truncated grant
+	f.Add(AppendSDU(nil, DataHeader{Flags: FlagEnd, ConnID: 1, SessionID: 2, Length: 5, StreamID: 9}, []byte("hello")))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if id, g, err := ParseStreamGrant(data); err == nil {
+			re := AppendStreamGrant(nil, id, g)
+			if len(re) != StreamGrantSize {
+				t.Fatalf("encoded stream grant is %d bytes, want %d", len(re), StreamGrantSize)
+			}
+			id2, g2, err := ParseStreamGrant(re)
+			if err != nil || id2 != id || g2 != g {
+				t.Fatalf("stream grant round trip diverged: %d/%+v vs %d/%+v (%v)", id2, g2, id, g, err)
+			}
+			if !bytes.Equal(re, data[:StreamGrantSize]) {
+				t.Fatalf("decode did not reproduce the canonical prefix: %x vs %x", re, data[:StreamGrantSize])
+			}
+		} else if len(data) >= StreamGrantSize {
+			t.Fatalf("%d-byte stream grant body rejected: %v", len(data), err)
+		}
+		if id, err := ParseStreamID(data); err == nil {
+			if id2, err := ParseStreamID(StreamIDBody(id)); err != nil || id2 != id {
+				t.Fatalf("stream id round trip diverged: %d vs %d (%v)", id2, id, err)
+			}
+		} else if len(data) >= 4 {
+			t.Fatalf("%d-byte stream id body rejected: %v", len(data), err)
+		}
+		if h, payload, err := SplitData(data); err == nil {
+			h2, _, err := SplitData(AppendSDU(nil, h, payload))
+			if err != nil || h2.StreamID != h.StreamID {
+				t.Fatalf("StreamID did not survive re-encode: %d vs %d (%v)", h2.StreamID, h.StreamID, err)
+			}
+		}
+	})
+}
+
 func FuzzUnmarshalBitmap(f *testing.F) {
 	f.Add(NewBitmap(70).Marshal())
 	f.Add(NewBitmap(0).Marshal())

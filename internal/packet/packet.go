@@ -60,6 +60,7 @@ type DataHeader struct {
 	SessionID uint32 // caller-provided session id (one message exchange)
 	Seq       uint32 // SDU sequence number within the session
 	Length    uint32 // payload byte count
+	StreamID  uint32 // ordered channel within the connection; 0 = default
 }
 
 // Marshal appends the encoded header to dst and returns the result.
@@ -70,11 +71,13 @@ func (h DataHeader) Marshal(dst []byte) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, h.SessionID)
 	dst = binary.BigEndian.AppendUint32(dst, h.Seq)
 	dst = binary.BigEndian.AppendUint32(dst, h.Length)
-	dst = binary.BigEndian.AppendUint32(dst, 0) // reserved
+	dst = binary.BigEndian.AppendUint32(dst, h.StreamID)
 	return dst
 }
 
-// UnmarshalDataHeader decodes a header from p.
+// UnmarshalDataHeader decodes a header from p. The StreamID field
+// occupies what older frames encoded as a reserved zero word, so frames
+// from pre-stream peers decode as stream 0 — the default channel.
 func UnmarshalDataHeader(p []byte) (DataHeader, error) {
 	if len(p) < DataHeaderSize {
 		return DataHeader{}, ErrShortPacket
@@ -88,6 +91,7 @@ func UnmarshalDataHeader(p []byte) (DataHeader, error) {
 		SessionID: binary.BigEndian.Uint32(p[8:]),
 		Seq:       binary.BigEndian.Uint32(p[12:]),
 		Length:    binary.BigEndian.Uint32(p[16:]),
+		StreamID:  binary.BigEndian.Uint32(p[20:]),
 	}, nil
 }
 
@@ -157,6 +161,18 @@ const (
 	// and what arrives, so loss, duplication and reordering of grants
 	// never corrupt the credit state.
 	CtrlCreditGrant
+	// CtrlStreamGrant is a CtrlCreditGrant scoped to one stream: the
+	// body prefixes the grant with the stream id, so each stream's
+	// receiver-advertised credit window travels independently of the
+	// connection-level (stream 0) window.
+	CtrlStreamGrant
+	// CtrlStreamOpen announces a newly opened stream to the peer so
+	// AcceptStream can surface it before any data arrives. Advisory:
+	// the first data frame on an unknown stream also creates it.
+	CtrlStreamOpen
+	// CtrlStreamClose announces that a stream was closed by its owner;
+	// the peer releases the stream's parked state.
+	CtrlStreamClose
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -186,6 +202,12 @@ func (t ControlType) String() string {
 		return "PONG"
 	case CtrlCreditGrant:
 		return "CREDITGRANT"
+	case CtrlStreamGrant:
+		return "STREAMGRANT"
+	case CtrlStreamOpen:
+		return "STREAMOPEN"
+	case CtrlStreamClose:
+		return "STREAMCLOSE"
 	default:
 		return fmt.Sprintf("ControlType(%d)", uint16(t))
 	}
@@ -281,4 +303,40 @@ func ParseCreditGrant(p []byte) (CreditGrant, error) {
 		Consumed: binary.BigEndian.Uint64(p[8:]),
 		Window:   binary.BigEndian.Uint32(p[16:]),
 	}, nil
+}
+
+// StreamGrantSize is the byte length of an encoded CtrlStreamGrant
+// body: the stream id followed by a CreditGrant.
+const StreamGrantSize = 4 + CreditGrantSize
+
+// AppendStreamGrant appends the encoded per-stream grant body — stream
+// id, then the cumulative grant — to dst and returns the result.
+func AppendStreamGrant(dst []byte, streamID uint32, g CreditGrant) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, streamID)
+	return AppendCreditGrant(dst, g)
+}
+
+// ParseStreamGrant decodes a CtrlStreamGrant body.
+func ParseStreamGrant(p []byte) (uint32, CreditGrant, error) {
+	if len(p) < StreamGrantSize {
+		return 0, CreditGrant{}, ErrShortPacket
+	}
+	g, err := ParseCreditGrant(p[4:])
+	if err != nil {
+		return 0, CreditGrant{}, err
+	}
+	return binary.BigEndian.Uint32(p), g, nil
+}
+
+// StreamIDBody encodes the 4-byte body of CtrlStreamOpen/CtrlStreamClose.
+func StreamIDBody(streamID uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, streamID)
+}
+
+// ParseStreamID decodes a CtrlStreamOpen/CtrlStreamClose body.
+func ParseStreamID(p []byte) (uint32, error) {
+	if len(p) < 4 {
+		return 0, ErrShortPacket
+	}
+	return binary.BigEndian.Uint32(p), nil
 }

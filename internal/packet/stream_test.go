@@ -1,0 +1,96 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// TestDataHeaderStreamID pins the wire position of the stream id: the
+// word at offset 20 that pre-stream encoders wrote as reserved zero.
+func TestDataHeaderStreamID(t *testing.T) {
+	h := DataHeader{Flags: FlagEnd, ConnID: 1, SessionID: 2, Seq: 3, Length: 4, StreamID: 77}
+	enc := h.Marshal(nil)
+	if len(enc) != DataHeaderSize {
+		t.Fatalf("encoded header is %d bytes, want %d", len(enc), DataHeaderSize)
+	}
+	if got := binary.BigEndian.Uint32(enc[20:]); got != 77 {
+		t.Fatalf("StreamID encoded as %d at offset 20, want 77", got)
+	}
+	dec, err := UnmarshalDataHeader(enc)
+	if err != nil || dec != h {
+		t.Fatalf("round trip diverged: %+v vs %+v (%v)", dec, h, err)
+	}
+}
+
+// TestLegacyFrameIsStreamZero: a frame whose reserved word is zero —
+// everything an old peer ever sent — must decode as stream 0.
+func TestLegacyFrameIsStreamZero(t *testing.T) {
+	legacy := DataHeader{Flags: FlagEnd, ConnID: 9, SessionID: 8, Seq: 7, Length: 6}
+	enc := legacy.Marshal(nil)
+	// Explicitly zero the reserved word, simulating an old encoder.
+	binary.BigEndian.PutUint32(enc[20:], 0)
+	dec, err := UnmarshalDataHeader(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.StreamID != 0 {
+		t.Fatalf("legacy frame decoded as stream %d, want 0", dec.StreamID)
+	}
+}
+
+func TestStreamGrantRoundTrip(t *testing.T) {
+	g := CreditGrant{Granted: 1 << 33, Consumed: 1<<33 - 5, Window: 64}
+	body := AppendStreamGrant(nil, 12, g)
+	if len(body) != StreamGrantSize {
+		t.Fatalf("encoded body is %d bytes, want %d", len(body), StreamGrantSize)
+	}
+	id, g2, err := ParseStreamGrant(body)
+	if err != nil || id != 12 || g2 != g {
+		t.Fatalf("round trip diverged: %d/%+v vs 12/%+v (%v)", id, g2, g, err)
+	}
+	if _, _, err := ParseStreamGrant(body[:StreamGrantSize-1]); err == nil {
+		t.Fatal("truncated stream grant accepted")
+	}
+}
+
+func TestStreamIDBodyRoundTrip(t *testing.T) {
+	id, err := ParseStreamID(StreamIDBody(41))
+	if err != nil || id != 41 {
+		t.Fatalf("round trip diverged: %d (%v)", id, err)
+	}
+	if _, err := ParseStreamID([]byte{1, 2}); err == nil {
+		t.Fatal("truncated stream id accepted")
+	}
+}
+
+// TestStreamControlStrings keeps diagnostics readable for the new types.
+func TestStreamControlStrings(t *testing.T) {
+	for typ, want := range map[ControlType]string{
+		CtrlStreamGrant: "STREAMGRANT",
+		CtrlStreamOpen:  "STREAMOPEN",
+		CtrlStreamClose: "STREAMCLOSE",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+// TestStreamGrantControlRoundTrip sends a stream grant through the
+// full control marshal path, as the receive loops will see it.
+func TestStreamGrantControlRoundTrip(t *testing.T) {
+	g := CreditGrant{Granted: 100, Consumed: 90, Window: 32}
+	ctl := Control{Type: CtrlStreamGrant, ConnID: 4, Body: AppendStreamGrant(nil, 6, g)}
+	dec, err := UnmarshalControl(ctl.Marshal(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Type != CtrlStreamGrant || !bytes.Equal(dec.Body, ctl.Body) {
+		t.Fatalf("control round trip diverged: %+v vs %+v", dec, ctl)
+	}
+	id, g2, err := ParseStreamGrant(dec.Body)
+	if err != nil || id != 6 || g2 != g {
+		t.Fatalf("grant body diverged: %d/%+v (%v)", id, g2, err)
+	}
+}

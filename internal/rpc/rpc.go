@@ -43,11 +43,17 @@ import (
 	"ncs/internal/xdr"
 )
 
-// Message kinds.
+// Message kinds. kindStreamCall (3) lives in stream.go.
 const (
 	kindCall  uint32 = 1
 	kindReply uint32 = 2
 )
+
+// maxDeadlineMicros rejects deadline budgets beyond ~292 years: they
+// cannot come from a real clock reading, so treat them as corruption
+// rather than letting the conversion overflow into "no deadline" (or
+// a spurious tiny one).
+const maxDeadlineMicros = uint64(math.MaxInt64 / int64(time.Microsecond))
 
 // Reply status codes.
 const (
@@ -154,10 +160,7 @@ func parseCall(d *xdr.Decoder) (callFrame, error) {
 	if err != nil {
 		return cf, errBadFrame
 	}
-	// A budget beyond ~292 years cannot come from a real clock reading;
-	// reject it as corrupt rather than letting the conversion overflow
-	// into "no deadline" (or a spurious tiny one).
-	if us > uint64(math.MaxInt64/int64(time.Microsecond)) {
+	if us > maxDeadlineMicros {
 		return cf, errBadFrame
 	}
 	cf.deadline = time.Duration(us) * time.Microsecond

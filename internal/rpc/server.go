@@ -29,14 +29,22 @@ type ServerOptions struct {
 }
 
 // request is one admitted call waiting for (or on) a worker. A nil h
-// marks a call to an unregistered method: the worker sends the
-// no-method reply, so the demux loop never blocks on a reply send.
+// (or, for streaming calls, nil sh) marks a call to an unregistered
+// method: the worker sends the no-method reply, so the demux loop
+// never blocks on a reply send.
 type request struct {
 	conn     *core.Connection
 	id       uint64
 	h        Handler
 	deadline time.Time // zero: the caller sent no deadline
 	payload  []byte
+
+	// Streaming calls (stream true) dispatch through sh against the
+	// chunk stream the client named.
+	stream   bool
+	sh       StreamHandler
+	streamID uint32
+	mode     StreamMode
 }
 
 // Server dispatches named-method calls arriving over any number of NCS
@@ -47,8 +55,9 @@ type Server struct {
 	opts ServerOptions
 	pkg  thread.Package
 
-	hmu      sync.RWMutex
-	handlers map[string]Handler
+	hmu       sync.RWMutex
+	handlers  map[string]Handler
+	shandlers map[string]StreamHandler
 
 	// The dispatch queue: a slice ring guarded by qmu, with sem (a
 	// thread.Semaphore, so user-level workers park cooperatively)
@@ -157,7 +166,14 @@ func (s *Server) admit(conn *core.Connection, m core.Message) {
 	}
 	d := xdr.NewDecoder(m.Data)
 	k, kerr := parseKind(d)
-	if kerr != nil || k != kindCall {
+	if kerr != nil {
+		return
+	}
+	if k == kindStreamCall {
+		s.admitStream(conn, d)
+		return
+	}
+	if k != kindCall {
 		return
 	}
 	cf, cerr := parseCall(d)
@@ -247,7 +263,11 @@ func (s *Server) worker() {
 			s.head = 0
 		}
 		s.qmu.Unlock()
-		s.dispatch(req)
+		if req.stream {
+			s.dispatchStream(req)
+		} else {
+			s.dispatch(req)
+		}
 		s.inflight.Done()
 		mServerInflight.Dec()
 	}

@@ -1,0 +1,251 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"ncs/internal/core"
+	"ncs/internal/transport"
+)
+
+// streamServer serves the three canonical streaming shapes on peer and
+// returns a client on conn.
+func streamServer(t *testing.T, opts core.Options) *Client {
+	t.Helper()
+	conn, peer := pair(t, opts)
+	srv := NewServer(ServerOptions{Workers: 4})
+	// Client-stream: sum the uploaded chunks' lengths.
+	srv.HandleStream("upload", func(_ context.Context, req []byte, sc *ServerCall) ([]byte, error) {
+		total := 0
+		for {
+			chunk, err := sc.Recv()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			total += len(chunk)
+		}
+		return []byte(fmt.Sprintf("%s:%d", req, total)), nil
+	})
+	// Server-stream: send req (count) chunks down.
+	srv.HandleStream("download", func(_ context.Context, req []byte, sc *ServerCall) ([]byte, error) {
+		n := int(req[0])
+		for i := 0; i < n; i++ {
+			if err := sc.Send(bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
+				return nil, err
+			}
+		}
+		return []byte("sent"), nil
+	})
+	// Bidi: echo each chunk until the client half-closes.
+	srv.HandleStream("pingpong", func(_ context.Context, _ []byte, sc *ServerCall) ([]byte, error) {
+		for {
+			chunk, err := sc.Recv()
+			if err == io.EOF {
+				return []byte("done"), nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			if err := sc.Send(append([]byte("re:"), chunk...)); err != nil {
+				return nil, err
+			}
+		}
+	})
+	srv.HandleStream("fail", func(_ context.Context, _ []byte, sc *ServerCall) ([]byte, error) {
+		return nil, errors.New("handler says no")
+	})
+	srv.ServeConn(peer)
+	t.Cleanup(srv.Shutdown)
+	cli := NewClient(conn)
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func streamOptsMatrix() map[string]core.Options {
+	return map[string]core.Options{
+		"threaded": {Interface: transport.HPI},
+		"sharded":  {Interface: transport.HPI, Runtime: core.RuntimeSharded},
+	}
+}
+
+func TestClientStreamUpload(t *testing.T) {
+	for name, opts := range streamOptsMatrix() {
+		t.Run(name, func(t *testing.T) {
+			cli := streamServer(t, opts)
+			cc, err := cli.OpenClientStream(context.Background(), "upload", []byte("sum"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := 0
+			for i := 1; i <= 8; i++ {
+				chunk := bytes.Repeat([]byte("u"), 500*i)
+				total += len(chunk)
+				if err := cc.Send(chunk); err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+			}
+			if err := cc.CloseSend(); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := cc.Result(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fmt.Sprintf("sum:%d", total); string(resp) != want {
+				t.Fatalf("got %q, want %q", resp, want)
+			}
+		})
+	}
+}
+
+func TestServerStreamDownload(t *testing.T) {
+	for name, opts := range streamOptsMatrix() {
+		t.Run(name, func(t *testing.T) {
+			cli := streamServer(t, opts)
+			const n = 6
+			cc, err := cli.OpenServerStream(context.Background(), "download", []byte{n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				chunk, err := cc.Recv()
+				if err != nil {
+					t.Fatalf("chunk %d: %v", i, err)
+				}
+				if len(chunk) != 1000 || chunk[0] != byte(i) {
+					t.Fatalf("chunk %d: %d bytes, first %d", i, len(chunk), chunk[0])
+				}
+			}
+			if _, err := cc.Recv(); err != io.EOF {
+				t.Fatalf("after last chunk: err = %v, want io.EOF", err)
+			}
+			resp, err := cc.Result(context.Background())
+			if err != nil || string(resp) != "sent" {
+				t.Fatalf("result = %q, %v", resp, err)
+			}
+		})
+	}
+}
+
+func TestBidiStreamPingPong(t *testing.T) {
+	cli := streamServer(t, core.Options{Interface: transport.HPI})
+	cc, err := cli.OpenBidiStream(context.Background(), "pingpong", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		msg := []byte(fmt.Sprintf("ball-%d", i))
+		if err := cc.Send(msg); err != nil {
+			t.Fatal(err)
+		}
+		back, err := cc.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(back) != "re:"+string(msg) {
+			t.Fatalf("round %d: got %q", i, back)
+		}
+	}
+	if err := cc.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Recv(); err != io.EOF {
+		t.Fatalf("after close-send: err = %v, want io.EOF", err)
+	}
+	resp, err := cc.Result(context.Background())
+	if err != nil || string(resp) != "done" {
+		t.Fatalf("result = %q, %v", resp, err)
+	}
+}
+
+// TestStreamCallHandlerError: a failing streaming handler aborts the
+// chunk flow (unblocking a client Recv) and surfaces as *ServerError
+// from Result.
+func TestStreamCallHandlerError(t *testing.T) {
+	cli := streamServer(t, core.Options{Interface: transport.HPI})
+	cc, err := cli.OpenServerStream(context.Background(), "fail", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Recv(); !errors.Is(err, ErrStreamAborted) {
+		t.Fatalf("recv on failed call: err = %v, want ErrStreamAborted", err)
+	}
+	var se *ServerError
+	if _, err := cc.Result(context.Background()); !errors.As(err, &se) {
+		t.Fatalf("result: err = %v, want *ServerError", err)
+	}
+}
+
+// TestStreamCallNoMethod: a streaming call to an unregistered (or
+// unary-only) method fails cleanly.
+func TestStreamCallNoMethod(t *testing.T) {
+	cli, _ := startEcho(t, core.Options{Interface: transport.HPI}, ServerOptions{}, nil)
+	cc, err := cli.OpenClientStream(context.Background(), "echo", nil) // unary-only method
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Result(context.Background()); !errors.Is(err, ErrNoMethod) {
+		t.Fatalf("err = %v, want ErrNoMethod", err)
+	}
+}
+
+// TestStreamingDoesNotBlockUnary: a streaming call mid-flow must not
+// head-of-line-block unary calls sharing the connection — the chunk
+// stream has its own credit window and the call frames ride stream 0.
+func TestStreamingDoesNotBlockUnary(t *testing.T) {
+	conn, peer := pair(t, core.Options{Interface: transport.HPI})
+	srv := NewServer(ServerOptions{Workers: 4})
+	srv.Handle("echo", func(_ context.Context, req []byte) ([]byte, error) { return req, nil })
+	release := make(chan struct{})
+	srv.HandleStream("slow", func(_ context.Context, _ []byte, sc *ServerCall) ([]byte, error) {
+		<-release // hold the stream open, consuming nothing
+		for {
+			if _, err := sc.Recv(); err != nil {
+				return []byte("ok"), nil
+			}
+		}
+	})
+	srv.ServeConn(peer)
+	t.Cleanup(srv.Shutdown)
+	cli := NewClient(conn)
+	t.Cleanup(func() { cli.Close() })
+
+	cc, err := cli.OpenBidiStream(context.Background(), "slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few chunks the blocked handler will not consume (within the
+	// stream's initial credit window).
+	for i := 0; i < 2; i++ {
+		if err := cc.Send([]byte("parked")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unary traffic must flow while the streaming call is wedged.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 16; i++ {
+		resp, err := cli.Call(ctx, "echo", []byte("fast"))
+		if err != nil {
+			t.Fatalf("unary call %d while stream wedged: %v", i, err)
+		}
+		if string(resp) != "fast" {
+			t.Fatalf("unary call %d: got %q", i, resp)
+		}
+	}
+	close(release)
+	if err := cc.CloseSend(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Result(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package stream
+
+import "ncs/internal/telemetry"
+
+// The stream layer's instruments, named per the telemetry conventions
+// (see internal/telemetry/doc.go, which catalogues them):
+//
+//   - stream.mux.open counts streams currently open across all
+//     connections (created minus reaped).
+//   - stream.send.credit_wait_total counts per-stream admission
+//     timeouts: a sender found its stream's credit window exhausted
+//     for a full wait interval (typically because the peer is not
+//     consuming that stream) and had to resynchronise.
+//   - stream.recv.hol_avoided_total counts messages parked onto an
+//     already non-empty stream backlog — each one is a delivery that
+//     would have head-of-line-blocked the connection's single flow
+//     before streams existed.
+var (
+	mOpenStreams = telemetry.NewGauge("stream.mux.open")
+	mCreditWait  = telemetry.NewCounter("stream.send.credit_wait_total")
+	mHOLAvoided  = telemetry.NewCounter("stream.recv.hol_avoided_total")
+)
+
+// NoteCreditWait records one per-stream admission timeout; core's
+// transmit path calls it when a stream send retries admission.
+func NoteCreditWait() { mCreditWait.Inc() }

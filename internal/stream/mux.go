@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"sync"
+
+	"ncs/internal/packet"
+)
+
+// Mux is a connection's stream table: it allocates local stream ids,
+// surfaces peer-initiated streams to AcceptStream, and owns teardown.
+//
+// ID allocation uses parity so the two ends never collide without a
+// negotiation round trip: the connection's initiator (the dialing
+// side) opens odd ids, the acceptor even ids. Stream 0 is the
+// connection's default channel and never appears in the table.
+type Mux struct {
+	cfg       Config
+	initiator bool
+
+	// emit sends a control packet over the connection's control path,
+	// stamping the connection id. Core installs it right after
+	// construction, before any stream exists.
+	emit func(ctl packet.Control) bool
+
+	mu      sync.Mutex
+	streams map[uint32]*State
+	nextID  uint32
+	accepts []*State
+	closed  bool
+
+	acceptBell chan struct{} // cap 1: rung when accepts grows or mux closes
+}
+
+// NewMux builds the stream table for one connection end.
+func NewMux(initiator bool, cfg Config) *Mux {
+	first := uint32(2)
+	if initiator {
+		first = 1
+	}
+	return &Mux{
+		cfg:        cfg,
+		initiator:  initiator,
+		nextID:     first,
+		acceptBell: make(chan struct{}, 1),
+	}
+}
+
+// SetEmitter installs the connection's control emitter. Must be called
+// before any stream is created; core does it inside the same critical
+// section that publishes the mux.
+func (m *Mux) SetEmitter(emit func(ctl packet.Control) bool) { m.emit = emit }
+
+// localParity reports whether id is one this end allocates.
+func (m *Mux) localParity(id uint32) bool {
+	odd := id%2 == 1
+	return odd == m.initiator
+}
+
+func (m *Mux) newStateLocked(id uint32, local bool) *State {
+	st := &State{
+		id:    id,
+		mux:   m,
+		local: local,
+		bell:  make(chan struct{}, 1),
+	}
+	if m.streams == nil {
+		m.streams = make(map[uint32]*State)
+	}
+	m.streams[id] = st
+	mOpenStreams.Inc()
+	return st
+}
+
+// Open allocates the next local stream id and creates its state. The
+// caller announces it to the peer (CtrlStreamOpen) outside the lock.
+// ok is false after Close.
+func (m *Mux) Open() (st *State, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false
+	}
+	id := m.nextID
+	m.nextID += 2
+	return m.newStateLocked(id, true), true
+}
+
+// Get returns the stream's state, creating it if the id is unknown —
+// the create-on-first-frame path that makes CtrlStreamOpen advisory.
+// A peer-initiated stream created here is queued for AcceptStream.
+// After Close, Get returns a reaped placeholder whose OnData drops
+// frames, so late stragglers die quietly.
+func (m *Mux) Get(id uint32) *State {
+	m.mu.Lock()
+	if st, ok := m.streams[id]; ok {
+		m.mu.Unlock()
+		return st
+	}
+	st := m.newStateLocked(id, m.localParity(id))
+	remote := !st.local
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		st.Reap()
+		return st
+	}
+	if remote {
+		m.mu.Lock()
+		m.accepts = append(m.accepts, st)
+		m.mu.Unlock()
+		m.ringAccept()
+	}
+	return st
+}
+
+// Take returns the stream's state, creating it if unknown, and —
+// unlike Get — claims it: a peer-initiated stream is removed from (or
+// never enters) the accept queue. Layered protocols that communicate
+// stream ids out of band (RPC streaming) use it so their streams do
+// not surface to AcceptStream.
+func (m *Mux) Take(id uint32) *State {
+	m.mu.Lock()
+	st, ok := m.streams[id]
+	if ok {
+		for i, a := range m.accepts {
+			if a == st {
+				m.accepts = append(m.accepts[:i], m.accepts[i+1:]...)
+				break
+			}
+		}
+	} else {
+		st = m.newStateLocked(id, m.localParity(id))
+	}
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		st.Reap()
+	}
+	return st
+}
+
+// Lookup returns the stream's state without creating it.
+func (m *Mux) Lookup(id uint32) (*State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.streams[id]
+	return st, ok
+}
+
+// PopAccept takes the oldest not-yet-accepted peer-initiated stream.
+func (m *Mux) PopAccept() (*State, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.accepts) == 0 {
+		return nil, false
+	}
+	st := m.accepts[0]
+	m.accepts[0] = nil
+	m.accepts = m.accepts[1:]
+	if len(m.accepts) == 0 {
+		m.accepts = nil
+	}
+	return st, true
+}
+
+// HasAccept reports a peer-initiated stream is waiting for PopAccept,
+// or that the mux closed (so a blocked acceptor re-checks and fails).
+func (m *Mux) HasAccept() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.accepts) > 0 || m.closed
+}
+
+// AcceptBell is rung whenever a stream lands on the accept queue.
+func (m *Mux) AcceptBell() <-chan struct{} { return m.acceptBell }
+
+func (m *Mux) ringAccept() {
+	select {
+	case m.acceptBell <- struct{}{}:
+	default:
+	}
+}
+
+// Closed reports whether ReapAll ran.
+func (m *Mux) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// ReapAll tears every stream down (releasing retained buffers and
+// draining credit retry timers) and marks the mux closed. Runs at
+// Connection.Close; idempotent.
+func (m *Mux) ReapAll() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	states := make([]*State, 0, len(m.streams))
+	for _, st := range m.streams {
+		states = append(states, st)
+	}
+	m.accepts = nil
+	m.mu.Unlock()
+	for _, st := range states {
+		st.Reap()
+	}
+	m.ringAccept()
+}

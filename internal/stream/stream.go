@@ -1,0 +1,452 @@
+// Package stream multiplexes a Connection into independent ordered
+// message channels. Each stream carries its own receiver-advertised
+// cumulative credit window (the credit engine of internal/flowctl,
+// instantiated per stream), its own reliability sessions, and its own
+// parked delivery queue — so an unconsumed stream exhausts only its
+// own credits and can never head-of-line-block the connection or its
+// sibling streams, the netchan/HTTP/2 discipline.
+//
+// The division of labour with internal/core: core owns the wire (send
+// threads, receive demux, control routing) and calls into this package
+// with parsed frames; this package owns everything per-stream — credit
+// state, reassembly sessions, parking. Stream 0 is the connection's
+// default channel and never appears here on the hot path: its flow
+// control, delivery queue and alloc-free fast path stay exactly where
+// they were.
+//
+// A stream's credit receiver observes SDUs on arrival — so a large
+// message flows at wire speed, its window sliding as its SDUs land —
+// but the grants it produces are only EMITTED while the stream's
+// delivery backlog is empty. The moment a completed message parks
+// unconsumed, further grants are withheld (latest wins — grants are
+// cumulative) and the peer's sender runs out of window once the
+// already-granted credits are spent; TryPop flushes the withheld grant
+// when the consumer drains the backlog. A stream nobody reads
+// therefore parks at most a credit window of SDUs while siblings flow
+// on.
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ncs/internal/buf"
+	"ncs/internal/errctl"
+	"ncs/internal/flowctl"
+	"ncs/internal/packet"
+)
+
+// maxTrackedSessions bounds a stream's inbound session table, exactly
+// as internal/core bounds the connection-level (stream 0) table.
+const maxTrackedSessions = 64
+
+// Msg is a message delivered on a stream. Lost reports SDUs missing
+// from an unreliable transfer, as core.Message does for stream 0.
+type Msg struct {
+	Data []byte
+	Lost int
+}
+
+// Config fixes the per-stream protocol machinery: the credit window
+// configuration each stream's flow control is built from, and the
+// error-control algorithm its reassembly sessions run.
+type Config struct {
+	Flow flowctl.Config
+	Err  errctl.Algorithm
+}
+
+// session wraps one inbound error-control session with its delivery
+// state, mirroring core's recvSession.
+type session struct {
+	rcv       errctl.Receiver
+	delivered bool
+}
+
+var sessionPool = sync.Pool{New: func() any { return new(session) }}
+
+// State is one stream's receive- and send-side protocol state. Core
+// routes frames here by the StreamID of their data header; the
+// application side (core's Stream type) sends through FlowSender and
+// receives through TryPop.
+type State struct {
+	id  uint32
+	mux *Mux
+
+	// sendMu serialises Send calls so the stream is an ordered channel:
+	// a reliable message completes before the next begins.
+	sendMu sync.Mutex
+
+	// tx is the stream-lifetime transmit index fed to the credit
+	// sender; rx the arrival index fed to the credit receiver.
+	tx atomic.Uint32
+	rx atomic.Uint32
+
+	fcOnce sync.Once
+	fcSend flowctl.Sender
+	fcRecv flowctl.Receiver
+
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	sessAge  []uint32
+	parked   []Msg
+	nParked  atomic.Int32    // len(parked), readable without mu
+	held     *packet.Control // latest grant withheld while backlogged
+	local    bool            // opened here (vs announced by the peer)
+	reaped   bool            // Reap ran: drop further frames
+	remote   bool            // peer announced close
+
+	bell chan struct{} // cap 1: rung when parked grows or state changes
+}
+
+// ID returns the stream identifier carried in the data headers.
+func (s *State) ID() uint32 { return s.id }
+
+// LockSend serialises message sends on the stream; core's Stream.Send
+// holds it across the whole transfer so the channel stays ordered.
+func (s *State) LockSend() { s.sendMu.Lock() }
+
+// UnlockSend releases LockSend.
+func (s *State) UnlockSend() { s.sendMu.Unlock() }
+
+// TxCounter exposes the stream-lifetime transmit index core's send
+// path feeds to this stream's credit sender.
+func (s *State) TxCounter() *atomic.Uint32 { return &s.tx }
+
+// Bell returns the stream's doorbell: rung (capacity-1, non-blocking)
+// whenever a message parks or the stream's lifecycle changes, so a
+// blocked receiver re-checks.
+func (s *State) Bell() <-chan struct{} { return s.bell }
+
+func (s *State) ring() {
+	select {
+	case s.bell <- struct{}{}:
+	default:
+	}
+}
+
+// ensureFC builds the stream's credit flow-control halves on first
+// use. Streams always run the credit engine regardless of the
+// connection-level algorithm: per-stream isolation is the point, and
+// cumulative credit grants are the only scheme whose control traffic
+// the stream layer wraps (CtrlStreamGrant).
+func (s *State) ensureFC() {
+	s.fcOnce.Do(func() {
+		s.fcSend = flowctl.NewSender(flowctl.Credit, s.mux.cfg.Flow)
+		s.fcRecv = flowctl.NewReceiver(flowctl.Credit, s.mux.cfg.Flow)
+		// Timer-driven refresh grants go through the same backlog gate
+		// as arrival grants: an unconsumed stream must not be re-granted
+		// by the refresh path either.
+		flowctl.SetEmitter(s.fcRecv, func(ctl packet.Control) bool {
+			s.offerGrant(s.wrapGrant(ctl))
+			return true
+		})
+	})
+}
+
+// FlowSender returns the stream's credit sender for core's transmit
+// admission.
+func (s *State) FlowSender() flowctl.Sender {
+	s.ensureFC()
+	return s.fcSend
+}
+
+// wrapGrant converts a connection-shaped credit grant emitted by the
+// stream's receiver into its stream-scoped wire form.
+func (s *State) wrapGrant(ctl packet.Control) packet.Control {
+	body := make([]byte, 0, packet.StreamGrantSize)
+	body = append(body, byte(s.id>>24), byte(s.id>>16), byte(s.id>>8), byte(s.id))
+	body = append(body, ctl.Body...)
+	return packet.Control{
+		Type:      packet.CtrlStreamGrant,
+		ConnID:    ctl.ConnID,
+		SessionID: ctl.SessionID,
+		Body:      body,
+	}
+}
+
+// OnGrant feeds a CtrlStreamGrant addressed to this stream into its
+// credit sender. The body is parsed synchronously; it may alias a
+// pooled receive buffer the caller releases afterwards.
+func (s *State) OnGrant(ctl packet.Control) {
+	if len(ctl.Body) < packet.StreamGrantSize {
+		return
+	}
+	s.ensureFC()
+	s.fcSend.OnControl(packet.Control{
+		Type:      packet.CtrlCreditGrant,
+		ConnID:    ctl.ConnID,
+		SessionID: ctl.SessionID,
+		Body:      ctl.Body[4:],
+	})
+}
+
+// OnData runs one arriving SDU through the stream's reassembly,
+// emitting error-control acks (and a piggybacked stream credit grant)
+// via emit, which must stamp the connection id. payload aliases ref,
+// which the caller still owns; reassembly retains it as needed. When
+// the SDU completes a message, OnData parks it on the stream's queue
+// and rings the doorbell; receivers collect it with TryPop.
+//
+// Frames for a reaped (closed) stream are dropped: the peer was told
+// via CtrlStreamClose, so anything still arriving is a straggler.
+func (s *State) OnData(h packet.DataHeader, payload []byte, ref *buf.Buffer, emit func(packet.Control) bool) {
+	s.mu.Lock()
+	if s.reaped {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// One-SDU unreliable fast path, mirroring core's: no acks will
+	// follow and no retransmission revives the session, so skip the
+	// session table entirely. Park before crediting so an unconsumed
+	// stream's grant is withheld, not emitted.
+	if h.Seq == 0 && h.End() && s.mux.cfg.Err == errctl.None {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		s.park(Msg{Data: out})
+		s.creditArrival()
+		return
+	}
+
+	s.mu.Lock()
+	ss, ok := s.sessions[h.SessionID]
+	if !ok {
+		if s.sessions == nil {
+			s.sessions = make(map[uint32]*session)
+		}
+		ss = sessionPool.Get().(*session)
+		ss.rcv = errctl.NewReceiver(s.mux.cfg.Err)
+		s.sessions[h.SessionID] = ss
+		s.sessAge = append(s.sessAge, h.SessionID)
+		s.pruneSessionsLocked()
+	}
+	s.mu.Unlock()
+
+	acks, done := ss.rcv.OnData(h, payload, ref)
+	for _, a := range acks {
+		a.SessionID = h.SessionID
+		if !emit(a) {
+			return
+		}
+	}
+	// Delivery before crediting: when this SDU completes a message that
+	// nobody is consuming, the backlog gate below withholds the grant.
+	if done && !ss.delivered {
+		ss.delivered = true
+		s.park(Msg{Data: ss.rcv.Message(), Lost: ss.rcv.LostSDUs()})
+	}
+	s.creditArrival()
+	if len(acks) > 0 && s.nParked.Load() == 0 {
+		// Piggyback the stream's credit state on the ack burst, exactly
+		// as the connection level does — the consumed-count refresh
+		// retires the peer's in-flight without a dedicated packet. Under
+		// a backlog the refresh is withheld with the rest of the grants.
+		s.ensureFC()
+		if g, ok := flowctl.Piggyback(s.fcRecv); ok {
+			g.SessionID = h.SessionID
+			if !emit(s.wrapGrant(g)) {
+				return
+			}
+		}
+	}
+}
+
+// creditArrival advances the stream's credit receiver for one arrived
+// SDU and offers whatever grants it produces to the backlog gate.
+// Arrival counting (the connection-level discipline) is what lets a
+// message larger than the credit window complete: its window slides as
+// its own SDUs land, without waiting for anything to be consumed.
+func (s *State) creditArrival() {
+	s.ensureFC()
+	idx := s.rx.Add(1) - 1
+	for _, ctl := range s.fcRecv.OnData(idx) {
+		s.offerGrant(s.wrapGrant(ctl))
+	}
+}
+
+// offerGrant emits a grant while the stream's backlog is empty, and
+// withholds it otherwise (latest wins — grants are cumulative), so an
+// unconsumed stream stops being granted once its already-granted
+// window is spent. TryPop flushes the withheld grant when the
+// consumer drains the backlog.
+func (s *State) offerGrant(ctl packet.Control) {
+	s.mu.Lock()
+	if s.reaped {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.parked) > 0 {
+		held := ctl
+		s.held = &held
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.mux.emit(ctl)
+}
+
+// park queues a completed message for TryPop. A park onto an already
+// non-empty backlog is exactly the situation where single-flow
+// delivery would have head-of-line-blocked the connection; count it.
+func (s *State) park(m Msg) {
+	s.mu.Lock()
+	if s.reaped {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.parked) > 0 {
+		mHOLAvoided.Inc()
+	}
+	s.parked = append(s.parked, m)
+	s.nParked.Store(int32(len(s.parked)))
+	s.mu.Unlock()
+	s.ring()
+}
+
+// TryPop takes the oldest parked message. Draining the backlog is what
+// reopens the stream's credit flow: the last pop flushes the grant
+// withheld while messages sat unconsumed, and the peer's stalled
+// sender resumes.
+func (s *State) TryPop() (Msg, bool) {
+	if s.nParked.Load() == 0 {
+		return Msg{}, false
+	}
+	s.mu.Lock()
+	if len(s.parked) == 0 {
+		s.mu.Unlock()
+		return Msg{}, false
+	}
+	m := s.parked[0]
+	s.parked[0] = Msg{}
+	s.parked = s.parked[1:]
+	if len(s.parked) == 0 {
+		s.parked = nil // release the drained backing array
+	}
+	remaining := len(s.parked)
+	s.nParked.Store(int32(remaining))
+	var flush *packet.Control
+	if remaining == 0 && s.held != nil && !s.reaped {
+		flush = s.held
+		s.held = nil
+	}
+	s.mu.Unlock()
+	if remaining > 0 {
+		// The doorbell is capacity-1: two parks may have rung it once.
+		// Re-ring for the messages still queued so a second receiver
+		// blocked on the bell is not stranded.
+		s.ring()
+	}
+	if flush != nil {
+		s.mux.emit(*flush)
+	}
+	return m, true
+}
+
+// Ready reports that a receiver need not keep waiting: a message is
+// parked, or the stream's lifecycle ended (reaped locally or closed by
+// the peer). Pump loops use it as their stop condition.
+func (s *State) Ready() bool {
+	if s.nParked.Load() > 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reaped || s.remote
+}
+
+// Drained reports that the stream will never deliver again: it was
+// closed (locally or by the peer) and no parked message remains.
+func (s *State) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return (s.reaped || s.remote) && len(s.parked) == 0
+}
+
+// Closed reports that the stream was reaped locally.
+func (s *State) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reaped
+}
+
+// RemoteClosed reports that the peer announced close.
+func (s *State) RemoteClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.remote
+}
+
+// RemoteClose handles the peer's CtrlStreamClose: in-flight sessions
+// are abandoned (releasing the pooled buffers their reassembly
+// retained — no more frames will complete them), the credit sender
+// unblocks any admission waiter, and parked messages stay readable
+// until drained.
+func (s *State) RemoteClose() {
+	s.mu.Lock()
+	if s.remote || s.reaped {
+		s.mu.Unlock()
+		return
+	}
+	s.remote = true
+	s.reapSessionsLocked()
+	s.mu.Unlock()
+	s.ensureFC() // build-then-close: FlowSender can never observe nil
+	s.fcSend.Close()
+	s.fcRecv.Close()
+	s.ring()
+}
+
+// Reap tears the stream down: incomplete sessions release their
+// retained buffers, parked messages are dropped, and both credit
+// halves close (draining their retry timers, so the leak audits'
+// flowctl.PendingTimers sees zero). Idempotent.
+func (s *State) Reap() {
+	s.mu.Lock()
+	if s.reaped {
+		s.mu.Unlock()
+		return
+	}
+	s.reaped = true
+	s.reapSessionsLocked()
+	s.parked = nil
+	s.nParked.Store(0)
+	s.held = nil
+	s.mu.Unlock()
+	s.ensureFC() // build-then-close: FlowSender can never observe nil
+	s.fcSend.Close()
+	s.fcRecv.Close()
+	mOpenStreams.Dec()
+	s.ring()
+}
+
+func (s *State) reapSessionsLocked() {
+	for id, ss := range s.sessions {
+		if !ss.delivered {
+			ss.rcv.Abandon()
+		}
+		delete(s.sessions, id)
+		errctl.Recycle(ss.rcv)
+		*ss = session{}
+		sessionPool.Put(ss)
+	}
+	s.sessAge = nil
+}
+
+func (s *State) pruneSessionsLocked() {
+	for len(s.sessAge) > maxTrackedSessions {
+		victim := s.sessAge[0]
+		s.sessAge = s.sessAge[1:]
+		ss, ok := s.sessions[victim]
+		if !ok {
+			continue
+		}
+		if !ss.delivered {
+			ss.rcv.Abandon()
+		}
+		delete(s.sessions, victim)
+		errctl.Recycle(ss.rcv)
+		*ss = session{}
+		sessionPool.Put(ss)
+	}
+}

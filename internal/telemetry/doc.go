@@ -18,9 +18,9 @@
 //	layer.subsystem.metric
 //
 // where layer is the owning package (core, errctl, flowctl, buf, rpc,
-// group, transport), subsystem narrows it to a component (conn, shard,
-// wheel, pool, recv, send, client, server, collective, window, credit,
-// udp), and
+// group, stream, transport), subsystem narrows it to a component (conn,
+// shard, wheel, pool, recv, send, client, server, collective, window,
+// credit, mux, udp), and
 // metric is the measured quantity. Names are lowercase; words within a
 // segment join with underscores. Conventions, following the Prometheus
 // style:
@@ -66,6 +66,10 @@
 //	core.shard.wakeups_total           shard doorbell wakeups
 //	core.wheel.sweeps_total            timer-wheel slot sweeps
 //	rpc.server.deadline_expired_total  calls expired before dispatch
+//	stream.send.credit_wait_total      per-stream credit admission timeouts
+//	stream.recv.hol_avoided_total      messages parked behind an unconsumed
+//	                                   backlog (single-flow delivery would
+//	                                   have head-of-line blocked here)
 //	group.collective.chunks_total      pipelined broadcast chunks
 //	group.collective.mismatch_total    ErrMismatch frames observed
 //	group.collective.deadline_total    ErrDeadline collective failures
@@ -85,6 +89,7 @@
 //	core.wheel.armed                   armed timer-wheel timers
 //	rpc.client.inflight                calls awaiting replies
 //	rpc.server.inflight                requests admitted, not replied
+//	stream.mux.open                    streams currently open (all conns)
 //
 // Histograms (power-of-two buckets):
 //

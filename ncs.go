@@ -35,7 +35,14 @@
 //   - an RPC layer on top of any connection: multiplexed named-method
 //     request/response calls with per-call deadlines, application-error
 //     propagation, and a worker-pool dispatcher running on either
-//     thread architecture (NewClient, NewServer).
+//     thread architecture (NewClient, NewServer), plus streaming calls
+//     (client-stream, server-stream, bidi) whose chunk flows ride
+//     dedicated multiplexed streams;
+//   - multiplexed streams: any connection carries N independent ordered
+//     channels (Connection.OpenStream / AcceptStream), each with its
+//     own receiver-advertised credit window, so bulk transfer on one
+//     stream never head-of-line-blocks latency-sensitive traffic on
+//     another.
 //
 // # Quick start
 //
@@ -70,6 +77,17 @@
 //	cli := ncs.NewClient(conn)
 //	defer cli.Close()
 //	resp, _ := cli.Call(context.Background(), "echo", []byte("hi"))
+//
+// To carry independent message flows over one connection without
+// head-of-line blocking, open additional streams. Stream 0 is the
+// connection's default Send/Recv channel; each further stream has its
+// own ordered delivery and its own credit window:
+//
+//	bulk, _ := conn.OpenStream()       // dialer side
+//	go bulk.Send(largePayload)         // never starves conn.Send/Recv
+//
+//	st, _ := peer.AcceptStream()       // acceptor side
+//	data, _ := st.Recv()
 package ncs
 
 import (
@@ -128,6 +146,12 @@ type (
 	// Stats are the cumulative per-connection counters returned by
 	// Connection.Stats.
 	Stats = core.Stats
+	// Stream is one ordered message channel multiplexed over a
+	// Connection (Connection.OpenStream / AcceptStream). Each stream
+	// carries its own receiver-advertised credit window, so a slow or
+	// unconsumed stream never head-of-line-blocks its siblings or the
+	// connection's default Send/Recv channel.
+	Stream = core.Stream
 	// QoS is the ATM traffic contract applied to ACI connections.
 	QoS = atm.QoS
 	// Topology is a switched ATM fabric: switches, capacity-managed
@@ -300,6 +324,7 @@ var (
 	ErrRecvTimeout     = core.ErrRecvTimeout
 	ErrPeerUnreachable = core.ErrPeerUnreachable
 	ErrInboxClosed     = core.ErrInboxClosed
+	ErrStreamClosed    = core.ErrStreamClosed
 	// ErrGroupDeadline reports a collective that did not complete
 	// within the group's per-operation deadline.
 	ErrGroupDeadline = group.ErrDeadline
@@ -322,16 +347,40 @@ type (
 	// RPCServerOptions sizes the server's dispatcher and selects its
 	// thread architecture.
 	RPCServerOptions = rpc.ServerOptions
+	// RPCClientCall is an open streaming call on an RPCClient
+	// (OpenClientStream / OpenServerStream / OpenBidiStream): chunks
+	// move with Send/Recv on a dedicated multiplexed stream, and
+	// Result collects the handler's final reply.
+	RPCClientCall = rpc.ClientCall
+	// RPCServerCall is the handler-side end of a streaming call's
+	// chunk flow (see RPCStreamHandler).
+	RPCServerCall = rpc.ServerCall
+	// RPCStreamHandler services one streaming call registered with
+	// RPCServer.HandleStream.
+	RPCStreamHandler = rpc.StreamHandler
+	// RPCStreamMode declares a streaming call's chunk-flow directions.
+	RPCStreamMode = rpc.StreamMode
 	// RPCServerError is an application error propagated from a handler
 	// to the caller; match it with errors.As.
 	RPCServerError = rpc.ServerError
 )
 
+// Streaming-call modes (values for RPCStreamMode).
+const (
+	// RPCClientStream: the client Sends chunks, the server replies once.
+	RPCClientStream = rpc.ClientStream
+	// RPCServerStream: the client requests once, the server Sends chunks.
+	RPCServerStream = rpc.ServerStream
+	// RPCBidiStream: both directions chunk concurrently.
+	RPCBidiStream = rpc.BidiStream
+)
+
 // RPC errors re-exported for matching with errors.Is.
 var (
-	ErrRPCNoMethod     = rpc.ErrNoMethod
-	ErrRPCShuttingDown = rpc.ErrShuttingDown
-	ErrRPCClientClosed = rpc.ErrClientClosed
+	ErrRPCNoMethod      = rpc.ErrNoMethod
+	ErrRPCShuttingDown  = rpc.ErrShuttingDown
+	ErrRPCClientClosed  = rpc.ErrClientClosed
+	ErrRPCStreamAborted = rpc.ErrStreamAborted
 )
 
 // NewClient attaches an RPC client to an established connection. The
